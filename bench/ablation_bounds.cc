@@ -1,0 +1,118 @@
+// Ablation (§4.5 / DESIGN.md §6): answer-release policies.
+//  kTight     — NRA-style upper bound (default; correct order)
+//  kLoose     — the paper's cheap edge-score heuristic (may misorder)
+//  kImmediate — release at generation (no buffering at all)
+// Measured: output time of the last relevant answer, generation time, and
+// the fraction of adjacent output pairs that are score-inverted.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+namespace banks::bench {
+namespace {
+
+constexpr size_t kQueries = 30;
+
+double InversionFraction(const SearchResult& r) {
+  if (r.answers.size() < 2) return 0;
+  size_t inversions = 0;
+  for (size_t i = 1; i < r.answers.size(); ++i) {
+    if (r.answers[i].score > r.answers[i - 1].score + 1e-9) inversions++;
+  }
+  return static_cast<double>(inversions) /
+         static_cast<double>(r.answers.size() - 1);
+}
+
+}  // namespace
+
+int Main() {
+  std::printf("=== Ablation: §4.5 release policies (Bidirectional) ===\n");
+  BenchEnv env = MakeDblpEnv();
+  WorkloadGenerator gen(&env.db, &env.dg);
+
+  WorkloadOptions options;
+  options.num_queries = kQueries;
+  options.answer_size = 4;
+  options.min_keywords = 2;
+  options.max_keywords = 4;
+  options.thresholds = env.thresholds;
+  options.seed = 9091;
+  auto queries = gen.Generate(options);
+  std::vector<std::vector<std::vector<NodeId>>> measured;
+  for (const WorkloadQuery& q : queries) {
+    measured.push_back(MeasuredRelevantSubset(env, q));
+  }
+  std::printf("DBLP-like graph: %zu nodes; %zu queries\n\n",
+              env.dg.graph.num_nodes(), queries.size());
+
+  TablePrinter table({"Policy", "GeoMean out ms", "GeoMean gen ms",
+                      "Order inversions", "Recall"});
+
+  struct Policy {
+    const char* label;
+    BoundMode mode;
+  };
+  const Policy kPolicies[] = {{"tight (NRA-style)", BoundMode::kTight},
+                              {"loose (edge-score)", BoundMode::kLoose},
+                              {"immediate", BoundMode::kImmediate}};
+
+  for (const Policy& policy : kPolicies) {
+    std::vector<double> out_ms, gen_ms, inversions, recalls;
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      const WorkloadQuery& q = queries[qi];
+      const auto& targets = measured[qi];
+      if (targets.empty()) continue;
+      SearchOptions so;
+      so.k = 20;
+      so.bound = policy.mode;
+      std::vector<std::vector<NodeId>> origins;
+      for (const std::string& kw : q.keywords) {
+        origins.push_back(env.dg.index.Match(kw));
+      }
+      SearchResult r = CreateSearcher(Algorithm::kBidirectional,
+                                      env.dg.graph, env.prestige, so)
+                           ->Search(origins);
+      inversions.push_back(InversionFraction(r));
+      size_t want = targets.size();
+      size_t found = 0;
+      for (size_t i = 0; i < r.answers.size(); ++i) {
+        auto nodes = r.answers[i].Nodes();
+        if (std::find(targets.begin(), targets.end(), nodes) ==
+            targets.end()) {
+          continue;
+        }
+        found++;
+        if (found >= want) {
+          out_ms.push_back(r.metrics.output_times[i] * 1e3 + 1e-3);
+          gen_ms.push_back(r.answers[i].generated_at * 1e3 + 1e-3);
+          break;
+        }
+      }
+      if (want > 0) {
+        recalls.push_back(static_cast<double>(found) /
+                          static_cast<double>(want));
+      }
+    }
+    table.AddRow({policy.label,
+                  out_ms.empty() ? "n/a" : TablePrinter::Fmt(GeoMean(out_ms)),
+                  gen_ms.empty() ? "n/a" : TablePrinter::Fmt(GeoMean(gen_ms)),
+                  TablePrinter::Fmt(100 * Mean(inversions), 1) + "%",
+                  TablePrinter::Fmt(100 * Mean(recalls), 1) + "%"});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected: gen times identical across policies (same search);\n"
+      "loose/immediate output earlier but admit score inversions; tight\n"
+      "has (near-)zero inversions — the paper observed correct order on\n"
+      "almost all queries even with the loose heuristic.\n");
+  return 0;
+}
+
+}  // namespace banks::bench
+
+int main() { return banks::bench::Main(); }

@@ -1,0 +1,211 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/timer.h"
+
+namespace banks::bench {
+namespace {
+
+/// Scales the paper's origin-size categories (defined on a ~2M-node
+/// graph: T 1-500, S 1000-2000, M 2500-5000, L >7000) down by the node
+/// ratio of our synthetic graph.
+FreqThresholds ScaledThresholds(size_t num_nodes) {
+  double f = static_cast<double>(num_nodes) / 2'000'000.0;
+  auto scale = [&](double paper_value, size_t min_value) {
+    return std::max<size_t>(min_value,
+                            static_cast<size_t>(paper_value * f));
+  };
+  FreqThresholds t;
+  t.tiny_max = scale(500, 8);
+  t.small_min = scale(1000, t.tiny_max + 1);
+  t.small_max = scale(2000, t.small_min + 8);
+  t.medium_min = scale(2500, t.small_max + 1);
+  t.medium_max = scale(5000, t.medium_min + 8);
+  t.large_min = scale(7000, t.medium_max + 1);
+  return t;
+}
+
+BenchEnv FinishEnv(std::string name, Database db) {
+  BenchEnv env;
+  env.name = std::move(name);
+  env.db = std::move(db);
+  env.dg = BuildDataGraph(env.db);
+  env.prestige = ComputePrestige(env.dg.graph);
+  env.thresholds = ScaledThresholds(env.dg.graph.num_nodes());
+  return env;
+}
+
+}  // namespace
+
+BenchEnv MakeDblpEnv(double scale) {
+  DblpConfig config;
+  config.num_authors = static_cast<size_t>(8000 * scale);
+  config.num_papers = static_cast<size_t>(16000 * scale);
+  config.num_conferences = static_cast<size_t>(150 * scale) + 10;
+  config.vocab_size = static_cast<size_t>(12000 * scale) + 500;
+  config.surname_pool = static_cast<size_t>(2500 * scale) + 100;
+  config.seed = 20050830;  // VLDB'05 in Trondheim
+  return FinishEnv("DBLP", GenerateDblp(config));
+}
+
+BenchEnv MakeImdbEnv(double scale) {
+  ImdbConfig config;
+  config.num_people = static_cast<size_t>(9000 * scale);
+  config.num_movies = static_cast<size_t>(14000 * scale);
+  config.vocab_size = static_cast<size_t>(8000 * scale) + 400;
+  config.surname_pool = static_cast<size_t>(2200 * scale) + 100;
+  config.seed = 1894;  // first motion picture studio
+  return FinishEnv("IMDB", GenerateImdb(config));
+}
+
+BenchEnv MakePatentsEnv(double scale) {
+  PatentsConfig config;
+  config.num_inventors = static_cast<size_t>(10000 * scale);
+  config.num_patents = static_cast<size_t>(18000 * scale);
+  config.num_assignees = static_cast<size_t>(300 * scale) + 20;
+  config.vocab_size = static_cast<size_t>(14000 * scale) + 500;
+  config.surname_pool = static_cast<size_t>(2800 * scale) + 100;
+  config.seed = 1790;  // first US patent act
+  return FinishEnv("PATENTS", GeneratePatents(config));
+}
+
+namespace {
+
+RunStats MeasureAgainstRelevant(
+    const BenchEnv& env, const std::vector<std::vector<NodeId>>& origins,
+    const std::vector<std::vector<NodeId>>& relevant, Algorithm algorithm,
+    const SearchOptions& options) {
+  RunStats stats;
+  stats.relevant_total = std::min<size_t>(relevant.size(), 10);
+
+  SearchResult r = CreateSearcher(algorithm, env.dg.graph, env.prestige,
+                                  options)
+                       ->Search(origins);
+  stats.metrics = r.metrics;
+
+  size_t found = 0;
+  for (size_t i = 0; i < r.answers.size(); ++i) {
+    std::vector<NodeId> nodes = r.answers[i].Nodes();
+    if (std::find(relevant.begin(), relevant.end(), nodes) ==
+        relevant.end()) {
+      continue;
+    }
+    found++;
+    stats.out_time = r.metrics.output_times[i];
+    stats.gen_time = r.answers[i].generated_at;
+    stats.explored = r.answers[i].explored_at_generation;
+    stats.touched = r.answers[i].touched_at_generation;
+    stats.outputs_at_last_relevant = i + 1;
+    if (found >= stats.relevant_total) break;
+  }
+  stats.relevant_found = found;
+  stats.complete = (found >= stats.relevant_total) && found > 0;
+  if (found == 0) {
+    // Nothing relevant surfaced: charge the whole search.
+    stats.out_time = r.metrics.elapsed_seconds;
+    stats.gen_time = r.metrics.elapsed_seconds;
+    stats.explored = r.metrics.nodes_explored;
+    stats.touched = r.metrics.nodes_touched;
+    stats.outputs_at_last_relevant = r.answers.size();
+  }
+  return stats;
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> MeasuredRelevantSubset(
+    const BenchEnv& env, const WorkloadQuery& query, size_t cap,
+    size_t within_top) {
+  std::vector<std::vector<NodeId>> origins;
+  for (const std::string& kw : query.keywords) {
+    origins.push_back(env.dg.index.Match(kw));
+  }
+  SearchOptions options;
+  options.k = within_top;
+  options.bound = BoundMode::kLoose;
+  options.max_nodes_explored = 2'000'000;
+  SearchResult r = CreateSearcher(Algorithm::kBackwardSI, env.dg.graph,
+                                  env.prestige, options)
+                       ->Search(origins);
+  // Outputs arrive roughly score-ordered; keep the first `cap` relevant
+  // ones that surface within the examined window.
+  std::vector<std::vector<NodeId>> subset;
+  for (const AnswerTree& t : r.answers) {
+    std::vector<NodeId> nodes = t.Nodes();
+    if (std::find(query.relevant.begin(), query.relevant.end(), nodes) ==
+        query.relevant.end()) {
+      continue;
+    }
+    if (std::find(subset.begin(), subset.end(), nodes) != subset.end()) {
+      continue;
+    }
+    subset.push_back(std::move(nodes));
+    if (subset.size() >= cap) break;
+  }
+  return subset;
+}
+
+RunStats RunWorkloadQuery(const BenchEnv& env, const WorkloadQuery& query,
+                          Algorithm algorithm, const SearchOptions& options,
+                          const std::vector<std::vector<NodeId>>* measured) {
+  std::vector<std::vector<NodeId>> origins;
+  origins.reserve(query.keywords.size());
+  for (const std::string& kw : query.keywords) {
+    origins.push_back(env.dg.index.Match(kw));
+  }
+  return MeasureAgainstRelevant(env, origins,
+                                measured ? *measured : query.relevant,
+                                algorithm, options);
+}
+
+RunStats RunSampleQuery(const BenchEnv& env,
+                        const std::vector<std::string>& keywords,
+                        Algorithm algorithm, const SearchOptions& options,
+                        const std::vector<std::vector<NodeId>>& relevant) {
+  std::vector<std::vector<NodeId>> origins;
+  for (const std::string& kw : keywords) {
+    origins.push_back(env.dg.index.Match(kw));
+  }
+  return MeasureAgainstRelevant(env, origins, relevant, algorithm, options);
+}
+
+std::vector<std::vector<NodeId>> ReferenceAnswers(
+    const BenchEnv& env, const std::vector<std::string>& keywords, size_t k,
+    const SearchOptions& options) {
+  std::vector<std::vector<NodeId>> origins;
+  for (const std::string& kw : keywords) {
+    origins.push_back(env.dg.index.Match(kw));
+  }
+  SearchOptions ref_options = options;
+  ref_options.k = k;
+  SearchResult r = CreateSearcher(Algorithm::kBidirectional, env.dg.graph,
+                                  env.prestige, ref_options)
+                       ->Search(origins);
+  std::vector<std::vector<NodeId>> out;
+  for (const AnswerTree& t : r.answers) out.push_back(t.Nodes());
+  return out;
+}
+
+std::pair<double, size_t> SparseLowerBound(
+    BenchEnv* env, const std::vector<std::string>& keywords,
+    size_t max_cn_size) {
+  SparseSearcher sparse(&env->db);
+  SparseSearcher::Options options;
+  options.max_cn_size = max_cn_size;
+  options.k_per_network = 10;
+  // Warm run (paper: "ran each query several times to get a warm cache").
+  sparse.Search(keywords, options);
+  Timer timer;
+  auto result = sparse.Search(keywords, options);
+  return {timer.ElapsedSeconds(), result.networks.size()};
+}
+
+double SafeRatio(double a, double b) {
+  if (b <= 0) return a <= 0 ? 1.0 : std::numeric_limits<double>::infinity();
+  return a / b;
+}
+
+}  // namespace banks::bench

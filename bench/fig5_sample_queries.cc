@@ -1,0 +1,157 @@
+// Figure 5 reproduction: sample queries on DBLP / IMDB / US-Patents-like
+// datasets, comparing MI-Backward vs SI-Backward vs Bidirectional and the
+// Sparse lower bound.
+//
+// The paper's hand-picked queries (DQ1 "David Fernandez parametric", UQ1
+// "Microsoft recovery", ...) mix rare keywords (origin size 1-5) with
+// frequent ones (origin size in the thousands). We reproduce each query's
+// *shape* — its keyword-frequency signature and relevant-answer size —
+// using the §5.4 workload generator with category constraints, which also
+// gives exact ground-truth relevance (the paper used manual judgment and
+// SQL probes).
+//
+// Columns mirror the paper's table: keyword origin sizes, #relevant,
+// answer size, MI/SI time ratio, SI/Bidir ratios (nodes explored, nodes
+// touched, generation time, output time), absolute times for SI, Bidir,
+// and the Sparse lower bound with its candidate-network count.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "bench_common.h"
+#include "util/table_printer.h"
+
+namespace banks::bench {
+namespace {
+
+struct SampleSpec {
+  const char* id;
+  const char* env;  // DBLP / IMDB / PATENTS
+  std::vector<FreqCategory> categories;
+  size_t answer_size;
+};
+
+const FreqCategory T = FreqCategory::kTiny;
+const FreqCategory S = FreqCategory::kSmall;
+const FreqCategory M = FreqCategory::kMedium;
+const FreqCategory L = FreqCategory::kLarge;
+
+// Shapes taken from the paper's Figure 5 rows.
+const SampleSpec kSpecs[] = {
+    {"DQ1", "DBLP", {T, L}, 3},          // "David Fernandez" parametric
+    {"DQ3", "DBLP", {T, S}, 5},          // Giora Fernandez
+    {"DQ5", "DBLP", {T, S, L, L}, 3},    // Krishnamurthy parametric query opt
+    {"DQ7", "DBLP", {T, T, L, L}, 5},    // Naughton Dewitt query processing
+    {"DQ9", "DBLP", {T, T, T, S, M}, 5}, // Divesh Jignesh Jagadish Timber...
+    {"IQ1", "IMDB", {T, S, L}, 3},       // Keanu Matrix Thomas
+    {"IQ2", "IMDB", {T, S, M}, 5},       // Zellweger Jude Nicole
+    {"UQ1", "PATENTS", {T, L}, 2},       // Microsoft recovery
+    {"UQ3", "PATENTS", {T, S}, 3},       // Cindy Joshua
+    {"UQ5", "PATENTS", {T, M}, 3},       // Chawathe Philip
+};
+
+std::string OriginSizes(const WorkloadQuery& q) {
+  std::string out = "(";
+  for (size_t i = 0; i < q.origin_sizes.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(q.origin_sizes[i]);
+  }
+  return out + ")";
+}
+
+std::string Ms(double seconds) { return TablePrinter::Fmt(seconds * 1e3, 1); }
+
+}  // namespace
+
+int Main() {
+  std::printf("=== Figure 5: Bidirectional vs Backward on sample queries ===\n");
+  BenchEnv dblp = MakeDblpEnv();
+  BenchEnv imdb = MakeImdbEnv();
+  BenchEnv patents = MakePatentsEnv();
+  std::printf("DBLP: %zu nodes / %zu edges; IMDB: %zu / %zu; PATENTS: %zu / %zu\n\n",
+              dblp.dg.graph.num_nodes(), dblp.dg.graph.num_edges(),
+              imdb.dg.graph.num_nodes(), imdb.dg.graph.num_edges(),
+              patents.dg.graph.num_nodes(), patents.dg.graph.num_edges());
+
+  TablePrinter table({"Query", "#Kw nodes", "RelAns", "AnsSize",
+                      "MI/SI time", "SI/Bi expl", "SI/Bi touch",
+                      "SI/Bi gen", "SI/Bi out", "SI ms", "Bidir ms",
+                      "Sparse-LB ms (#CN)"});
+
+  // One workload generator per dataset (the tuple matcher inside is a
+  // full-database text index; build it once).
+  WorkloadGenerator dblp_gen(&dblp.db, &dblp.dg);
+  WorkloadGenerator imdb_gen(&imdb.db, &imdb.dg);
+  WorkloadGenerator patents_gen(&patents.db, &patents.dg);
+
+  size_t row = 0;
+  for (const SampleSpec& spec : kSpecs) {
+    row++;
+    BenchEnv* env = spec.env == std::string("DBLP")      ? &dblp
+                    : spec.env == std::string("IMDB")    ? &imdb
+                                                         : &patents;
+    WorkloadGenerator& gen = spec.env == std::string("DBLP") ? dblp_gen
+                             : spec.env == std::string("IMDB") ? imdb_gen
+                                                               : patents_gen;
+    // Retry seeds until the query has measurable targets (relevant
+    // answers inside the examined output window) — the paper's sample
+    // queries were hand-picked to have judged-relevant top results.
+    WorkloadQuery q;
+    std::vector<std::vector<NodeId>> measured;
+    for (uint64_t attempt = 0; attempt < 8 && measured.empty(); ++attempt) {
+      WorkloadOptions options;
+      options.num_queries = 1;
+      options.answer_size = spec.answer_size;
+      options.categories = spec.categories;
+      options.thresholds = env->thresholds;
+      options.seed = 7700 + row * 131 + attempt * 7919;
+      auto queries = gen.Generate(options);
+      if (queries.empty()) continue;
+      measured = MeasuredRelevantSubset(*env, queries[0]);
+      if (!measured.empty()) q = std::move(queries[0]);
+    }
+    if (measured.empty()) {
+      table.AddRow({spec.id, "no targets", "-", "-", "-", "-", "-", "-", "-",
+                    "-", "-", "-"});
+      continue;
+    }
+
+    SearchOptions so;
+    so.k = 60;
+    so.bound = BoundMode::kLoose;  // the paper's measured configuration (§4.5)
+    so.max_nodes_explored = 2'000'000;  // MI guard on large origins
+    RunStats mi =
+        RunWorkloadQuery(*env, q, Algorithm::kBackwardMI, so, &measured);
+    RunStats si =
+        RunWorkloadQuery(*env, q, Algorithm::kBackwardSI, so, &measured);
+    RunStats bi =
+        RunWorkloadQuery(*env, q, Algorithm::kBidirectional, so, &measured);
+
+    auto [sparse_seconds, cn_count] =
+        SparseLowerBound(env, q.keywords, q.answer_size);
+
+    table.AddRow(
+        {spec.id, OriginSizes(q), std::to_string(q.relevant.size()),
+         std::to_string(spec.answer_size),
+         TablePrinter::Fmt(SafeRatio(mi.out_time, si.out_time)),
+         TablePrinter::Fmt(SafeRatio(static_cast<double>(si.explored),
+                                     static_cast<double>(bi.explored))),
+         TablePrinter::Fmt(SafeRatio(static_cast<double>(si.touched),
+                                     static_cast<double>(bi.touched))),
+         TablePrinter::Fmt(SafeRatio(si.gen_time, bi.gen_time)),
+         TablePrinter::Fmt(SafeRatio(si.out_time, bi.out_time)),
+         Ms(si.out_time), Ms(bi.out_time),
+         Ms(sparse_seconds) + " (" + std::to_string(cn_count) + ")"});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected shape (paper): MI/SI >> 1; SI/Bidir explored up to ~2\n"
+      "orders of magnitude; Bidir absolute times lowest; Sparse-LB grows\n"
+      "with #CN and trails Bidirectional.\n");
+  return 0;
+}
+
+}  // namespace banks::bench
+
+int main() { return banks::bench::Main(); }

@@ -1,0 +1,83 @@
+// Figure 6(b) reproduction: SI-Backward / Bidirectional time ratio vs
+// keyword count (2..7) for small- and large-origin classes on the §5.4
+// DBLP workload, plus the nodes-explored ratio the paper reports as
+// "roughly the same pattern ... higher by a factor of about 2".
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+namespace banks::bench {
+namespace {
+
+constexpr size_t kQueriesPerCell = 10;
+
+}  // namespace
+
+int Main() {
+  std::printf("=== Figure 6(b): SI-Backward / Bidirectional time ratio ===\n");
+  BenchEnv env = MakeDblpEnv();
+  std::printf("DBLP-like graph: %zu nodes / %zu edges\n\n",
+              env.dg.graph.num_nodes(), env.dg.graph.num_edges());
+  WorkloadGenerator gen(&env.db, &env.dg);
+
+  TablePrinter table({"#Keywords", "small: time", "expl", "n",
+                      "large: time", "expl", "n"});
+
+  for (size_t kw = 2; kw <= 7; ++kw) {
+    std::vector<double> time_ratios[2], expl_ratios[2];
+    for (int klass = 0; klass < 2; ++klass) {
+      WorkloadOptions options;
+      options.num_queries = kQueriesPerCell;
+      options.answer_size = 5;
+      options.thresholds = env.thresholds;
+      options.categories.assign(kw, FreqCategory::kTiny);
+      options.categories.back() =
+          klass == 0 ? FreqCategory::kSmall : FreqCategory::kLarge;
+      options.seed = 990 + kw * 29 + klass;
+
+      SearchOptions so;
+      so.k = 60;
+      so.bound = BoundMode::kLoose;  // the paper's measured configuration (§4.5)
+      so.max_nodes_explored = 1'500'000;
+
+      for (const WorkloadQuery& q : gen.Generate(options)) {
+        auto measured = MeasuredRelevantSubset(env, q);
+      if (measured.empty()) continue;  // no measurable targets
+        RunStats si =
+            RunWorkloadQuery(env, q, Algorithm::kBackwardSI, so, &measured);
+        RunStats bi = RunWorkloadQuery(env, q, Algorithm::kBidirectional, so,
+                                       &measured);
+        if (si.relevant_found == 0 || bi.relevant_found == 0) continue;
+        time_ratios[klass].push_back(SafeRatio(si.out_time, bi.out_time));
+        expl_ratios[klass].push_back(
+            SafeRatio(static_cast<double>(si.explored),
+                      static_cast<double>(bi.explored)));
+      }
+    }
+    auto fmt = [](const std::vector<double>& v) {
+      return v.empty() ? std::string("n/a")
+                       : TablePrinter::Fmt(GeoMean(v));
+    };
+    table.AddRow({std::to_string(kw), fmt(time_ratios[0]),
+                  fmt(expl_ratios[0]), std::to_string(time_ratios[0].size()),
+                  fmt(time_ratios[1]), fmt(expl_ratios[1]),
+                  std::to_string(time_ratios[1].size())});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected shape (paper): Bidirectional wins by a large margin,\n"
+      "more for large origins. The nodes-explored ratio is the shape-\n"
+      "bearing metric here (see EXPERIMENTS.md): our C++ SI baseline has\n"
+      "~20x lower per-expansion constants than Bidirectional, which the\n"
+      "paper's uniformly-heavy Java prototype did not, so wall-clock\n"
+      "ratios understate the algorithmic win.\n");
+  return 0;
+}
+
+}  // namespace banks::bench
+
+int main() { return banks::bench::Main(); }

@@ -1,0 +1,99 @@
+// Micro-benchmarks for the graph substrate (E7 in DESIGN.md): build
+// cost, CSR scan throughput, backward-edge derivation, prestige, and the
+// §5.1 memory-footprint accounting.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/graph.h"
+#include "prestige/pagerank.h"
+#include "util/rng.h"
+
+namespace banks {
+namespace {
+
+GraphBuilder RandomBuilder(size_t nodes, size_t edges, uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder b;
+  b.AddNodes(nodes);
+  for (size_t e = 0; e < edges; ++e) {
+    NodeId u = static_cast<NodeId>(rng.Below(nodes));
+    NodeId v = static_cast<NodeId>(rng.Below(nodes));
+    if (u != v) b.AddEdge(u, v);
+  }
+  return b;
+}
+
+void BM_GraphBuild(benchmark::State& state) {
+  const size_t nodes = state.range(0);
+  const size_t edges = nodes * 4;
+  for (auto _ : state) {
+    state.PauseTiming();
+    GraphBuilder b = RandomBuilder(nodes, edges, 42);
+    state.ResumeTiming();
+    Graph g = b.Build();
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * edges);
+}
+BENCHMARK(BM_GraphBuild)->Arg(10'000)->Arg(100'000);
+
+void BM_GraphBuildNoBackward(benchmark::State& state) {
+  const size_t nodes = state.range(0);
+  const size_t edges = nodes * 4;
+  GraphBuildOptions options;
+  options.add_backward_edges = false;
+  for (auto _ : state) {
+    state.PauseTiming();
+    GraphBuilder b = RandomBuilder(nodes, edges, 42);
+    state.ResumeTiming();
+    Graph g = b.Build(options);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * edges);
+}
+BENCHMARK(BM_GraphBuildNoBackward)->Arg(10'000)->Arg(100'000);
+
+void BM_CsrScan(benchmark::State& state) {
+  GraphBuilder b = RandomBuilder(100'000, 400'000, 7);
+  Graph g = b.Build();
+  for (auto _ : state) {
+    double total = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      for (const Edge& e : g.OutEdges(v)) total += e.weight;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_CsrScan);
+
+void BM_Prestige(benchmark::State& state) {
+  GraphBuilder b = RandomBuilder(state.range(0), state.range(0) * 4, 7);
+  Graph g = b.Build();
+  PrestigeOptions options;
+  options.max_iterations = 20;
+  for (auto _ : state) {
+    auto p = ComputePrestige(g, options);
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(BM_Prestige)->Arg(10'000)->Arg(50'000);
+
+// §5.1 accounting: report bytes per node+edge so the compactness claim
+// (paper: 16·V + 8·E for the skeleton) can be compared directly.
+void BM_MemoryFootprint(benchmark::State& state) {
+  GraphBuilder b = RandomBuilder(100'000, 400'000, 7);
+  Graph g = b.Build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.MemoryBytes());
+  }
+  state.counters["bytes_per_node"] =
+      static_cast<double>(g.MemoryBytes()) / g.num_nodes();
+  state.counters["paper_budget_bytes"] =
+      16.0 * g.num_nodes() + 8.0 * g.num_edges();
+  state.counters["actual_bytes"] = static_cast<double>(g.MemoryBytes());
+}
+BENCHMARK(BM_MemoryFootprint);
+
+}  // namespace
+}  // namespace banks

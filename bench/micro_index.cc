@@ -1,0 +1,78 @@
+// Micro-benchmarks for the text substrate: tokenizer throughput,
+// inverted-index build, and keyword resolution (token + relation-name).
+
+#include <benchmark/benchmark.h>
+
+#include "datasets/vocab.h"
+#include "text/inverted_index.h"
+#include "util/rng.h"
+
+namespace banks {
+namespace {
+
+std::vector<std::string> MakeTitles(size_t count) {
+  Vocabulary vocab(10'000, 0.9);
+  Rng rng(17);
+  std::vector<std::string> titles;
+  titles.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    titles.push_back(vocab.SampleTitle(&rng, 7));
+  }
+  return titles;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  auto titles = MakeTitles(10'000);
+  Tokenizer tokenizer;
+  size_t i = 0;
+  for (auto _ : state) {
+    auto tokens = tokenizer.Tokenize(titles[i++ % titles.size()]);
+    benchmark::DoNotOptimize(tokens.size());
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_IndexBuild(benchmark::State& state) {
+  auto titles = MakeTitles(state.range(0));
+  for (auto _ : state) {
+    InvertedIndex index;
+    for (size_t i = 0; i < titles.size(); ++i) {
+      index.AddDocument(static_cast<NodeId>(i), titles[i]);
+    }
+    index.Freeze();
+    benchmark::DoNotOptimize(index.num_terms());
+  }
+  state.SetItemsProcessed(state.iterations() * titles.size());
+}
+BENCHMARK(BM_IndexBuild)->Arg(10'000)->Arg(50'000);
+
+void BM_KeywordMatch(benchmark::State& state) {
+  auto titles = MakeTitles(50'000);
+  InvertedIndex index;
+  for (size_t i = 0; i < titles.size(); ++i) {
+    index.AddDocument(static_cast<NodeId>(i), titles[i]);
+  }
+  index.RegisterRelation("paper", 0, titles.size());
+  index.Freeze();
+  Vocabulary vocab(10'000, 0.9);
+  Rng rng(3);
+  for (auto _ : state) {
+    auto m = index.Match(vocab.Word(vocab.SampleRank(&rng)));
+    benchmark::DoNotOptimize(m.size());
+  }
+}
+BENCHMARK(BM_KeywordMatch);
+
+void BM_RelationNameMatch(benchmark::State& state) {
+  InvertedIndex index;
+  index.RegisterRelation("paper", 0, 100'000);
+  index.Freeze();
+  for (auto _ : state) {
+    auto m = index.Match("paper");
+    benchmark::DoNotOptimize(m.size());
+  }
+}
+BENCHMARK(BM_RelationNameMatch);
+
+}  // namespace
+}  // namespace banks

@@ -1,0 +1,98 @@
+// Micro-benchmarks: end-to-end keyword search per algorithm on a fixed
+// DBLP-like graph, across query shapes (rare+rare, rare+frequent).
+
+#include <benchmark/benchmark.h>
+
+#include "datasets/dblp_gen.h"
+#include "prestige/pagerank.h"
+#include "relational/graph_builder.h"
+#include "search/searcher.h"
+#include "text/tokenizer.h"
+
+namespace banks {
+namespace {
+
+struct Fixture {
+  Database db;
+  DataGraph dg;
+  std::vector<double> prestige;
+  std::vector<NodeId> rare1, rare2, frequent;
+
+  Fixture() {
+    DblpConfig config;
+    config.num_authors = 4000;
+    config.num_papers = 8000;
+    config.seed = 99;
+    db = GenerateDblp(config);
+    dg = BuildDataGraph(db);
+    prestige = ComputePrestige(dg.graph);
+
+    // Pick origin sets by scanning for dfs nearest targets.
+    Tokenizer tok;
+    size_t best_freq = 0;
+    std::string freq_word;
+    for (RowId r = 0; r < 50; ++r) {
+      for (const auto& w : tok.Tokenize(db.FindTable("paper")->RowText(r))) {
+        size_t df = dg.index.MatchCount(w);
+        if (df > best_freq) {
+          best_freq = df;
+          freq_word = w;
+        }
+      }
+    }
+    frequent = dg.index.Match(freq_word);
+    const Table& author = *db.FindTable("author");
+    rare1 = dg.index.Match(tok.Tokenize(author.RowText(3)).back());
+    rare2 = dg.index.Match(tok.Tokenize(author.RowText(8)).back());
+  }
+};
+
+Fixture& GetFixture() {
+  static Fixture* f = new Fixture();
+  return *f;
+}
+
+void RunSearchBench(benchmark::State& state, Algorithm algorithm,
+                    bool with_frequent) {
+  Fixture& f = GetFixture();
+  SearchOptions options;
+  options.k = 10;
+  options.max_nodes_explored = 2'000'000;
+  std::vector<std::vector<NodeId>> origins = {f.rare1};
+  origins.push_back(with_frequent ? f.frequent : f.rare2);
+  for (auto _ : state) {
+    SearchResult r =
+        CreateSearcher(algorithm, f.dg.graph, f.prestige, options)
+            ->Search(origins);
+    benchmark::DoNotOptimize(r.answers.size());
+  }
+}
+
+void BM_MIBackward_RareRare(benchmark::State& state) {
+  RunSearchBench(state, Algorithm::kBackwardMI, false);
+}
+void BM_MIBackward_RareFrequent(benchmark::State& state) {
+  RunSearchBench(state, Algorithm::kBackwardMI, true);
+}
+void BM_SIBackward_RareRare(benchmark::State& state) {
+  RunSearchBench(state, Algorithm::kBackwardSI, false);
+}
+void BM_SIBackward_RareFrequent(benchmark::State& state) {
+  RunSearchBench(state, Algorithm::kBackwardSI, true);
+}
+void BM_Bidirectional_RareRare(benchmark::State& state) {
+  RunSearchBench(state, Algorithm::kBidirectional, false);
+}
+void BM_Bidirectional_RareFrequent(benchmark::State& state) {
+  RunSearchBench(state, Algorithm::kBidirectional, true);
+}
+
+BENCHMARK(BM_MIBackward_RareRare)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MIBackward_RareFrequent)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SIBackward_RareRare)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SIBackward_RareFrequent)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Bidirectional_RareRare)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Bidirectional_RareFrequent)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace banks

@@ -1,0 +1,63 @@
+// near_queries: the footnote-6 extension. With ActivationCombine::kSum,
+// activation received over multiple paths adds up instead of taking the
+// max, rewarding nodes *near many* keyword matches — the BANKS website's
+// "near queries".
+//
+// Demo: find patents "near" a company — patents whose neighborhoods
+// mention the company many times rank higher under kSum.
+//
+//   $ ./near_queries
+
+#include <cstdio>
+#include <iostream>
+
+#include "banks/engine.h"
+#include "datasets/patents_gen.h"
+#include "text/tokenizer.h"
+
+using namespace banks;
+
+int main() {
+  PatentsConfig config;
+  config.num_patents = 4000;
+  config.num_inventors = 2500;
+  config.seed = 5;
+  std::printf("generating synthetic patents db (patents=%zu)...\n",
+              config.num_patents);
+  Database db = GeneratePatents(config);
+  Engine engine = Engine::FromDatabase(db);
+
+  // A company name (assignee) plus a prolific inventor's surname.
+  Tokenizer tok;
+  std::string company = "microsoft";
+  std::string inventor =
+      tok.Tokenize(db.FindTable("inventor")->RowText(0)).back();
+  std::vector<std::string> keywords = {company, inventor};
+  std::printf("query: %s(|S|=%zu) %s(|S|=%zu)\n\n", company.c_str(),
+              engine.index().MatchCount(company), inventor.c_str(),
+              engine.index().MatchCount(inventor));
+
+  for (ActivationCombine combine :
+       {ActivationCombine::kMax, ActivationCombine::kSum}) {
+    SearchOptions options;
+    options.k = 5;
+    options.combine = combine;
+    options.bound = BoundMode::kLoose;
+    SearchResult r =
+        engine.Query(keywords, Algorithm::kBidirectional, options);
+    std::printf("== combine=%s: %zu answers, explored %llu\n",
+                combine == ActivationCombine::kMax ? "max (paper default)"
+                                                   : "sum (near queries)",
+                r.answers.size(),
+                static_cast<unsigned long long>(r.metrics.nodes_explored));
+    if (!r.answers.empty()) {
+      std::cout << engine.DescribeAnswer(r.answers[0]);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Both modes find the same answer model; sum mode changes frontier\n"
+      "priorities (confluence of many paths raises activation), which is\n"
+      "the building block for near-queries ranking.\n");
+  return 0;
+}

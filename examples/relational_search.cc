@@ -1,0 +1,84 @@
+// relational_search: shows the two evaluation styles over one relational
+// database — graph search (BANKS) versus candidate networks (Sparse) —
+// and that they surface the same connections.
+//
+//   $ ./relational_search
+
+#include <cstdio>
+#include <iostream>
+
+#include "banks/engine.h"
+#include "datasets/imdb_gen.h"
+#include "relational/sparse.h"
+#include "text/tokenizer.h"
+
+using namespace banks;
+
+int main() {
+  ImdbConfig config;
+  config.num_people = 2000;
+  config.num_movies = 3000;
+  config.seed = 33;
+  std::printf("generating synthetic IMDB (people=%zu movies=%zu)...\n",
+              config.num_people, config.num_movies);
+  Database db = GenerateImdb(config);
+  Engine engine = Engine::FromDatabase(db);
+
+  // Two actor surnames that co-star somewhere: walk acts_in to find a
+  // movie with two cast members and take their surnames.
+  Tokenizer tok;
+  const Table& acts = *db.FindTable("acts_in");
+  const Table& person = *db.FindTable("person");
+  std::vector<std::string> keywords;
+  {
+    std::vector<std::vector<RowId>> cast(db.FindTable("movie")->num_rows());
+    for (RowId r = 0; r < static_cast<RowId>(acts.num_rows()); ++r) {
+      cast[static_cast<size_t>(acts.FkAt(r, 1))].push_back(acts.FkAt(r, 0));
+    }
+    for (const auto& members : cast) {
+      if (members.size() < 2) continue;
+      std::string a = tok.Tokenize(person.RowText(members[0])).back();
+      std::string b = tok.Tokenize(person.RowText(members[1])).back();
+      if (a == b) continue;
+      keywords = {a, b};
+      break;
+    }
+  }
+  std::printf("query: %s %s\n\n", keywords[0].c_str(), keywords[1].c_str());
+
+  // --- Graph search (this paper) ---
+  SearchOptions options;
+  options.k = 5;
+  options.bound = BoundMode::kLoose;
+  SearchResult r =
+      engine.Query(keywords, Algorithm::kBidirectional, options);
+  std::printf("== Bidirectional graph search: %zu answers, %llu nodes explored\n",
+              r.answers.size(),
+              static_cast<unsigned long long>(r.metrics.nodes_explored));
+  for (size_t i = 0; i < std::min<size_t>(2, r.answers.size()); ++i) {
+    std::cout << engine.DescribeAnswer(r.answers[i]) << "\n";
+  }
+
+  // --- Candidate networks (Discover/Sparse baseline) ---
+  SparseSearcher sparse(&db);
+  SparseSearcher::Options sparse_options;
+  sparse_options.max_cn_size = 5;
+  sparse_options.k_per_network = 5;
+  auto sr = sparse.Search(keywords, sparse_options);
+  std::printf("== Sparse: %zu candidate networks, %zu joined results "
+              "(enum %.1f ms, eval %.1f ms)\n",
+              sr.networks.size(), sr.results.size(),
+              sr.enumeration_seconds * 1e3, sr.evaluation_seconds * 1e3);
+  for (size_t i = 0; i < std::min<size_t>(3, sr.results.size()); ++i) {
+    std::printf("  result %zu:", i);
+    for (auto [t, row] : sr.results[i].tuples) {
+      std::printf(" %s#%lld", db.table(t).name().c_str(),
+                  static_cast<long long>(row));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nNote how the graph search needs no schema reasoning at query time\n"
+      "and produces ranked trees, while Sparse enumerates join shapes.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "banks/engine.h"
+
+#include <sstream>
+
+namespace banks {
+
+Engine Engine::FromDatabase(const Database& db, const EngineOptions& options) {
+  return Engine(BuildDataGraph(db, options.graph), options);
+}
+
+Engine::Engine(DataGraph data, const EngineOptions& options)
+    : data_(std::move(data)) {
+  prestige_ = options.compute_prestige
+                  ? ComputePrestige(data_.graph, options.prestige)
+                  : UniformPrestige(data_.graph.num_nodes());
+}
+
+std::vector<std::vector<NodeId>> Engine::Resolve(
+    const std::vector<std::string>& keywords) const {
+  std::vector<std::vector<NodeId>> origins;
+  origins.reserve(keywords.size());
+  for (const std::string& kw : keywords) {
+    origins.push_back(data_.index.Match(kw));
+  }
+  return origins;
+}
+
+SearchResult Engine::Query(const std::vector<std::string>& keywords,
+                           Algorithm algorithm,
+                           const SearchOptions& options) const {
+  return QueryResolved(Resolve(keywords), algorithm, options);
+}
+
+SearchResult Engine::QueryResolved(
+    const std::vector<std::vector<NodeId>>& origins, Algorithm algorithm,
+    const SearchOptions& options) const {
+  return CreateSearcher(algorithm, data_.graph, prestige_, options)
+      ->Search(origins);
+}
+
+const std::string& Engine::NodeLabel(NodeId node) const {
+  static const std::string kUnknown = "<node>";
+  if (node >= data_.node_labels.size()) return kUnknown;
+  return data_.node_labels[node];
+}
+
+std::string Engine::DescribeAnswer(const AnswerTree& tree) const {
+  std::ostringstream os;
+  os << "root: " << NodeLabel(tree.root) << "  (score " << tree.score
+     << ", Eraw " << tree.edge_score_raw << ", N " << tree.node_prestige
+     << ")\n";
+  for (const AnswerEdge& e : tree.edges) {
+    os << "  " << NodeLabel(e.parent) << " -> " << NodeLabel(e.child)
+       << "  (w " << e.weight << ")\n";
+  }
+  for (size_t i = 0; i < tree.keyword_nodes.size(); ++i) {
+    os << "  keyword " << i << " @ " << NodeLabel(tree.keyword_nodes[i])
+       << "  (dist " << tree.keyword_distances[i] << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace banks

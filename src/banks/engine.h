@@ -1,0 +1,76 @@
+#ifndef BANKS_BANKS_ENGINE_H_
+#define BANKS_BANKS_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "prestige/pagerank.h"
+#include "relational/graph_builder.h"
+#include "search/searcher.h"
+
+namespace banks {
+
+/// Engine construction knobs.
+struct EngineOptions {
+  GraphBuildOptions graph;
+  PrestigeOptions prestige;
+  /// When false, uniform prestige is used (pure edge-score ranking);
+  /// saves the PageRank pass for tests and ablations.
+  bool compute_prestige = true;
+};
+
+/// The top-level BANKS engine: data graph + inverted keyword index +
+/// precomputed node prestige, answering keyword queries with any of the
+/// three algorithms. This is the facade a downstream user works with:
+///
+///   Database db = ...;                       // or GenerateDblp(cfg)
+///   Engine engine = Engine::FromDatabase(db);
+///   SearchResult r = engine.Query({"gray", "transaction"},
+///                                 Algorithm::kBidirectional);
+///
+/// Node prestige is computed once at construction (§2.3: "node prestige
+/// scores can be assumed to be precomputed").
+class Engine {
+ public:
+  /// Extracts the data graph from a relational database (§2.1).
+  static Engine FromDatabase(const Database& db,
+                             const EngineOptions& options = {});
+
+  /// Wraps a pre-built data graph (e.g. loaded from disk).
+  explicit Engine(DataGraph data, const EngineOptions& options = {});
+
+  /// Resolves keywords to origin sets S_i (token postings plus
+  /// relation-name matches).
+  std::vector<std::vector<NodeId>> Resolve(
+      const std::vector<std::string>& keywords) const;
+
+  /// End-to-end query: resolve + search.
+  SearchResult Query(const std::vector<std::string>& keywords,
+                     Algorithm algorithm,
+                     const SearchOptions& options = {}) const;
+
+  /// Search over pre-resolved origin sets (benchmarks resolve once and
+  /// run several algorithms on identical origins).
+  SearchResult QueryResolved(const std::vector<std::vector<NodeId>>& origins,
+                             Algorithm algorithm,
+                             const SearchOptions& options = {}) const;
+
+  const Graph& graph() const { return data_.graph; }
+  const InvertedIndex& index() const { return data_.index; }
+  const DataGraph& data() const { return data_; }
+  const std::vector<double>& prestige() const { return prestige_; }
+
+  /// Display label for a node ("paper#17 [bidirectional expansion ...]").
+  const std::string& NodeLabel(NodeId node) const;
+
+  /// Multi-line human-readable rendering of an answer tree.
+  std::string DescribeAnswer(const AnswerTree& tree) const;
+
+ private:
+  DataGraph data_;
+  std::vector<double> prestige_;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_BANKS_ENGINE_H_

@@ -1,0 +1,87 @@
+#include "datasets/dblp_gen.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "datasets/vocab.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace banks {
+
+Database GenerateDblp(const DblpConfig& config) {
+  Rng rng(config.seed);
+  Vocabulary vocab(config.vocab_size, config.zipf_theta);
+  NameGenerator names(config.surname_pool, config.zipf_theta);
+
+  Database db;
+  Table& conference = db.AddTable(TableSpec{
+      "conference", {ColumnSpec{"name", ColumnKind::kText, "", 1.0}}});
+  Table& author = db.AddTable(TableSpec{
+      "author", {ColumnSpec{"name", ColumnKind::kText, "", 1.0}}});
+  Table& paper = db.AddTable(TableSpec{
+      "paper",
+      {ColumnSpec{"title", ColumnKind::kText, "", 1.0},
+       ColumnSpec{"conf", ColumnKind::kForeignKey, "conference", 1.0}}});
+  Table& writes = db.AddTable(TableSpec{
+      "writes",
+      {ColumnSpec{"aid", ColumnKind::kForeignKey, "author", 1.0},
+       ColumnSpec{"pid", ColumnKind::kForeignKey, "paper", 1.0}}});
+  Table& cites = db.AddTable(TableSpec{
+      "cites",
+      {ColumnSpec{"citing", ColumnKind::kForeignKey, "paper", 1.0},
+       ColumnSpec{"cited", ColumnKind::kForeignKey, "paper", 1.0}}});
+
+  for (size_t c = 0; c < config.num_conferences; ++c) {
+    conference.AddRow({"conf " + Vocabulary::Syllables(c, 2)}, {});
+  }
+  for (size_t a = 0; a < config.num_authors; ++a) {
+    author.AddRow({names.SampleName(&rng)}, {});
+  }
+
+  // Popular conferences attract more papers (hub effect).
+  ZipfSampler conf_zipf(config.num_conferences, config.attachment_theta);
+  for (size_t p = 0; p < config.num_papers; ++p) {
+    RowId conf = static_cast<RowId>(conf_zipf.Sample(&rng));
+    paper.AddRow({vocab.SampleTitle(&rng, config.title_words)}, {conf});
+  }
+
+  // Authorship: per paper, 1 + Poisson-ish(mean-1) authors, drawn with
+  // productivity skew so some authors have very large fan-in.
+  ZipfSampler author_zipf(config.num_authors, config.attachment_theta);
+  for (size_t p = 0; p < config.num_papers; ++p) {
+    size_t count = 1;
+    double extra = config.mean_authors_per_paper - 1.0;
+    while (extra > 0 && rng.Chance(std::min(1.0, extra))) {
+      count++;
+      extra -= 1.0;
+    }
+    std::unordered_set<RowId> used;
+    for (size_t i = 0; i < count; ++i) {
+      RowId a = static_cast<RowId>(author_zipf.Sample(&rng));
+      if (!used.insert(a).second) continue;
+      writes.AddRow({}, {a, static_cast<RowId>(p)});
+    }
+  }
+
+  // Citations: papers cite earlier papers, famous targets preferred.
+  for (size_t p = 1; p < config.num_papers; ++p) {
+    double remaining = config.mean_citations_per_paper;
+    std::unordered_set<RowId> used;
+    while (remaining > 0 && rng.Chance(std::min(1.0, remaining))) {
+      remaining -= 1.0;
+      // Preferential attachment: rank-skewed choice among predecessors.
+      double u = rng.NextDouble();
+      double skew = u * u;  // quadratic bias toward low (famous) ids
+      RowId target = static_cast<RowId>(skew * static_cast<double>(p));
+      if (target >= static_cast<RowId>(p)) target = static_cast<RowId>(p) - 1;
+      if (!used.insert(target).second) continue;
+      cites.AddRow({}, {static_cast<RowId>(p), target});
+    }
+  }
+
+  db.BuildIndexes();
+  return db;
+}
+
+}  // namespace banks

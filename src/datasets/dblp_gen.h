@@ -1,0 +1,43 @@
+#ifndef BANKS_DATASETS_DBLP_GEN_H_
+#define BANKS_DATASETS_DBLP_GEN_H_
+
+#include <cstdint>
+
+#include "relational/database.h"
+
+namespace banks {
+
+/// Synthetic DBLP-like bibliographic database (the paper's primary
+/// dataset; see DESIGN.md substitutions). Schema:
+///
+///   conference(name)
+///   author(name)
+///   paper(title, →conference)
+///   writes(→author, →paper)        — link tuples are nodes, as in Fig. 4
+///   cites(→paper citing, →paper cited)
+///
+/// The generator plants the pathologies the paper's motivation relies
+/// on: Zipf title vocabulary (frequent terms match thousands of
+/// papers), Zipf author productivity (prolific "C. Mohan"-style authors
+/// with huge fan-in), popular conferences (hub nodes), and preferential
+/// citation (famous papers with high prestige).
+struct DblpConfig {
+  size_t num_authors = 2000;
+  size_t num_papers = 5000;
+  size_t num_conferences = 50;
+  double mean_authors_per_paper = 2.2;
+  double mean_citations_per_paper = 4.0;
+  size_t title_words = 6;
+  size_t vocab_size = 4000;
+  double zipf_theta = 0.85;
+  /// Skew of author-productivity / citation-popularity sampling.
+  double attachment_theta = 0.8;
+  size_t surname_pool = 800;
+  uint64_t seed = 42;
+};
+
+Database GenerateDblp(const DblpConfig& config);
+
+}  // namespace banks
+
+#endif  // BANKS_DATASETS_DBLP_GEN_H_

@@ -1,0 +1,77 @@
+#include "datasets/imdb_gen.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "datasets/vocab.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace banks {
+
+Database GenerateImdb(const ImdbConfig& config) {
+  Rng rng(config.seed);
+  Vocabulary vocab(config.vocab_size, config.zipf_theta);
+  NameGenerator names(config.surname_pool, config.zipf_theta);
+
+  Database db;
+  Table& genre = db.AddTable(
+      TableSpec{"genre", {ColumnSpec{"name", ColumnKind::kText, "", 1.0}}});
+  Table& person = db.AddTable(
+      TableSpec{"person", {ColumnSpec{"name", ColumnKind::kText, "", 1.0}}});
+  Table& movie = db.AddTable(TableSpec{
+      "movie",
+      {ColumnSpec{"title", ColumnKind::kText, "", 1.0},
+       ColumnSpec{"genre", ColumnKind::kForeignKey, "genre", 1.0}}});
+  Table& acts_in = db.AddTable(TableSpec{
+      "acts_in",
+      {ColumnSpec{"pid", ColumnKind::kForeignKey, "person", 1.0},
+       ColumnSpec{"mid", ColumnKind::kForeignKey, "movie", 1.0}}});
+  Table& directs = db.AddTable(TableSpec{
+      "directs",
+      {ColumnSpec{"pid", ColumnKind::kForeignKey, "person", 1.0},
+       ColumnSpec{"mid", ColumnKind::kForeignKey, "movie", 1.0}}});
+
+  const char* kGenres[] = {"drama",    "comedy",   "action",  "thriller",
+                           "romance",  "horror",   "scifi",   "fantasy",
+                           "western",  "musical",  "crime",   "mystery",
+                           "animation", "documentary", "war", "sport",
+                           "noir",     "family",   "biography", "history",
+                           "adventure", "short",   "adult",   "news"};
+  for (size_t g = 0; g < config.num_genres; ++g) {
+    genre.AddRow({g < 24 ? kGenres[g] : Vocabulary::Syllables(g, 2)}, {});
+  }
+  for (size_t p = 0; p < config.num_people; ++p) {
+    person.AddRow({names.SampleName(&rng)}, {});
+  }
+
+  ZipfSampler genre_zipf(config.num_genres, config.attachment_theta);
+  for (size_t m = 0; m < config.num_movies; ++m) {
+    RowId g = static_cast<RowId>(genre_zipf.Sample(&rng));
+    movie.AddRow({vocab.SampleTitle(&rng, config.title_words)}, {g});
+  }
+
+  // Star system: skewed casting, one director per movie (also skewed).
+  ZipfSampler person_zipf(config.num_people, config.attachment_theta);
+  for (size_t m = 0; m < config.num_movies; ++m) {
+    std::unordered_set<RowId> used;
+    size_t cast = 1;
+    double extra = config.mean_cast_size - 1.0;
+    while (extra > 0 && rng.Chance(std::min(1.0, extra))) {
+      cast++;
+      extra -= 1.0;
+    }
+    for (size_t i = 0; i < cast; ++i) {
+      RowId a = static_cast<RowId>(person_zipf.Sample(&rng));
+      if (!used.insert(a).second) continue;
+      acts_in.AddRow({}, {a, static_cast<RowId>(m)});
+    }
+    RowId d = static_cast<RowId>(person_zipf.Sample(&rng));
+    directs.AddRow({}, {d, static_cast<RowId>(m)});
+  }
+
+  db.BuildIndexes();
+  return db;
+}
+
+}  // namespace banks

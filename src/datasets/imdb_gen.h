@@ -1,0 +1,38 @@
+#ifndef BANKS_DATASETS_IMDB_GEN_H_
+#define BANKS_DATASETS_IMDB_GEN_H_
+
+#include <cstdint>
+
+#include "relational/database.h"
+
+namespace banks {
+
+/// Synthetic IMDB-like movie database (§5's second dataset). Schema:
+///
+///   genre(name)
+///   person(name)                    — actors and directors share a pool
+///   movie(title, →genre)
+///   acts_in(→person, →movie)
+///   directs(→person, →movie)
+///
+/// Star actors appear in many movies (the paper's "John in IMDB"
+/// frequent-keyword case plays out both as a common first name and as
+/// large fan-in at star nodes).
+struct ImdbConfig {
+  size_t num_people = 2500;
+  size_t num_movies = 4000;
+  size_t num_genres = 24;
+  double mean_cast_size = 4.0;
+  size_t title_words = 4;
+  size_t vocab_size = 3000;
+  double zipf_theta = 0.85;
+  double attachment_theta = 0.8;
+  size_t surname_pool = 700;
+  uint64_t seed = 4242;
+};
+
+Database GenerateImdb(const ImdbConfig& config);
+
+}  // namespace banks
+
+#endif  // BANKS_DATASETS_IMDB_GEN_H_

@@ -1,0 +1,94 @@
+#include "datasets/patents_gen.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "datasets/vocab.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace banks {
+
+Database GeneratePatents(const PatentsConfig& config) {
+  Rng rng(config.seed);
+  Vocabulary vocab(config.vocab_size, config.zipf_theta);
+  NameGenerator names(config.surname_pool, config.zipf_theta);
+
+  Database db;
+  Table& assignee = db.AddTable(
+      TableSpec{"assignee", {ColumnSpec{"name", ColumnKind::kText, "", 1.0}}});
+  Table& category = db.AddTable(
+      TableSpec{"category", {ColumnSpec{"name", ColumnKind::kText, "", 1.0}}});
+  Table& inventor = db.AddTable(
+      TableSpec{"inventor", {ColumnSpec{"name", ColumnKind::kText, "", 1.0}}});
+  Table& patent = db.AddTable(TableSpec{
+      "patent",
+      {ColumnSpec{"title", ColumnKind::kText, "", 1.0},
+       ColumnSpec{"assignee", ColumnKind::kForeignKey, "assignee", 1.0},
+       ColumnSpec{"category", ColumnKind::kForeignKey, "category", 1.0}}});
+  Table& invents = db.AddTable(TableSpec{
+      "invents",
+      {ColumnSpec{"iid", ColumnKind::kForeignKey, "inventor", 1.0},
+       ColumnSpec{"pid", ColumnKind::kForeignKey, "patent", 1.0}}});
+  Table& pcites = db.AddTable(TableSpec{
+      "pcites",
+      {ColumnSpec{"citing", ColumnKind::kForeignKey, "patent", 1.0},
+       ColumnSpec{"cited", ColumnKind::kForeignKey, "patent", 1.0}}});
+
+  // A few recognizable assignees for Figure-5-style queries, the rest
+  // synthetic.
+  const char* kCompanies[] = {"microsoft", "ibm", "intel", "xerox",
+                              "motorola", "kodak", "siemens", "hitachi"};
+  for (size_t a = 0; a < config.num_assignees; ++a) {
+    assignee.AddRow(
+        {a < 8 ? kCompanies[a] : "corp " + Vocabulary::Syllables(a, 3)}, {});
+  }
+  for (size_t c = 0; c < config.num_categories; ++c) {
+    category.AddRow({"class " + Vocabulary::Syllables(c, 2)}, {});
+  }
+  for (size_t i = 0; i < config.num_inventors; ++i) {
+    inventor.AddRow({names.SampleName(&rng)}, {});
+  }
+
+  ZipfSampler assignee_zipf(config.num_assignees, config.attachment_theta);
+  ZipfSampler category_zipf(config.num_categories, config.attachment_theta);
+  for (size_t p = 0; p < config.num_patents; ++p) {
+    RowId a = static_cast<RowId>(assignee_zipf.Sample(&rng));
+    RowId c = static_cast<RowId>(category_zipf.Sample(&rng));
+    patent.AddRow({vocab.SampleTitle(&rng, config.title_words)}, {a, c});
+  }
+
+  ZipfSampler inventor_zipf(config.num_inventors, config.attachment_theta);
+  for (size_t p = 0; p < config.num_patents; ++p) {
+    std::unordered_set<RowId> used;
+    size_t count = 1;
+    double extra = config.mean_inventors_per_patent - 1.0;
+    while (extra > 0 && rng.Chance(std::min(1.0, extra))) {
+      count++;
+      extra -= 1.0;
+    }
+    for (size_t i = 0; i < count; ++i) {
+      RowId inv = static_cast<RowId>(inventor_zipf.Sample(&rng));
+      if (!used.insert(inv).second) continue;
+      invents.AddRow({}, {inv, static_cast<RowId>(p)});
+    }
+  }
+
+  for (size_t p = 1; p < config.num_patents; ++p) {
+    double remaining = config.mean_citations_per_patent;
+    std::unordered_set<RowId> used;
+    while (remaining > 0 && rng.Chance(std::min(1.0, remaining))) {
+      remaining -= 1.0;
+      double u = rng.NextDouble();
+      RowId target = static_cast<RowId>(u * u * static_cast<double>(p));
+      if (target >= static_cast<RowId>(p)) target = static_cast<RowId>(p) - 1;
+      if (!used.insert(target).second) continue;
+      pcites.AddRow({}, {static_cast<RowId>(p), target});
+    }
+  }
+
+  db.BuildIndexes();
+  return db;
+}
+
+}  // namespace banks

@@ -1,0 +1,41 @@
+#ifndef BANKS_DATASETS_PATENTS_GEN_H_
+#define BANKS_DATASETS_PATENTS_GEN_H_
+
+#include <cstdint>
+
+#include "relational/database.h"
+
+namespace banks {
+
+/// Synthetic US-Patents-like database (§5's largest dataset). Schema:
+///
+///   assignee(name)                 — companies; heavy-tailed portfolio
+///   category(name)
+///   inventor(name)
+///   patent(title, →assignee, →category)
+///   invents(→inventor, →patent)
+///   pcites(→patent citing, →patent cited)
+///
+/// Assignees like "Microsoft" own thousands of patents, reproducing the
+/// paper's UQ1 ("Microsoft recovery") shape: one singleton keyword and
+/// one keyword with a thousand-node origin set.
+struct PatentsConfig {
+  size_t num_inventors = 3000;
+  size_t num_patents = 6000;
+  size_t num_assignees = 120;
+  size_t num_categories = 40;
+  double mean_inventors_per_patent = 2.0;
+  double mean_citations_per_patent = 3.0;
+  size_t title_words = 7;
+  size_t vocab_size = 5000;
+  double zipf_theta = 0.85;
+  double attachment_theta = 0.9;
+  size_t surname_pool = 900;
+  uint64_t seed = 77;
+};
+
+Database GeneratePatents(const PatentsConfig& config);
+
+}  // namespace banks
+
+#endif  // BANKS_DATASETS_PATENTS_GEN_H_

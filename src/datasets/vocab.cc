@@ -1,0 +1,78 @@
+#include "datasets/vocab.h"
+
+namespace banks {
+namespace {
+
+constexpr const char* kConsonants = "bcdfgklmnprstvz";  // 15
+constexpr const char* kVowels = "aeiou";                // 5
+
+const char* const kFirstNames[] = {
+    "john",   "james",  "david",  "michael", "robert", "mary",
+    "william", "linda",  "richard", "susan",  "joseph", "karen",
+    "thomas", "nancy",  "charles", "betty",  "daniel", "helen",
+    "matthew", "sandra", "george", "donna",  "kenneth", "carol",
+    "steven", "ruth",   "edward", "sharon", "brian",  "michelle",
+    "kevin",  "laura",  "ronald", "sarah",  "anthony", "kimberly",
+    "jason",  "deborah", "jeffrey", "jessica"};
+constexpr size_t kNumFirstNames = sizeof(kFirstNames) / sizeof(char*);
+
+}  // namespace
+
+std::string Vocabulary::Syllables(size_t value, size_t min_syllables) {
+  // Zero-padded base-75 encoding (15 consonants × 5 vowels), most
+  // significant syllable first. Injective: equal lengths imply equal
+  // digits, and lengths only grow beyond min_syllables when the value
+  // requires it.
+  size_t digits[16];
+  size_t count = 0;
+  size_t v = value;
+  do {
+    digits[count++] = v % 75;
+    v /= 75;
+  } while (v > 0 && count < 16);
+  while (count < min_syllables) digits[count++] = 0;
+  std::string out;
+  out.reserve(2 * count);
+  for (size_t i = count; i > 0; --i) {
+    out.push_back(kConsonants[digits[i - 1] / 5]);
+    out.push_back(kVowels[digits[i - 1] % 5]);
+  }
+  return out;
+}
+
+Vocabulary::Vocabulary(size_t size, double zipf_theta)
+    : zipf_(size, zipf_theta) {
+  words_.reserve(size);
+  for (size_t r = 0; r < size; ++r) {
+    words_.push_back(Syllables(r, 3));
+  }
+}
+
+std::string Vocabulary::SampleTitle(Rng* rng, size_t num_words) const {
+  std::string title;
+  for (size_t i = 0; i < num_words; ++i) {
+    if (i > 0) title.push_back(' ');
+    title += Word(zipf_.Sample(rng));
+  }
+  return title;
+}
+
+NameGenerator::NameGenerator(size_t surname_pool, double zipf_theta)
+    : first_zipf_(kNumFirstNames, zipf_theta),
+      surname_zipf_(surname_pool, zipf_theta) {
+  surnames_.reserve(surname_pool);
+  for (size_t r = 0; r < surname_pool; ++r) {
+    // Offset so surnames never collide with vocabulary words of small
+    // rank (different min length).
+    surnames_.push_back(Vocabulary::Syllables(r, 4));
+  }
+}
+
+std::string NameGenerator::SampleName(Rng* rng) const {
+  std::string name = kFirstNames[first_zipf_.Sample(rng)];
+  name.push_back(' ');
+  name += surnames_[surname_zipf_.Sample(rng)];
+  return name;
+}
+
+}  // namespace banks

@@ -1,0 +1,61 @@
+#ifndef BANKS_DATASETS_VOCAB_H_
+#define BANKS_DATASETS_VOCAB_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace banks {
+
+/// Synthetic Zipf-distributed vocabulary.
+///
+/// Words are deterministic, pronounceable, and unique per rank
+/// (syllable encoding of the rank), so a dataset regenerated from the
+/// same seed yields identical text. Low ranks are sampled often —
+/// these become the paper's "frequently occurring terms" (database,
+/// john) that break Backward search; high ranks are the rare terms.
+class Vocabulary {
+ public:
+  Vocabulary(size_t size, double zipf_theta);
+
+  /// The word at a given frequency rank (0 = most frequent).
+  const std::string& Word(size_t rank) const { return words_[rank]; }
+
+  /// Zipf-samples a word rank.
+  size_t SampleRank(Rng* rng) const { return zipf_.Sample(rng); }
+
+  /// Space-joined title of `num_words` Zipf-sampled words.
+  std::string SampleTitle(Rng* rng, size_t num_words) const;
+
+  size_t size() const { return words_.size(); }
+
+  /// Deterministic pronounceable encoding of an integer (shared with the
+  /// name generators).
+  static std::string Syllables(size_t value, size_t min_syllables);
+
+ private:
+  std::vector<std::string> words_;
+  ZipfSampler zipf_;
+};
+
+/// Person-name generator: a small pool of common first names (the
+/// "John" effect — thousands of matches) plus syllable surnames drawn
+/// from a Zipf pool (some surnames common, most rare).
+class NameGenerator {
+ public:
+  NameGenerator(size_t surname_pool, double zipf_theta);
+
+  /// "First Surname" sample.
+  std::string SampleName(Rng* rng) const;
+
+ private:
+  std::vector<std::string> surnames_;
+  ZipfSampler first_zipf_;
+  ZipfSampler surname_zipf_;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_DATASETS_VOCAB_H_

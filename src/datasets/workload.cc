@@ -1,0 +1,263 @@
+#include "datasets/workload.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+
+namespace banks {
+
+char FreqCategoryLetter(FreqCategory c) {
+  switch (c) {
+    case FreqCategory::kTiny:
+      return 'T';
+    case FreqCategory::kSmall:
+      return 'S';
+    case FreqCategory::kMedium:
+      return 'M';
+    case FreqCategory::kLarge:
+      return 'L';
+    case FreqCategory::kAny:
+      return '*';
+  }
+  return '?';
+}
+
+FreqCategory FreqThresholds::Categorize(size_t origin_size) const {
+  if (origin_size <= tiny_max) return FreqCategory::kTiny;
+  if (origin_size >= small_min && origin_size <= small_max) {
+    return FreqCategory::kSmall;
+  }
+  if (origin_size >= medium_min && origin_size <= medium_max) {
+    return FreqCategory::kMedium;
+  }
+  if (origin_size >= large_min) return FreqCategory::kLarge;
+  return FreqCategory::kAny;  // falls between bands
+}
+
+bool FreqThresholds::Matches(FreqCategory c, size_t origin_size) const {
+  switch (c) {
+    case FreqCategory::kTiny:
+      return origin_size >= 1 && origin_size <= tiny_max;
+    case FreqCategory::kSmall:
+      return origin_size >= small_min && origin_size <= small_max;
+    case FreqCategory::kMedium:
+      return origin_size >= medium_min && origin_size <= medium_max;
+    case FreqCategory::kLarge:
+      return origin_size >= large_min;
+    case FreqCategory::kAny:
+      return origin_size >= 1;
+  }
+  return false;
+}
+
+WorkloadGenerator::WorkloadGenerator(Database* db, const DataGraph* data_graph)
+    : db_(db), dg_(data_graph), matcher_(*db) {
+  if (!db_->indexes_built()) db_->BuildIndexes();
+  size_t acc = 0;
+  for (uint32_t t = 0; t < db_->num_tables(); ++t) {
+    table_row_offsets_.push_back(acc);
+    acc += db_->table(t).num_rows();
+  }
+  table_row_offsets_.push_back(acc);
+}
+
+bool WorkloadGenerator::SampleTree(size_t size, Rng* rng,
+                                   std::vector<TreeTuple>* tuples,
+                                   std::vector<TreeEdge>* edges) {
+  tuples->clear();
+  edges->clear();
+  const size_t total = table_row_offsets_.back();
+  if (total == 0) return false;
+
+  // Uniform random starting tuple.
+  size_t global = rng->Below(total);
+  auto it = std::upper_bound(table_row_offsets_.begin(),
+                             table_row_offsets_.end(), global);
+  uint32_t t0 = static_cast<uint32_t>(it - table_row_offsets_.begin() - 1);
+  tuples->push_back(
+      TreeTuple{t0, static_cast<RowId>(global - table_row_offsets_[t0])});
+
+  auto in_tree = [&](uint32_t table, RowId row) {
+    for (const TreeTuple& tt : *tuples) {
+      if (tt.table == table && tt.row == row) return true;
+    }
+    return false;
+  };
+
+  std::vector<SchemaEdge> schema_edges = db_->SchemaEdges();
+  size_t stuck = 0;
+  while (tuples->size() < size && stuck < 40) {
+    size_t pick = rng->Below(tuples->size());
+    const TreeTuple& base = (*tuples)[pick];
+    const Table& table = db_->table(base.table);
+
+    // Candidate expansions from `base`: forward FKs + one random
+    // referencing row per incoming schema edge.
+    struct Candidate {
+      uint32_t table;
+      RowId row;
+      uint32_t fk_table, fk_col, referencing_is_new;
+    };
+    std::vector<Candidate> candidates;
+    for (size_t c = 0; c < table.num_fk_columns(); ++c) {
+      RowId target = table.FkAt(base.row, c);
+      if (target == kNullRow) continue;
+      uint32_t target_table = db_->TableIndex(table.FkSpec(c).ref_table);
+      candidates.push_back(Candidate{target_table, target, base.table,
+                                     static_cast<uint32_t>(c), 0});
+    }
+    for (const SchemaEdge& e : schema_edges) {
+      if (e.to_table != base.table) continue;
+      const auto& refs = db_->ReferencingRows(e.from_table, e.column, base.row);
+      if (refs.empty()) continue;
+      RowId r = refs[rng->Below(refs.size())];
+      candidates.push_back(
+          Candidate{e.from_table, r, e.from_table, e.column, 1});
+    }
+    if (candidates.empty()) {
+      stuck++;
+      continue;
+    }
+    const Candidate& cand = candidates[rng->Below(candidates.size())];
+    if (in_tree(cand.table, cand.row)) {
+      stuck++;
+      continue;
+    }
+    uint32_t new_idx = static_cast<uint32_t>(tuples->size());
+    tuples->push_back(TreeTuple{cand.table, cand.row});
+    edges->push_back(TreeEdge{static_cast<uint32_t>(pick), new_idx,
+                              cand.fk_table, cand.fk_col,
+                              cand.referencing_is_new ? new_idx
+                                                      : static_cast<uint32_t>(pick)});
+    stuck = 0;
+  }
+  return tuples->size() == size;
+}
+
+bool WorkloadGenerator::AssignKeywords(const std::vector<TreeTuple>& tuples,
+                                       const WorkloadOptions& options,
+                                       size_t num_keywords, Rng* rng,
+                                       std::vector<std::string>* keywords,
+                                       std::vector<size_t>* keyword_tuple) {
+  keywords->clear();
+  keyword_tuple->clear();
+  Tokenizer tokenizer;
+
+  // Tuple order for keyword slots: a permutation covering each tuple
+  // once before reuse ("keywords were selected at random from each
+  // tuple in the result set").
+  std::vector<size_t> slots;
+  while (slots.size() < num_keywords) {
+    std::vector<size_t> perm(tuples.size());
+    for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+    rng->Shuffle(&perm);
+    for (size_t p : perm) {
+      if (slots.size() < num_keywords) slots.push_back(p);
+    }
+  }
+
+  std::unordered_set<std::string> used;
+  for (size_t j = 0; j < num_keywords; ++j) {
+    FreqCategory want = options.categories.empty() ? FreqCategory::kAny
+                                                   : options.categories[j];
+    bool assigned = false;
+    // Try the designated tuple first, then any other tuple.
+    for (size_t attempt = 0; attempt < tuples.size() && !assigned; ++attempt) {
+      size_t ti = (attempt == 0) ? slots[j]
+                                 : rng->Below(tuples.size());
+      const TreeTuple& tt = tuples[ti];
+      std::string text = db_->table(tt.table).RowText(tt.row);
+      std::vector<std::string> tokens = tokenizer.Tokenize(text);
+      rng->Shuffle(&tokens);
+      for (const std::string& tok : tokens) {
+        if (used.count(tok)) continue;
+        size_t df = dg_->index.MatchCount(tok);
+        if (!options.thresholds.Matches(want, df)) continue;
+        keywords->push_back(tok);
+        keyword_tuple->push_back(ti);
+        used.insert(tok);
+        assigned = true;
+        break;
+      }
+    }
+    if (!assigned) return false;
+  }
+  return true;
+}
+
+std::vector<WorkloadQuery> WorkloadGenerator::Generate(
+    const WorkloadOptions& options) {
+  Rng rng(options.seed);
+  std::vector<WorkloadQuery> out;
+  size_t attempts = 0;
+  const size_t max_attempts =
+      options.max_attempts_per_query * std::max<size_t>(1, options.num_queries);
+
+  while (out.size() < options.num_queries && attempts < max_attempts) {
+    attempts++;
+    std::vector<TreeTuple> tuples;
+    std::vector<TreeEdge> edges;
+    if (!SampleTree(options.answer_size, &rng, &tuples, &edges)) continue;
+
+    size_t num_keywords =
+        options.categories.empty()
+            ? static_cast<size_t>(rng.Range(
+                  static_cast<int64_t>(options.min_keywords),
+                  static_cast<int64_t>(options.max_keywords)))
+            : options.categories.size();
+
+    std::vector<std::string> keywords;
+    std::vector<size_t> keyword_tuple;
+    if (!AssignKeywords(tuples, options, num_keywords, &rng, &keywords,
+                        &keyword_tuple)) {
+      continue;
+    }
+
+    // Ground truth: evaluate the generating join network exhaustively.
+    CandidateNetwork cn;
+    for (const TreeTuple& tt : tuples) {
+      cn.nodes.push_back(CNNode{tt.table, 0});
+    }
+    for (size_t j = 0; j < keywords.size(); ++j) {
+      cn.nodes[keyword_tuple[j]].keyword_mask |= 1u << j;
+    }
+    for (const TreeEdge& e : edges) {
+      cn.edges.push_back(CNEdge{e.a, e.b, e.fk_table, e.fk_col,
+                                e.referencing});
+    }
+    SparseSearcher::Options eval_options;
+    eval_options.k_per_network = options.max_relevant_per_query;
+    eval_options.max_results_per_network = options.max_relevant_per_query;
+    std::vector<SparseSearcher::JoinResult> results;
+    EvaluateCandidateNetwork(*db_, matcher_, cn, 0, keywords, eval_options,
+                             &results);
+    if (results.empty()) continue;  // should not happen; defensive
+
+    WorkloadQuery q;
+    q.keywords = keywords;
+    q.answer_size = options.answer_size;
+    for (const std::string& kw : keywords) {
+      q.origin_sizes.push_back(dg_->index.MatchCount(kw));
+    }
+    for (const TreeTuple& tt : tuples) {
+      q.generating_tree_nodes.push_back(dg_->NodeFor(tt.table, tt.row));
+    }
+    std::sort(q.generating_tree_nodes.begin(), q.generating_tree_nodes.end());
+    for (const auto& jr : results) {
+      std::vector<NodeId> nodes;
+      nodes.reserve(jr.tuples.size());
+      for (auto [t, r] : jr.tuples) nodes.push_back(dg_->NodeFor(t, r));
+      std::sort(nodes.begin(), nodes.end());
+      nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+      q.relevant.push_back(std::move(nodes));
+    }
+    std::sort(q.relevant.begin(), q.relevant.end());
+    q.relevant.erase(std::unique(q.relevant.begin(), q.relevant.end()),
+                     q.relevant.end());
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace banks

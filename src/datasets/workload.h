@@ -1,0 +1,106 @@
+#ifndef BANKS_DATASETS_WORKLOAD_H_
+#define BANKS_DATASETS_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/graph_builder.h"
+#include "relational/sparse.h"
+#include "relational/tuple_matcher.h"
+#include "util/rng.h"
+
+namespace banks {
+
+/// Keyword-frequency categories of §5.6 (Figure 6(c)): tiny, small,
+/// medium, large origin sets.
+enum class FreqCategory : uint8_t { kTiny, kSmall, kMedium, kLarge, kAny };
+
+char FreqCategoryLetter(FreqCategory c);
+
+/// Origin-size boundaries for the categories. The paper's absolute
+/// numbers (T:1–500, S:1000–2000, M:2500–5000, L:>7000 on a 2M-node
+/// graph) are scaled to the synthetic datasets' size by the benches;
+/// defaults suit the default generator configs (~20–40k nodes).
+struct FreqThresholds {
+  size_t tiny_max = 40;
+  size_t small_min = 60, small_max = 250;
+  size_t medium_min = 300, medium_max = 900;
+  size_t large_min = 1100;
+
+  FreqCategory Categorize(size_t origin_size) const;
+  bool Matches(FreqCategory c, size_t origin_size) const;
+};
+
+/// One generated query with ground truth (§5.4): the query was built
+/// from a known join network, so the relevant answers are exactly the
+/// results of that join network — the paper's "we executed SQL queries
+/// to find relevant answers".
+struct WorkloadQuery {
+  std::vector<std::string> keywords;
+  std::vector<size_t> origin_sizes;           // |S_i| per keyword
+  std::vector<NodeId> generating_tree_nodes;  // sorted node set
+  /// All relevant answers as sorted node sets (generating network
+  /// evaluated exhaustively, capped).
+  std::vector<std::vector<NodeId>> relevant;
+  size_t answer_size = 0;
+};
+
+struct WorkloadOptions {
+  size_t num_queries = 50;
+  /// Keyword count sampled uniformly in [min,max] unless `categories`
+  /// is non-empty (then its size fixes the count).
+  size_t min_keywords = 2;
+  size_t max_keywords = 7;
+  /// Tuples in the generating join network ("size of the most relevant
+  /// result"; §5.4 uses 5, §5.6 uses 3).
+  size_t answer_size = 5;
+  /// Per-keyword frequency constraints (Figure 6(c) query types).
+  std::vector<FreqCategory> categories;
+  FreqThresholds thresholds;
+  size_t max_relevant_per_query = 200;
+  size_t max_attempts_per_query = 4000;
+  uint64_t seed = 1;
+};
+
+/// Generates §5.4/§5.6-style workloads over a relational database and
+/// its extracted data graph.
+class WorkloadGenerator {
+ public:
+  /// Both referents must outlive the generator. The database must have
+  /// indexes built (generators do this).
+  WorkloadGenerator(Database* db, const DataGraph* data_graph);
+
+  /// Produces up to options.num_queries queries (fewer if sampling
+  /// keeps failing, e.g. impossible category constraints).
+  std::vector<WorkloadQuery> Generate(const WorkloadOptions& options);
+
+  const TupleMatcher& matcher() const { return matcher_; }
+
+ private:
+  struct TreeTuple {
+    uint32_t table;
+    RowId row;
+  };
+  struct TreeEdge {
+    uint32_t a, b;  // indices into the tuple vector
+    uint32_t fk_table, fk_col;
+    uint32_t referencing;  // tuple index holding the FK
+  };
+
+  bool SampleTree(size_t size, Rng* rng, std::vector<TreeTuple>* tuples,
+                  std::vector<TreeEdge>* edges);
+  bool AssignKeywords(const std::vector<TreeTuple>& tuples,
+                      const WorkloadOptions& options, size_t num_keywords,
+                      Rng* rng, std::vector<std::string>* keywords,
+                      std::vector<size_t>* keyword_tuple);
+
+  Database* db_;
+  const DataGraph* dg_;
+  TupleMatcher matcher_;
+  std::vector<size_t> table_row_offsets_;  // for uniform global row pick
+};
+
+}  // namespace banks
+
+#endif  // BANKS_DATASETS_WORKLOAD_H_

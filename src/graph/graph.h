@@ -1,0 +1,143 @@
+#ifndef BANKS_GRAPH_GRAPH_H_
+#define BANKS_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace banks {
+
+/// Immutable directed weighted search graph in CSR form.
+///
+/// This is the graph the paper's algorithms run on: the *combined* graph
+/// containing every forward edge from the source data plus the derived
+/// backward edge for each of them (§2.1). Both out-adjacency (followed by
+/// the outgoing iterator) and in-adjacency (followed by backward expanding
+/// iterators) are materialized.
+///
+/// Per-node inverse-weight sums are precomputed for spreading activation:
+/// when node v spreads activation μ·a_v, each neighbour u's share is
+/// (1/w_uv) / Σ(1/w) over the competing neighbours (§4.3).
+class Graph {
+ public:
+  size_t num_nodes() const { return out_offsets_.size() - 1; }
+  /// Total directed edges in the combined graph (forward + backward).
+  size_t num_edges() const { return out_edges_.size(); }
+
+  /// Edges leaving v (targets). Traversed by the outgoing iterator.
+  std::span<const Edge> OutEdges(NodeId v) const {
+    return {out_edges_.data() + out_offsets_[v],
+            out_offsets_[v + 1] - out_offsets_[v]};
+  }
+
+  /// Edges entering v (sources). Traversed by backward expansion.
+  std::span<const Edge> InEdges(NodeId v) const {
+    return {in_edges_.data() + in_offsets_[v],
+            in_offsets_[v + 1] - in_offsets_[v]};
+  }
+
+  size_t OutDegree(NodeId v) const {
+    return out_offsets_[v + 1] - out_offsets_[v];
+  }
+  size_t InDegree(NodeId v) const {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  /// In-degree counting only original forward edges; this is the
+  /// "indegree(v)" in the backward-edge weight formula.
+  uint32_t ForwardInDegree(NodeId v) const { return fwd_indegree_[v]; }
+
+  /// Σ over in-edges (u,v) of 1/w — normalizer for incoming-direction
+  /// activation spreading from v.
+  double InInverseWeightSum(NodeId v) const { return in_inv_weight_sum_[v]; }
+
+  /// Σ over out-edges (v,u) of 1/w — normalizer for outgoing-direction
+  /// activation spreading from v.
+  double OutInverseWeightSum(NodeId v) const { return out_inv_weight_sum_[v]; }
+
+  /// Relation/type of a node (kUntypedNode when the builder never set one).
+  NodeType Type(NodeId v) const {
+    return node_types_.empty() ? kUntypedNode : node_types_[v];
+  }
+
+  const std::vector<std::string>& type_names() const { return type_names_; }
+
+  /// Weight of the directed edge u→v, or a negative value if absent.
+  /// Linear in OutDegree(u); intended for tests and tree construction.
+  double EdgeWeight(NodeId u, NodeId v) const;
+
+  /// True if the directed edge u→v exists in the combined graph.
+  bool HasEdge(NodeId u, NodeId v) const { return EdgeWeight(u, v) >= 0; }
+
+  /// Bytes of adjacency + offset storage (the paper's 16·V + 8·E claim is
+  /// about this in-memory skeleton; §5.1).
+  size_t MemoryBytes() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<size_t> out_offsets_;  // |V|+1
+  std::vector<Edge> out_edges_;
+  std::vector<size_t> in_offsets_;  // |V|+1
+  std::vector<Edge> in_edges_;
+  std::vector<uint32_t> fwd_indegree_;
+  std::vector<double> in_inv_weight_sum_;
+  std::vector<double> out_inv_weight_sum_;
+  std::vector<NodeType> node_types_;
+  std::vector<std::string> type_names_;
+};
+
+/// Options controlling derived backward edges.
+struct GraphBuildOptions {
+  /// Create backward edge v→u for every forward u→v with weight
+  /// w_uv * log2(1 + fwd_indegree(v)). Disabling yields the pure forward
+  /// graph (useful for tests and for the prestige walk ablation).
+  bool add_backward_edges = true;
+  /// Floor for backward edge weights; log2(1+1)=1 so only indegree-0
+  /// targets (impossible for a backward edge's v) would need it, but a
+  /// configurable floor also lets tests exercise weight ties.
+  double min_backward_weight = 1.0;
+};
+
+/// Mutable accumulation phase. Nodes are dense ids handed out in order;
+/// edges may be added in any order. Build() freezes into a Graph.
+class GraphBuilder {
+ public:
+  /// Adds one node, optionally typed; returns its id.
+  NodeId AddNode(NodeType type = kUntypedNode);
+
+  /// Adds `count` nodes of one type; returns the first id.
+  NodeId AddNodes(size_t count, NodeType type = kUntypedNode);
+
+  /// Registers a type name; returns the dense NodeType id.
+  NodeType InternType(const std::string& name);
+
+  /// Adds a forward data edge u→v. Weight must be positive (default 1,
+  /// "defined by the schema" per §2.3).
+  void AddEdge(NodeId u, NodeId v, double weight = 1.0);
+
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_forward_edges() const { return edges_.size(); }
+
+  /// Freezes into an immutable Graph. The builder is left empty.
+  Graph Build(const GraphBuildOptions& options = {});
+
+ private:
+  struct RawEdge {
+    NodeId u, v;
+    float weight;
+  };
+
+  size_t num_nodes_ = 0;
+  std::vector<RawEdge> edges_;
+  std::vector<NodeType> node_types_;
+  std::vector<std::string> type_names_;
+  bool any_typed_ = false;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_GRAPH_GRAPH_H_

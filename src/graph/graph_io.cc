@@ -1,0 +1,146 @@
+#include "graph/graph_io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+namespace banks {
+namespace {
+
+constexpr uint64_t kMagic = 0x42414E4B53763101ULL;  // "BANKSv1\x01"
+
+template <typename T>
+void WritePod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& is, T* v) {
+  is.read(reinterpret_cast<char*>(v), sizeof(T));
+  return static_cast<bool>(is);
+}
+
+void WriteString(std::ostream& os, const std::string& s) {
+  WritePod<uint32_t>(os, static_cast<uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadString(std::istream& is, std::string* s) {
+  uint32_t len;
+  if (!ReadPod(is, &len)) return false;
+  if (len > (1u << 20)) return false;  // sanity cap on name length
+  s->resize(len);
+  is.read(s->data(), len);
+  return static_cast<bool>(is);
+}
+
+}  // namespace
+
+bool SaveGraph(const Graph& g, std::ostream& os) {
+  WritePod(os, kMagic);
+  WritePod<uint64_t>(os, g.num_nodes());
+
+  // Emit only the original forward edges; backward edges are re-derived on
+  // load so the on-disk format is independent of the weight formula.
+  uint64_t fwd_count = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const Edge& e : g.OutEdges(u)) {
+      if (e.dir == EdgeDir::kForward) fwd_count++;
+    }
+  }
+  WritePod(os, fwd_count);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const Edge& e : g.OutEdges(u)) {
+      if (e.dir != EdgeDir::kForward) continue;
+      WritePod<uint32_t>(os, u);
+      WritePod<uint32_t>(os, e.other);
+      WritePod<float>(os, e.weight);
+    }
+  }
+
+  WritePod<uint32_t>(os, static_cast<uint32_t>(g.type_names().size()));
+  for (const std::string& name : g.type_names()) WriteString(os, name);
+
+  uint8_t has_types = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.Type(v) != kUntypedNode) {
+      has_types = 1;
+      break;
+    }
+  }
+  WritePod(os, has_types);
+  if (has_types) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      WritePod<uint16_t>(os, g.Type(v));
+    }
+  }
+  return static_cast<bool>(os);
+}
+
+std::optional<Graph> LoadGraph(std::istream& is,
+                               const GraphBuildOptions& options) {
+  uint64_t magic;
+  if (!ReadPod(is, &magic) || magic != kMagic) return std::nullopt;
+  uint64_t num_nodes;
+  if (!ReadPod(is, &num_nodes) || num_nodes > UINT32_MAX) return std::nullopt;
+  uint64_t num_edges;
+  if (!ReadPod(is, &num_edges)) return std::nullopt;
+
+  struct RawEdge {
+    uint32_t u, v;
+    float w;
+  };
+  std::vector<RawEdge> raw(num_edges);
+  for (auto& e : raw) {
+    if (!ReadPod(is, &e.u) || !ReadPod(is, &e.v) || !ReadPod(is, &e.w)) {
+      return std::nullopt;
+    }
+    if (e.u >= num_nodes || e.v >= num_nodes || e.w <= 0) return std::nullopt;
+  }
+
+  uint32_t num_types;
+  if (!ReadPod(is, &num_types)) return std::nullopt;
+  std::vector<std::string> type_names(num_types);
+  for (auto& name : type_names) {
+    if (!ReadString(is, &name)) return std::nullopt;
+  }
+
+  uint8_t has_types;
+  if (!ReadPod(is, &has_types)) return std::nullopt;
+  std::vector<uint16_t> types;
+  if (has_types) {
+    types.resize(num_nodes);
+    for (auto& t : types) {
+      if (!ReadPod(is, &t)) return std::nullopt;
+      if (t != UINT16_MAX && t >= num_types) return std::nullopt;
+    }
+  }
+
+  GraphBuilder builder;
+  for (const std::string& name : type_names) builder.InternType(name);
+  if (has_types) {
+    for (uint64_t i = 0; i < num_nodes; ++i) {
+      builder.AddNode(static_cast<NodeType>(types[i]));
+    }
+  } else {
+    builder.AddNodes(num_nodes);
+  }
+  for (const auto& e : raw) builder.AddEdge(e.u, e.v, e.w);
+  return builder.Build(options);
+}
+
+bool SaveGraphToFile(const Graph& g, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  return os && SaveGraph(g, os);
+}
+
+std::optional<Graph> LoadGraphFromFile(const std::string& path,
+                                       const GraphBuildOptions& options) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  return LoadGraph(is, options);
+}
+
+}  // namespace banks

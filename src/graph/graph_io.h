@@ -1,0 +1,29 @@
+#ifndef BANKS_GRAPH_GRAPH_IO_H_
+#define BANKS_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace banks {
+
+/// Binary serialization of the frozen search graph (§5.1 notes the graph
+/// skeleton is "really only an index" that can be rebuilt or persisted
+/// separately from tuple data). The format stores only the *forward* data
+/// edges plus node types; backward edges are re-derived on load so the
+/// on-disk format stays independent of the backward-weight formula.
+///
+/// Returns false / nullopt on malformed input rather than aborting.
+bool SaveGraph(const Graph& g, std::ostream& os);
+std::optional<Graph> LoadGraph(std::istream& is,
+                               const GraphBuildOptions& options = {});
+
+bool SaveGraphToFile(const Graph& g, const std::string& path);
+std::optional<Graph> LoadGraphFromFile(const std::string& path,
+                                       const GraphBuildOptions& options = {});
+
+}  // namespace banks
+
+#endif  // BANKS_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,103 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+namespace banks {
+namespace {
+
+/// Gini coefficient of a non-negative sample (sorted in place).
+double Gini(std::vector<size_t>* values) {
+  if (values->empty()) return 0;
+  std::sort(values->begin(), values->end());
+  const double n = static_cast<double>(values->size());
+  double weighted = 0, total = 0;
+  for (size_t i = 0; i < values->size(); ++i) {
+    weighted += static_cast<double>(i + 1) * static_cast<double>((*values)[i]);
+    total += static_cast<double>((*values)[i]);
+  }
+  if (total == 0) return 0;
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+/// Union-find over node ids.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[a] = b;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+GraphStats ComputeGraphStats(const Graph& g, size_t hub_threshold) {
+  GraphStats stats;
+  stats.num_nodes = g.num_nodes();
+  stats.num_edges = g.num_edges();
+
+  std::vector<size_t> out_degrees;
+  out_degrees.reserve(g.num_nodes());
+  UnionFind uf(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    size_t out = g.OutDegree(v);
+    out_degrees.push_back(out);
+    stats.max_out_degree = std::max(stats.max_out_degree, out);
+    for (const Edge& e : g.OutEdges(v)) {
+      if (e.dir == EdgeDir::kForward) stats.num_forward_edges++;
+      uf.Union(v, e.other);
+    }
+    uint32_t fwd_in = g.ForwardInDegree(v);
+    if (fwd_in > stats.max_forward_indegree) {
+      stats.max_forward_indegree = fwd_in;
+      stats.max_forward_indegree_node = v;
+    }
+    if (fwd_in >= hub_threshold) stats.hub_count++;
+  }
+  stats.mean_out_degree =
+      g.num_nodes() ? static_cast<double>(g.num_edges()) /
+                          static_cast<double>(g.num_nodes())
+                    : 0;
+  stats.out_degree_gini = Gini(&out_degrees);
+
+  std::vector<size_t> component_size(g.num_nodes(), 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) component_size[uf.Find(v)]++;
+  for (size_t size : component_size) {
+    if (size > 0) {
+      stats.weakly_connected_components++;
+      stats.largest_component_size =
+          std::max(stats.largest_component_size, size);
+    }
+  }
+  return stats;
+}
+
+std::string GraphStats::ToString() const {
+  std::ostringstream os;
+  os << "nodes=" << num_nodes << " edges=" << num_edges << " (fwd "
+     << num_forward_edges << ")"
+     << " mean_deg=" << mean_out_degree << " max_deg=" << max_out_degree
+     << " max_fanin=" << max_forward_indegree << " hubs=" << hub_count
+     << " gini=" << out_degree_gini
+     << " wcc=" << weakly_connected_components
+     << " largest_wcc=" << largest_component_size;
+  return os.str();
+}
+
+}  // namespace banks

@@ -1,0 +1,45 @@
+#ifndef BANKS_GRAPH_GRAPH_STATS_H_
+#define BANKS_GRAPH_GRAPH_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace banks {
+
+/// Structural summary of a data graph. The synthetic datasets must
+/// reproduce the skew properties the paper's algorithms are sensitive to
+/// (hub fan-in, heavy-tailed degrees); these statistics make those
+/// claims checkable (datasets tests) and reportable (benches, examples).
+struct GraphStats {
+  size_t num_nodes = 0;
+  size_t num_edges = 0;          // directed, incl. derived backward
+  size_t num_forward_edges = 0;  // original data edges only
+
+  double mean_out_degree = 0;
+  size_t max_out_degree = 0;
+  size_t max_forward_indegree = 0;  // the largest hub fan-in
+  NodeId max_forward_indegree_node = kInvalidNode;
+
+  /// Degree-distribution Gini coefficient in [0,1): 0 = perfectly
+  /// uniform, →1 = extreme hub concentration.
+  double out_degree_gini = 0;
+
+  /// Nodes with forward in-degree ≥ hub_threshold.
+  size_t hub_count = 0;
+
+  /// Weakly-connected components (treating edges as undirected).
+  size_t weakly_connected_components = 0;
+  size_t largest_component_size = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes all statistics in O(V + E).
+GraphStats ComputeGraphStats(const Graph& g, size_t hub_threshold = 100);
+
+}  // namespace banks
+
+#endif  // BANKS_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,36 @@
+#ifndef BANKS_GRAPH_TYPES_H_
+#define BANKS_GRAPH_TYPES_H_
+
+#include <cstdint>
+
+namespace banks {
+
+/// Dense node identifier. Graphs with tens of millions of nodes fit in
+/// 32 bits, matching the paper's compact in-memory index (§5.1).
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+/// Node type (relation of origin for tuple nodes); dense small id.
+using NodeType = uint16_t;
+inline constexpr NodeType kUntypedNode = UINT16_MAX;
+
+/// Provenance of a directed edge in the search graph (§2.1):
+/// kForward edges come from the source data (foreign keys, containment);
+/// kBackward edges are the derived reverse edges v→u with weight
+/// w_uv * log2(1 + indegree(v)) that allow answers to traverse edges
+/// "backwards" while discouraging shortcuts through hubs.
+enum class EdgeDir : uint8_t { kForward = 0, kBackward = 1 };
+
+/// One directed edge endpoint as stored in the CSR adjacency arrays.
+/// In an out-adjacency list `other` is the target; in an in-adjacency
+/// list it is the source. `weight` is the traversal cost of the directed
+/// edge (lower is better).
+struct Edge {
+  NodeId other;
+  float weight;
+  EdgeDir dir;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_GRAPH_TYPES_H_

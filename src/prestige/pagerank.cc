@@ -1,0 +1,54 @@
+#include "prestige/pagerank.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace banks {
+
+std::vector<double> ComputePrestige(const Graph& g,
+                                    const PrestigeOptions& options) {
+  const size_t n = g.num_nodes();
+  if (n == 0) return {};
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling_mass = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      const double inv_sum = g.OutInverseWeightSum(u);
+      if (inv_sum <= 0.0) {
+        dangling_mass += rank[u];
+        continue;
+      }
+      const double scale = rank[u] / inv_sum;
+      for (const Edge& e : g.OutEdges(u)) {
+        next[e.other] += scale / e.weight;
+      }
+    }
+    const double teleport =
+        (1.0 - options.damping + options.damping * dangling_mass) /
+        static_cast<double>(n);
+    double delta = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      double nv = options.damping * next[v] + teleport;
+      delta += std::fabs(nv - rank[v]);
+      rank[v] = nv;
+    }
+    if (delta < options.tolerance) break;
+  }
+
+  if (options.normalize_max_to_one) {
+    double mx = *std::max_element(rank.begin(), rank.end());
+    if (mx > 0) {
+      for (double& r : rank) r /= mx;
+    }
+  }
+  return rank;
+}
+
+std::vector<double> UniformPrestige(size_t num_nodes) {
+  return std::vector<double>(num_nodes, 1.0);
+}
+
+}  // namespace banks

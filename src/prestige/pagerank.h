@@ -1,0 +1,40 @@
+#ifndef BANKS_PRESTIGE_PAGERANK_H_
+#define BANKS_PRESTIGE_PAGERANK_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace banks {
+
+/// Options for the biased random walk of §2.3.
+struct PrestigeOptions {
+  /// Probability of following an out-edge rather than teleporting.
+  double damping = 0.85;
+  /// Power-iteration stopping criteria.
+  int max_iterations = 100;
+  double tolerance = 1e-10;
+  /// Normalize the returned scores so the maximum is 1. Activation
+  /// seeding (a_{u,i} = prestige(u)/|S_i|, Eq. 1) and the tree prestige
+  /// N both want a bounded scale.
+  bool normalize_max_to_one = true;
+};
+
+/// Computes node prestige with a biased PageRank: the probability of
+/// following edge (u,v) is inversely proportional to its weight in the
+/// *data graph* (combined forward+backward, as built), i.e.
+/// P(u→v) = (1/w_uv) / Σ_x (1/w_ux). Backward edges through hubs carry
+/// large weights and therefore small transition probability, so hubs do
+/// not leak prestige through meaningless shortcuts.
+///
+/// Dangling nodes teleport uniformly. Deterministic for a given graph.
+std::vector<double> ComputePrestige(const Graph& g,
+                                    const PrestigeOptions& options = {});
+
+/// All-ones prestige, for configurations that ignore node weight (the
+/// paper's λ = 0 ablation) and for unit tests wanting pure edge scores.
+std::vector<double> UniformPrestige(size_t num_nodes);
+
+}  // namespace banks
+
+#endif  // BANKS_PRESTIGE_PAGERANK_H_

@@ -1,0 +1,180 @@
+#include "relational/candidate_network.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace banks {
+namespace {
+
+/// AHU encoding of the CN as a tree rooted at `root`. Node labels fold
+/// in the table and keyword mask; edge labels fold in the FK identity so
+/// that two joins through different FK columns are distinct networks.
+std::string EncodeRooted(const CandidateNetwork& cn, uint32_t root) {
+  const size_t n = cn.nodes.size();
+  std::vector<std::vector<std::pair<uint32_t, std::string>>> adj(n);
+  for (const CNEdge& e : cn.edges) {
+    std::string base =
+        std::to_string(e.fk_table) + ":" + std::to_string(e.fk_col);
+    // Orientation marker: '>' when the traversed-to child holds the FK.
+    adj[e.a].emplace_back(e.b, base + (e.referencing == e.b ? ">" : "<"));
+    adj[e.b].emplace_back(e.a, base + (e.referencing == e.a ? ">" : "<"));
+  }
+  // Iterative DFS with explicit post-order assembly (CNs are tiny; a
+  // recursive lambda is fine).
+  std::vector<bool> visited(n, false);
+  auto encode = [&](auto&& self, uint32_t v) -> std::string {
+    visited[v] = true;
+    std::vector<std::string> parts;
+    for (const auto& [u, label] : adj[v]) {
+      if (visited[u]) continue;
+      parts.push_back("(" + label + self(self, u) + ")");
+    }
+    std::sort(parts.begin(), parts.end());
+    std::string out = "[" + std::to_string(cn.nodes[v].table) + "," +
+                      std::to_string(cn.nodes[v].keyword_mask) + "]";
+    for (const std::string& p : parts) out += p;
+    return out;
+  };
+  return encode(encode, root);
+}
+
+}  // namespace
+
+uint32_t CandidateNetwork::CoveredMask() const {
+  uint32_t mask = 0;
+  for (const CNNode& node : nodes) mask |= node.keyword_mask;
+  return mask;
+}
+
+bool CandidateNetwork::LeavesAreKeywordBearing() const {
+  if (nodes.size() == 1) return nodes[0].keyword_mask != 0;
+  std::vector<uint32_t> degree(nodes.size(), 0);
+  for (const CNEdge& e : edges) {
+    degree[e.a]++;
+    degree[e.b]++;
+  }
+  for (size_t v = 0; v < nodes.size(); ++v) {
+    if (degree[v] <= 1 && nodes[v].keyword_mask == 0) return false;
+  }
+  return true;
+}
+
+std::string CandidateNetwork::CanonicalKey() const {
+  std::string best;
+  for (uint32_t root = 0; root < nodes.size(); ++root) {
+    std::string enc = EncodeRooted(*this, root);
+    if (best.empty() || enc < best) best = std::move(enc);
+  }
+  return best;
+}
+
+std::vector<CandidateNetwork> GenerateCandidateNetworks(
+    const Database& db, uint32_t num_keywords,
+    const std::vector<std::vector<bool>>& table_has_keyword,
+    const CNGenerationOptions& options) {
+  std::vector<CandidateNetwork> accepted;
+  if (num_keywords == 0 || num_keywords > 31) return accepted;
+  const uint32_t full_mask = (1u << num_keywords) - 1;
+
+  // Schema adjacency: edges incident to each table.
+  std::vector<SchemaEdge> schema_edges = db.SchemaEdges();
+  std::vector<std::vector<SchemaEdge>> by_table(db.num_tables());
+  for (const SchemaEdge& e : schema_edges) {
+    by_table[e.from_table].push_back(e);
+    if (e.to_table != e.from_table) by_table[e.to_table].push_back(e);
+  }
+
+  std::deque<CandidateNetwork> queue;
+  std::unordered_set<std::string> seen;
+
+  auto enqueue = [&](CandidateNetwork cn) {
+    std::string key = cn.CanonicalKey();
+    if (!seen.insert(std::move(key)).second) return;
+    queue.push_back(std::move(cn));
+  };
+
+  // Seeds: single keyword-bearing tuple sets.
+  for (uint32_t t = 0; t < db.num_tables(); ++t) {
+    for (uint32_t i = 0; i < num_keywords; ++i) {
+      if (!table_has_keyword[t][i]) continue;
+      CandidateNetwork cn;
+      cn.nodes.push_back(CNNode{t, 1u << i});
+      enqueue(std::move(cn));
+    }
+  }
+
+  size_t explored = 0;
+  const size_t kExplorationCap = options.max_networks * 50;
+  while (!queue.empty() && accepted.size() < options.max_networks &&
+         explored < kExplorationCap) {
+    CandidateNetwork cn = std::move(queue.front());
+    queue.pop_front();
+    explored++;
+
+    if (cn.CoveredMask() == full_mask && cn.LeavesAreKeywordBearing()) {
+      accepted.push_back(cn);
+      // A complete CN can still be extended into a larger distinct one;
+      // Sparse evaluates small CNs first, so we keep expanding too.
+    }
+
+    if (cn.size() >= options.max_size) continue;
+
+    // Expansion 1: attach a new tuple set via a schema edge incident to
+    // an existing node. The new node is free or carries one missing
+    // keyword.
+    for (uint32_t v = 0; v < cn.nodes.size(); ++v) {
+      uint32_t vt = cn.nodes[v].table;
+      for (const SchemaEdge& e : by_table[vt]) {
+        // Orientations: new node may sit on either endpoint of e.
+        for (int new_on_from = 0; new_on_from < 2; ++new_on_from) {
+          uint32_t new_table;
+          if (new_on_from) {
+            if (e.to_table != vt) continue;
+            new_table = e.from_table;
+          } else {
+            if (e.from_table != vt) continue;
+            new_table = e.to_table;
+          }
+          std::vector<uint32_t> masks = {0};
+          for (uint32_t i = 0; i < num_keywords; ++i) {
+            if ((cn.CoveredMask() >> i) & 1u) continue;
+            if (!table_has_keyword[new_table][i]) continue;
+            masks.push_back(1u << i);
+          }
+          for (uint32_t mask : masks) {
+            CandidateNetwork next = cn;
+            uint32_t new_idx = static_cast<uint32_t>(next.nodes.size());
+            next.nodes.push_back(CNNode{new_table, mask});
+            uint32_t referencing = new_on_from ? new_idx : v;
+            next.edges.push_back(
+                CNEdge{v, new_idx, e.from_table, e.column, referencing});
+            enqueue(std::move(next));
+          }
+        }
+      }
+    }
+
+    // Expansion 2: add a missing keyword to an existing node's mask
+    // (one tuple may contain several query keywords, e.g. a 4-keyword
+    // query answered by a 3-tuple tree).
+    for (uint32_t v = 0; v < cn.nodes.size(); ++v) {
+      uint32_t vt = cn.nodes[v].table;
+      for (uint32_t i = 0; i < num_keywords; ++i) {
+        if ((cn.CoveredMask() >> i) & 1u) continue;
+        if (!table_has_keyword[vt][i]) continue;
+        CandidateNetwork next = cn;
+        next.nodes[v].keyword_mask |= 1u << i;
+        enqueue(std::move(next));
+      }
+    }
+  }
+
+  std::stable_sort(accepted.begin(), accepted.end(),
+                   [](const CandidateNetwork& a, const CandidateNetwork& b) {
+                     return a.size() < b.size();
+                   });
+  return accepted;
+}
+
+}  // namespace banks

@@ -1,0 +1,66 @@
+#ifndef BANKS_RELATIONAL_CANDIDATE_NETWORK_H_
+#define BANKS_RELATIONAL_CANDIDATE_NETWORK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+
+namespace banks {
+
+/// One node of a candidate network: a tuple set of `table` constrained
+/// to contain the query keywords in `keyword_mask` (0 ⇒ free tuple set).
+struct CNNode {
+  uint32_t table;
+  uint32_t keyword_mask;
+};
+
+/// Join edge between CN nodes a and b, realized by FK column `fk_col`
+/// (slot index) of table `fk_table`. `referencing` names the CN node (a
+/// or b) that holds the FK — required to disambiguate self-referencing
+/// tables and join direction during evaluation.
+struct CNEdge {
+  uint32_t a;
+  uint32_t b;
+  uint32_t fk_table;
+  uint32_t fk_col;
+  uint32_t referencing;
+};
+
+/// A candidate network (Discover [9] / Sparse [8]): a joining tree of
+/// tuple sets whose union of keyword masks covers the query and whose
+/// leaves are all keyword-bearing.
+struct CandidateNetwork {
+  std::vector<CNNode> nodes;
+  std::vector<CNEdge> edges;
+
+  size_t size() const { return nodes.size(); }
+  uint32_t CoveredMask() const;
+  bool LeavesAreKeywordBearing() const;
+
+  /// Isomorphism-invariant encoding (AHU canonical form minimized over
+  /// root choices); used to deduplicate networks during generation.
+  std::string CanonicalKey() const;
+};
+
+struct CNGenerationOptions {
+  /// Maximum CN size (number of tuple sets = joins + 1).
+  size_t max_size = 5;
+  /// Hard cap on emitted networks (generation is exponential in dense
+  /// schemas; the paper evaluates only CNs up to the relevant size).
+  size_t max_networks = 20000;
+};
+
+/// Breadth-first enumeration of candidate networks, smallest first.
+/// `table_has_keyword[t][i]` says table t has at least one tuple
+/// containing keyword i (networks demanding an empty tuple set are
+/// pruned at the source).
+std::vector<CandidateNetwork> GenerateCandidateNetworks(
+    const Database& db, uint32_t num_keywords,
+    const std::vector<std::vector<bool>>& table_has_keyword,
+    const CNGenerationOptions& options);
+
+}  // namespace banks
+
+#endif  // BANKS_RELATIONAL_CANDIDATE_NETWORK_H_

@@ -1,0 +1,105 @@
+#include "relational/database.h"
+
+#include <cassert>
+
+namespace banks {
+
+Table::Table(TableSpec spec, uint32_t table_index)
+    : spec_(std::move(spec)), table_index_(table_index) {
+  for (size_t c = 0; c < spec_.columns.size(); ++c) {
+    if (spec_.columns[c].kind == ColumnKind::kText) {
+      text_columns_.emplace_back();
+    } else {
+      fk_columns_.emplace_back();
+      fk_column_spec_idx_.push_back(c);
+    }
+  }
+}
+
+RowId Table::AddRow(const std::vector<std::string>& texts,
+                    const std::vector<RowId>& fks) {
+  assert(texts.size() == text_columns_.size());
+  assert(fks.size() == fk_columns_.size());
+  for (size_t c = 0; c < texts.size(); ++c) {
+    text_columns_[c].push_back(texts[c]);
+  }
+  for (size_t c = 0; c < fks.size(); ++c) {
+    fk_columns_[c].push_back(fks[c]);
+  }
+  return static_cast<RowId>(num_rows_++);
+}
+
+std::string Table::RowText(RowId r) const {
+  std::string out;
+  for (size_t c = 0; c < text_columns_.size(); ++c) {
+    if (c > 0) out.push_back(' ');
+    out += text_columns_[c][static_cast<size_t>(r)];
+  }
+  return out;
+}
+
+Table& Database::AddTable(TableSpec spec) {
+  assert(table_index_.find(spec.name) == table_index_.end());
+  uint32_t idx = static_cast<uint32_t>(tables_.size());
+  table_index_.emplace(spec.name, idx);
+  tables_.emplace_back(std::move(spec), idx);
+  indexes_built_ = false;
+  return tables_.back();
+}
+
+const Table* Database::FindTable(std::string_view name) const {
+  auto it = table_index_.find(std::string(name));
+  return it == table_index_.end() ? nullptr : &tables_[it->second];
+}
+
+uint32_t Database::TableIndex(std::string_view name) const {
+  auto it = table_index_.find(std::string(name));
+  assert(it != table_index_.end());
+  return it->second;
+}
+
+size_t Database::TotalRows() const {
+  size_t total = 0;
+  for (const Table& t : tables_) total += t.num_rows();
+  return total;
+}
+
+std::vector<SchemaEdge> Database::SchemaEdges() const {
+  std::vector<SchemaEdge> edges;
+  for (const Table& t : tables_) {
+    for (size_t c = 0; c < t.num_fk_columns(); ++c) {
+      const ColumnSpec& col = t.FkSpec(c);
+      auto it = table_index_.find(col.ref_table);
+      assert(it != table_index_.end() && "FK references unknown table");
+      edges.push_back(
+          SchemaEdge{t.index(), it->second, static_cast<uint32_t>(c)});
+    }
+  }
+  return edges;
+}
+
+void Database::BuildIndexes() {
+  reverse_index_.assign(tables_.size(), {});
+  for (const Table& t : tables_) {
+    auto& per_table = reverse_index_[t.index()];
+    per_table.resize(t.num_fk_columns());
+    for (size_t c = 0; c < t.num_fk_columns(); ++c) {
+      for (RowId r = 0; r < static_cast<RowId>(t.num_rows()); ++r) {
+        RowId target = t.FkAt(r, c);
+        if (target != kNullRow) per_table[c][target].push_back(r);
+      }
+    }
+  }
+  indexes_built_ = true;
+}
+
+const std::vector<RowId>& Database::ReferencingRows(uint32_t t, size_t fk_col,
+                                                    RowId target) const {
+  static const std::vector<RowId> kEmpty;
+  assert(indexes_built_);
+  const auto& index = reverse_index_[t][fk_col];
+  auto it = index.find(target);
+  return it == index.end() ? kEmpty : it->second;
+}
+
+}  // namespace banks

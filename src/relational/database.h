@@ -1,0 +1,107 @@
+#ifndef BANKS_RELATIONAL_DATABASE_H_
+#define BANKS_RELATIONAL_DATABASE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/schema.h"
+
+namespace banks {
+
+/// Row reference within a table; kNullRow for absent FK values.
+using RowId = int64_t;
+inline constexpr RowId kNullRow = -1;
+
+/// Column-major storage for one table: text columns hold strings, FK
+/// columns hold RowIds into the referenced table.
+class Table {
+ public:
+  Table(TableSpec spec, uint32_t table_index);
+
+  const std::string& name() const { return spec_.name; }
+  const TableSpec& spec() const { return spec_; }
+  const std::vector<ColumnSpec>& columns() const { return spec_.columns; }
+  uint32_t index() const { return table_index_; }
+  size_t num_rows() const { return num_rows_; }
+
+  /// Appends a row. `texts` supplies values for text columns in order;
+  /// `fks` for FK columns in order. Sizes must match the spec.
+  RowId AddRow(const std::vector<std::string>& texts,
+               const std::vector<RowId>& fks);
+
+  /// Text value of row `r` in the c-th *text* column.
+  const std::string& TextAt(RowId r, size_t text_column) const {
+    return text_columns_[text_column][static_cast<size_t>(r)];
+  }
+
+  /// FK value of row `r` in the c-th *FK* column.
+  RowId FkAt(RowId r, size_t fk_column) const {
+    return fk_columns_[fk_column][static_cast<size_t>(r)];
+  }
+
+  size_t num_text_columns() const { return text_columns_.size(); }
+  size_t num_fk_columns() const { return fk_columns_.size(); }
+
+  /// Spec of the c-th FK column (ref table, weight).
+  const ColumnSpec& FkSpec(size_t fk_column) const {
+    return spec_.columns[fk_column_spec_idx_[fk_column]];
+  }
+
+  /// Concatenated text of a row (used to build the node index).
+  std::string RowText(RowId r) const;
+
+ private:
+  TableSpec spec_;
+  uint32_t table_index_;
+  size_t num_rows_ = 0;
+  std::vector<std::vector<std::string>> text_columns_;
+  std::vector<std::vector<RowId>> fk_columns_;
+  std::vector<size_t> fk_column_spec_idx_;  // FK slot → spec column index
+};
+
+/// In-memory relational database: the substrate the paper's data graphs
+/// are extracted from (DBXplorer/Discover operate on this "implicit"
+/// graph; BANKS materializes it, §1).
+class Database {
+ public:
+  /// Declares a table; referenced tables may be declared later, but all
+  /// must exist before BuildIndexes()/graph extraction.
+  Table& AddTable(TableSpec spec);
+
+  Table& table(uint32_t idx) { return tables_[idx]; }
+  const Table& table(uint32_t idx) const { return tables_[idx]; }
+  const Table* FindTable(std::string_view name) const;
+  uint32_t TableIndex(std::string_view name) const;
+  size_t num_tables() const { return tables_.size(); }
+
+  size_t TotalRows() const;
+
+  /// Schema edges (FK column relationships) for candidate networks.
+  std::vector<SchemaEdge> SchemaEdges() const;
+
+  /// Builds per-FK-column reverse indexes (referenced row → referencing
+  /// rows) used by the indexed nested-loop joins of the Sparse baseline.
+  void BuildIndexes();
+  bool indexes_built() const { return indexes_built_; }
+
+  /// Rows of table `t` whose FK column `fk_col` references row `target`.
+  const std::vector<RowId>& ReferencingRows(uint32_t t, size_t fk_col,
+                                            RowId target) const;
+
+ private:
+  // Deque: AddTable must not invalidate references handed to callers.
+  std::deque<Table> tables_;
+  std::unordered_map<std::string, uint32_t> table_index_;
+  // reverse_index_[t][fk_col][target_row] = referencing rows.
+  std::vector<std::vector<std::unordered_map<RowId, std::vector<RowId>>>>
+      reverse_index_;
+  bool indexes_built_ = false;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_RELATIONAL_DATABASE_H_

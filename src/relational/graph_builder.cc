@@ -1,0 +1,64 @@
+#include "relational/graph_builder.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace banks {
+
+std::pair<uint32_t, RowId> DataGraph::TupleFor(NodeId node) const {
+  auto it = std::upper_bound(table_first_node.begin(),
+                             table_first_node.end(), node);
+  assert(it != table_first_node.begin());
+  uint32_t table = static_cast<uint32_t>(it - table_first_node.begin() - 1);
+  return {table, static_cast<RowId>(node - table_first_node[table])};
+}
+
+DataGraph BuildDataGraph(const Database& db, const GraphBuildOptions& options) {
+  DataGraph out;
+  GraphBuilder builder;
+
+  // Nodes: one per tuple, contiguous per table.
+  out.table_first_node.reserve(db.num_tables() + 1);
+  for (uint32_t t = 0; t < db.num_tables(); ++t) {
+    const Table& table = db.table(t);
+    NodeType type = builder.InternType(table.name());
+    out.table_first_node.push_back(
+        builder.AddNodes(table.num_rows(), type));
+  }
+  out.table_first_node.push_back(static_cast<NodeId>(builder.num_nodes()));
+
+  // Edges: one forward edge per non-null FK value.
+  for (uint32_t t = 0; t < db.num_tables(); ++t) {
+    const Table& table = db.table(t);
+    for (size_t c = 0; c < table.num_fk_columns(); ++c) {
+      const ColumnSpec& spec = table.FkSpec(c);
+      uint32_t target_table = db.TableIndex(spec.ref_table);
+      for (RowId r = 0; r < static_cast<RowId>(table.num_rows()); ++r) {
+        RowId target = table.FkAt(r, c);
+        if (target == kNullRow) continue;
+        builder.AddEdge(out.NodeFor(t, r), out.NodeFor(target_table, target),
+                        spec.edge_weight);
+      }
+    }
+  }
+
+  // Text index + display labels.
+  out.node_labels.reserve(builder.num_nodes());
+  for (uint32_t t = 0; t < db.num_tables(); ++t) {
+    const Table& table = db.table(t);
+    out.index.RegisterRelation(table.name(), out.table_first_node[t],
+                               table.num_rows());
+    for (RowId r = 0; r < static_cast<RowId>(table.num_rows()); ++r) {
+      NodeId node = out.NodeFor(t, r);
+      std::string text = table.RowText(r);
+      out.index.AddDocument(node, text);
+      out.node_labels.push_back(table.name() + "#" + std::to_string(r) +
+                                (text.empty() ? "" : " [" + text + "]"));
+    }
+  }
+  out.index.Freeze();
+  out.graph = builder.Build(options);
+  return out;
+}
+
+}  // namespace banks

@@ -1,0 +1,42 @@
+#ifndef BANKS_RELATIONAL_GRAPH_BUILDER_H_
+#define BANKS_RELATIONAL_GRAPH_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "relational/database.h"
+#include "text/inverted_index.h"
+
+namespace banks {
+
+/// The data graph extracted from a relational database plus everything
+/// needed to query it: "for each row r ... the data graph has a
+/// corresponding node u_r; for each pair of tuples r1, r2 such that
+/// there is a foreign key from r1 to r2, the graph contains an edge
+/// from u_r1 to u_r2" (§2.1). Node ids are dense and contiguous per
+/// table, which lets the inverted index register relation-name matches
+/// as ranges.
+struct DataGraph {
+  Graph graph;
+  InvertedIndex index;
+  /// First node id of each table (parallel to Database::table order);
+  /// back() is the total node count.
+  std::vector<NodeId> table_first_node;
+  /// Human-readable text per node (table name + row text), for display.
+  std::vector<std::string> node_labels;
+
+  NodeId NodeFor(uint32_t table, RowId row) const {
+    return table_first_node[table] + static_cast<NodeId>(row);
+  }
+  /// Inverse of NodeFor.
+  std::pair<uint32_t, RowId> TupleFor(NodeId node) const;
+};
+
+/// Extracts the data graph; `options` controls backward-edge derivation.
+DataGraph BuildDataGraph(const Database& db,
+                         const GraphBuildOptions& options = {});
+
+}  // namespace banks
+
+#endif  // BANKS_RELATIONAL_GRAPH_BUILDER_H_

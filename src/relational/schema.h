@@ -1,0 +1,42 @@
+#ifndef BANKS_RELATIONAL_SCHEMA_H_
+#define BANKS_RELATIONAL_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace banks {
+
+/// Column kinds in the in-memory relational engine. Text columns carry
+/// the searchable strings; foreign-key columns carry row references and
+/// induce the data-graph edges (§2.1).
+enum class ColumnKind : uint8_t { kText, kForeignKey };
+
+struct ColumnSpec {
+  std::string name;
+  ColumnKind kind = ColumnKind::kText;
+  /// For kForeignKey: referenced table name.
+  std::string ref_table;
+  /// For kForeignKey: forward edge weight in the data graph ("the
+  /// weights of forward edges are defined by the schema, and default to
+  /// 1", §2.3).
+  double edge_weight = 1.0;
+};
+
+/// Table definition: a name plus ordered columns.
+struct TableSpec {
+  std::string name;
+  std::vector<ColumnSpec> columns;
+};
+
+/// A schema-graph edge (for candidate-network generation): table `from`
+/// has a FK column into table `to`.
+struct SchemaEdge {
+  uint32_t from_table;
+  uint32_t to_table;
+  uint32_t column;  // FK *slot* index within `from` (see Table::FkAt)
+};
+
+}  // namespace banks
+
+#endif  // BANKS_RELATIONAL_SCHEMA_H_

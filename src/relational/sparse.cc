@@ -1,0 +1,201 @@
+#include "relational/sparse.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "util/timer.h"
+
+namespace banks {
+
+SparseSearcher::SparseSearcher(Database* db) : db_(db), matcher_(*db) {
+  if (!db_->indexes_built()) db_->BuildIndexes();
+}
+
+SparseSearcher::Result SparseSearcher::Search(
+    const std::vector<std::string>& keywords, const Options& options) const {
+  Result result;
+  const uint32_t n = static_cast<uint32_t>(keywords.size());
+  if (n == 0) return result;
+
+  Timer timer;
+  std::vector<std::vector<bool>> table_has_keyword(db_->num_tables());
+  for (uint32_t t = 0; t < db_->num_tables(); ++t) {
+    table_has_keyword[t].resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      table_has_keyword[t][i] = matcher_.TableHasKeyword(t, keywords[i]);
+    }
+  }
+  CNGenerationOptions gen;
+  gen.max_size = options.max_cn_size;
+  gen.max_networks = options.max_networks;
+  result.networks =
+      GenerateCandidateNetworks(*db_, n, table_has_keyword, gen);
+  result.enumeration_seconds = timer.ElapsedSeconds();
+
+  timer.Restart();
+  for (size_t c = 0; c < result.networks.size(); ++c) {
+    Evaluate(result.networks[c], c, keywords, options, &result.results);
+  }
+  result.evaluation_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+void SparseSearcher::Evaluate(const CandidateNetwork& cn, size_t network_index,
+                              const std::vector<std::string>& keywords,
+                              const Options& options,
+                              std::vector<JoinResult>* out) const {
+  EvaluateCandidateNetwork(*db_, matcher_, cn, network_index, keywords,
+                           options, out);
+}
+
+void EvaluateCandidateNetwork(const Database& db, const TupleMatcher& matcher,
+                              const CandidateNetwork& cn, size_t network_index,
+                              const std::vector<std::string>& keywords,
+                              const SparseSearcher::Options& options,
+                              std::vector<SparseSearcher::JoinResult>* out) {
+  using JoinResult = SparseSearcher::JoinResult;
+  const size_t m = cn.nodes.size();
+
+  // Rows satisfying a node's keyword mask (smallest keyword list first,
+  // then filter) — or "whole table" for free nodes (signalled by nullptr).
+  auto mask_rows = [&](const CNNode& node) -> std::vector<RowId> {
+    std::vector<RowId> rows;
+    bool first = true;
+    for (uint32_t i = 0; i < keywords.size(); ++i) {
+      if (!((node.keyword_mask >> i) & 1u)) continue;
+      if (first) {
+        rows = matcher.Rows(node.table, keywords[i]);
+        first = false;
+      } else {
+        std::vector<RowId> filtered;
+        for (RowId r : rows) {
+          if (matcher.Contains(node.table, keywords[i], r)) {
+            filtered.push_back(r);
+          }
+        }
+        rows = std::move(filtered);
+      }
+    }
+    return rows;
+  };
+
+  auto satisfies_mask = [&](const CNNode& node, RowId r) {
+    for (uint32_t i = 0; i < keywords.size(); ++i) {
+      if (!((node.keyword_mask >> i) & 1u)) continue;
+      if (!matcher.Contains(node.table, keywords[i], r)) return false;
+    }
+    return true;
+  };
+
+  // Choose the start node: keyword-bearing node with the fewest rows —
+  // the IR rule of intersecting from the rarest list (§1, [15]).
+  size_t start = m;
+  size_t best_count = std::numeric_limits<size_t>::max();
+  std::vector<std::vector<RowId>> start_rows(m);
+  for (size_t v = 0; v < m; ++v) {
+    if (cn.nodes[v].keyword_mask == 0) continue;
+    start_rows[v] = mask_rows(cn.nodes[v]);
+    if (start_rows[v].size() < best_count) {
+      best_count = start_rows[v].size();
+      start = v;
+    }
+  }
+  if (start == m || best_count == 0) return;  // unsatisfiable network
+
+  // BFS order from the start node; each later node knows the tree edge
+  // connecting it to an earlier node.
+  std::vector<std::vector<std::pair<size_t, const CNEdge*>>> adj(m);
+  for (const CNEdge& e : cn.edges) {
+    adj[e.a].emplace_back(e.b, &e);
+    adj[e.b].emplace_back(e.a, &e);
+  }
+  struct Step {
+    size_t node;
+    size_t joined_to;        // index into `order` of the known neighbour
+    const CNEdge* edge;      // realizing FK
+  };
+  std::vector<Step> order;
+  std::vector<bool> placed(m, false);
+  order.push_back(Step{start, 0, nullptr});
+  placed[start] = true;
+  for (size_t head = 0; head < order.size(); ++head) {
+    size_t v = order[head].node;
+    for (auto [u, e] : adj[v]) {
+      if (placed[u]) continue;
+      placed[u] = true;
+      order.push_back(Step{u, head, e});
+    }
+  }
+  if (order.size() != m) return;  // disconnected CN (cannot happen)
+
+  // Indexed nested-loop join, depth-first over `order`.
+  std::vector<RowId> assignment(m, kNullRow);
+  size_t produced = 0;
+
+  auto emit = [&] {
+    JoinResult jr;
+    jr.network_index = network_index;
+    jr.tuples.reserve(m);
+    for (size_t v = 0; v < m; ++v) {
+      jr.tuples.emplace_back(cn.nodes[v].table, assignment[v]);
+    }
+    out->push_back(std::move(jr));
+    produced++;
+  };
+
+  auto recurse = [&](auto&& self, size_t depth) -> bool {
+    if (produced >= options.max_results_per_network ||
+        produced >= options.k_per_network) {
+      return false;  // per-CN top-k reached
+    }
+    if (depth == m) {
+      emit();
+      return true;
+    }
+    const Step& step = order[depth];
+    const CNNode& node = cn.nodes[step.node];
+    size_t known = order[step.joined_to].node;
+    RowId known_row = assignment[known];
+    const CNEdge& e = *step.edge;
+
+    auto try_row = [&](RowId r) -> bool {
+      if (r == kNullRow) return true;
+      if (!satisfies_mask(node, r)) return true;
+      // Reject repeated use of one tuple in two CN slots of the same
+      // table (a joining tree of tuples has distinct tuples).
+      for (size_t v2 = 0; v2 < depth; ++v2) {
+        size_t prev = order[v2].node;
+        if (cn.nodes[prev].table == node.table &&
+            assignment[prev] == r) {
+          return true;
+        }
+      }
+      assignment[step.node] = r;
+      bool keep_going = self(self, depth + 1);
+      assignment[step.node] = kNullRow;
+      return keep_going;
+    };
+
+    if (e.referencing == step.node) {
+      // New node references the known node: use the reverse index.
+      for (RowId r : db.ReferencingRows(e.fk_table, e.fk_col, known_row)) {
+        if (!try_row(r)) return false;
+      }
+    } else {
+      // Known node references the new node: direct FK access.
+      assert(e.fk_table == cn.nodes[known].table);
+      RowId r = db.table(e.fk_table).FkAt(known_row, e.fk_col);
+      if (!try_row(r)) return false;
+    }
+    return true;
+  };
+
+  for (RowId r : start_rows[start]) {
+    assignment[start] = r;
+    if (!recurse(recurse, 1)) break;
+    assignment[start] = kNullRow;
+  }
+}
+
+}  // namespace banks

@@ -1,0 +1,76 @@
+#ifndef BANKS_RELATIONAL_SPARSE_H_
+#define BANKS_RELATIONAL_SPARSE_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/candidate_network.h"
+#include "relational/database.h"
+#include "relational/tuple_matcher.h"
+
+namespace banks {
+
+/// The Sparse algorithm of Hristidis, Gravano, Papakonstantinou (VLDB
+/// 2003), as used for the paper's baseline column (§5.2): enumerate
+/// candidate networks, evaluate each with indexed nested-loop joins
+/// under AND semantics, emit the top-k results per network, merge.
+///
+/// Per the paper's methodology this is a *lower bound* setup: only CNs
+/// up to `max_cn_size` are evaluated (the paper generated "all candidate
+/// networks smaller than the relevant ones"), indexes are prebuilt and
+/// caches warm.
+class SparseSearcher {
+ public:
+  struct Options {
+    size_t max_cn_size = 5;
+    size_t k_per_network = 10;
+    size_t max_networks = 20000;
+    /// Join-result cap per CN; prevents cartesian blowups on free sets.
+    size_t max_results_per_network = 100000;
+  };
+
+  /// One joined tuple tree: (table, row) per CN node.
+  struct JoinResult {
+    std::vector<std::pair<uint32_t, RowId>> tuples;
+    size_t network_index;  // into Result::networks
+    /// Ranking: fewer joins is better (Discover-style size measure).
+    size_t size() const { return tuples.size(); }
+  };
+
+  struct Result {
+    std::vector<CandidateNetwork> networks;
+    std::vector<JoinResult> results;  // ordered by network size (small first)
+    double enumeration_seconds = 0;
+    double evaluation_seconds = 0;
+  };
+
+  /// Database must outlive the searcher; BuildIndexes() is invoked if
+  /// the caller has not done so.
+  explicit SparseSearcher(Database* db);
+
+  Result Search(const std::vector<std::string>& keywords,
+                const Options& options) const;
+
+ private:
+  void Evaluate(const CandidateNetwork& cn, size_t network_index,
+                const std::vector<std::string>& keywords,
+                const Options& options, std::vector<JoinResult>* out) const;
+
+  Database* db_;
+  TupleMatcher matcher_;
+};
+
+/// Evaluates one candidate network with indexed nested-loop joins,
+/// appending up to options.k_per_network results. Exposed separately so
+/// the workload generator can compute ground truth by evaluating the
+/// generating join network exhaustively (§5.4's "we executed SQL
+/// queries ... to find relevant answers").
+void EvaluateCandidateNetwork(const Database& db, const TupleMatcher& matcher,
+                              const CandidateNetwork& cn, size_t network_index,
+                              const std::vector<std::string>& keywords,
+                              const SparseSearcher::Options& options,
+                              std::vector<SparseSearcher::JoinResult>* out);
+
+}  // namespace banks
+
+#endif  // BANKS_RELATIONAL_SPARSE_H_

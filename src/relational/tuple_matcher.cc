@@ -1,0 +1,33 @@
+#include "relational/tuple_matcher.h"
+
+namespace banks {
+
+TupleMatcher::TupleMatcher(const Database& db) {
+  Tokenizer tokenizer;
+  index_.resize(db.num_tables());
+  for (uint32_t t = 0; t < db.num_tables(); ++t) {
+    const Table& table = db.table(t);
+    auto& per_table = index_[t];
+    for (RowId r = 0; r < static_cast<RowId>(table.num_rows()); ++r) {
+      for (const std::string& token : tokenizer.Tokenize(table.RowText(r))) {
+        PerKeyword& pk = per_table[token];
+        if (pk.row_set.insert(r).second) pk.rows.push_back(r);
+      }
+    }
+  }
+}
+
+const std::vector<RowId>& TupleMatcher::Rows(uint32_t table,
+                                             const std::string& keyword) const {
+  static const std::vector<RowId> kEmpty;
+  auto it = index_[table].find(Tokenizer::FoldKeyword(keyword));
+  return it == index_[table].end() ? kEmpty : it->second.rows;
+}
+
+bool TupleMatcher::Contains(uint32_t table, const std::string& keyword,
+                            RowId row) const {
+  auto it = index_[table].find(Tokenizer::FoldKeyword(keyword));
+  return it != index_[table].end() && it->second.row_set.count(row) > 0;
+}
+
+}  // namespace banks

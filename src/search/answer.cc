@@ -1,0 +1,133 @@
+#include "search/answer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace banks {
+namespace {
+
+uint64_t HashCombine(uint64_t h, uint64_t v) {
+  // 64-bit mix in the spirit of boost::hash_combine / splitmix64.
+  v *= 0x9E3779B97F4A7C15ULL;
+  v ^= v >> 32;
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+std::vector<NodeId> AnswerTree::Nodes() const {
+  std::vector<NodeId> nodes;
+  nodes.push_back(root);
+  for (const AnswerEdge& e : edges) {
+    nodes.push_back(e.parent);
+    nodes.push_back(e.child);
+  }
+  for (NodeId k : keyword_nodes) nodes.push_back(k);
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+size_t AnswerTree::RootChildCount() const {
+  std::set<NodeId> children;
+  for (const AnswerEdge& e : edges) {
+    if (e.parent == root) children.insert(e.child);
+  }
+  return children.size();
+}
+
+bool AnswerTree::RootMatchesAKeyword() const {
+  for (NodeId k : keyword_nodes) {
+    if (k == root) return true;
+  }
+  return false;
+}
+
+bool AnswerTree::IsMinimalRooted() const {
+  return RootChildCount() != 1 || RootMatchesAKeyword();
+}
+
+uint64_t AnswerTree::Signature() const {
+  uint64_t h = 0x5851F42D4C957F2DULL;
+  for (NodeId v : Nodes()) h = HashCombine(h, v);
+  // Undirected edge multiset, canonically ordered so that rotations of
+  // the same tree hash identically.
+  std::vector<std::pair<NodeId, NodeId>> undirected;
+  undirected.reserve(edges.size());
+  for (const AnswerEdge& e : edges) {
+    undirected.emplace_back(std::min(e.parent, e.child),
+                            std::max(e.parent, e.child));
+  }
+  std::sort(undirected.begin(), undirected.end());
+  undirected.erase(std::unique(undirected.begin(), undirected.end()),
+                   undirected.end());
+  for (const auto& [a, b] : undirected) {
+    h = HashCombine(h, (static_cast<uint64_t>(a) << 32) | b);
+  }
+  return h;
+}
+
+bool AnswerTree::Validate(const Graph& g, std::string* error) const {
+  auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  if (root == kInvalidNode) return fail("invalid root");
+  if (root >= g.num_nodes()) return fail("root out of range");
+
+  std::unordered_map<NodeId, NodeId> parent_of;
+  for (const AnswerEdge& e : edges) {
+    if (e.parent >= g.num_nodes() || e.child >= g.num_nodes()) {
+      return fail("edge endpoint out of range");
+    }
+    double w = g.EdgeWeight(e.parent, e.child);
+    if (w < 0) return fail("edge not present in graph");
+    if (std::fabs(w - e.weight) > 1e-4) {
+      // Multi-edges: any matching weight is acceptable.
+      bool found = false;
+      for (const Edge& ge : g.OutEdges(e.parent)) {
+        if (ge.other == e.child && std::fabs(ge.weight - e.weight) < 1e-4) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return fail("edge weight mismatch");
+    }
+    auto [it, inserted] = parent_of.emplace(e.child, e.parent);
+    if (!inserted && it->second != e.parent) {
+      return fail("node has two parents (not a tree)");
+    }
+    if (e.child == root) return fail("root has a parent");
+  }
+
+  // Every node must reach the root by following parents (acyclic, rooted).
+  for (const AnswerEdge& e : edges) {
+    NodeId cur = e.child;
+    size_t hops = 0;
+    while (cur != root) {
+      auto it = parent_of.find(cur);
+      if (it == parent_of.end()) return fail("disconnected edge");
+      cur = it->second;
+      if (++hops > edges.size()) return fail("cycle in answer edges");
+    }
+  }
+
+  // Keyword nodes must be in the tree (root counts).
+  std::unordered_set<NodeId> nodes;
+  nodes.insert(root);
+  for (const AnswerEdge& e : edges) {
+    nodes.insert(e.parent);
+    nodes.insert(e.child);
+  }
+  for (NodeId k : keyword_nodes) {
+    if (!nodes.count(k)) return fail("keyword node not in tree");
+  }
+  return true;
+}
+
+}  // namespace banks

@@ -1,0 +1,75 @@
+#ifndef BANKS_SEARCH_ANSWER_H_
+#define BANKS_SEARCH_ANSWER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace banks {
+
+/// One edge of an answer tree, oriented root→leaf.
+struct AnswerEdge {
+  NodeId parent;
+  NodeId child;
+  float weight;
+
+  bool operator==(const AnswerEdge&) const = default;
+};
+
+/// A response per §2.2: a minimal rooted directed tree embedded in the
+/// data graph containing at least one node from each keyword's origin
+/// set. keyword_nodes[i] is the matched node for keyword i (leaves carry
+/// keywords; internal nodes may too).
+struct AnswerTree {
+  NodeId root = kInvalidNode;
+  std::vector<AnswerEdge> edges;         // deduplicated union of paths
+  std::vector<NodeId> keyword_nodes;     // one per query keyword
+  std::vector<double> keyword_distances; // s(T, t_i) per keyword
+
+  /// Score components per §2.3 (see scoring.h for the formulas).
+  double edge_score_raw = 0;  // Eraw = Σ_i s(T, t_i); lower is better
+  double node_prestige = 0;   // N ∈ (0, 1]
+  double score = 0;           // Escore · N^λ; higher is better
+
+  /// Seconds since search start when this tree was first generated.
+  double generated_at = 0;
+
+  /// Search-progress counters at generation time (§5.2 measures nodes
+  /// explored/touched "at the last relevant result", which is a
+  /// generation event — output can lag generation substantially, see
+  /// the paper's DQ7 discussion).
+  uint64_t explored_at_generation = 0;
+  uint64_t touched_at_generation = 0;
+
+  /// Distinct nodes of the tree (root, internal, leaves), sorted.
+  std::vector<NodeId> Nodes() const;
+
+  /// Number of distinct children of the root.
+  size_t RootChildCount() const;
+
+  /// True if some keyword is matched by the root node itself.
+  bool RootMatchesAKeyword() const;
+
+  /// §3's minimality rule: a tree whose root has exactly one child while
+  /// every keyword is matched by a non-root node is non-minimal (its
+  /// rotation without the root scores better) and must be discarded.
+  bool IsMinimalRooted() const;
+
+  /// Rotation-invariant identity (§4.6): sorted node set + undirected
+  /// edge set hashed together. Two rotations of one tree collide, which
+  /// is exactly what duplicate suppression wants.
+  uint64_t Signature() const;
+
+  /// Structural validation against a graph: every edge exists with the
+  /// stated weight, edges form a tree rooted at `root`, and every
+  /// keyword node is reachable from the root. Used by tests and debug
+  /// assertions, not by the hot path.
+  bool Validate(const Graph& g, std::string* error = nullptr) const;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_SEARCH_ANSWER_H_

@@ -1,0 +1,299 @@
+#include "search/backward_mi.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "search/output_heap.h"
+#include "search/scoring.h"
+#include "search/tree_builder.h"
+#include "util/timer.h"
+
+namespace banks {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Dijkstra state reached by one iterator at one node.
+struct ReachInfo {
+  double dist;
+  NodeId next_hop;   // next node on the path toward the origin
+  uint32_t hops;     // edge count to origin (depth for the dmax cutoff)
+};
+
+/// One single-source backward shortest-path iterator (§3).
+struct Iterator {
+  uint32_t keyword;
+  NodeId origin;
+  // Lazy-deletion min-heap of (dist, node).
+  std::priority_queue<std::pair<double, NodeId>,
+                      std::vector<std::pair<double, NodeId>>,
+                      std::greater<>>
+      frontier;
+  std::unordered_map<NodeId, ReachInfo> reach;
+  std::unordered_map<NodeId, bool> settled;
+
+  /// Skips stale heap entries; returns the next true frontier distance
+  /// or +inf when exhausted.
+  double PeekDist() {
+    while (!frontier.empty()) {
+      auto [d, v] = frontier.top();
+      auto it = settled.find(v);
+      if (it != settled.end() && it->second) {
+        frontier.pop();
+        continue;
+      }
+      auto rit = reach.find(v);
+      if (rit == reach.end() || d > rit->second.dist + 1e-12) {
+        frontier.pop();
+        continue;
+      }
+      return d;
+    }
+    return kInf;
+  }
+};
+
+/// Per-node record of which iterators have visited it.
+struct VisitRecord {
+  // Best (minimum-distance) visit per keyword.
+  std::vector<double> best_dist;
+  std::vector<uint32_t> best_iter;
+  uint32_t covered = 0;  // number of keywords with a finite best_dist
+
+  explicit VisitRecord(size_t n)
+      : best_dist(n, kInf), best_iter(n, UINT32_MAX) {}
+};
+
+}  // namespace
+
+SearchResult BackwardMISearcher::Search(
+    const std::vector<std::vector<NodeId>>& origins) {
+  SearchResult result;
+  Timer timer;
+  const size_t n = origins.size();
+  if (n == 0) return result;
+  for (const auto& s : origins) {
+    if (s.empty()) return result;  // AND semantics: some keyword matches 0
+  }
+
+  // Build one iterator per keyword node.
+  std::vector<Iterator> iters;
+  for (uint32_t i = 0; i < n; ++i) {
+    std::vector<NodeId> uniq = origins[i];
+    std::sort(uniq.begin(), uniq.end());
+    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+    for (NodeId o : uniq) {
+      Iterator it;
+      it.keyword = i;
+      it.origin = o;
+      it.reach[o] = ReachInfo{0.0, kInvalidNode, 0};
+      it.frontier.emplace(0.0, o);
+      iters.push_back(std::move(it));
+      result.metrics.nodes_touched++;
+    }
+  }
+
+  // Global scheduler: iterator with the nearest next node steps first.
+  using SchedEntry = std::pair<double, uint32_t>;  // (peek dist, iter idx)
+  std::priority_queue<SchedEntry, std::vector<SchedEntry>, std::greater<>>
+      scheduler;
+  for (uint32_t i = 0; i < iters.size(); ++i) scheduler.emplace(0.0, i);
+
+  std::unordered_map<NodeId, VisitRecord> visits;
+  OutputHeap heap;
+  uint64_t steps = 0;
+  uint64_t last_progress = 0;  // last step the best pending answer changed
+  double last_top = -1;        // champion score being aged
+
+  // Frontier minima per keyword for the §4.5 release bound.
+  auto frontier_minima = [&](std::vector<double>* m) {
+    m->assign(n, kInf);
+    for (auto& it : iters) {
+      double d = it.PeekDist();
+      (*m)[it.keyword] = std::min((*m)[it.keyword], d);
+    }
+  };
+
+  auto build_tree = [&](NodeId root, const std::vector<uint32_t>& iter_ids)
+      -> std::optional<AnswerTree> {
+    std::vector<NodeId> keyword_nodes(n);
+    std::vector<AnswerEdge> union_edges;
+    for (uint32_t i = 0; i < n; ++i) {
+      const Iterator& it = iters[iter_ids[i]];
+      keyword_nodes[i] = it.origin;
+      NodeId cur = root;
+      for (;;) {
+        auto rit = it.reach.find(cur);
+        assert(rit != it.reach.end());
+        if (rit->second.next_hop == kInvalidNode) break;
+        NodeId nxt = rit->second.next_hop;
+        double w = rit->second.dist - it.reach.at(nxt).dist;
+        union_edges.push_back(AnswerEdge{cur, nxt, static_cast<float>(w)});
+        cur = nxt;
+      }
+    }
+    auto tree = BuildAnswerFromPathUnion(root, keyword_nodes, union_edges);
+    if (!tree) return std::nullopt;
+    ScoreTree(&*tree, prestige_, options_.lambda);
+    tree->generated_at = timer.ElapsedSeconds();
+    tree->explored_at_generation = result.metrics.nodes_explored;
+    tree->touched_at_generation = result.metrics.nodes_touched;
+    return tree;
+  };
+
+  // Emits the combination of a fresh visit with the best other origins.
+  auto emit_for_visit = [&](NodeId v, uint32_t iter_id) {
+    auto vit = visits.find(v);
+    if (vit == visits.end()) return;
+    VisitRecord& rec = vit->second;
+    if (rec.covered < n) return;
+    uint32_t kw = iters[iter_id].keyword;
+    std::vector<uint32_t> ids(n);
+    for (uint32_t j = 0; j < n; ++j) {
+      ids[j] = (j == kw) ? iter_id : rec.best_iter[j];
+    }
+    std::optional<AnswerTree> tree = build_tree(v, ids);
+    if (!tree || !tree->IsMinimalRooted()) return;
+    if (heap.Insert(std::move(*tree))) {
+      result.metrics.answers_generated++;
+      double top = heap.BestPendingScore();
+      if (top > last_top + 1e-15) {
+        last_top = top;
+        last_progress = steps;
+      }
+    }
+  };
+
+  std::vector<double> minima;
+  auto maybe_release = [&](bool force) {
+    uint64_t interval = options_.bound_check_interval;
+    if (options_.bound == BoundMode::kTight) {
+      interval = std::max<uint64_t>(interval, visits.size() / 8);
+    }
+    if (!force && (steps % interval) != 0) return;
+    frontier_minima(&minima);
+    double h = 0;
+    for (double m : minima) h += m;
+    size_t before = result.answers.size();
+    if (options_.bound == BoundMode::kImmediate) {
+      heap.Drain(options_.k, &result.answers);
+    } else if (options_.bound == BoundMode::kLoose) {
+      heap.ReleaseWithEdgeBound(h, options_.k, &result.answers);
+      if (options_.release_patience &&
+          steps - last_progress >= options_.release_patience &&
+          result.answers.size() < options_.k && heap.pending_count() > 0) {
+        // Staleness drip: the champion has been unbeaten for a while;
+        // release a batch of the best pending answers.
+        heap.ReleaseBest(std::max<size_t>(1, options_.k / 8), options_.k,
+                         &result.answers);
+      }
+    } else {
+      // NRA-style (§4.5): an unseen root costs at least h = Σ m_i; a
+      // partially visited root may complete each missing keyword at
+      // m_i.
+      double best_potential = h;
+      for (const auto& [node, rec] : visits) {
+        double pot = 0;
+        for (size_t i = 0; i < n; ++i) {
+          pot += std::min(rec.best_dist[i], minima[i]);
+        }
+        best_potential = std::min(best_potential, pot);
+      }
+      double ub = ScoreUpperBound(best_potential, 1.0, options_.lambda);
+      heap.ReleaseWithScoreBound(ub - 1e-12, options_.k, &result.answers);
+    }
+    if (result.answers.size() != before) {
+      last_progress = steps;
+      last_top = heap.BestPendingScore();
+    }
+    for (size_t i = before; i < result.answers.size(); ++i) {
+      result.metrics.generated_times.push_back(result.answers[i].generated_at);
+      result.metrics.output_times.push_back(timer.ElapsedSeconds());
+    }
+  };
+
+  while (!scheduler.empty() && result.answers.size() < options_.k) {
+    if (options_.max_nodes_explored &&
+        result.metrics.nodes_explored >= options_.max_nodes_explored) {
+      result.metrics.budget_exhausted = true;
+      break;
+    }
+    if (options_.max_answers_generated &&
+        result.metrics.answers_generated >= options_.max_answers_generated) {
+      result.metrics.budget_exhausted = true;
+      break;
+    }
+    auto [sched_dist, iter_id] = scheduler.top();
+    scheduler.pop();
+    Iterator& it = iters[iter_id];
+    double actual = it.PeekDist();
+    if (actual == kInf) continue;  // exhausted iterator
+    if (actual > sched_dist + 1e-12) {
+      scheduler.emplace(actual, iter_id);  // stale entry; re-schedule
+      continue;
+    }
+
+    // Step the iterator: settle its nearest frontier node.
+    auto [d, v] = it.frontier.top();
+    it.frontier.pop();
+    it.settled[v] = true;
+    result.metrics.nodes_explored++;
+    steps++;
+
+    const ReachInfo& info = it.reach.at(v);
+    // Record the visit and emit any completed combinations.
+    auto [vit, created] = visits.try_emplace(v, n);
+    VisitRecord& rec = vit->second;
+    uint32_t kw = it.keyword;
+    bool was_covered = rec.best_dist[kw] != kInf;
+    if (d < rec.best_dist[kw]) {
+      rec.best_dist[kw] = d;
+      rec.best_iter[kw] = iter_id;
+    }
+    if (!was_covered) rec.covered++;
+    emit_for_visit(v, iter_id);
+
+    // Expand backward unless depth-capped.
+    if (info.hops < options_.dmax) {
+      uint32_t next_hops = info.hops + 1;
+      for (const Edge& e : graph_.InEdges(v)) {
+        if (!EdgeAllowed(e)) continue;
+        result.metrics.edges_relaxed++;
+        NodeId u = e.other;
+        if (it.settled.count(u) && it.settled[u]) continue;
+        double nd = d + e.weight;
+        auto rit = it.reach.find(u);
+        if (rit == it.reach.end() || nd < rit->second.dist - 1e-12) {
+          if (rit == it.reach.end()) result.metrics.nodes_touched++;
+          it.reach[u] = ReachInfo{nd, v, next_hops};
+          it.frontier.emplace(nd, u);
+        }
+      }
+    }
+    double nxt = it.PeekDist();
+    if (nxt != kInf) scheduler.emplace(nxt, iter_id);
+
+    maybe_release(false);
+  }
+
+  maybe_release(true);
+  if (result.answers.size() < options_.k) {
+    size_t before = result.answers.size();
+    heap.Drain(options_.k, &result.answers);
+    for (size_t i = before; i < result.answers.size(); ++i) {
+      result.metrics.generated_times.push_back(result.answers[i].generated_at);
+      result.metrics.output_times.push_back(timer.ElapsedSeconds());
+    }
+  }
+  result.metrics.answers_output = result.answers.size();
+  result.metrics.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace banks

@@ -1,0 +1,32 @@
+#ifndef BANKS_SEARCH_BACKWARD_MI_H_
+#define BANKS_SEARCH_BACKWARD_MI_H_
+
+#include "search/searcher.h"
+
+namespace banks {
+
+/// Multiple-iterator Backward expanding search — the original BANKS
+/// algorithm (§3).
+///
+/// One single-source shortest-path iterator is created per keyword
+/// *node* (|S| iterators). Each traverses edges in reverse (in-edges of
+/// the combined graph) from its origin. Scheduling is globally best-
+/// first: the iterator whose next frontier node is nearest its origin
+/// steps next. A node visited by iterators covering every keyword roots
+/// answer trees; per §4.6 MI-Backward can emit multiple trees with the
+/// same root (different origin combinations) — we materialize, for each
+/// new visit, the combination of the new origin with the best known
+/// origin of every other keyword.
+///
+/// This algorithm is the paper's strawman: it degrades when a keyword
+/// matches many nodes (many iterators) or a hub has large fan-in (§4.1).
+class BackwardMISearcher : public Searcher {
+ public:
+  using Searcher::Searcher;
+
+  SearchResult Search(const std::vector<std::vector<NodeId>>& origins) override;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_SEARCH_BACKWARD_MI_H_

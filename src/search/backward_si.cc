@@ -1,0 +1,236 @@
+#include "search/backward_si.h"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "search/output_heap.h"
+#include "search/scoring.h"
+#include "search/tree_builder.h"
+#include "util/timer.h"
+
+namespace banks {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Best known backward path from a node to the nearest origin of one
+/// keyword term.
+struct Reach {
+  double dist = kInf;
+  NodeId next_hop = kInvalidNode;  // toward the matched keyword node
+  NodeId matched = kInvalidNode;   // the origin node reached
+  uint32_t hops = 0;
+  bool settled = false;
+};
+
+}  // namespace
+
+SearchResult BackwardSISearcher::Search(
+    const std::vector<std::vector<NodeId>>& origins) {
+  SearchResult result;
+  Timer timer;
+  const size_t n = origins.size();
+  if (n == 0) return result;
+  for (const auto& s : origins) {
+    if (s.empty()) return result;
+  }
+
+  // reach[i] maps node → best path to the nearest origin of keyword i.
+  std::vector<std::unordered_map<NodeId, Reach>> reach(n);
+  // Shared frontier: (dist, node, keyword), smallest distance first
+  // ("its backward iterator is prioritized only by distance", §4.6).
+  struct QE {
+    double dist;
+    NodeId node;
+    uint32_t keyword;
+    bool operator>(const QE& o) const { return dist > o.dist; }
+  };
+  std::priority_queue<QE, std::vector<QE>, std::greater<>> frontier;
+
+  // Count of keywords with finite distance, per node, for completion
+  // checks without scanning all n maps.
+  std::unordered_map<NodeId, uint32_t> covered;
+
+  OutputHeap heap;
+  uint64_t steps = 0;
+  uint64_t last_progress = 0;  // last step the best pending answer changed
+  double last_top = -1;        // champion score being aged
+
+  for (uint32_t i = 0; i < n; ++i) {
+    for (NodeId o : origins[i]) {
+      Reach& r = reach[i][o];
+      if (r.dist == 0 && r.matched == o) continue;  // duplicate origin
+      if (r.dist != kInf) continue;
+      r = Reach{0.0, kInvalidNode, o, 0, false};
+      covered[o]++;
+      frontier.push(QE{0.0, o, i});
+      result.metrics.nodes_touched++;
+    }
+  }
+
+  auto build_tree = [&](NodeId root) -> std::optional<AnswerTree> {
+    std::vector<NodeId> keyword_nodes(n);
+    std::vector<AnswerEdge> union_edges;
+    for (uint32_t i = 0; i < n; ++i) {
+      NodeId cur = root;
+      auto it = reach[i].find(cur);
+      if (it == reach[i].end() || it->second.dist == kInf) {
+        return std::nullopt;
+      }
+      keyword_nodes[i] = it->second.matched;
+      while (it->second.next_hop != kInvalidNode) {
+        NodeId nxt = it->second.next_hop;
+        auto nit = reach[i].find(nxt);
+        if (nit == reach[i].end()) return std::nullopt;
+        union_edges.push_back(AnswerEdge{
+            cur, nxt,
+            static_cast<float>(it->second.dist - nit->second.dist)});
+        cur = nxt;
+        it = nit;
+      }
+    }
+    auto tree = BuildAnswerFromPathUnion(root, keyword_nodes, union_edges);
+    if (!tree) return std::nullopt;
+    ScoreTree(&*tree, prestige_, options_.lambda);
+    tree->generated_at = timer.ElapsedSeconds();
+    tree->explored_at_generation = result.metrics.nodes_explored;
+    tree->touched_at_generation = result.metrics.nodes_touched;
+    return tree;
+  };
+
+  auto try_emit = [&](NodeId v) {
+    auto cit = covered.find(v);
+    if (cit == covered.end() || cit->second < n) return;
+    std::optional<AnswerTree> tree = build_tree(v);
+    if (!tree || !tree->IsMinimalRooted()) return;
+    if (heap.Insert(std::move(*tree))) {
+      result.metrics.answers_generated++;
+      double top = heap.BestPendingScore();
+      if (top > last_top + 1e-15) {
+        last_top = top;
+        last_progress = steps;
+      }
+    }
+  };
+
+  // Nodes complete at seed time (single-keyword queries; nodes matching
+  // every keyword at once) are already answers.
+  for (const auto& s : origins) {
+    for (NodeId o : s) try_emit(o);
+  }
+
+  auto maybe_release = [&](bool force) {
+    uint64_t interval = options_.bound_check_interval;
+    if (options_.bound == BoundMode::kTight) {
+      interval = std::max<uint64_t>(interval, covered.size() / 8);
+    }
+    if (!force && (steps % interval) != 0) return;
+    // Coarse §4.5 bound: the global frontier minimum lower-bounds every
+    // m_i (the paper's "coarser approximation").
+    double m = frontier.empty() ? kInf : frontier.top().dist;
+    double h = m * static_cast<double>(n);
+    size_t before = result.answers.size();
+    if (options_.bound == BoundMode::kImmediate) {
+      heap.Drain(options_.k, &result.answers);
+    } else if (options_.bound == BoundMode::kLoose) {
+      heap.ReleaseWithEdgeBound(h, options_.k, &result.answers);
+      if (options_.release_patience &&
+          steps - last_progress >= options_.release_patience &&
+          result.answers.size() < options_.k && heap.pending_count() > 0) {
+        // Staleness drip: the champion has been unbeaten for a while;
+        // release a batch of the best pending answers.
+        heap.ReleaseBest(std::max<size_t>(1, options_.k / 8), options_.k,
+                         &result.answers);
+      }
+    } else {
+      // NRA-style (§4.5): partially reached nodes may complete each
+      // missing keyword at cost m.
+      double best_potential = h;
+      for (const auto& [node, count] : covered) {
+        double pot = 0;
+        for (uint32_t i = 0; i < n; ++i) {
+          auto it = reach[i].find(node);
+          double d = (it == reach[i].end()) ? kInf : it->second.dist;
+          pot += std::min(d, m);
+        }
+        best_potential = std::min(best_potential, pot);
+      }
+      double ub = ScoreUpperBound(best_potential, 1.0, options_.lambda);
+      heap.ReleaseWithScoreBound(ub - 1e-12, options_.k, &result.answers);
+    }
+    if (result.answers.size() != before) {
+      last_progress = steps;
+      last_top = heap.BestPendingScore();
+    }
+    for (size_t i = before; i < result.answers.size(); ++i) {
+      result.metrics.generated_times.push_back(result.answers[i].generated_at);
+      result.metrics.output_times.push_back(timer.ElapsedSeconds());
+    }
+  };
+
+  while (!frontier.empty() && result.answers.size() < options_.k) {
+    if (options_.max_nodes_explored &&
+        result.metrics.nodes_explored >= options_.max_nodes_explored) {
+      result.metrics.budget_exhausted = true;
+      break;
+    }
+    if (options_.max_answers_generated &&
+        result.metrics.answers_generated >= options_.max_answers_generated) {
+      result.metrics.budget_exhausted = true;
+      break;
+    }
+    QE top = frontier.top();
+    frontier.pop();
+    Reach& r = reach[top.keyword][top.node];
+    if (r.settled || top.dist > r.dist + 1e-12) continue;  // stale entry
+    r.settled = true;
+    result.metrics.nodes_explored++;
+    steps++;
+
+    if (r.hops < options_.dmax) {
+      const uint32_t next_hops = r.hops + 1;
+      const double base = r.dist;
+      for (const Edge& e : graph_.InEdges(top.node)) {
+        if (!EdgeAllowed(e)) continue;
+        result.metrics.edges_relaxed++;
+        NodeId u = e.other;
+        double nd = base + e.weight;
+        Reach& ru = reach[top.keyword][u];
+        if (ru.settled) continue;
+        if (nd < ru.dist - 1e-12) {
+          bool was_unreached = ru.dist == kInf;
+          ru.dist = nd;
+          ru.next_hop = top.node;
+          ru.matched = r.matched;
+          ru.hops = next_hops;
+          if (was_unreached) {
+            covered[u]++;
+            result.metrics.nodes_touched++;
+          }
+          frontier.push(QE{nd, u, top.keyword});
+          try_emit(u);
+        }
+      }
+    }
+    maybe_release(false);
+  }
+
+  maybe_release(true);
+  if (result.answers.size() < options_.k) {
+    size_t before = result.answers.size();
+    heap.Drain(options_.k, &result.answers);
+    for (size_t i = before; i < result.answers.size(); ++i) {
+      result.metrics.generated_times.push_back(result.answers[i].generated_at);
+      result.metrics.output_times.push_back(timer.ElapsedSeconds());
+    }
+  }
+  result.metrics.answers_output = result.answers.size();
+  result.metrics.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace banks

@@ -1,0 +1,26 @@
+#ifndef BANKS_SEARCH_BACKWARD_SI_H_
+#define BANKS_SEARCH_BACKWARD_SI_H_
+
+#include "search/searcher.h"
+
+namespace banks {
+
+/// Single-iterator Backward expanding search (§4.6).
+///
+/// Identical to Backward search except all shortest-path iterators are
+/// merged into one: per keyword *term* (not per keyword node) a
+/// multi-source Dijkstra runs over the in-edges, storing for each node
+/// only the distance and next hop toward the *nearest* node matching
+/// each term. The frontier is prioritized purely by distance — no
+/// spreading activation, no forward iterator — which isolates the
+/// single-iterator effect from the other Bidirectional ideas.
+class BackwardSISearcher : public Searcher {
+ public:
+  using Searcher::Searcher;
+
+  SearchResult Search(const std::vector<std::vector<NodeId>>& origins) override;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_SEARCH_BACKWARD_SI_H_

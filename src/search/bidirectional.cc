@@ -1,0 +1,548 @@
+#include "search/bidirectional.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "search/output_heap.h"
+#include "search/scoring.h"
+#include "search/tree_builder.h"
+#include "util/indexed_heap.h"
+#include "util/timer.h"
+
+namespace banks {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr uint32_t kNoState = UINT32_MAX;
+
+/// Per-discovered-node bookkeeping (Figure 2 of the paper). Per-keyword
+/// arrays (dist, sp, activation) live in flat pools indexed by
+/// state_index * num_keywords + keyword to keep allocation cheap.
+struct NodeState {
+  NodeId node;
+  uint32_t depth = 0;        // hops from nearest seed when discovered
+  bool popped_in = false;    // member of X_in
+  bool popped_out = false;   // member of X_out
+  bool ever_in_qout = false; // inserted into Q_out at least once
+  bool dirty = false;        // complete and awaiting materialization
+  double last_emitted_eraw = kInf;
+  // Generation-point bookkeeping captured when the root is *marked*
+  // (that is when the answer first exists; materialization is deferred).
+  double marked_time = 0;
+  uint64_t marked_explored = 0;
+  uint64_t marked_touched = 0;
+  // P_u / C_u: explored edges into / out of this node (state idx, weight).
+  std::vector<std::pair<uint32_t, float>> parents;
+  std::vector<std::pair<uint32_t, float>> children;
+};
+
+// Flags per explored directed edge.
+constexpr uint8_t kEdgeRecorded = 1;   // parent/child lists + dist relax done
+constexpr uint8_t kSpreadBackward = 2; // activation spread v→u done
+constexpr uint8_t kSpreadForward = 4;  // activation spread u→v done
+
+}  // namespace
+
+SearchResult BidirectionalSearcher::Search(
+    const std::vector<std::vector<NodeId>>& origins) {
+  SearchResult result;
+  Timer timer;
+  const uint32_t n = static_cast<uint32_t>(origins.size());
+  if (n == 0) return result;
+  for (const auto& s : origins) {
+    if (s.empty()) return result;
+  }
+
+  // ---- State storage ----------------------------------------------------
+  std::vector<NodeState> states;
+  std::vector<double> dist;    // states.size() * n
+  std::vector<uint32_t> sp;    // next state toward keyword, or kNoState
+  std::vector<double> act;     // per-keyword activation
+  std::vector<double> act_sum; // per-state total activation (queue priority)
+  std::unordered_map<NodeId, uint32_t> state_of;
+  std::unordered_map<uint64_t, uint8_t> edge_flags;
+
+  auto get_state = [&](NodeId v, uint32_t depth) -> uint32_t {
+    auto it = state_of.find(v);
+    if (it != state_of.end()) return it->second;
+    uint32_t idx = static_cast<uint32_t>(states.size());
+    state_of.emplace(v, idx);
+    NodeState st;
+    st.node = v;
+    st.depth = depth;
+    states.push_back(std::move(st));
+    dist.insert(dist.end(), n, kInf);
+    sp.insert(sp.end(), n, kNoState);
+    act.insert(act.end(), n, 0.0);
+    act_sum.push_back(0.0);
+    return idx;
+  };
+
+  auto d_at = [&](uint32_t s, uint32_t i) -> double& { return dist[s * n + i]; };
+  auto sp_at = [&](uint32_t s, uint32_t i) -> uint32_t& { return sp[s * n + i]; };
+  auto a_at = [&](uint32_t s, uint32_t i) -> double& { return act[s * n + i]; };
+
+  // ---- Queues and frontier bookkeeping -----------------------------------
+  IndexedHeap<double> qin;   // max-heap on total activation
+  IndexedHeap<double> qout;  // max-heap on total activation
+  // Per-keyword min-dist over frontier states (for the §4.5 bound m_i).
+  std::vector<IndexedHeap<double, std::greater<double>>> min_dist(n);
+  // Min-depth over each queue (fallback bound when no distance is known).
+  IndexedHeap<uint32_t, std::greater<uint32_t>> qin_depth, qout_depth;
+
+  double min_edge_weight = kInf;
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    for (const Edge& e : graph_.OutEdges(v)) {
+      min_edge_weight = std::min(min_edge_weight, static_cast<double>(e.weight));
+    }
+  }
+  if (min_edge_weight == kInf) min_edge_weight = 1.0;
+
+  // The per-keyword frontier-minimum heaps only feed the tight bound;
+  // maintaining them costs a heap update per (relaxation × keyword), so
+  // loose/immediate modes skip them (their releases are driven by the
+  // edge-bound-with-drip machinery, see maybe_release).
+  const bool track_frontier_minima = options_.bound == BoundMode::kTight;
+  auto frontier_dist_update = [&](uint32_t s, uint32_t i) {
+    if (!track_frontier_minima) return;
+    if (qin.Contains(s) || qout.Contains(s)) {
+      if (d_at(s, i) != kInf) min_dist[i].Update(s, d_at(s, i));
+    }
+  };
+  auto frontier_enter = [&](uint32_t s) {
+    if (!track_frontier_minima) return;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (d_at(s, i) != kInf) min_dist[i].Update(s, d_at(s, i));
+    }
+  };
+  auto frontier_leave = [&](uint32_t s) {
+    if (!track_frontier_minima) return;
+    if (qin.Contains(s) || qout.Contains(s)) return;  // still a frontier node
+    for (uint32_t i = 0; i < n; ++i) {
+      if (min_dist[i].Contains(s)) min_dist[i].Erase(s);
+    }
+  };
+
+  OutputHeap heap;
+  uint64_t steps = 0;
+  uint64_t last_progress = 0;  // last step the best pending answer changed
+  double last_top = -1;        // champion score being aged
+
+  // ---- Emission -----------------------------------------------------------
+  auto is_complete = [&](uint32_t s) {
+    for (uint32_t i = 0; i < n; ++i) {
+      if (d_at(s, i) == kInf) return false;
+    }
+    return true;
+  };
+
+  // Materializing a tree (union Dijkstra + scoring + signature) is two
+  // orders of magnitude more expensive than a distance relaxation, and
+  // Attach can improve a completed root thousands of times. emit() only
+  // *marks* the root; materialize_dirty() builds trees in batches at the
+  // release checks, once the batch's distances have settled.
+  std::vector<uint32_t> dirty_roots;
+
+  // Top-k eraw watermark: a root whose raw edge score is far beyond the
+  // k-th best generated answer cannot enter the top-k (prestige can
+  // reorder scores only within a bounded factor; the 2(1+w) slack is
+  // generous for λ = 0.2). Prunes the long tail of late completions.
+  std::priority_queue<double> best_eraws;  // max-heap of the k smallest
+  auto beyond_watermark = [&](double eraw) {
+    return best_eraws.size() >= options_.k &&
+           eraw > 2.0 * (1.0 + best_eraws.top());
+  };
+
+  auto emit = [&](uint32_t s) {
+    if (!is_complete(s)) return;
+    double eraw = 0;
+    for (uint32_t i = 0; i < n; ++i) eraw += d_at(s, i);
+    NodeState& st = states[s];
+    // Re-materialize only on a >=2% improvement: micro-refinements do
+    // not change rank but tree construction dominates per-answer cost.
+    if (eraw >= st.last_emitted_eraw * 0.98 - 1e-12) return;
+    if (beyond_watermark(eraw)) return;
+    if (!st.dirty) {
+      st.dirty = true;
+      st.marked_time = timer.ElapsedSeconds();
+      st.marked_explored = result.metrics.nodes_explored;
+      st.marked_touched = result.metrics.nodes_touched;
+      dirty_roots.push_back(s);
+    }
+  };
+
+  auto materialize = [&](uint32_t s) {
+    double eraw = 0;
+    for (uint32_t i = 0; i < n; ++i) eraw += d_at(s, i);
+    NodeState& st = states[s];
+    if (eraw >= st.last_emitted_eraw * 0.98 - 1e-12) return;
+    if (beyond_watermark(eraw)) return;
+    st.last_emitted_eraw = eraw;
+
+    std::vector<NodeId> keyword_nodes(n);
+    std::vector<AnswerEdge> union_edges;
+    for (uint32_t i = 0; i < n; ++i) {
+      uint32_t cur = s;
+      size_t guard = 0;
+      while (sp_at(cur, i) != kNoState) {
+        uint32_t nxt = sp_at(cur, i);
+        union_edges.push_back(AnswerEdge{
+            states[cur].node, states[nxt].node,
+            static_cast<float>(d_at(cur, i) - d_at(nxt, i))});
+        cur = nxt;
+        if (++guard > states.size()) return;  // stale cycle; skip emission
+      }
+      if (d_at(cur, i) != 0) return;  // broken chain; skip
+      keyword_nodes[i] = states[cur].node;
+    }
+    auto tree =
+        BuildAnswerFromPathUnion(states[s].node, keyword_nodes, union_edges);
+    if (!tree || !tree->IsMinimalRooted()) return;
+    ScoreTree(&*tree, prestige_, options_.lambda);
+    tree->generated_at = st.marked_time;
+    tree->explored_at_generation = st.marked_explored;
+    tree->touched_at_generation = st.marked_touched;
+    if (heap.Insert(std::move(*tree))) {
+      result.metrics.answers_generated++;
+      best_eraws.push(eraw);
+      if (best_eraws.size() > options_.k) best_eraws.pop();
+      double top = heap.BestPendingScore();
+      if (top > last_top + 1e-15) {
+        last_top = top;
+        last_progress = steps;
+      }
+    }
+  };
+
+  auto materialize_dirty = [&] {
+    for (uint32_t s : dirty_roots) {
+      states[s].dirty = false;
+      if (is_complete(s)) materialize(s);
+    }
+    dirty_roots.clear();
+  };
+
+  // ---- Attach: best-first propagation of distance improvements (§4.2.1) --
+  auto attach = [&](uint32_t s0, uint32_t i) {
+    using QE = std::pair<double, uint32_t>;
+    std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+    pq.emplace(d_at(s0, i), s0);
+    while (!pq.empty()) {
+      auto [d0, u] = pq.top();
+      pq.pop();
+      if (d0 > d_at(u, i) + 1e-12) continue;  // stale
+      for (auto [x, w] : states[u].parents) {
+        result.metrics.propagation_steps++;
+        double nd = d0 + w;
+        if (nd < d_at(x, i) - 1e-12) {
+          d_at(x, i) = nd;
+          sp_at(x, i) = u;
+          frontier_dist_update(x, i);
+          emit(x);
+          pq.emplace(nd, x);
+        }
+      }
+    }
+  };
+
+  // ---- Activate: best-first propagation of activation increases (§4.3) ---
+  auto queue_priority_update = [&](uint32_t s) {
+    if (qin.Contains(s)) qin.Update(s, act_sum[s]);
+    if (qout.Contains(s)) qout.Update(s, act_sum[s]);
+  };
+
+  auto raise_activation = [&](uint32_t s, uint32_t i, double value) -> bool {
+    if (options_.combine == ActivationCombine::kSum) {
+      act_sum[s] += value;
+      a_at(s, i) += value;
+      queue_priority_update(s);
+      return false;  // additive mode does not re-propagate
+    }
+    // Sub-0.1% increases are absorbed without re-propagation: activation
+    // is a *priority* signal, and micro-cascades through the explored
+    // region dominate running time while never changing pop order.
+    if (value <= a_at(s, i) * 1.001 + 1e-18) return false;
+    act_sum[s] += value - a_at(s, i);
+    a_at(s, i) = value;
+    queue_priority_update(s);
+    return true;
+  };
+
+  auto activate = [&](uint32_t s0, uint32_t i) {
+    if (options_.combine == ActivationCombine::kSum) return;
+    using QE = std::pair<double, uint32_t>;
+    std::priority_queue<QE> pq;  // max-heap: strongest activation first
+    pq.emplace(a_at(s0, i), s0);
+    while (!pq.empty()) {
+      auto [a0, v] = pq.top();
+      pq.pop();
+      if (a0 < a_at(v, i) * (1 - 1e-12)) continue;  // stale
+      const NodeState& sv = states[v];
+      double in_norm = graph_.InInverseWeightSum(sv.node);
+      if (in_norm > 0) {
+        for (auto [x, w] : sv.parents) {
+          result.metrics.propagation_steps++;
+          double recv = options_.mu * a0 * (1.0 / w) / in_norm;
+          if (raise_activation(x, i, recv)) pq.emplace(recv, x);
+        }
+      }
+      double out_norm = graph_.OutInverseWeightSum(sv.node);
+      if (out_norm > 0) {
+        for (auto [y, w] : sv.children) {
+          result.metrics.propagation_steps++;
+          double recv = options_.mu * a0 * (1.0 / w) / out_norm;
+          if (raise_activation(y, i, recv)) pq.emplace(recv, y);
+        }
+      }
+    }
+  };
+
+  // ---- ExploreEdge (Figure 3): edge (u,v), i.e. u→v in the graph ----------
+  // `incoming_context` is true when called while expanding v from Q_in
+  // (activation then spreads v→u); false when expanding u from Q_out
+  // (activation spreads u→v).
+  auto explore_edge = [&](uint32_t su, uint32_t sv, float w,
+                          bool incoming_context) {
+    result.metrics.edges_relaxed++;
+    uint64_t key = (static_cast<uint64_t>(su) << 32) | sv;
+    uint8_t& flags = edge_flags[key];
+
+    if (!(flags & kEdgeRecorded)) {
+      flags |= kEdgeRecorded;
+      states[sv].parents.emplace_back(su, w);
+      states[su].children.emplace_back(sv, w);
+      // Relax u's per-keyword distances through v ("if u has a better
+      // path to t_i via v").
+      for (uint32_t i = 0; i < n; ++i) {
+        if (d_at(sv, i) == kInf) continue;
+        double nd = d_at(sv, i) + w;
+        if (nd < d_at(su, i) - 1e-12) {
+          d_at(su, i) = nd;
+          sp_at(su, i) = sv;
+          frontier_dist_update(su, i);
+          emit(su);
+          attach(su, i);
+        }
+      }
+    }
+
+    if (incoming_context && !(flags & kSpreadBackward)) {
+      flags |= kSpreadBackward;
+      double norm = graph_.InInverseWeightSum(states[sv].node);
+      if (norm > 0) {
+        for (uint32_t i = 0; i < n; ++i) {
+          if (a_at(sv, i) <= 0) continue;
+          double recv = options_.mu * a_at(sv, i) * (1.0 / w) / norm;
+          if (raise_activation(su, i, recv)) activate(su, i);
+        }
+      }
+    }
+    if (!incoming_context && !(flags & kSpreadForward)) {
+      flags |= kSpreadForward;
+      double norm = graph_.OutInverseWeightSum(states[su].node);
+      if (norm > 0) {
+        for (uint32_t i = 0; i < n; ++i) {
+          if (a_at(su, i) <= 0) continue;
+          double recv = options_.mu * a_at(su, i) * (1.0 / w) / norm;
+          if (raise_activation(sv, i, recv)) activate(sv, i);
+        }
+      }
+    }
+  };
+
+  // ---- Seeding (Eq. 1): a_{u,i} = prestige(u) / |S_i| ---------------------
+  for (uint32_t i = 0; i < n; ++i) {
+    std::vector<NodeId> uniq = origins[i];
+    std::sort(uniq.begin(), uniq.end());
+    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+    const double denom = static_cast<double>(uniq.size());
+    for (NodeId o : uniq) {
+      uint32_t s = get_state(o, 0);
+      d_at(s, i) = 0;
+      double prestige = prestige_.empty() ? 1.0 : prestige_[o];
+      a_at(s, i) = std::max(a_at(s, i), prestige / denom);
+    }
+  }
+  // Recompute totals exactly (seed arithmetic above avoids double counts).
+  for (uint32_t s = 0; s < states.size(); ++s) {
+    double total = 0;
+    for (uint32_t i = 0; i < n; ++i) total += a_at(s, i);
+    act_sum[s] = total;
+    qin.Push(s, act_sum[s]);
+    qin_depth.Push(s, states[s].depth);
+    result.metrics.nodes_touched++;
+    frontier_enter(s);
+  }
+
+  // ---- §4.5 release bound -------------------------------------------------
+  auto keyword_floor = [&](uint32_t i) -> double {
+    double m = kInf;
+    if (!min_dist[i].empty()) m = min_dist[i].TopPriority();
+    double depth_floor = kInf;
+    if (!qin_depth.empty()) {
+      depth_floor = (qin_depth.TopPriority() + 1) * min_edge_weight;
+    } else if (!qout_depth.empty()) {
+      depth_floor = (qout_depth.TopPriority() + 1) * min_edge_weight;
+    }
+    return std::min(m, depth_floor);
+  };
+
+  auto maybe_release = [&](bool force) {
+    // The tight bound's NRA scan is O(states); amortize it. Loose and
+    // immediate releases are cheap and run at the base interval.
+    uint64_t interval = options_.bound_check_interval;
+    if (options_.bound == BoundMode::kTight) {
+      interval = std::max<uint64_t>(interval, states.size() / 8);
+    }
+    if (!force && (steps % interval) != 0) return;
+    materialize_dirty();
+    std::vector<double> m(n);
+    double h = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      m[i] = keyword_floor(i);
+      h += m[i];
+    }
+    size_t before = result.answers.size();
+    if (options_.bound == BoundMode::kImmediate) {
+      heap.Drain(options_.k, &result.answers);
+    } else if (options_.bound == BoundMode::kLoose) {
+      heap.ReleaseWithEdgeBound(h, options_.k, &result.answers);
+      if (options_.release_patience &&
+          steps - last_progress >= options_.release_patience &&
+          result.answers.size() < options_.k && heap.pending_count() > 0) {
+        // Staleness drip: nothing generated or released for a while —
+        // assume the best pending answer will not be beaten.
+        // Staleness drip: the champion has been unbeaten for a while;
+        // release a batch of the best pending answers.
+        heap.ReleaseBest(std::max<size_t>(1, options_.k / 8), options_.k,
+                         &result.answers);
+      }
+    } else {
+      // NRA-style: unseen roots are bounded by h; every partially seen
+      // node may complete with m_i for its missing keywords.
+      double best_potential_eraw = h;
+      double ub = ScoreUpperBound(h, 1.0, options_.lambda);
+      for (uint32_t s = 0; s < states.size(); ++s) {
+        double pot = 0;
+        for (uint32_t i = 0; i < n; ++i) {
+          pot += std::min(d_at(s, i), m[i]);
+        }
+        best_potential_eraw = std::min(best_potential_eraw, pot);
+      }
+      ub = std::max(
+          ub, ScoreUpperBound(best_potential_eraw, 1.0, options_.lambda));
+      heap.ReleaseWithScoreBound(ub - 1e-12, options_.k, &result.answers);
+    }
+    if (result.answers.size() != before) {
+      last_progress = steps;
+      last_top = heap.BestPendingScore();
+    }
+    for (size_t i = before; i < result.answers.size(); ++i) {
+      result.metrics.generated_times.push_back(result.answers[i].generated_at);
+      result.metrics.output_times.push_back(timer.ElapsedSeconds());
+    }
+  };
+
+  // ---- Main loop (Figure 3 lines 4–23) ------------------------------------
+  while ((!qin.empty() || !qout.empty()) &&
+         result.answers.size() < options_.k) {
+    if (options_.max_nodes_explored &&
+        result.metrics.nodes_explored >= options_.max_nodes_explored) {
+      result.metrics.budget_exhausted = true;
+      break;
+    }
+    if (options_.max_answers_generated &&
+        result.metrics.answers_generated >= options_.max_answers_generated) {
+      result.metrics.budget_exhausted = true;
+      break;
+    }
+
+    bool take_in;
+    if (qin.empty()) {
+      take_in = false;
+    } else if (qout.empty()) {
+      take_in = true;
+    } else {
+      take_in = qin.TopPriority() >= qout.TopPriority();  // tie → Q_in
+    }
+
+    // NOTE: get_state() may reallocate `states`; never hold a NodeState
+    // reference across it — copy what we need into locals.
+    if (take_in) {
+      uint32_t v = qin.Pop();
+      if (qin_depth.Contains(v)) qin_depth.Erase(v);
+      frontier_leave(v);
+      states[v].popped_in = true;
+      const NodeId v_node = states[v].node;
+      const uint32_t v_depth = states[v].depth;
+      result.metrics.nodes_explored++;
+      steps++;
+      emit(v);
+      if (v_depth < options_.dmax) {
+        for (const Edge& e : graph_.InEdges(v_node)) {
+          if (!EdgeAllowed(e)) continue;
+          uint32_t u = get_state(e.other, v_depth + 1);
+          explore_edge(u, v, e.weight, /*incoming_context=*/true);
+          if (!states[u].popped_in && !qin.Contains(u)) {
+            qin.Push(u, act_sum[u]);
+            qin_depth.Push(u, states[u].depth);
+            result.metrics.nodes_touched++;
+            frontier_enter(u);
+          }
+        }
+      }
+      if (!states[v].ever_in_qout) {
+        states[v].ever_in_qout = true;
+        qout.Push(v, act_sum[v]);
+        qout_depth.Push(v, v_depth);
+        result.metrics.nodes_touched++;
+        frontier_enter(v);
+      }
+    } else {
+      uint32_t u = qout.Pop();
+      if (qout_depth.Contains(u)) qout_depth.Erase(u);
+      frontier_leave(u);
+      states[u].popped_out = true;
+      const NodeId u_node = states[u].node;
+      const uint32_t u_depth = states[u].depth;
+      result.metrics.nodes_explored++;
+      steps++;
+      emit(u);
+      if (u_depth < options_.dmax) {
+        for (const Edge& e : graph_.OutEdges(u_node)) {
+          if (!EdgeAllowed(e)) continue;
+          uint32_t v = get_state(e.other, u_depth + 1);
+          explore_edge(u, v, e.weight, /*incoming_context=*/false);
+          if (!states[v].ever_in_qout) {
+            states[v].ever_in_qout = true;
+            qout.Push(v, act_sum[v]);
+            qout_depth.Push(v, states[v].depth);
+            result.metrics.nodes_touched++;
+            frontier_enter(v);
+          }
+        }
+      }
+    }
+    maybe_release(false);
+  }
+
+  maybe_release(true);
+  if (result.answers.size() < options_.k) {
+    size_t before = result.answers.size();
+    heap.Drain(options_.k, &result.answers);
+    for (size_t i = before; i < result.answers.size(); ++i) {
+      result.metrics.generated_times.push_back(result.answers[i].generated_at);
+      result.metrics.output_times.push_back(timer.ElapsedSeconds());
+    }
+  }
+  result.metrics.answers_output = result.answers.size();
+  result.metrics.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace banks

@@ -1,0 +1,89 @@
+#include "search/output_heap.h"
+
+#include <algorithm>
+
+namespace banks {
+
+bool OutputHeap::Insert(AnswerTree tree) {
+  uint64_t sig = tree.Signature();
+  auto out_it = output_scores_.find(sig);
+  if (out_it != output_scores_.end()) {
+    // Already released; late lower-scored rotations are dropped. A late
+    // *better* rotation would ideally have waited — the bound machinery
+    // exists to make this rare (§5.7 observes near-perfect ordering).
+    return false;
+  }
+  auto it = pending_.find(sig);
+  if (it == pending_.end()) {
+    if (cache_valid_) cached_best_ = std::max(cached_best_, tree.score);
+    pending_.emplace(sig, std::move(tree));
+    return true;
+  }
+  if (it->second.score >= tree.score) return false;
+  if (cache_valid_) cached_best_ = std::max(cached_best_, tree.score);
+  it->second = std::move(tree);
+  return true;
+}
+
+double OutputHeap::BestPendingScore() const {
+  if (!cache_valid_) {
+    cached_best_ = -1;
+    for (const auto& [sig, tree] : pending_) {
+      cached_best_ = std::max(cached_best_, tree.score);
+    }
+    cache_valid_ = true;
+  }
+  return pending_.empty() ? -1 : cached_best_;
+}
+
+void OutputHeap::ReleaseIf(size_t limit, std::vector<AnswerTree>* out,
+                           bool (*releasable)(const AnswerTree&, double),
+                           double arg) {
+  std::vector<uint64_t> sigs;
+  for (const auto& [sig, tree] : pending_) {
+    if (releasable(tree, arg)) sigs.push_back(sig);
+  }
+  std::sort(sigs.begin(), sigs.end(), [&](uint64_t a, uint64_t b) {
+    const AnswerTree& ta = pending_.at(a);
+    const AnswerTree& tb = pending_.at(b);
+    if (ta.score != tb.score) return ta.score > tb.score;
+    return a < b;  // deterministic tie-break
+  });
+  for (uint64_t sig : sigs) {
+    if (out->size() >= limit) break;
+    auto it = pending_.find(sig);
+    output_scores_[sig] = it->second.score;
+    out->push_back(std::move(it->second));
+    pending_.erase(it);
+    cache_valid_ = false;
+  }
+}
+
+void OutputHeap::ReleaseWithScoreBound(double bound, size_t limit,
+                                       std::vector<AnswerTree>* out) {
+  ReleaseIf(
+      limit, out,
+      [](const AnswerTree& t, double b) { return t.score >= b; }, bound);
+}
+
+void OutputHeap::ReleaseWithEdgeBound(double max_eraw, size_t limit,
+                                      std::vector<AnswerTree>* out) {
+  ReleaseIf(
+      limit, out,
+      [](const AnswerTree& t, double b) { return t.edge_score_raw <= b; },
+      max_eraw);
+}
+
+void OutputHeap::ReleaseBest(size_t count, size_t limit,
+                             std::vector<AnswerTree>* out) {
+  size_t capped = std::min(limit, out->size() + count);
+  ReleaseIf(
+      capped, out, [](const AnswerTree&, double) { return true; }, 0);
+}
+
+void OutputHeap::Drain(size_t limit, std::vector<AnswerTree>* out) {
+  ReleaseIf(
+      limit, out, [](const AnswerTree&, double) { return true; }, 0);
+}
+
+}  // namespace banks

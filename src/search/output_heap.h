@@ -1,0 +1,62 @@
+#ifndef BANKS_SEARCH_OUTPUT_HEAP_H_
+#define BANKS_SEARCH_OUTPUT_HEAP_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "search/answer.h"
+
+namespace banks {
+
+/// Buffer that reorders generated answers before output (§4.2.3, §4.5).
+///
+/// Answers are not generated in relevance order; the OutputHeap holds
+/// them until the search determines no better answer can appear. It also
+/// performs duplicate suppression: "it is possible for the same tree to
+/// appear in more than one result, but with different roots; such
+/// duplicates with lower score are discarded when they are inserted".
+class OutputHeap {
+ public:
+  /// Inserts a scored tree. Returns true if it is new or improves on the
+  /// buffered/already-output copy with the same rotation signature.
+  bool Insert(AnswerTree tree);
+
+  /// Moves every pending answer with score >= bound into *out (best
+  /// first), stopping after *out reaches `limit` answers in total.
+  void ReleaseWithScoreBound(double bound, size_t limit,
+                             std::vector<AnswerTree>* out);
+
+  /// Loose-heuristic release (§4.5): moves pending answers whose *raw
+  /// edge score* is <= max_eraw, sorted by overall score among them.
+  void ReleaseWithEdgeBound(double max_eraw, size_t limit,
+                            std::vector<AnswerTree>* out);
+
+  /// Releases the `count` best pending answers unconditionally (the
+  /// staleness drip of SearchOptions::release_patience).
+  void ReleaseBest(size_t count, size_t limit, std::vector<AnswerTree>* out);
+
+  /// Releases everything pending, best first (search termination).
+  void Drain(size_t limit, std::vector<AnswerTree>* out);
+
+  size_t pending_count() const { return pending_.size(); }
+
+  /// Best pending score, or -1 if empty. Amortized O(1): inserts keep a
+  /// running max; releases invalidate it and the next call rescans.
+  double BestPendingScore() const;
+
+ private:
+  void ReleaseIf(size_t limit, std::vector<AnswerTree>* out,
+                 bool (*releasable)(const AnswerTree&, double), double arg);
+
+  // signature → pending tree (best copy seen so far).
+  std::unordered_map<uint64_t, AnswerTree> pending_;
+  // signature → score of the copy already output (release is final).
+  std::unordered_map<uint64_t, double> output_scores_;
+  mutable double cached_best_ = -1;
+  mutable bool cache_valid_ = true;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_SEARCH_OUTPUT_HEAP_H_

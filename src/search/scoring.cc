@@ -1,0 +1,38 @@
+#include "search/scoring.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace banks {
+
+double EdgeScoreFromRaw(double eraw) { return 1.0 / (1.0 + eraw); }
+
+double TreePrestige(const AnswerTree& tree,
+                    const std::vector<double>& prestige) {
+  double sum = prestige.empty() ? 1.0 : prestige[tree.root];
+  for (NodeId k : tree.keyword_nodes) {
+    sum += prestige.empty() ? 1.0 : prestige[k];
+  }
+  return sum / static_cast<double>(tree.keyword_nodes.size() + 1);
+}
+
+double CombineScore(double escore, double prestige_n, double lambda) {
+  return escore * std::pow(prestige_n, lambda);
+}
+
+void ScoreTree(AnswerTree* tree, const std::vector<double>& prestige,
+               double lambda) {
+  double eraw = 0;
+  for (double d : tree->keyword_distances) eraw += d;
+  tree->edge_score_raw = eraw;
+  tree->node_prestige = TreePrestige(*tree, prestige);
+  tree->score =
+      CombineScore(EdgeScoreFromRaw(eraw), tree->node_prestige, lambda);
+}
+
+double ScoreUpperBound(double min_eraw, double max_prestige, double lambda) {
+  double escore = EdgeScoreFromRaw(std::max(0.0, min_eraw));
+  return CombineScore(escore, std::min(1.0, max_prestige), lambda);
+}
+
+}  // namespace banks

@@ -1,0 +1,44 @@
+#ifndef BANKS_SEARCH_SCORING_H_
+#define BANKS_SEARCH_SCORING_H_
+
+#include <vector>
+
+#include "search/answer.h"
+
+namespace banks {
+
+/// Scoring per §2.3 (see DESIGN.md §2 for the normalization choices).
+///
+///   Eraw   = Σ_i s(T, t_i)          (path-length sum; lower is better)
+///   Escore = 1 / (1 + Eraw)          ∈ (0, 1]
+///   N      = mean prestige of {root} ∪ {keyword leaves}   ∈ (0, 1]
+///   score  = Escore · N^λ            (higher is better)
+///
+/// The mean (rather than sum) for N divides the paper's sum by the
+/// constant n+1 for a query with n keywords, preserving the ranking
+/// within a query while keeping N on the same (0,1] scale as Escore.
+
+/// Normalized edge score from a raw path-length sum.
+double EdgeScoreFromRaw(double eraw);
+
+/// Tree prestige N from per-node prestige values.
+double TreePrestige(const AnswerTree& tree,
+                    const std::vector<double>& prestige);
+
+/// Overall score E·N^λ from components.
+double CombineScore(double escore, double prestige_n, double lambda);
+
+/// Fills tree->edge_score_raw (from keyword_distances), node_prestige
+/// and score.
+void ScoreTree(AnswerTree* tree, const std::vector<double>& prestige,
+               double lambda);
+
+/// Upper bound on the overall score of any answer whose raw edge score
+/// is at least `min_eraw` (prestige bounded by max_prestige ≤ 1).
+/// Monotone: larger min_eraw ⇒ smaller bound. Used by §4.5 release
+/// decisions.
+double ScoreUpperBound(double min_eraw, double max_prestige, double lambda);
+
+}  // namespace banks
+
+#endif  // BANKS_SEARCH_SCORING_H_

@@ -1,0 +1,36 @@
+#include "search/searcher.h"
+
+#include "search/backward_mi.h"
+#include "search/backward_si.h"
+#include "search/bidirectional.h"
+
+namespace banks {
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kBackwardMI:
+      return "MI-Backward";
+    case Algorithm::kBackwardSI:
+      return "SI-Backward";
+    case Algorithm::kBidirectional:
+      return "Bidirectional";
+  }
+  return "Unknown";
+}
+
+std::unique_ptr<Searcher> CreateSearcher(Algorithm algorithm,
+                                         const Graph& graph,
+                                         const std::vector<double>& prestige,
+                                         const SearchOptions& options) {
+  switch (algorithm) {
+    case Algorithm::kBackwardMI:
+      return std::make_unique<BackwardMISearcher>(graph, prestige, options);
+    case Algorithm::kBackwardSI:
+      return std::make_unique<BackwardSISearcher>(graph, prestige, options);
+    case Algorithm::kBidirectional:
+      return std::make_unique<BidirectionalSearcher>(graph, prestige, options);
+  }
+  return nullptr;
+}
+
+}  // namespace banks

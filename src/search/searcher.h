@@ -1,0 +1,77 @@
+#ifndef BANKS_SEARCH_SEARCHER_H_
+#define BANKS_SEARCH_SEARCHER_H_
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "search/answer.h"
+#include "search/metrics.h"
+#include "search/options.h"
+
+namespace banks {
+
+/// Result of one keyword search: answers in output order plus the
+/// paper's performance counters.
+struct SearchResult {
+  std::vector<AnswerTree> answers;
+  SearchMetrics metrics;
+};
+
+/// The three algorithms compared in the paper (§3, §4.6, §4).
+enum class Algorithm {
+  kBackwardMI,     // multiple-iterator Backward expanding search [3]
+  kBackwardSI,     // single-iterator ablation (§4.6)
+  kBidirectional,  // this paper's contribution (§4)
+};
+
+const char* AlgorithmName(Algorithm algorithm);
+
+/// Common interface: a searcher is bound to a graph + prestige vector and
+/// answers keyword queries given as resolved origin sets S_1..S_n
+/// (duplicates within an S_i are ignored). An empty S_i means the keyword
+/// matches nothing — the result is empty, per AND semantics.
+class Searcher {
+ public:
+  Searcher(const Graph& graph, const std::vector<double>& prestige,
+           const SearchOptions& options)
+      : graph_(graph), prestige_(prestige), options_(options) {}
+  virtual ~Searcher() = default;
+
+  Searcher(const Searcher&) = delete;
+  Searcher& operator=(const Searcher&) = delete;
+
+  /// Runs the search to top-k completion (or exhaustion/budget).
+  virtual SearchResult Search(
+      const std::vector<std::vector<NodeId>>& origins) = 0;
+
+  const SearchOptions& options() const { return options_; }
+
+ protected:
+  /// Edge admission under the configured EdgeFilter.
+  bool EdgeAllowed(const Edge& e) const {
+    switch (options_.edge_filter) {
+      case EdgeFilter::kAll:
+        return true;
+      case EdgeFilter::kForwardOnly:
+        return e.dir == EdgeDir::kForward;
+      case EdgeFilter::kBackwardOnly:
+        return e.dir == EdgeDir::kBackward;
+    }
+    return true;
+  }
+
+  const Graph& graph_;
+  const std::vector<double>& prestige_;
+  SearchOptions options_;
+};
+
+/// Factory over the Algorithm enum.
+std::unique_ptr<Searcher> CreateSearcher(Algorithm algorithm,
+                                         const Graph& graph,
+                                         const std::vector<double>& prestige,
+                                         const SearchOptions& options);
+
+}  // namespace banks
+
+#endif  // BANKS_SEARCH_SEARCHER_H_

@@ -1,0 +1,86 @@
+#include "search/tree_builder.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace banks {
+
+std::optional<AnswerTree> BuildAnswerFromPathUnion(
+    NodeId root, const std::vector<NodeId>& keyword_nodes,
+    const std::vector<AnswerEdge>& union_edges) {
+  // Deduplicated adjacency over the union subgraph (keep min weight per
+  // directed pair).
+  std::unordered_map<NodeId, std::vector<std::pair<NodeId, float>>> adj;
+  {
+    std::unordered_map<uint64_t, float> best;
+    for (const AnswerEdge& e : union_edges) {
+      uint64_t key = (static_cast<uint64_t>(e.parent) << 32) | e.child;
+      auto [it, inserted] = best.emplace(key, e.weight);
+      if (!inserted && e.weight < it->second) it->second = e.weight;
+    }
+    for (const auto& [key, w] : best) {
+      adj[static_cast<NodeId>(key >> 32)].emplace_back(
+          static_cast<NodeId>(key & 0xFFFFFFFF), w);
+    }
+  }
+
+  // Dijkstra from the root over the union subgraph.
+  std::unordered_map<NodeId, double> dist;
+  std::unordered_map<NodeId, NodeId> parent;
+  using QE = std::pair<double, NodeId>;
+  std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+  dist[root] = 0;
+  pq.emplace(0, root);
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    auto dit = dist.find(u);
+    if (dit == dist.end() || d > dit->second + 1e-12) continue;
+    auto ait = adj.find(u);
+    if (ait == adj.end()) continue;
+    for (auto [v, w] : ait->second) {
+      double nd = d + w;
+      auto vit = dist.find(v);
+      if (vit == dist.end() || nd < vit->second - 1e-12) {
+        dist[v] = nd;
+        parent[v] = u;
+        pq.emplace(nd, v);
+      }
+    }
+  }
+
+  AnswerTree tree;
+  tree.root = root;
+  tree.keyword_nodes = keyword_nodes;
+  tree.keyword_distances.resize(keyword_nodes.size());
+  std::vector<AnswerEdge> edges;
+  for (size_t i = 0; i < keyword_nodes.size(); ++i) {
+    NodeId target = keyword_nodes[i];
+    auto dit = dist.find(target);
+    if (dit == dist.end()) return std::nullopt;
+    tree.keyword_distances[i] = dit->second;
+    NodeId cur = target;
+    while (cur != root) {
+      NodeId p = parent.at(cur);
+      float w = static_cast<float>(dist.at(cur) - dist.at(p));
+      edges.push_back(AnswerEdge{p, cur, w});
+      cur = p;
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const AnswerEdge& a, const AnswerEdge& b) {
+              return std::tie(a.parent, a.child) < std::tie(b.parent, b.child);
+            });
+  edges.erase(std::unique(edges.begin(), edges.end(),
+                          [](const AnswerEdge& a, const AnswerEdge& b) {
+                            return a.parent == b.parent && a.child == b.child;
+                          }),
+              edges.end());
+  tree.edges = std::move(edges);
+  return tree;
+}
+
+}  // namespace banks

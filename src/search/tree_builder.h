@@ -1,0 +1,30 @@
+#ifndef BANKS_SEARCH_TREE_BUILDER_H_
+#define BANKS_SEARCH_TREE_BUILDER_H_
+
+#include <optional>
+#include <vector>
+
+#include "search/answer.h"
+
+namespace banks {
+
+/// Assembles a minimal rooted answer tree from the union of per-keyword
+/// best paths discovered by a search.
+///
+/// The union of shortest paths for different keywords is in general a
+/// DAG, not a tree (two paths leaving the root can re-merge at a
+/// "diamond"). This helper runs a Dijkstra over the tiny union subgraph
+/// from `root`, takes the shortest-path tree, and keeps only the edges
+/// on root→keyword-node paths — producing a genuine tree whose
+/// per-keyword distances are at most the distances the search claimed.
+///
+/// Returns nullopt if some keyword node is unreachable from the root
+/// within the union (callers treat this as "emit nothing"; it indicates
+/// a stale path during propagation, which the algorithms tolerate).
+std::optional<AnswerTree> BuildAnswerFromPathUnion(
+    NodeId root, const std::vector<NodeId>& keyword_nodes,
+    const std::vector<AnswerEdge>& union_edges);
+
+}  // namespace banks
+
+#endif  // BANKS_SEARCH_TREE_BUILDER_H_

@@ -1,0 +1,72 @@
+#include "text/inverted_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace banks {
+
+InvertedIndex::InvertedIndex(TokenizerOptions tokenizer_options)
+    : tokenizer_(tokenizer_options) {}
+
+void InvertedIndex::AddDocument(NodeId node, std::string_view text) {
+  assert(!frozen_);
+  for (const std::string& token : tokenizer_.Tokenize(text)) {
+    auto [it, inserted] =
+        term_ids_.emplace(token, static_cast<uint32_t>(postings_.size()));
+    if (inserted) postings_.emplace_back();
+    std::vector<NodeId>& list = postings_[it->second];
+    // Cheap adjacent-duplicate guard: repeated tokens in one document
+    // arrive consecutively.
+    if (list.empty() || list.back() != node) list.push_back(node);
+  }
+}
+
+void InvertedIndex::RegisterRelation(std::string_view relation_name,
+                                     NodeId first, size_t count) {
+  assert(!frozen_);
+  relations_[Tokenizer::FoldKeyword(relation_name)] =
+      RelationRange{first, count};
+}
+
+void InvertedIndex::Freeze() {
+  for (auto& list : postings_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    list.shrink_to_fit();
+  }
+  frozen_ = true;
+}
+
+std::span<const NodeId> InvertedIndex::Postings(std::string_view token) const {
+  assert(frozen_);
+  auto it = term_ids_.find(Tokenizer::FoldKeyword(token));
+  if (it == term_ids_.end()) return {};
+  return postings_[it->second];
+}
+
+size_t InvertedIndex::MatchCount(std::string_view keyword) const {
+  return Match(keyword).size();
+}
+
+std::vector<NodeId> InvertedIndex::Match(std::string_view keyword) const {
+  assert(frozen_);
+  std::string folded = Tokenizer::FoldKeyword(keyword);
+  std::vector<NodeId> out;
+  auto it = term_ids_.find(folded);
+  if (it != term_ids_.end()) {
+    auto& list = postings_[it->second];
+    out.assign(list.begin(), list.end());
+  }
+  auto rel = relations_.find(folded);
+  if (rel != relations_.end()) {
+    out.reserve(out.size() + rel->second.count);
+    for (size_t i = 0; i < rel->second.count; ++i) {
+      out.push_back(rel->second.first + static_cast<NodeId>(i));
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+  return out;
+}
+
+}  // namespace banks

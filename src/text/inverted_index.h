@@ -1,0 +1,73 @@
+#ifndef BANKS_TEXT_INVERTED_INDEX_H_
+#define BANKS_TEXT_INVERTED_INDEX_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+#include "text/tokenizer.h"
+
+namespace banks {
+
+/// Keyword → node-id index over the data graph (§3: "a single index is
+/// built on values from selected string-valued attributes from multiple
+/// tables; the index maps from keywords to (table-name, tuple-id)
+/// pairs"). Node ids already encode the table through the engine's
+/// node-range registration, so postings are plain NodeId lists.
+///
+/// Two match channels per §2.2:
+///  * token postings — nodes whose text contains the term;
+///  * relation-name match — "if a term matches a relation name, all
+///    tuples in the relation are assumed to match the term".
+class InvertedIndex {
+ public:
+  explicit InvertedIndex(TokenizerOptions tokenizer_options = {});
+
+  /// Indexes the text of one node. Call before Freeze().
+  void AddDocument(NodeId node, std::string_view text);
+
+  /// Declares that nodes [first, first+count) are the tuples of
+  /// `relation_name`; a query term equal to the folded relation name
+  /// matches them all.
+  void RegisterRelation(std::string_view relation_name, NodeId first,
+                        size_t count);
+
+  /// Sorts and deduplicates postings. Must be called once after loading;
+  /// Match()/Postings() require a frozen index.
+  void Freeze();
+
+  /// Postings for a single token (empty span if unknown). Frozen only.
+  std::span<const NodeId> Postings(std::string_view token) const;
+
+  /// Number of nodes matching a term through either channel — the |S_i|
+  /// that seeds activation in §4.3.
+  size_t MatchCount(std::string_view keyword) const;
+
+  /// Full origin set S_i for a keyword: token postings plus, if the term
+  /// names a relation, that relation's node range. Sorted, deduplicated.
+  std::vector<NodeId> Match(std::string_view keyword) const;
+
+  size_t num_terms() const { return postings_.size(); }
+  bool frozen() const { return frozen_; }
+
+  const Tokenizer& tokenizer() const { return tokenizer_; }
+
+ private:
+  struct RelationRange {
+    NodeId first;
+    size_t count;
+  };
+
+  Tokenizer tokenizer_;
+  std::unordered_map<std::string, uint32_t> term_ids_;
+  std::vector<std::vector<NodeId>> postings_;
+  std::unordered_map<std::string, RelationRange> relations_;
+  bool frozen_ = false;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_TEXT_INVERTED_INDEX_H_

@@ -1,0 +1,45 @@
+#ifndef BANKS_TEXT_TOKENIZER_H_
+#define BANKS_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace banks {
+
+/// Options for text tokenization. The index and the query parser must use
+/// the same tokenizer so that query terms hit the postings they were
+/// indexed under.
+struct TokenizerOptions {
+  /// Drop common English function words ("the", "of", ...). The paper's
+  /// keyword queries never contain these, but real node text does.
+  bool remove_stopwords = true;
+  /// Minimum token length after folding; single characters are noise in
+  /// bibliographic text (middle initials).
+  size_t min_token_length = 2;
+};
+
+/// Lower-cases, splits on non-alphanumeric characters, applies the
+/// options. Deterministic and locale-independent (ASCII).
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  /// Folds one query keyword the same way indexed tokens are folded
+  /// (lower-case only; stopword/min-length filters do not apply to
+  /// explicit user keywords).
+  static std::string FoldKeyword(std::string_view keyword);
+
+  bool IsStopword(const std::string& token) const;
+
+ private:
+  TokenizerOptions options_;
+  std::unordered_set<std::string> stopwords_;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_TEXT_TOKENIZER_H_

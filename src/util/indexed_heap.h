@@ -1,0 +1,162 @@
+#ifndef BANKS_UTIL_INDEXED_HEAP_H_
+#define BANKS_UTIL_INDEXED_HEAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace banks {
+
+/// Addressable binary heap keyed by a dense integer id.
+///
+/// Supports Push, Pop, IncreaseTo/DecreaseTo (priority updates in place),
+/// and O(1) Contains — exactly the operations the search frontiers Q_in and
+/// Q_out of the Bidirectional algorithm need: spreading activation updates
+/// the priority of nodes already on the frontier (Activate/Attach in
+/// Figure 3 of the paper).
+///
+/// Compare follows std::priority_queue convention: Compare(a, b) == true
+/// means a has *lower* priority than b. With std::less<Priority> this is a
+/// max-heap (highest activation pops first); with std::greater a min-heap
+/// (shortest distance pops first).
+template <typename Priority, typename Compare = std::less<Priority>>
+class IndexedHeap {
+ public:
+  using Id = uint32_t;
+  static constexpr uint32_t kAbsent = UINT32_MAX;
+
+  IndexedHeap() = default;
+  explicit IndexedHeap(size_t id_capacity) { Reserve(id_capacity); }
+
+  /// Grows the id→slot map so ids in [0, id_capacity) are addressable.
+  void Reserve(size_t id_capacity) {
+    if (pos_.size() < id_capacity) pos_.resize(id_capacity, kAbsent);
+  }
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  bool Contains(Id id) const {
+    return id < pos_.size() && pos_[id] != kAbsent;
+  }
+
+  /// Priority of an id currently in the heap.
+  const Priority& PriorityOf(Id id) const {
+    assert(Contains(id));
+    return heap_[pos_[id]].priority;
+  }
+
+  /// Inserts id with the given priority. id must not already be present.
+  void Push(Id id, Priority priority) {
+    assert(!Contains(id));
+    Reserve(static_cast<size_t>(id) + 1);
+    pos_[id] = static_cast<uint32_t>(heap_.size());
+    heap_.push_back(Entry{priority, id});
+    SiftUp(heap_.size() - 1);
+  }
+
+  /// Inserts, or raises the priority if the new one pops earlier.
+  /// Returns true if the heap changed.
+  void Update(Id id, Priority priority) {
+    if (!Contains(id)) {
+      Push(id, priority);
+      return;
+    }
+    size_t i = pos_[id];
+    if (cmp_(heap_[i].priority, priority)) {  // new priority pops earlier
+      heap_[i].priority = priority;
+      SiftUp(i);
+    } else {
+      heap_[i].priority = priority;
+      SiftDown(i);
+    }
+  }
+
+  /// Highest-priority id without removing it.
+  Id Top() const {
+    assert(!heap_.empty());
+    return heap_[0].id;
+  }
+
+  const Priority& TopPriority() const {
+    assert(!heap_.empty());
+    return heap_[0].priority;
+  }
+
+  /// Removes and returns the highest-priority id.
+  Id Pop() {
+    assert(!heap_.empty());
+    Id id = heap_[0].id;
+    RemoveAt(0);
+    return id;
+  }
+
+  /// Removes an arbitrary id from the heap.
+  void Erase(Id id) {
+    assert(Contains(id));
+    RemoveAt(pos_[id]);
+  }
+
+  void Clear() {
+    for (const Entry& e : heap_) pos_[e.id] = kAbsent;
+    heap_.clear();
+  }
+
+ private:
+  struct Entry {
+    Priority priority;
+    Id id;
+  };
+
+  void RemoveAt(size_t i) {
+    pos_[heap_[i].id] = kAbsent;
+    if (i + 1 != heap_.size()) {
+      heap_[i] = heap_.back();
+      heap_.pop_back();
+      pos_[heap_[i].id] = static_cast<uint32_t>(i);
+      if (!SiftUp(i)) SiftDown(i);
+    } else {
+      heap_.pop_back();
+    }
+  }
+
+  bool SiftUp(size_t i) {
+    bool moved = false;
+    while (i > 0) {
+      size_t parent = (i - 1) / 2;
+      if (!cmp_(heap_[parent].priority, heap_[i].priority)) break;
+      SwapSlots(i, parent);
+      i = parent;
+      moved = true;
+    }
+    return moved;
+  }
+
+  void SiftDown(size_t i) {
+    const size_t n = heap_.size();
+    for (;;) {
+      size_t best = i;
+      size_t l = 2 * i + 1, r = 2 * i + 2;
+      if (l < n && cmp_(heap_[best].priority, heap_[l].priority)) best = l;
+      if (r < n && cmp_(heap_[best].priority, heap_[r].priority)) best = r;
+      if (best == i) break;
+      SwapSlots(i, best);
+      i = best;
+    }
+  }
+
+  void SwapSlots(size_t a, size_t b) {
+    std::swap(heap_[a], heap_[b]);
+    pos_[heap_[a].id] = static_cast<uint32_t>(a);
+    pos_[heap_[b].id] = static_cast<uint32_t>(b);
+  }
+
+  Compare cmp_;
+  std::vector<Entry> heap_;
+  std::vector<uint32_t> pos_;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_UTIL_INDEXED_HEAP_H_

@@ -1,0 +1,97 @@
+#ifndef BANKS_UTIL_RNG_H_
+#define BANKS_UTIL_RNG_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace banks {
+
+/// Deterministic, seedable PRNG (xoshiro256** seeded via SplitMix64).
+///
+/// Every stochastic component in the library (dataset generators, workload
+/// sampling, property tests) takes an explicit Rng so that runs are
+/// reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator; identical seeds yield identical streams.
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& s : state_) s = SplitMix64(&x);
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) {
+    // Lemire's nearly-divisionless bounded generation.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Fisher-Yates shuffle of a random-access container.
+  template <typename Container>
+  void Shuffle(Container* c) {
+    for (size_t i = c->size(); i > 1; --i) {
+      size_t j = Below(i);
+      using std::swap;
+      swap((*c)[i - 1], (*c)[j]);
+    }
+  }
+
+  /// Picks a uniformly random element; container must be non-empty.
+  template <typename Container>
+  const auto& Pick(const Container& c) {
+    return c[Below(c.size())];
+  }
+
+ private:
+  static uint64_t SplitMix64(uint64_t* x) {
+    uint64_t z = (*x += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace banks
+
+#endif  // BANKS_UTIL_RNG_H_

@@ -1,0 +1,24 @@
+#ifndef BANKS_UTIL_STATS_H_
+#define BANKS_UTIL_STATS_H_
+
+#include <vector>
+
+namespace banks {
+
+/// Arithmetic mean; 0 for an empty sample.
+double Mean(const std::vector<double>& xs);
+
+/// Geometric mean; 0 for an empty sample. Values must be positive.
+/// Ratio experiments (Figures 6(a)-(c)) aggregate per-query time ratios
+/// with the geometric mean, the standard choice for ratios.
+double GeoMean(const std::vector<double>& xs);
+
+/// Median (average of middle two for even sizes); 0 for an empty sample.
+double Median(std::vector<double> xs);
+
+/// Population standard deviation; 0 for fewer than two samples.
+double StdDev(const std::vector<double>& xs);
+
+}  // namespace banks
+
+#endif  // BANKS_UTIL_STATS_H_

@@ -1,0 +1,26 @@
+#ifndef BANKS_UTIL_STRING_UTIL_H_
+#define BANKS_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace banks {
+
+/// ASCII lower-casing (datasets are synthetic ASCII; no locale handling).
+std::string ToLowerAscii(std::string_view s);
+
+/// Splits on any of the separator characters, dropping empty pieces.
+std::vector<std::string> SplitAndTrim(std::string_view s,
+                                      std::string_view separators);
+
+/// Joins pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace banks
+
+#endif  // BANKS_UTIL_STRING_UTIL_H_

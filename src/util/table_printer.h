@@ -1,0 +1,32 @@
+#ifndef BANKS_UTIL_TABLE_PRINTER_H_
+#define BANKS_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace banks {
+
+/// Minimal aligned-column console table, used by the experiment harnesses
+/// to print the same rows the paper's tables and figures report.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; must have the same arity as the headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Fmt(double v, int precision = 2);
+
+  /// Renders the table with a header underline.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_UTIL_TABLE_PRINTER_H_

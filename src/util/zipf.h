@@ -1,0 +1,38 @@
+#ifndef BANKS_UTIL_ZIPF_H_
+#define BANKS_UTIL_ZIPF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace banks {
+
+/// Zipf-distributed sampler over ranks {0, 1, ..., n-1}.
+///
+/// P(rank = r) proportional to 1 / (r + 1)^theta. Used by the dataset
+/// generators to produce the skewed keyword frequencies that motivate
+/// Bidirectional search (a few terms match thousands of nodes, most match
+/// a handful). Sampling is O(log n) by binary search over the precomputed
+/// CDF; construction is O(n).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double theta);
+
+  /// Draws one rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  /// Probability mass of a rank (exact, from the normalized CDF).
+  double Probability(size_t rank) const;
+
+  size_t n() const { return cdf_.size(); }
+  double theta() const { return theta_; }
+
+ private:
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r), cdf_.back() == 1.
+};
+
+}  // namespace banks
+
+#endif  // BANKS_UTIL_ZIPF_H_

@@ -1,0 +1,244 @@
+#include "search/answer.h"
+
+#include <gtest/gtest.h>
+
+#include "search/output_heap.h"
+#include "search/scoring.h"
+#include "test_util.h"
+
+namespace banks {
+namespace {
+
+AnswerTree MakeTree(NodeId root, std::vector<AnswerEdge> edges,
+                    std::vector<NodeId> keyword_nodes,
+                    std::vector<double> dists) {
+  AnswerTree t;
+  t.root = root;
+  t.edges = std::move(edges);
+  t.keyword_nodes = std::move(keyword_nodes);
+  t.keyword_distances = std::move(dists);
+  return t;
+}
+
+// -------------------------------------------------------------- Nodes --
+
+TEST(AnswerTree, NodesCollectsAllEndpoints) {
+  AnswerTree t = MakeTree(0, {{0, 1, 1.0f}, {0, 2, 1.0f}}, {1, 2}, {1, 1});
+  auto nodes = t.Nodes();
+  ASSERT_EQ(nodes.size(), 3u);
+  EXPECT_EQ(nodes[0], 0u);
+  EXPECT_EQ(nodes[2], 2u);
+}
+
+TEST(AnswerTree, SingleNodeTree) {
+  AnswerTree t = MakeTree(7, {}, {7}, {0});
+  EXPECT_EQ(t.Nodes().size(), 1u);
+  EXPECT_EQ(t.RootChildCount(), 0u);
+  EXPECT_TRUE(t.RootMatchesAKeyword());
+  EXPECT_TRUE(t.IsMinimalRooted());
+}
+
+// ------------------------------------------------------ Minimal root --
+
+TEST(AnswerTree, SingleChildChainIsNotMinimal) {
+  AnswerTree t = MakeTree(0, {{0, 1, 1.0f}, {1, 2, 1.0f}}, {1, 2}, {1, 2});
+  EXPECT_EQ(t.RootChildCount(), 1u);
+  EXPECT_FALSE(t.RootMatchesAKeyword());
+  EXPECT_FALSE(t.IsMinimalRooted());
+}
+
+TEST(AnswerTree, SingleChildWithKeywordAtRootIsMinimal) {
+  AnswerTree t = MakeTree(0, {{0, 1, 1.0f}}, {0, 1}, {0, 1});
+  EXPECT_TRUE(t.RootMatchesAKeyword());
+  EXPECT_TRUE(t.IsMinimalRooted());
+}
+
+TEST(AnswerTree, TwoChildrenIsMinimal) {
+  AnswerTree t = MakeTree(0, {{0, 1, 1.0f}, {0, 2, 1.0f}}, {1, 2}, {1, 1});
+  EXPECT_EQ(t.RootChildCount(), 2u);
+  EXPECT_TRUE(t.IsMinimalRooted());
+}
+
+// ---------------------------------------------------------- Signature --
+
+TEST(AnswerTree, RotationsShareSignature) {
+  // Same undirected tree {0-1}, rooted at 0 vs rooted at 1 (§4.6).
+  AnswerTree a = MakeTree(0, {{0, 1, 1.0f}}, {0, 1}, {0, 1});
+  AnswerTree b = MakeTree(1, {{1, 0, 1.0f}}, {0, 1}, {1, 0});
+  EXPECT_EQ(a.Signature(), b.Signature());
+}
+
+TEST(AnswerTree, DifferentNodeSetsDiffer) {
+  AnswerTree a = MakeTree(0, {{0, 1, 1.0f}}, {0, 1}, {0, 1});
+  AnswerTree b = MakeTree(0, {{0, 2, 1.0f}}, {0, 2}, {0, 1});
+  EXPECT_NE(a.Signature(), b.Signature());
+}
+
+TEST(AnswerTree, DifferentShapeSameNodesDiffer) {
+  AnswerTree a =
+      MakeTree(0, {{0, 1, 1.0f}, {1, 2, 1.0f}}, {1, 2}, {1, 2});
+  AnswerTree b =
+      MakeTree(0, {{0, 1, 1.0f}, {0, 2, 1.0f}}, {1, 2}, {1, 1});
+  EXPECT_NE(a.Signature(), b.Signature());
+}
+
+// ----------------------------------------------------------- Validate --
+
+TEST(AnswerTree, ValidateAcceptsRealTree) {
+  Graph g = testing::MakePathGraph(4);
+  AnswerTree t = MakeTree(0, {{0, 1, 1.0f}, {1, 2, 1.0f}}, {2}, {2});
+  std::string error;
+  EXPECT_TRUE(t.Validate(g, &error)) << error;
+}
+
+TEST(AnswerTree, ValidateRejectsMissingEdge) {
+  Graph g = testing::MakePathGraph(4);
+  AnswerTree t = MakeTree(0, {{0, 3, 1.0f}}, {3}, {1});
+  EXPECT_FALSE(t.Validate(g));
+}
+
+TEST(AnswerTree, ValidateRejectsTwoParents) {
+  GraphBuilder b;
+  b.AddNodes(3);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 1);
+  Graph g = b.Build();
+  AnswerTree t =
+      MakeTree(0, {{0, 2, 1.0f}, {1, 2, 1.0f}, {0, 1, 1.0f}}, {2}, {1});
+  std::string error;
+  EXPECT_FALSE(t.Validate(g, &error));
+  EXPECT_NE(error.find("two parents"), std::string::npos);
+}
+
+TEST(AnswerTree, ValidateRejectsKeywordOutsideTree) {
+  Graph g = testing::MakePathGraph(4);
+  AnswerTree t = MakeTree(0, {{0, 1, 1.0f}}, {3}, {1});
+  EXPECT_FALSE(t.Validate(g));
+}
+
+TEST(AnswerTree, ValidateRejectsRootWithParent) {
+  Graph g = testing::MakePathGraph(4);
+  AnswerTree t = MakeTree(1, {{0, 1, 1.0f}, {1, 2, 1.0f}}, {2}, {1});
+  EXPECT_FALSE(t.Validate(g));
+}
+
+// ------------------------------------------------------------ Scoring --
+
+TEST(Scoring, EdgeScoreDecreasesWithRawScore) {
+  EXPECT_DOUBLE_EQ(EdgeScoreFromRaw(0), 1.0);
+  EXPECT_GT(EdgeScoreFromRaw(1), EdgeScoreFromRaw(2));
+}
+
+TEST(Scoring, TreePrestigeAveragesRootAndLeaves) {
+  AnswerTree t = MakeTree(0, {{0, 1, 1.0f}, {0, 2, 1.0f}}, {1, 2}, {1, 1});
+  std::vector<double> prestige = {0.9, 0.6, 0.3};
+  EXPECT_NEAR(TreePrestige(t, prestige), (0.9 + 0.6 + 0.3) / 3.0, 1e-12);
+}
+
+TEST(Scoring, LambdaZeroIgnoresPrestige) {
+  EXPECT_DOUBLE_EQ(CombineScore(0.5, 0.1, 0.0), 0.5);
+}
+
+TEST(Scoring, LambdaWeightsPrestige) {
+  double with_high = CombineScore(0.5, 1.0, 0.2);
+  double with_low = CombineScore(0.5, 0.1, 0.2);
+  EXPECT_GT(with_high, with_low);
+}
+
+TEST(Scoring, ScoreTreeFillsAllComponents) {
+  AnswerTree t = MakeTree(0, {{0, 1, 1.0f}, {0, 2, 2.0f}}, {1, 2}, {1, 2});
+  std::vector<double> prestige = {1.0, 1.0, 1.0};
+  ScoreTree(&t, prestige, 0.2);
+  EXPECT_DOUBLE_EQ(t.edge_score_raw, 3.0);
+  EXPECT_DOUBLE_EQ(t.node_prestige, 1.0);
+  EXPECT_NEAR(t.score, 0.25, 1e-12);
+}
+
+TEST(Scoring, UpperBoundMonotoneInEraw) {
+  EXPECT_GE(ScoreUpperBound(1, 1, 0.2), ScoreUpperBound(2, 1, 0.2));
+  EXPECT_DOUBLE_EQ(ScoreUpperBound(0, 1, 0.2), 1.0);
+}
+
+// -------------------------------------------------------- OutputHeap --
+
+AnswerTree ScoredTree(NodeId root, double score, double eraw) {
+  AnswerTree t = MakeTree(root, {}, {root}, {0});
+  t.score = score;
+  t.edge_score_raw = eraw;
+  return t;
+}
+
+TEST(OutputHeap, ReleasesOnlyAboveBound) {
+  OutputHeap heap;
+  heap.Insert(ScoredTree(1, 0.9, 1));
+  heap.Insert(ScoredTree(2, 0.5, 2));
+  std::vector<AnswerTree> out;
+  heap.ReleaseWithScoreBound(0.7, 10, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].root, 1u);
+  EXPECT_EQ(heap.pending_count(), 1u);
+}
+
+TEST(OutputHeap, ReleaseSortsByScore) {
+  OutputHeap heap;
+  heap.Insert(ScoredTree(1, 0.3, 1));
+  heap.Insert(ScoredTree(2, 0.9, 1));
+  heap.Insert(ScoredTree(3, 0.6, 1));
+  std::vector<AnswerTree> out;
+  heap.Drain(10, &out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].root, 2u);
+  EXPECT_EQ(out[1].root, 3u);
+  EXPECT_EQ(out[2].root, 1u);
+}
+
+TEST(OutputHeap, RespectsLimit) {
+  OutputHeap heap;
+  for (NodeId r = 0; r < 10; ++r) heap.Insert(ScoredTree(r, 0.1 * r, 1));
+  std::vector<AnswerTree> out;
+  heap.Drain(4, &out);
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_EQ(heap.pending_count(), 6u);
+}
+
+TEST(OutputHeap, DuplicateKeepsBetterScore) {
+  OutputHeap heap;
+  EXPECT_TRUE(heap.Insert(ScoredTree(1, 0.5, 2)));
+  EXPECT_FALSE(heap.Insert(ScoredTree(1, 0.4, 3)));  // worse duplicate
+  EXPECT_TRUE(heap.Insert(ScoredTree(1, 0.8, 1)));   // better duplicate
+  std::vector<AnswerTree> out;
+  heap.Drain(10, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].score, 0.8);
+}
+
+TEST(OutputHeap, AlreadyOutputDuplicatesDropped) {
+  OutputHeap heap;
+  heap.Insert(ScoredTree(1, 0.5, 2));
+  std::vector<AnswerTree> out;
+  heap.Drain(10, &out);
+  EXPECT_FALSE(heap.Insert(ScoredTree(1, 0.9, 1)));
+  EXPECT_EQ(heap.pending_count(), 0u);
+}
+
+TEST(OutputHeap, EdgeBoundReleasesByEraw) {
+  OutputHeap heap;
+  heap.Insert(ScoredTree(1, 0.2, 5));
+  heap.Insert(ScoredTree(2, 0.9, 10));
+  std::vector<AnswerTree> out;
+  heap.ReleaseWithEdgeBound(6, 10, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].root, 1u);  // low score but small edge score releases
+}
+
+TEST(OutputHeap, BestPendingScore) {
+  OutputHeap heap;
+  EXPECT_DOUBLE_EQ(heap.BestPendingScore(), -1);
+  heap.Insert(ScoredTree(1, 0.4, 1));
+  heap.Insert(ScoredTree(2, 0.7, 1));
+  EXPECT_DOUBLE_EQ(heap.BestPendingScore(), 0.7);
+}
+
+}  // namespace
+}  // namespace banks

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "datasets/dblp_gen.h"
+#include "datasets/imdb_gen.h"
+#include "datasets/patents_gen.h"
+#include "datasets/vocab.h"
+#include "relational/graph_builder.h"
+
+namespace banks {
+namespace {
+
+// ----------------------------------------------------------- Vocabulary --
+
+TEST(Vocabulary, WordsAreUnique) {
+  Vocabulary v(2000, 0.9);
+  std::set<std::string> seen;
+  for (size_t r = 0; r < v.size(); ++r) {
+    EXPECT_TRUE(seen.insert(v.Word(r)).second) << "duplicate " << v.Word(r);
+  }
+}
+
+TEST(Vocabulary, WordsAreDeterministic) {
+  Vocabulary a(100, 0.9), b(100, 0.9);
+  for (size_t r = 0; r < 100; ++r) EXPECT_EQ(a.Word(r), b.Word(r));
+}
+
+TEST(Vocabulary, LowRanksSampledMoreOften) {
+  Vocabulary v(1000, 1.0);
+  Rng rng(3);
+  size_t low = 0, high = 0;
+  for (int i = 0; i < 20000; ++i) {
+    size_t r = v.SampleRank(&rng);
+    if (r < 10) low++;
+    if (r >= 500) high++;
+  }
+  EXPECT_GT(low, high * 2);
+}
+
+TEST(Vocabulary, TitleHasRequestedWordCount) {
+  Vocabulary v(100, 0.9);
+  Rng rng(1);
+  std::string title = v.SampleTitle(&rng, 5);
+  EXPECT_EQ(std::count(title.begin(), title.end(), ' '), 4);
+}
+
+TEST(NameGenerator, NamesHaveFirstAndLast) {
+  NameGenerator g(50, 0.9);
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    std::string name = g.SampleName(&rng);
+    EXPECT_NE(name.find(' '), std::string::npos);
+  }
+}
+
+// ------------------------------------------------------------ Generators --
+
+TEST(DblpGenerator, SchemaAndSizes) {
+  DblpConfig config;
+  config.num_authors = 100;
+  config.num_papers = 200;
+  config.num_conferences = 10;
+  Database db = GenerateDblp(config);
+  ASSERT_EQ(db.num_tables(), 5u);
+  EXPECT_EQ(db.FindTable("author")->num_rows(), 100u);
+  EXPECT_EQ(db.FindTable("paper")->num_rows(), 200u);
+  EXPECT_EQ(db.FindTable("conference")->num_rows(), 10u);
+  EXPECT_GE(db.FindTable("writes")->num_rows(), 200u);  // ≥1 author/paper
+  EXPECT_TRUE(db.indexes_built());
+}
+
+TEST(DblpGenerator, DeterministicForSeed) {
+  DblpConfig config;
+  config.num_authors = 50;
+  config.num_papers = 80;
+  Database a = GenerateDblp(config);
+  Database b = GenerateDblp(config);
+  EXPECT_EQ(a.TotalRows(), b.TotalRows());
+  EXPECT_EQ(a.table(1).RowText(17), b.table(1).RowText(17));
+}
+
+TEST(DblpGenerator, ForeignKeysInRange) {
+  DblpConfig config;
+  config.num_authors = 60;
+  config.num_papers = 120;
+  Database db = GenerateDblp(config);
+  const Table& writes = *db.FindTable("writes");
+  for (RowId r = 0; r < static_cast<RowId>(writes.num_rows()); ++r) {
+    EXPECT_GE(writes.FkAt(r, 0), 0);
+    EXPECT_LT(writes.FkAt(r, 0), static_cast<RowId>(config.num_authors));
+    EXPECT_GE(writes.FkAt(r, 1), 0);
+    EXPECT_LT(writes.FkAt(r, 1), static_cast<RowId>(config.num_papers));
+  }
+  const Table& cites = *db.FindTable("cites");
+  for (RowId r = 0; r < static_cast<RowId>(cites.num_rows()); ++r) {
+    // Citations point strictly backward in publication order.
+    EXPECT_LT(cites.FkAt(r, 1), cites.FkAt(r, 0));
+  }
+}
+
+TEST(DblpGenerator, ProductivityIsSkewed) {
+  DblpConfig config;
+  config.num_authors = 200;
+  config.num_papers = 2000;
+  Database db = GenerateDblp(config);
+  const Table& writes = *db.FindTable("writes");
+  std::vector<size_t> per_author(config.num_authors, 0);
+  for (RowId r = 0; r < static_cast<RowId>(writes.num_rows()); ++r) {
+    per_author[static_cast<size_t>(writes.FkAt(r, 0))]++;
+  }
+  size_t max_papers = *std::max_element(per_author.begin(), per_author.end());
+  double mean =
+      static_cast<double>(writes.num_rows()) / config.num_authors;
+  // The most prolific author dwarfs the mean (hub fan-in pathology).
+  EXPECT_GT(static_cast<double>(max_papers), 8 * mean);
+}
+
+TEST(DblpGenerator, KeywordFrequenciesAreSkewed) {
+  DblpConfig config;
+  Database db = GenerateDblp(config);
+  DataGraph dg = BuildDataGraph(db);
+  Vocabulary vocab(config.vocab_size, config.zipf_theta);
+  size_t df_top = dg.index.MatchCount(vocab.Word(0));
+  size_t df_rare = dg.index.MatchCount(vocab.Word(config.vocab_size - 1));
+  EXPECT_GT(df_top, 100u);  // frequent term matches many papers
+  EXPECT_LT(df_rare, df_top / 20);
+}
+
+TEST(ImdbGenerator, SchemaAndLinks) {
+  ImdbConfig config;
+  config.num_people = 120;
+  config.num_movies = 150;
+  Database db = GenerateImdb(config);
+  ASSERT_EQ(db.num_tables(), 5u);
+  EXPECT_EQ(db.FindTable("movie")->num_rows(), 150u);
+  EXPECT_EQ(db.FindTable("directs")->num_rows(), 150u);  // one per movie
+  EXPECT_GE(db.FindTable("acts_in")->num_rows(), 150u);
+  // Genre names include the fixed list.
+  EXPECT_EQ(db.table(0).RowText(0), "drama");
+}
+
+TEST(PatentsGenerator, SchemaAndAssignees) {
+  PatentsConfig config;
+  config.num_patents = 300;
+  config.num_inventors = 150;
+  Database db = GeneratePatents(config);
+  ASSERT_EQ(db.num_tables(), 6u);
+  EXPECT_EQ(db.table(0).RowText(0), "microsoft");
+  const Table& patent = *db.FindTable("patent");
+  // Assignee skew: the top company owns far more than the average.
+  std::vector<size_t> per_assignee(config.num_assignees, 0);
+  for (RowId r = 0; r < static_cast<RowId>(patent.num_rows()); ++r) {
+    per_assignee[static_cast<size_t>(patent.FkAt(r, 0))]++;
+  }
+  EXPECT_GT(per_assignee[0],
+            patent.num_rows() / config.num_assignees * 4);
+}
+
+TEST(Generators, DataGraphsAreWellFormed) {
+  DblpConfig dblp;
+  dblp.num_authors = 80;
+  dblp.num_papers = 150;
+  ImdbConfig imdb;
+  imdb.num_people = 80;
+  imdb.num_movies = 100;
+  PatentsConfig patents;
+  patents.num_patents = 120;
+  patents.num_inventors = 60;
+
+  for (Database db : {GenerateDblp(dblp), GenerateImdb(imdb),
+                      GeneratePatents(patents)}) {
+    DataGraph dg = BuildDataGraph(db);
+    EXPECT_EQ(dg.graph.num_nodes(), db.TotalRows());
+    EXPECT_EQ(dg.node_labels.size(), db.TotalRows());
+    EXPECT_GT(dg.graph.num_edges(), 0u);
+    // Every edge endpoint is a valid node.
+    for (NodeId v = 0; v < dg.graph.num_nodes(); ++v) {
+      for (const Edge& e : dg.graph.OutEdges(v)) {
+        EXPECT_LT(e.other, dg.graph.num_nodes());
+        EXPECT_GT(e.weight, 0.0f);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace banks

@@ -1,0 +1,102 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_util.h"
+
+namespace banks {
+namespace {
+
+void ExpectGraphsEqual(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    ASSERT_EQ(a.OutDegree(v), b.OutDegree(v)) << "node " << v;
+    auto ea = a.OutEdges(v);
+    auto eb = b.OutEdges(v);
+    for (size_t i = 0; i < ea.size(); ++i) {
+      EXPECT_EQ(ea[i].other, eb[i].other);
+      EXPECT_FLOAT_EQ(ea[i].weight, eb[i].weight);
+      EXPECT_EQ(ea[i].dir, eb[i].dir);
+    }
+    EXPECT_EQ(a.Type(v), b.Type(v));
+  }
+}
+
+TEST(GraphIO, RoundTripUntyped) {
+  Graph g = testing::MakeRandomGraph(60, 240, 21);
+  std::stringstream ss;
+  ASSERT_TRUE(SaveGraph(g, ss));
+  auto loaded = LoadGraph(ss);
+  ASSERT_TRUE(loaded.has_value());
+  ExpectGraphsEqual(g, *loaded);
+}
+
+TEST(GraphIO, RoundTripTyped) {
+  testing::Fig4Graph fig = testing::MakeFig4Graph();
+  std::stringstream ss;
+  ASSERT_TRUE(SaveGraph(fig.graph, ss));
+  auto loaded = LoadGraph(ss);
+  ASSERT_TRUE(loaded.has_value());
+  ExpectGraphsEqual(fig.graph, *loaded);
+  EXPECT_EQ(loaded->type_names(), fig.graph.type_names());
+}
+
+TEST(GraphIO, RoundTripEmptyGraph) {
+  GraphBuilder b;
+  Graph g = b.Build();
+  std::stringstream ss;
+  ASSERT_TRUE(SaveGraph(g, ss));
+  auto loaded = LoadGraph(ss);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_nodes(), 0u);
+}
+
+TEST(GraphIO, RejectsBadMagic) {
+  std::stringstream ss;
+  ss << "not a graph file at all";
+  EXPECT_FALSE(LoadGraph(ss).has_value());
+}
+
+TEST(GraphIO, RejectsTruncatedFile) {
+  Graph g = testing::MakeRandomGraph(10, 30, 1);
+  std::stringstream ss;
+  ASSERT_TRUE(SaveGraph(g, ss));
+  std::string data = ss.str();
+  std::stringstream truncated(data.substr(0, data.size() / 2));
+  EXPECT_FALSE(LoadGraph(truncated).has_value());
+}
+
+TEST(GraphIO, RejectsEmptyStream) {
+  std::stringstream ss;
+  EXPECT_FALSE(LoadGraph(ss).has_value());
+}
+
+TEST(GraphIO, BackwardEdgesRederivedWithNewOptions) {
+  GraphBuilder b;
+  b.AddNodes(2);
+  b.AddEdge(0, 1);
+  Graph g = b.Build();  // default: backward edges on
+  std::stringstream ss;
+  ASSERT_TRUE(SaveGraph(g, ss));
+  GraphBuildOptions options;
+  options.add_backward_edges = false;
+  auto loaded = LoadGraph(ss, options);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_edges(), 1u);  // only the forward edge persists
+}
+
+TEST(GraphIO, FileRoundTrip) {
+  Graph g = testing::MakeRandomGraph(30, 90, 77);
+  std::string path = ::testing::TempDir() + "/banks_graph_io_test.bin";
+  ASSERT_TRUE(SaveGraphToFile(g, path));
+  auto loaded = LoadGraphFromFile(path);
+  ASSERT_TRUE(loaded.has_value());
+  ExpectGraphsEqual(g, *loaded);
+  EXPECT_FALSE(LoadGraphFromFile(path + ".missing").has_value());
+}
+
+}  // namespace
+}  // namespace banks

@@ -1,0 +1,187 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "test_util.h"
+
+namespace banks {
+namespace {
+
+TEST(GraphBuilder, EmptyGraph) {
+  GraphBuilder b;
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.MemoryBytes(), 2 * sizeof(size_t));  // two offset sentinels
+}
+
+TEST(GraphBuilder, SingleEdgeCreatesBackwardEdge) {
+  GraphBuilder b;
+  b.AddNodes(2);
+  b.AddEdge(0, 1, 1.0);
+  Graph g = b.Build();
+  ASSERT_EQ(g.num_nodes(), 2u);
+  // Forward 0→1 plus derived backward 1→0.
+  EXPECT_EQ(g.num_edges(), 2u);
+  ASSERT_EQ(g.OutDegree(0), 1u);
+  EXPECT_EQ(g.OutEdges(0)[0].other, 1u);
+  EXPECT_EQ(g.OutEdges(0)[0].dir, EdgeDir::kForward);
+  ASSERT_EQ(g.OutDegree(1), 1u);
+  EXPECT_EQ(g.OutEdges(1)[0].other, 0u);
+  EXPECT_EQ(g.OutEdges(1)[0].dir, EdgeDir::kBackward);
+}
+
+TEST(GraphBuilder, BackwardEdgeWeightUsesLogIndegree) {
+  // Three nodes point at a hub: backward edges from the hub should carry
+  // weight w * log2(1 + 3) = 2.
+  GraphBuilder b;
+  b.AddNodes(4);
+  b.AddEdge(1, 0, 1.0);
+  b.AddEdge(2, 0, 1.0);
+  b.AddEdge(3, 0, 1.0);
+  Graph g = b.Build();
+  EXPECT_EQ(g.ForwardInDegree(0), 3u);
+  for (const Edge& e : g.OutEdges(0)) {
+    EXPECT_EQ(e.dir, EdgeDir::kBackward);
+    EXPECT_NEAR(e.weight, std::log2(4.0), 1e-6);
+  }
+}
+
+TEST(GraphBuilder, BackwardEdgeScalesWithForwardWeight) {
+  GraphBuilder b;
+  b.AddNodes(2);
+  b.AddEdge(0, 1, 2.5);
+  Graph g = b.Build();
+  // indegree(1) == 1 ⇒ log2(2) == 1 ⇒ backward weight == forward weight.
+  EXPECT_NEAR(g.EdgeWeight(1, 0), 2.5, 1e-6);
+}
+
+TEST(GraphBuilder, DisableBackwardEdges) {
+  GraphBuilder b;
+  b.AddNodes(2);
+  b.AddEdge(0, 1);
+  GraphBuildOptions options;
+  options.add_backward_edges = false;
+  Graph g = b.Build(options);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.OutDegree(1), 0u);
+  EXPECT_EQ(g.InDegree(0), 0u);
+}
+
+TEST(GraphBuilder, MinBackwardWeightFloor) {
+  GraphBuilder b;
+  b.AddNodes(2);
+  b.AddEdge(0, 1, 0.25);
+  GraphBuildOptions options;
+  options.min_backward_weight = 2.0;
+  Graph g = b.Build(options);
+  // 0.25 * log2(2) = 0.25 < floor ⇒ clamped to 2.
+  EXPECT_NEAR(g.EdgeWeight(1, 0), 2.0, 1e-6);
+}
+
+TEST(Graph, InEdgesMirrorOutEdges) {
+  Graph g = testing::MakeRandomGraph(50, 200, /*seed=*/7);
+  size_t out_total = 0, in_total = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    out_total += g.OutDegree(v);
+    in_total += g.InDegree(v);
+    for (const Edge& e : g.OutEdges(v)) {
+      bool found = false;
+      for (const Edge& in : g.InEdges(e.other)) {
+        if (in.other == v && in.weight == e.weight && in.dir == e.dir) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "edge " << v << "->" << e.other
+                         << " missing from in-adjacency";
+    }
+  }
+  EXPECT_EQ(out_total, in_total);
+  EXPECT_EQ(out_total, g.num_edges());
+}
+
+TEST(Graph, InverseWeightSums) {
+  GraphBuilder b;
+  b.AddNodes(3);
+  b.AddEdge(0, 2, 1.0);
+  b.AddEdge(1, 2, 2.0);
+  GraphBuildOptions options;
+  options.add_backward_edges = false;
+  Graph g = b.Build(options);
+  EXPECT_NEAR(g.InInverseWeightSum(2), 1.0 + 0.5, 1e-9);
+  EXPECT_NEAR(g.OutInverseWeightSum(0), 1.0, 1e-9);
+  EXPECT_NEAR(g.OutInverseWeightSum(2), 0.0, 1e-9);
+}
+
+TEST(Graph, NodeTypes) {
+  GraphBuilder b;
+  NodeType author = b.InternType("author");
+  NodeType paper = b.InternType("paper");
+  EXPECT_NE(author, paper);
+  EXPECT_EQ(b.InternType("author"), author);  // idempotent
+  NodeId a = b.AddNode(author);
+  NodeId p = b.AddNode(paper);
+  b.AddEdge(p, a);
+  Graph g = b.Build();
+  EXPECT_EQ(g.Type(a), author);
+  EXPECT_EQ(g.Type(p), paper);
+  ASSERT_EQ(g.type_names().size(), 2u);
+  EXPECT_EQ(g.type_names()[author], "author");
+}
+
+TEST(Graph, UntypedGraphReportsUntyped) {
+  Graph g = testing::MakePathGraph(3);
+  EXPECT_EQ(g.Type(0), kUntypedNode);
+}
+
+TEST(Graph, EdgeWeightReturnsMinOverMultiEdges) {
+  GraphBuilder b;
+  b.AddNodes(2);
+  b.AddEdge(0, 1, 3.0);
+  b.AddEdge(0, 1, 1.5);
+  GraphBuildOptions options;
+  options.add_backward_edges = false;
+  Graph g = b.Build(options);
+  EXPECT_NEAR(g.EdgeWeight(0, 1), 1.5, 1e-6);
+  EXPECT_LT(g.EdgeWeight(1, 0), 0);  // absent
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(0, 1));
+}
+
+TEST(Graph, MemoryBytesMatchesCompactClaim) {
+  // §5.1 claims ~16·V + 8·E bytes for the graph skeleton. Our Edge is a
+  // little wider (weight + provenance), but storage must stay linear:
+  // allow 3× the paper's constant.
+  Graph g = testing::MakeRandomGraph(1000, 5000, 3);
+  size_t v = g.num_nodes(), e = g.num_edges();
+  EXPECT_LE(g.MemoryBytes(), 3 * (16 * v + 8 * e) + 4096);
+}
+
+TEST(Graph, BuilderResetAfterBuild) {
+  GraphBuilder b;
+  b.AddNodes(2);
+  b.AddEdge(0, 1);
+  Graph g1 = b.Build();
+  EXPECT_EQ(b.num_nodes(), 0u);
+  EXPECT_EQ(b.num_forward_edges(), 0u);
+  b.AddNodes(3);
+  Graph g2 = b.Build();
+  EXPECT_EQ(g2.num_nodes(), 3u);
+  EXPECT_EQ(g2.num_edges(), 0u);
+}
+
+TEST(Graph, Fig4GraphShape) {
+  testing::Fig4Graph fig = testing::MakeFig4Graph();
+  // 100 database papers + 2 authors + 49 writes + 47 other papers.
+  EXPECT_EQ(fig.graph.num_nodes(), 100u + 2 + 49 + 47);
+  // John has 48 writes tuples pointing at him.
+  EXPECT_EQ(fig.graph.ForwardInDegree(fig.john), 48u);
+  EXPECT_EQ(fig.graph.ForwardInDegree(fig.james), 1u);
+}
+
+}  // namespace
+}  // namespace banks

@@ -1,0 +1,138 @@
+#include "util/indexed_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace banks {
+namespace {
+
+TEST(IndexedHeap, EmptyBehaviour) {
+  IndexedHeap<double> h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_FALSE(h.Contains(0));
+}
+
+TEST(IndexedHeap, MaxHeapPopsHighestFirst) {
+  IndexedHeap<double> h;
+  h.Push(0, 1.0);
+  h.Push(1, 5.0);
+  h.Push(2, 3.0);
+  EXPECT_EQ(h.Top(), 1u);
+  EXPECT_DOUBLE_EQ(h.TopPriority(), 5.0);
+  EXPECT_EQ(h.Pop(), 1u);
+  EXPECT_EQ(h.Pop(), 2u);
+  EXPECT_EQ(h.Pop(), 0u);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(IndexedHeap, MinHeapWithGreater) {
+  IndexedHeap<double, std::greater<double>> h;
+  h.Push(0, 4.0);
+  h.Push(1, 1.0);
+  h.Push(2, 2.5);
+  EXPECT_EQ(h.Pop(), 1u);
+  EXPECT_EQ(h.Pop(), 2u);
+  EXPECT_EQ(h.Pop(), 0u);
+}
+
+TEST(IndexedHeap, UpdateRaisesPriority) {
+  IndexedHeap<double> h;
+  h.Push(0, 1.0);
+  h.Push(1, 2.0);
+  h.Update(0, 10.0);
+  EXPECT_EQ(h.Top(), 0u);
+  EXPECT_DOUBLE_EQ(h.PriorityOf(0), 10.0);
+}
+
+TEST(IndexedHeap, UpdateLowersPriority) {
+  IndexedHeap<double> h;
+  h.Push(0, 5.0);
+  h.Push(1, 2.0);
+  h.Update(0, 1.0);
+  EXPECT_EQ(h.Top(), 1u);
+}
+
+TEST(IndexedHeap, UpdateInsertsWhenAbsent) {
+  IndexedHeap<double> h;
+  h.Update(7, 3.0);
+  EXPECT_TRUE(h.Contains(7));
+  EXPECT_EQ(h.Top(), 7u);
+}
+
+TEST(IndexedHeap, EraseMiddleElement) {
+  IndexedHeap<double> h;
+  for (uint32_t i = 0; i < 10; ++i) h.Push(i, static_cast<double>(i));
+  h.Erase(5);
+  EXPECT_FALSE(h.Contains(5));
+  EXPECT_EQ(h.size(), 9u);
+  std::vector<uint32_t> popped;
+  while (!h.empty()) popped.push_back(h.Pop());
+  EXPECT_EQ(popped.size(), 9u);
+  EXPECT_TRUE(std::is_sorted(popped.rbegin(), popped.rend()));
+}
+
+TEST(IndexedHeap, ClearResetsMembership) {
+  IndexedHeap<double> h;
+  h.Push(3, 1.0);
+  h.Push(4, 2.0);
+  h.Clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_FALSE(h.Contains(3));
+  h.Push(3, 5.0);  // reusable after clear
+  EXPECT_EQ(h.Top(), 3u);
+}
+
+TEST(IndexedHeap, SparseIdsGrowMap) {
+  IndexedHeap<double> h;
+  h.Push(1000000, 1.0);
+  EXPECT_TRUE(h.Contains(1000000));
+  EXPECT_FALSE(h.Contains(999999));
+}
+
+TEST(IndexedHeap, RandomizedAgainstReference) {
+  // Differential test against a naive priority map.
+  Rng rng(123);
+  IndexedHeap<double> h;
+  std::vector<double> reference(200, -1);  // -1 = absent
+  for (int op = 0; op < 5000; ++op) {
+    uint32_t id = static_cast<uint32_t>(rng.Below(200));
+    switch (rng.Below(4)) {
+      case 0:  // push/update
+        h.Update(id, rng.NextDouble());
+        reference[id] = h.PriorityOf(id);
+        break;
+      case 1:  // erase
+        if (reference[id] >= 0) {
+          h.Erase(id);
+          reference[id] = -1;
+        }
+        break;
+      case 2: {  // pop
+        uint32_t best = UINT32_MAX;
+        for (uint32_t i = 0; i < 200; ++i) {
+          if (reference[i] >= 0 &&
+              (best == UINT32_MAX || reference[i] > reference[best])) {
+            best = i;
+          }
+        }
+        if (best != UINT32_MAX) {
+          EXPECT_DOUBLE_EQ(h.TopPriority(), reference[best]);
+          uint32_t popped = h.Pop();
+          EXPECT_DOUBLE_EQ(reference[popped], reference[best]);
+          reference[popped] = -1;
+        }
+        break;
+      }
+      default:  // membership check
+        EXPECT_EQ(h.Contains(id), reference[id] >= 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace banks

@@ -1,0 +1,169 @@
+// End-to-end integration: dataset generator → data graph → workload with
+// ground truth → all three algorithms, checking the §5.7-style claims at
+// unit-test scale: algorithms find the model-best relevant answers and
+// agree with each other.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "banks/engine.h"
+#include "datasets/dblp_gen.h"
+#include "datasets/imdb_gen.h"
+#include "datasets/workload.h"
+
+namespace banks {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DblpConfig config;
+    config.num_authors = 400;
+    config.num_papers = 800;
+    config.num_conferences = 25;
+    config.seed = 2005;
+    db_ = new Database(GenerateDblp(config));
+    engine_ = new Engine(Engine::FromDatabase(*db_));
+    gen_ = new WorkloadGenerator(db_, &engine_->data());
+
+    WorkloadOptions options;
+    options.num_queries = 8;
+    options.answer_size = 3;
+    options.min_keywords = 2;
+    options.max_keywords = 3;
+    options.seed = 99;
+    queries_ = new std::vector<WorkloadQuery>(gen_->Generate(options));
+  }
+  static void TearDownTestSuite() {
+    delete queries_;
+    delete gen_;
+    delete engine_;
+    delete db_;
+  }
+
+  // Runs one algorithm; returns how many ground-truth relevant answers
+  // appear in the top-k outputs and whether the top answer is relevant.
+  static std::pair<size_t, bool> RunOne(const WorkloadQuery& q,
+                                        Algorithm algorithm, size_t k) {
+    SearchOptions options;
+    options.k = k;
+    options.bound = BoundMode::kLoose;
+    options.max_nodes_explored = 500'000;
+    SearchResult r = engine_->Query(q.keywords, algorithm, options);
+    size_t found = 0;
+    bool top_relevant = false;
+    for (size_t i = 0; i < r.answers.size(); ++i) {
+      auto nodes = r.answers[i].Nodes();
+      bool relevant = std::find(q.relevant.begin(), q.relevant.end(),
+                                nodes) != q.relevant.end();
+      if (relevant) {
+        found++;
+        if (i == 0) top_relevant = true;
+      }
+    }
+    return {found, top_relevant};
+  }
+
+  static Database* db_;
+  static Engine* engine_;
+  static WorkloadGenerator* gen_;
+  static std::vector<WorkloadQuery>* queries_;
+};
+
+Database* IntegrationTest::db_ = nullptr;
+Engine* IntegrationTest::engine_ = nullptr;
+WorkloadGenerator* IntegrationTest::gen_ = nullptr;
+std::vector<WorkloadQuery>* IntegrationTest::queries_ = nullptr;
+
+TEST_F(IntegrationTest, WorkloadGenerated) {
+  ASSERT_FALSE(queries_->empty());
+}
+
+TEST_F(IntegrationTest, EveryAlgorithmFindsSomeRelevantAnswers) {
+  for (Algorithm algorithm :
+       {Algorithm::kBackwardMI, Algorithm::kBackwardSI,
+        Algorithm::kBidirectional}) {
+    size_t queries_with_hit = 0;
+    for (const WorkloadQuery& q : *queries_) {
+      auto [found, top] = RunOne(q, algorithm, 30);
+      if (found > 0) queries_with_hit++;
+    }
+    // The generating tree exists in the graph but competes with every
+    // other tree connecting the same keywords, so it only sometimes
+    // ranks inside the top-30 — what matters (and what §5.4 reports) is
+    // that all algorithms surface the same relevant answers, asserted in
+    // AlgorithmsAgreeOnRelevantCounts. Here: at least one query's ground
+    // truth must surface.
+    EXPECT_GE(queries_with_hit, 1u) << AlgorithmName(algorithm);
+  }
+}
+
+TEST_F(IntegrationTest, AlgorithmsAgreeOnRelevantCounts) {
+  // "In all cases we found that Bidirectional, SI-Backward and
+  // MI-Backward return the same sets of relevant answers" (§5.4). At
+  // unit scale we assert hit counts within a tolerance of 2 (loose
+  // release order can swap the tail across the k boundary).
+  for (const WorkloadQuery& q : *queries_) {
+    auto [mi, t1] = RunOne(q, Algorithm::kBackwardMI, 30);
+    auto [si, t2] = RunOne(q, Algorithm::kBackwardSI, 30);
+    auto [bi, t3] = RunOne(q, Algorithm::kBidirectional, 30);
+    EXPECT_LE(std::max({mi, si, bi}) - std::min({mi, si, bi}), 2u)
+        << "relevant-hit counts diverge: MI=" << mi << " SI=" << si
+        << " Bidir=" << bi;
+  }
+}
+
+TEST_F(IntegrationTest, RelationNameQueriesWork) {
+  // "conference <rare author surname>": relation-name channel + postings.
+  const Table& author = *db_->FindTable("author");
+  std::string surname =
+      engine_->index().tokenizer().Tokenize(author.RowText(7)).back();
+  SearchOptions options;
+  options.k = 3;
+  options.bound = BoundMode::kLoose;
+  SearchResult r = engine_->Query({"conference", surname},
+                                  Algorithm::kBidirectional, options);
+  for (const AnswerTree& t : r.answers) {
+    std::string error;
+    EXPECT_TRUE(t.Validate(engine_->graph(), &error)) << error;
+  }
+}
+
+TEST_F(IntegrationTest, ImdbEndToEnd) {
+  ImdbConfig config;
+  config.num_people = 300;
+  config.num_movies = 400;
+  config.seed = 11;
+  Database db = GenerateImdb(config);
+  Engine engine = Engine::FromDatabase(db);
+  // Genre name + relation name: both special match channels at once.
+  SearchOptions options;
+  options.k = 5;
+  options.bound = BoundMode::kLoose;
+  SearchResult r =
+      engine.Query({"drama", "person"}, Algorithm::kBidirectional, options);
+  EXPECT_FALSE(r.answers.empty());
+  for (const AnswerTree& t : r.answers) {
+    std::string error;
+    EXPECT_TRUE(t.Validate(engine.graph(), &error)) << error;
+  }
+}
+
+TEST_F(IntegrationTest, MetricsMonotoneAcrossK) {
+  const WorkloadQuery& q = (*queries_)[0];
+  SearchOptions small;
+  small.k = 2;
+  small.bound = BoundMode::kLoose;
+  SearchOptions large = small;
+  large.k = 20;
+  SearchResult rs = engine_->Query(q.keywords, Algorithm::kBidirectional,
+                                   small);
+  SearchResult rl = engine_->Query(q.keywords, Algorithm::kBidirectional,
+                                   large);
+  EXPECT_LE(rs.metrics.nodes_explored, rl.metrics.nodes_explored);
+  EXPECT_LE(rs.answers.size(), rl.answers.size());
+}
+
+}  // namespace
+}  // namespace banks

@@ -1,0 +1,124 @@
+#include "prestige/pagerank.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "test_util.h"
+
+namespace banks {
+namespace {
+
+TEST(Prestige, EmptyGraph) {
+  GraphBuilder b;
+  Graph g = b.Build();
+  EXPECT_TRUE(ComputePrestige(g).empty());
+}
+
+TEST(Prestige, SingleNode) {
+  GraphBuilder b;
+  b.AddNodes(1);
+  Graph g = b.Build();
+  auto p = ComputePrestige(g);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);  // normalized max
+}
+
+TEST(Prestige, SymmetricGraphIsUniform) {
+  // 3-cycle with unit weights: all nodes equal by symmetry.
+  GraphBuilder b;
+  b.AddNodes(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  Graph g = b.Build();
+  auto p = ComputePrestige(g);
+  EXPECT_NEAR(p[0], p[1], 1e-9);
+  EXPECT_NEAR(p[1], p[2], 1e-9);
+  EXPECT_NEAR(p[0], 1.0, 1e-9);
+}
+
+TEST(Prestige, CitedPaperOutranksCiter) {
+  // Many papers cite node 0 (forward edges i→0). Node 0 should have the
+  // highest prestige — the paper's "users expect recovery on DBLP to
+  // rank first the most popular papers".
+  GraphBuilder b;
+  b.AddNodes(6);
+  for (NodeId i = 1; i < 6; ++i) b.AddEdge(i, 0);
+  Graph g = b.Build();
+  auto p = ComputePrestige(g);
+  for (NodeId i = 1; i < 6; ++i) EXPECT_GT(p[0], p[i]);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+}
+
+TEST(Prestige, HeavyEdgeCarriesLessPrestige) {
+  // 0→1 with weight 1 and 0→2 with weight 10: transition probability is
+  // inversely proportional to weight, so node 1 outranks node 2.
+  GraphBuilder b;
+  b.AddNodes(3);
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(0, 2, 10.0);
+  GraphBuildOptions options;
+  options.add_backward_edges = false;
+  Graph g = b.Build(options);
+  auto p = ComputePrestige(g);
+  EXPECT_GT(p[1], p[2]);
+}
+
+TEST(Prestige, DanglingNodesHandled) {
+  GraphBuilder b;
+  b.AddNodes(3);
+  b.AddEdge(0, 1);
+  GraphBuildOptions options;
+  options.add_backward_edges = false;  // node 1 and 2 dangle
+  Graph g = b.Build(options);
+  auto p = ComputePrestige(g);
+  for (double v : p) {
+    EXPECT_GT(v, 0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(Prestige, UnnormalizedSumsToOne) {
+  Graph g = testing::MakeRandomGraph(50, 200, 3);
+  PrestigeOptions options;
+  options.normalize_max_to_one = false;
+  auto p = ComputePrestige(g, options);
+  double sum = std::accumulate(p.begin(), p.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(Prestige, DeterministicAcrossRuns) {
+  Graph g = testing::MakeRandomGraph(100, 500, 17);
+  auto p1 = ComputePrestige(g);
+  auto p2 = ComputePrestige(g);
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(Prestige, DampingZeroIsUniform) {
+  Graph g = testing::MakeRandomGraph(20, 60, 5);
+  PrestigeOptions options;
+  options.damping = 0.0;
+  auto p = ComputePrestige(g, options);
+  for (double v : p) EXPECT_NEAR(v, 1.0, 1e-9);  // all equal, max-normalized
+}
+
+TEST(Prestige, UniformPrestigeIsAllOnes) {
+  auto p = UniformPrestige(5);
+  ASSERT_EQ(p.size(), 5u);
+  for (double v : p) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Prestige, BackwardEdgesDampenHubLeakage) {
+  // Star: many leaves reference the hub. With backward edges the hub's
+  // backward transitions are heavily weighted (log2(1+indeg)), carrying
+  // *less* probability per leaf than a naive unweighted reverse walk.
+  Graph g = testing::MakeStarGraph(20);
+  auto p = ComputePrestige(g);
+  // Hub collects prestige from 20 leaves; it must dominate.
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  for (NodeId leaf = 1; leaf <= 20; ++leaf) EXPECT_LT(p[leaf], 0.5);
+}
+
+}  // namespace
+}  // namespace banks

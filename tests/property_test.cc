@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace banks {
+namespace {
+
+/// Property-style sweeps: every (algorithm × random-graph seed) cell
+/// must satisfy the structural invariants of the answer model. This is
+/// the repository's fuzz layer — seeds are fixed for reproducibility.
+struct PropertyCase {
+  Algorithm algorithm;
+  uint64_t seed;
+};
+
+class SearchProperties : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  void SetUp() override {
+    graph_ = testing::MakeRandomGraph(220, 900, GetParam().seed);
+    // Derive deterministic origin sets from the seed.
+    Rng rng(GetParam().seed * 7919 + 13);
+    size_t num_keywords = 2 + rng.Below(3);
+    origins_.resize(num_keywords);
+    for (auto& s : origins_) {
+      size_t count = 1 + rng.Below(12);
+      for (size_t i = 0; i < count; ++i) {
+        s.push_back(static_cast<NodeId>(rng.Below(graph_.num_nodes())));
+      }
+    }
+  }
+
+  Graph graph_;
+  std::vector<std::vector<NodeId>> origins_;
+};
+
+std::vector<PropertyCase> MakeCases() {
+  std::vector<PropertyCase> cases;
+  for (Algorithm a : {Algorithm::kBackwardMI, Algorithm::kBackwardSI,
+                      Algorithm::kBidirectional}) {
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+      cases.push_back(PropertyCase{a, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SearchProperties, ::testing::ValuesIn(MakeCases()),
+    [](const auto& info) {
+      std::string name = AlgorithmName(info.param.algorithm);
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name + "_seed" + std::to_string(info.param.seed);
+    });
+
+TEST_P(SearchProperties, AnswersAreValidTrees) {
+  SearchResult r =
+      testing::RunSearch(GetParam().algorithm, graph_, origins_);
+  EXPECT_EQ(testing::ValidateAnswers(graph_, r), "");
+}
+
+TEST_P(SearchProperties, AnswersAreMinimalRooted) {
+  SearchResult r =
+      testing::RunSearch(GetParam().algorithm, graph_, origins_);
+  for (const AnswerTree& t : r.answers) {
+    EXPECT_TRUE(t.IsMinimalRooted());
+  }
+}
+
+TEST_P(SearchProperties, KeywordNodesComeFromOriginSets) {
+  SearchResult r =
+      testing::RunSearch(GetParam().algorithm, graph_, origins_);
+  for (const AnswerTree& t : r.answers) {
+    ASSERT_EQ(t.keyword_nodes.size(), origins_.size());
+    for (size_t i = 0; i < origins_.size(); ++i) {
+      EXPECT_NE(std::find(origins_[i].begin(), origins_[i].end(),
+                          t.keyword_nodes[i]),
+                origins_[i].end())
+          << "keyword node not in S_" << i;
+    }
+  }
+}
+
+TEST_P(SearchProperties, KeywordDistancesMatchTreePaths) {
+  SearchResult r =
+      testing::RunSearch(GetParam().algorithm, graph_, origins_);
+  for (const AnswerTree& t : r.answers) {
+    // Recompute root→keyword path length inside the tree.
+    std::map<NodeId, std::pair<NodeId, double>> parent;  // child → (parent, w)
+    for (const AnswerEdge& e : t.edges) {
+      parent[e.child] = {e.parent, e.weight};
+    }
+    for (size_t i = 0; i < t.keyword_nodes.size(); ++i) {
+      double d = 0;
+      NodeId cur = t.keyword_nodes[i];
+      size_t guard = 0;
+      while (cur != t.root) {
+        auto it = parent.find(cur);
+        ASSERT_NE(it, parent.end());
+        d += it->second.second;
+        cur = it->second.first;
+        ASSERT_LE(++guard, t.edges.size());
+      }
+      EXPECT_NEAR(d, t.keyword_distances[i], 1e-4);
+    }
+  }
+}
+
+TEST_P(SearchProperties, ErawEqualsDistanceSum) {
+  SearchResult r =
+      testing::RunSearch(GetParam().algorithm, graph_, origins_);
+  for (const AnswerTree& t : r.answers) {
+    double sum = 0;
+    for (double d : t.keyword_distances) sum += d;
+    EXPECT_NEAR(sum, t.edge_score_raw, 1e-6);
+  }
+}
+
+TEST_P(SearchProperties, OutputOrderMatchesScores) {
+  SearchOptions options;
+  options.k = 10;
+  SearchResult r =
+      testing::RunSearch(GetParam().algorithm, graph_, origins_, options);
+  EXPECT_TRUE(testing::ScoresNonIncreasing(r));
+}
+
+TEST_P(SearchProperties, NoDuplicateSignatures) {
+  SearchResult r =
+      testing::RunSearch(GetParam().algorithm, graph_, origins_);
+  std::set<uint64_t> sigs;
+  for (const AnswerTree& t : r.answers) {
+    EXPECT_TRUE(sigs.insert(t.Signature()).second);
+  }
+}
+
+TEST_P(SearchProperties, DepthRespectsDmax) {
+  SearchOptions options;
+  options.dmax = 3;
+  SearchResult r =
+      testing::RunSearch(GetParam().algorithm, graph_, origins_, options);
+  for (const AnswerTree& t : r.answers) {
+    // No root→keyword path can exceed dmax edges.
+    for (size_t i = 0; i < t.keyword_nodes.size(); ++i) {
+      std::map<NodeId, NodeId> parent;
+      for (const AnswerEdge& e : t.edges) parent[e.child] = e.parent;
+      size_t hops = 0;
+      NodeId cur = t.keyword_nodes[i];
+      while (cur != t.root && hops <= t.edges.size()) {
+        cur = parent.at(cur);
+        hops++;
+      }
+      EXPECT_LE(hops, 2 * options.dmax)
+          << "path far beyond the depth cutoff";
+    }
+  }
+}
+
+TEST_P(SearchProperties, DeterministicAcrossRuns) {
+  SearchResult a =
+      testing::RunSearch(GetParam().algorithm, graph_, origins_);
+  SearchResult b =
+      testing::RunSearch(GetParam().algorithm, graph_, origins_);
+  ASSERT_EQ(a.answers.size(), b.answers.size());
+  for (size_t i = 0; i < a.answers.size(); ++i) {
+    EXPECT_EQ(a.answers[i].Signature(), b.answers[i].Signature());
+    EXPECT_DOUBLE_EQ(a.answers[i].score, b.answers[i].score);
+  }
+  EXPECT_EQ(a.metrics.nodes_explored, b.metrics.nodes_explored);
+  EXPECT_EQ(a.metrics.nodes_touched, b.metrics.nodes_touched);
+}
+
+/// The three algorithms implement one answer model: their top answers
+/// must agree in score (ties may differ in identity).
+TEST_P(SearchProperties, TopScoreAgreesWithSIBackwardReference) {
+  SearchOptions options;
+  options.k = 1;
+  SearchResult ref = testing::RunSearch(Algorithm::kBackwardSI, graph_,
+                                        origins_, options);
+  SearchResult r =
+      testing::RunSearch(GetParam().algorithm, graph_, origins_, options);
+  ASSERT_EQ(ref.answers.empty(), r.answers.empty());
+  if (!ref.answers.empty()) {
+    EXPECT_NEAR(ref.answers[0].score, r.answers[0].score, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace banks

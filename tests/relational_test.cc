@@ -1,0 +1,376 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "relational/candidate_network.h"
+#include "relational/database.h"
+#include "relational/graph_builder.h"
+#include "relational/sparse.h"
+#include "relational/tuple_matcher.h"
+
+namespace banks {
+namespace {
+
+/// Mini bibliographic database:
+///   author: 0 "jim gray", 1 "mohan"
+///   paper : 0 "transaction recovery", 1 "query optimization"
+///   writes: (gray, transaction), (mohan, transaction), (mohan, query)
+Database MakeMiniDb() {
+  Database db;
+  Table& author = db.AddTable(
+      TableSpec{"author", {ColumnSpec{"name", ColumnKind::kText, "", 1.0}}});
+  Table& paper = db.AddTable(
+      TableSpec{"paper", {ColumnSpec{"title", ColumnKind::kText, "", 1.0}}});
+  Table& writes = db.AddTable(TableSpec{
+      "writes",
+      {ColumnSpec{"aid", ColumnKind::kForeignKey, "author", 1.0},
+       ColumnSpec{"pid", ColumnKind::kForeignKey, "paper", 1.0}}});
+  author.AddRow({"jim gray"}, {});
+  author.AddRow({"mohan"}, {});
+  paper.AddRow({"transaction recovery"}, {});
+  paper.AddRow({"query optimization"}, {});
+  writes.AddRow({}, {0, 0});
+  writes.AddRow({}, {1, 0});
+  writes.AddRow({}, {1, 1});
+  db.BuildIndexes();
+  return db;
+}
+
+// ----------------------------------------------------------- Database --
+
+TEST(Database, TableAccessors) {
+  Database db = MakeMiniDb();
+  EXPECT_EQ(db.num_tables(), 3u);
+  EXPECT_EQ(db.TotalRows(), 7u);
+  EXPECT_EQ(db.TableIndex("paper"), 1u);
+  EXPECT_NE(db.FindTable("writes"), nullptr);
+  EXPECT_EQ(db.FindTable("movies"), nullptr);
+  EXPECT_EQ(db.table(2).num_fk_columns(), 2u);
+  EXPECT_EQ(db.table(0).num_text_columns(), 1u);
+}
+
+TEST(Database, RowAccess) {
+  Database db = MakeMiniDb();
+  const Table& writes = *db.FindTable("writes");
+  EXPECT_EQ(writes.FkAt(0, 0), 0);  // gray
+  EXPECT_EQ(writes.FkAt(2, 1), 1);  // query paper
+  EXPECT_EQ(db.table(0).TextAt(0, 0), "jim gray");
+  EXPECT_EQ(db.table(1).RowText(1), "query optimization");
+}
+
+TEST(Database, ReverseIndexFindsReferencingRows) {
+  Database db = MakeMiniDb();
+  uint32_t writes = db.TableIndex("writes");
+  // Rows of writes referencing author 1 (mohan) through fk slot 0.
+  const auto& rows = db.ReferencingRows(writes, 0, 1);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], 1);
+  EXPECT_EQ(rows[1], 2);
+  EXPECT_TRUE(db.ReferencingRows(writes, 1, 5).empty());
+}
+
+TEST(Database, SchemaEdges) {
+  Database db = MakeMiniDb();
+  auto edges = db.SchemaEdges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0].from_table, db.TableIndex("writes"));
+  EXPECT_EQ(edges[0].to_table, db.TableIndex("author"));
+  EXPECT_EQ(edges[1].to_table, db.TableIndex("paper"));
+}
+
+// ------------------------------------------------------- TupleMatcher --
+
+TEST(TupleMatcher, FindsRowsByKeyword) {
+  Database db = MakeMiniDb();
+  TupleMatcher m(db);
+  EXPECT_EQ(m.Rows(0, "gray").size(), 1u);
+  EXPECT_EQ(m.Rows(1, "transaction").size(), 1u);
+  EXPECT_TRUE(m.Rows(1, "gray").empty());
+  EXPECT_TRUE(m.Contains(0, "mohan", 1));
+  EXPECT_FALSE(m.Contains(0, "mohan", 0));
+  EXPECT_TRUE(m.TableHasKeyword(1, "query"));
+  EXPECT_FALSE(m.TableHasKeyword(2, "query"));  // link table has no text
+}
+
+TEST(TupleMatcher, CaseInsensitive) {
+  Database db = MakeMiniDb();
+  TupleMatcher m(db);
+  EXPECT_EQ(m.Rows(0, "GRAY").size(), 1u);
+}
+
+// ----------------------------------------------------- Data graph -----
+
+TEST(DataGraph, NodesAndEdges) {
+  Database db = MakeMiniDb();
+  DataGraph dg = BuildDataGraph(db);
+  EXPECT_EQ(dg.graph.num_nodes(), 7u);
+  // 6 forward FK edges + 6 derived backward = 12 directed edges.
+  EXPECT_EQ(dg.graph.num_edges(), 12u);
+  // writes#0 → author#0 (gray).
+  NodeId w0 = dg.NodeFor(db.TableIndex("writes"), 0);
+  NodeId gray = dg.NodeFor(db.TableIndex("author"), 0);
+  EXPECT_TRUE(dg.graph.HasEdge(w0, gray));
+}
+
+TEST(DataGraph, TupleForInvertsNodeFor) {
+  Database db = MakeMiniDb();
+  DataGraph dg = BuildDataGraph(db);
+  for (uint32_t t = 0; t < db.num_tables(); ++t) {
+    for (RowId r = 0; r < static_cast<RowId>(db.table(t).num_rows()); ++r) {
+      auto [tt, rr] = dg.TupleFor(dg.NodeFor(t, r));
+      EXPECT_EQ(tt, t);
+      EXPECT_EQ(rr, r);
+    }
+  }
+}
+
+TEST(DataGraph, IndexMatchesTextAndRelationNames) {
+  Database db = MakeMiniDb();
+  DataGraph dg = BuildDataGraph(db);
+  EXPECT_EQ(dg.index.MatchCount("transaction"), 1u);
+  // "paper" as relation name matches both paper tuples.
+  EXPECT_EQ(dg.index.MatchCount("paper"), 2u);
+  // "author" relation: both authors.
+  auto m = dg.index.Match("author");
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[0], dg.NodeFor(db.TableIndex("author"), 0));
+}
+
+TEST(DataGraph, NodeTypesMatchTables) {
+  Database db = MakeMiniDb();
+  DataGraph dg = BuildDataGraph(db);
+  NodeId paper0 = dg.NodeFor(db.TableIndex("paper"), 0);
+  EXPECT_EQ(dg.graph.type_names()[dg.graph.Type(paper0)], "paper");
+}
+
+TEST(DataGraph, NodeLabelsAreInformative) {
+  Database db = MakeMiniDb();
+  DataGraph dg = BuildDataGraph(db);
+  NodeId gray = dg.NodeFor(db.TableIndex("author"), 0);
+  EXPECT_NE(dg.node_labels[gray].find("jim gray"), std::string::npos);
+}
+
+// ------------------------------------------------ Candidate networks --
+
+TEST(CandidateNetwork, CoveredMaskAndLeaves) {
+  CandidateNetwork cn;
+  cn.nodes.push_back(CNNode{0, 1});
+  cn.nodes.push_back(CNNode{2, 0});
+  cn.nodes.push_back(CNNode{1, 2});
+  cn.edges.push_back(CNEdge{0, 1, 2, 0, 1});
+  cn.edges.push_back(CNEdge{1, 2, 2, 1, 1});
+  EXPECT_EQ(cn.CoveredMask(), 3u);
+  EXPECT_TRUE(cn.LeavesAreKeywordBearing());  // middle free node is internal
+  cn.nodes[2].keyword_mask = 0;
+  EXPECT_FALSE(cn.LeavesAreKeywordBearing());
+}
+
+TEST(CandidateNetwork, CanonicalKeyInvariantUnderRelabeling) {
+  // Same network built with nodes in different order.
+  CandidateNetwork a;
+  a.nodes = {CNNode{0, 1}, CNNode{2, 0}, CNNode{1, 2}};
+  a.edges = {CNEdge{0, 1, 2, 0, 1}, CNEdge{1, 2, 2, 1, 1}};
+  CandidateNetwork b;
+  b.nodes = {CNNode{1, 2}, CNNode{2, 0}, CNNode{0, 1}};
+  b.edges = {CNEdge{0, 1, 2, 1, 1}, CNEdge{1, 2, 2, 0, 1}};
+  EXPECT_EQ(a.CanonicalKey(), b.CanonicalKey());
+}
+
+TEST(CandidateNetwork, GenerationFindsAuthorPaperJoin) {
+  Database db = MakeMiniDb();
+  TupleMatcher m(db);
+  std::vector<std::string> keywords = {"gray", "transaction"};
+  std::vector<std::vector<bool>> has(db.num_tables());
+  for (uint32_t t = 0; t < db.num_tables(); ++t) {
+    has[t] = {m.TableHasKeyword(t, keywords[0]),
+              m.TableHasKeyword(t, keywords[1])};
+  }
+  CNGenerationOptions options;
+  options.max_size = 3;
+  auto cns = GenerateCandidateNetworks(db, 2, has, options);
+  ASSERT_FALSE(cns.empty());
+  // The classic author—writes—paper network of size 3 must be present.
+  bool found = false;
+  for (const auto& cn : cns) {
+    if (cn.size() != 3) continue;
+    std::multiset<uint32_t> tables;
+    for (const auto& node : cn.nodes) tables.insert(node.table);
+    if (tables == std::multiset<uint32_t>{0, 1, 2}) found = true;
+  }
+  EXPECT_TRUE(found);
+  // Sorted by size.
+  for (size_t i = 1; i < cns.size(); ++i) {
+    EXPECT_LE(cns[i - 1].size(), cns[i].size());
+  }
+  // No duplicates.
+  std::set<std::string> keys;
+  for (const auto& cn : cns) {
+    EXPECT_TRUE(keys.insert(cn.CanonicalKey()).second);
+  }
+  // Every accepted CN covers all keywords with keyword-bearing leaves.
+  for (const auto& cn : cns) {
+    EXPECT_EQ(cn.CoveredMask(), 3u);
+    EXPECT_TRUE(cn.LeavesAreKeywordBearing());
+  }
+}
+
+TEST(CandidateNetwork, RespectsMaxSize) {
+  Database db = MakeMiniDb();
+  TupleMatcher m(db);
+  std::vector<std::vector<bool>> has(db.num_tables());
+  for (uint32_t t = 0; t < db.num_tables(); ++t) {
+    has[t] = {m.TableHasKeyword(t, "gray"),
+              m.TableHasKeyword(t, "query")};
+  }
+  CNGenerationOptions options;
+  options.max_size = 2;
+  auto cns = GenerateCandidateNetworks(db, 2, has, options);
+  for (const auto& cn : cns) EXPECT_LE(cn.size(), 2u);
+}
+
+TEST(CandidateNetwork, CitesStyleDoubleFkDistinguished) {
+  // A cites-like table with two FKs into the same target: the two join
+  // directions through different FK columns are distinct networks and
+  // evaluation must follow the right column.
+  Database db;
+  Table& paper = db.AddTable(
+      TableSpec{"paper", {ColumnSpec{"title", ColumnKind::kText, "", 1.0}}});
+  Table& cites = db.AddTable(TableSpec{
+      "cites",
+      {ColumnSpec{"citing", ColumnKind::kForeignKey, "paper", 1.0},
+       ColumnSpec{"cited", ColumnKind::kForeignKey, "paper", 1.0}}});
+  paper.AddRow({"alpha work"}, {});
+  paper.AddRow({"beta work"}, {});
+  paper.AddRow({"gamma work"}, {});
+  cites.AddRow({}, {0, 1});  // alpha cites beta
+  cites.AddRow({}, {2, 1});  // gamma cites beta
+  db.BuildIndexes();
+
+  SparseSearcher sparse(&db);
+  SparseSearcher::Options options;
+  options.max_cn_size = 3;
+  // alpha and beta connect through cites#0: paper—cites—paper.
+  auto r = sparse.Search({"alpha", "beta"}, options);
+  bool direct = false;
+  for (const auto& jr : r.results) {
+    std::set<std::pair<uint32_t, RowId>> tuples(jr.tuples.begin(),
+                                                jr.tuples.end());
+    if (tuples.count({0, 0}) && tuples.count({0, 1}) && tuples.count({1, 0})) {
+      direct = true;
+    }
+  }
+  EXPECT_TRUE(direct) << "citing->cited join not found";
+
+  // alpha and gamma co-cite beta: needs 5 tuples
+  // (alpha—cites#0—beta—cites#1—gamma).
+  options.max_cn_size = 5;
+  r = sparse.Search({"alpha", "gamma"}, options);
+  bool cocite = false;
+  for (const auto& jr : r.results) {
+    std::set<std::pair<uint32_t, RowId>> tuples(jr.tuples.begin(),
+                                                jr.tuples.end());
+    if (tuples.count({0, 0}) && tuples.count({0, 2}) && tuples.count({1, 0}) &&
+        tuples.count({1, 1})) {
+      cocite = true;
+    }
+  }
+  EXPECT_TRUE(cocite) << "co-citation join not found";
+}
+
+// -------------------------------------------------------------- Sparse --
+
+TEST(Sparse, FindsGrayTransactionJoin) {
+  Database db = MakeMiniDb();
+  SparseSearcher sparse(&db);
+  SparseSearcher::Options options;
+  options.max_cn_size = 3;
+  auto result = sparse.Search({"gray", "transaction"}, options);
+  ASSERT_FALSE(result.results.empty());
+  // Expect the tree {author gray, writes#0, paper transaction}.
+  bool found = false;
+  for (const auto& jr : result.results) {
+    std::set<std::pair<uint32_t, RowId>> tuples(jr.tuples.begin(),
+                                                jr.tuples.end());
+    if (tuples.count({0, 0}) && tuples.count({1, 0}) && tuples.count({2, 0})) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Sparse, AndSemanticsRejectsPartialMatches) {
+  Database db = MakeMiniDb();
+  SparseSearcher sparse(&db);
+  SparseSearcher::Options options;
+  options.max_cn_size = 3;
+  // "gray" and "optimization" are not connected within 3 tuples:
+  // gray—writes#0—paper#0 does not contain optimization.
+  auto result = sparse.Search({"gray", "optimization"}, options);
+  EXPECT_TRUE(result.results.empty());
+  // With 5 tuples, gray—writes—paper? No path: gray wrote only paper 0.
+  options.max_cn_size = 5;
+  result = sparse.Search({"gray", "optimization"}, options);
+  EXPECT_TRUE(result.results.empty());
+}
+
+TEST(Sparse, MohanQueryJoinsThroughSharedPaper) {
+  Database db = MakeMiniDb();
+  SparseSearcher sparse(&db);
+  SparseSearcher::Options options;
+  options.max_cn_size = 5;
+  // gray & mohan co-authored paper 0: path author—writes—paper—writes—author.
+  auto result = sparse.Search({"gray", "mohan"}, options);
+  ASSERT_FALSE(result.results.empty());
+  bool found = false;
+  for (const auto& jr : result.results) {
+    std::set<std::pair<uint32_t, RowId>> tuples(jr.tuples.begin(),
+                                                jr.tuples.end());
+    if (tuples.count({0, 0}) && tuples.count({0, 1}) && tuples.count({1, 0})) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Sparse, SingleKeywordSingleTupleNetworks) {
+  Database db = MakeMiniDb();
+  SparseSearcher sparse(&db);
+  SparseSearcher::Options options;
+  options.max_cn_size = 1;
+  auto result = sparse.Search({"mohan"}, options);
+  ASSERT_EQ(result.results.size(), 1u);
+  EXPECT_EQ(result.results[0].tuples[0],
+            (std::pair<uint32_t, RowId>{0, 1}));
+}
+
+TEST(Sparse, PerNetworkTopKRespected) {
+  Database db = MakeMiniDb();
+  SparseSearcher sparse(&db);
+  SparseSearcher::Options options;
+  options.max_cn_size = 3;
+  options.k_per_network = 1;
+  auto result = sparse.Search({"mohan"}, options);
+  // mohan wrote two papers; k_per_network=1 caps each CN's results.
+  std::set<size_t> per_cn_counts;
+  std::vector<size_t> counts(result.networks.size(), 0);
+  for (const auto& jr : result.results) counts[jr.network_index]++;
+  for (size_t c : counts) EXPECT_LE(c, 1u);
+}
+
+TEST(Sparse, DistinctTuplesWithinResult) {
+  Database db = MakeMiniDb();
+  SparseSearcher sparse(&db);
+  SparseSearcher::Options options;
+  options.max_cn_size = 5;
+  auto result = sparse.Search({"gray", "mohan"}, options);
+  for (const auto& jr : result.results) {
+    std::set<std::pair<uint32_t, RowId>> tuples(jr.tuples.begin(),
+                                                jr.tuples.end());
+    EXPECT_EQ(tuples.size(), jr.tuples.size())
+        << "a tuple appears twice in one joined result";
+  }
+}
+
+}  // namespace
+}  // namespace banks

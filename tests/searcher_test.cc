@@ -1,0 +1,211 @@
+#include "search/searcher.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.h"
+
+namespace banks {
+namespace {
+
+using testing::MakeFig4Graph;
+using testing::MakePathGraph;
+using testing::MakeStarGraph;
+using testing::RunSearch;
+using testing::ValidateAnswers;
+
+/// Cross-algorithm behaviours: every test below runs for all three
+/// searchers through this parameterized fixture.
+class AllAlgorithms : public ::testing::TestWithParam<Algorithm> {};
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, AllAlgorithms,
+                         ::testing::Values(Algorithm::kBackwardMI,
+                                           Algorithm::kBackwardSI,
+                                           Algorithm::kBidirectional),
+                         [](const auto& info) {
+                           std::string name = AlgorithmName(info.param);
+                           name.erase(std::remove(name.begin(), name.end(), '-'),
+                                      name.end());
+                           return name;
+                         });
+
+TEST_P(AllAlgorithms, EmptyQueryYieldsNothing) {
+  Graph g = MakePathGraph(3);
+  SearchResult r = RunSearch(GetParam(), g, {});
+  EXPECT_TRUE(r.answers.empty());
+}
+
+TEST_P(AllAlgorithms, EmptyOriginSetYieldsNothing) {
+  Graph g = MakePathGraph(3);
+  SearchResult r = RunSearch(GetParam(), g, {{0}, {}});
+  EXPECT_TRUE(r.answers.empty());
+  EXPECT_EQ(r.metrics.answers_generated, 0u);
+}
+
+TEST_P(AllAlgorithms, SingleKeywordReturnsMatchingNodes) {
+  Graph g = MakePathGraph(5);
+  SearchResult r = RunSearch(GetParam(), g, {{1, 3}});
+  ASSERT_EQ(r.answers.size(), 2u);
+  for (const AnswerTree& t : r.answers) {
+    EXPECT_TRUE(t.edges.empty());
+    EXPECT_EQ(t.root, t.keyword_nodes[0]);
+    EXPECT_TRUE(t.root == 1 || t.root == 3);
+  }
+  EXPECT_EQ(ValidateAnswers(g, r), "");
+}
+
+TEST_P(AllAlgorithms, TwoKeywordsOnPathFindConnection) {
+  // 0→1→2→3→4 with unit forward weights; keywords at 0 and 4.
+  Graph g = MakePathGraph(5);
+  SearchResult r = RunSearch(GetParam(), g, {{0}, {4}});
+  ASSERT_FALSE(r.answers.empty());
+  const AnswerTree& best = r.answers[0];
+  EXPECT_EQ(ValidateAnswers(g, r), "");
+  // Both keyword nodes present.
+  EXPECT_EQ(best.keyword_nodes[0], 0u);
+  EXPECT_EQ(best.keyword_nodes[1], 4u);
+  // Every root on the path yields Eraw = 4 (forward and derived backward
+  // edges all have weight 1 here), so assert the score, not the root.
+  EXPECT_NEAR(best.edge_score_raw, 4.0, 1e-6);
+}
+
+TEST_P(AllAlgorithms, KeywordsAtSameNode) {
+  Graph g = MakePathGraph(3);
+  SearchResult r = RunSearch(GetParam(), g, {{1}, {1}});
+  ASSERT_FALSE(r.answers.empty());
+  EXPECT_EQ(r.answers[0].root, 1u);
+  EXPECT_NEAR(r.answers[0].edge_score_raw, 0.0, 1e-9);
+}
+
+TEST_P(AllAlgorithms, CoCitationThroughBackwardEdges) {
+  // u cites v and w: forward edges u→v, u→w. An answer connecting v and
+  // w must traverse backward edges via u (the paper's co-citation
+  // motivation for backward edges).
+  GraphBuilder b;
+  b.AddNodes(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  Graph g = b.Build();
+  SearchResult r = RunSearch(GetParam(), g, {{1}, {2}});
+  ASSERT_FALSE(r.answers.empty());
+  const AnswerTree& best = r.answers[0];
+  EXPECT_EQ(best.root, 0u);
+  EXPECT_EQ(best.edges.size(), 2u);
+  EXPECT_EQ(ValidateAnswers(g, r), "");
+}
+
+TEST_P(AllAlgorithms, MinimalRootRuleDiscardsChains) {
+  // Path 0→1→2; keywords {1} and {2}. Tree rooted at 0 with single
+  // child 1 would be non-minimal (all keywords below); it must not
+  // appear. Valid roots: 1 (forward to 2).
+  Graph g = MakePathGraph(3);
+  SearchResult r = RunSearch(GetParam(), g, {{1}, {2}});
+  ASSERT_FALSE(r.answers.empty());
+  for (const AnswerTree& t : r.answers) {
+    EXPECT_TRUE(t.IsMinimalRooted());
+    EXPECT_NE(t.root, 0u) << "non-minimal chain root emitted";
+  }
+  // Roots 1 (forward to 2) and 2 (keyword at root, backward to 1) tie
+  // with Eraw = 1; root 0 is non-minimal and must be absent.
+  EXPECT_NEAR(r.answers[0].edge_score_raw, 1.0, 1e-6);
+}
+
+TEST_P(AllAlgorithms, RespectsK) {
+  Graph g = MakeStarGraph(20);
+  std::vector<NodeId> leaves;
+  for (NodeId v = 1; v <= 20; ++v) leaves.push_back(v);
+  SearchOptions options;
+  options.k = 3;
+  SearchResult r = RunSearch(GetParam(), g, {leaves, {0}}, options);
+  EXPECT_LE(r.answers.size(), 3u);
+  EXPECT_EQ(r.metrics.answers_output, r.answers.size());
+}
+
+TEST_P(AllAlgorithms, RespectsDmax) {
+  // Keywords 10 hops apart with dmax = 3: unreachable.
+  Graph g = MakePathGraph(12);
+  SearchOptions options;
+  options.dmax = 3;
+  SearchResult r = RunSearch(GetParam(), g, {{0}, {11}}, options);
+  EXPECT_TRUE(r.answers.empty());
+}
+
+TEST_P(AllAlgorithms, RespectsNodeBudget) {
+  Graph g = testing::MakeRandomGraph(500, 2000, 11);
+  SearchOptions options;
+  options.max_nodes_explored = 10;
+  SearchResult r = RunSearch(GetParam(), g, {{0}, {1}, {2}}, options);
+  // Budget is a stop condition, not a hard cap mid-expansion; allow
+  // slack of one expansion round.
+  EXPECT_LE(r.metrics.nodes_explored, 12u);
+}
+
+TEST_P(AllAlgorithms, DisconnectedKeywordsYieldNothing) {
+  GraphBuilder b;
+  b.AddNodes(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);
+  Graph g = b.Build();
+  SearchResult r = RunSearch(GetParam(), g, {{0}, {3}});
+  EXPECT_TRUE(r.answers.empty());
+}
+
+TEST_P(AllAlgorithms, ScoresSortedInOutputOrder) {
+  Graph g = testing::MakeRandomGraph(200, 800, 5);
+  SearchOptions options;
+  options.k = 10;
+  SearchResult r = RunSearch(GetParam(), g, {{0, 10, 20}, {1, 11, 21}},
+                             options);
+  EXPECT_EQ(ValidateAnswers(g, r), "");
+  EXPECT_TRUE(testing::ScoresNonIncreasing(r))
+      << "answers released out of relevance order";
+}
+
+TEST_P(AllAlgorithms, AnswersAreDeduplicated) {
+  Graph g = testing::MakeRandomGraph(100, 400, 9);
+  SearchResult r = RunSearch(GetParam(), g, {{0, 5}, {1, 6}});
+  std::vector<uint64_t> sigs;
+  for (const AnswerTree& t : r.answers) sigs.push_back(t.Signature());
+  std::sort(sigs.begin(), sigs.end());
+  EXPECT_EQ(std::adjacent_find(sigs.begin(), sigs.end()), sigs.end())
+      << "duplicate (rotated) answer emitted";
+}
+
+TEST_P(AllAlgorithms, MetricsAreConsistent) {
+  Graph g = testing::MakeRandomGraph(300, 1200, 13);
+  SearchResult r = RunSearch(GetParam(), g, {{0, 1, 2}, {3, 4}});
+  EXPECT_EQ(r.metrics.answers_output, r.answers.size());
+  EXPECT_EQ(r.metrics.output_times.size(), r.answers.size());
+  EXPECT_EQ(r.metrics.generated_times.size(), r.answers.size());
+  EXPECT_GE(r.metrics.nodes_touched, 1u);
+  for (size_t i = 0; i < r.answers.size(); ++i) {
+    EXPECT_LE(r.metrics.generated_times[i],
+              r.metrics.output_times[i] + 1e-9);
+  }
+  for (size_t i = 1; i < r.metrics.output_times.size(); ++i) {
+    EXPECT_LE(r.metrics.output_times[i - 1],
+              r.metrics.output_times[i] + 1e-9);
+  }
+}
+
+TEST_P(AllAlgorithms, Fig4QueryFindsRootPaper) {
+  testing::Fig4Graph fig = MakeFig4Graph();
+  SearchResult r = RunSearch(
+      GetParam(), fig.graph,
+      {fig.database_papers, {fig.james}, {fig.john}});
+  ASSERT_FALSE(r.answers.empty()) << "Figure 4 answer not found";
+  // The best answer must be the tree rooted at the co-authored paper.
+  const AnswerTree& best = r.answers[0];
+  EXPECT_EQ(best.root, fig.root_paper);
+  EXPECT_EQ(ValidateAnswers(fig.graph, r), "");
+}
+
+TEST(AlgorithmName, AllNamesDistinct) {
+  EXPECT_STREQ(AlgorithmName(Algorithm::kBackwardMI), "MI-Backward");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kBackwardSI), "SI-Backward");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kBidirectional), "Bidirectional");
+}
+
+}  // namespace
+}  // namespace banks

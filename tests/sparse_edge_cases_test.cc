@@ -1,0 +1,114 @@
+// Failure-injection and edge-case coverage for the Sparse baseline and
+// the workload generator: empty tables, null FKs, keyword-free tables,
+// unsatisfiable category constraints.
+
+#include <gtest/gtest.h>
+
+#include "datasets/workload.h"
+#include "relational/graph_builder.h"
+#include "relational/sparse.h"
+
+namespace banks {
+namespace {
+
+Database MakeDbWithNulls() {
+  Database db;
+  Table& dept = db.AddTable(
+      TableSpec{"dept", {ColumnSpec{"name", ColumnKind::kText, "", 1.0}}});
+  Table& person = db.AddTable(TableSpec{
+      "person",
+      {ColumnSpec{"name", ColumnKind::kText, "", 1.0},
+       ColumnSpec{"dept", ColumnKind::kForeignKey, "dept", 1.0}}});
+  dept.AddRow({"engineering"}, {});
+  person.AddRow({"ada"}, {0});
+  person.AddRow({"grace"}, {kNullRow});  // no department
+  db.BuildIndexes();
+  return db;
+}
+
+TEST(SparseEdgeCases, NullForeignKeysSkipped) {
+  Database db = MakeDbWithNulls();
+  SparseSearcher sparse(&db);
+  SparseSearcher::Options options;
+  options.max_cn_size = 2;
+  // ada—dept joins; grace has no dept so "grace engineering" at size 2
+  // yields nothing.
+  auto r = sparse.Search({"ada", "engineering"}, options);
+  EXPECT_FALSE(r.results.empty());
+  r = sparse.Search({"grace", "engineering"}, options);
+  EXPECT_TRUE(r.results.empty());
+}
+
+TEST(SparseEdgeCases, NullFkProducesNoGraphEdge) {
+  Database db = MakeDbWithNulls();
+  DataGraph dg = BuildDataGraph(db);
+  NodeId grace = dg.NodeFor(db.TableIndex("person"), 1);
+  EXPECT_EQ(dg.graph.OutDegree(grace), 0u);
+  NodeId ada = dg.NodeFor(db.TableIndex("person"), 0);
+  EXPECT_EQ(dg.graph.OutDegree(ada), 1u);
+}
+
+TEST(SparseEdgeCases, EmptyDatabase) {
+  Database db;
+  db.AddTable(
+      TableSpec{"empty", {ColumnSpec{"t", ColumnKind::kText, "", 1.0}}});
+  db.BuildIndexes();
+  SparseSearcher sparse(&db);
+  auto r = sparse.Search({"anything"}, SparseSearcher::Options{});
+  EXPECT_TRUE(r.results.empty());
+  EXPECT_TRUE(r.networks.empty());
+
+  DataGraph dg = BuildDataGraph(db);
+  EXPECT_EQ(dg.graph.num_nodes(), 0u);
+}
+
+TEST(SparseEdgeCases, NoKeywordsYieldNothing) {
+  Database db = MakeDbWithNulls();
+  SparseSearcher sparse(&db);
+  auto r = sparse.Search({}, SparseSearcher::Options{});
+  EXPECT_TRUE(r.results.empty());
+}
+
+TEST(WorkloadEdgeCases, UnsatisfiableCategoriesProduceEmptyWorkload) {
+  Database db = MakeDbWithNulls();
+  DataGraph dg = BuildDataGraph(db);
+  WorkloadGenerator gen(&db, &dg);
+  WorkloadOptions options;
+  options.num_queries = 3;
+  options.answer_size = 2;
+  options.max_attempts_per_query = 30;
+  // Nothing in this 3-row database matches a "large" keyword.
+  options.thresholds.large_min = 1000;
+  options.categories = {FreqCategory::kLarge, FreqCategory::kLarge};
+  EXPECT_TRUE(gen.Generate(options).empty());
+}
+
+TEST(WorkloadEdgeCases, TreeLargerThanDatabaseFails) {
+  Database db = MakeDbWithNulls();
+  DataGraph dg = BuildDataGraph(db);
+  WorkloadGenerator gen(&db, &dg);
+  WorkloadOptions options;
+  options.num_queries = 1;
+  options.answer_size = 10;  // only 3 rows exist
+  options.max_attempts_per_query = 20;
+  EXPECT_TRUE(gen.Generate(options).empty());
+}
+
+TEST(WorkloadEdgeCases, TinyDatabaseStillGenerates) {
+  Database db = MakeDbWithNulls();
+  DataGraph dg = BuildDataGraph(db);
+  WorkloadGenerator gen(&db, &dg);
+  WorkloadOptions options;
+  options.num_queries = 1;
+  options.answer_size = 2;
+  options.min_keywords = 2;
+  options.max_keywords = 2;
+  options.seed = 5;
+  auto queries = gen.Generate(options);
+  ASSERT_EQ(queries.size(), 1u);
+  EXPECT_EQ(queries[0].keywords.size(), 2u);
+  EXPECT_FALSE(queries[0].relevant.empty());
+}
+
+}  // namespace
+}  // namespace banks

@@ -1,0 +1,102 @@
+#include "search/tree_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+namespace banks {
+namespace {
+
+TEST(TreeBuilder, SingleNodeTree) {
+  auto tree = BuildAnswerFromPathUnion(5, {5, 5}, {});
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_EQ(tree->root, 5u);
+  EXPECT_TRUE(tree->edges.empty());
+  EXPECT_DOUBLE_EQ(tree->keyword_distances[0], 0);
+  EXPECT_DOUBLE_EQ(tree->keyword_distances[1], 0);
+}
+
+TEST(TreeBuilder, SimplePath) {
+  std::vector<AnswerEdge> union_edges = {{0, 1, 1.0f}, {1, 2, 2.0f}};
+  auto tree = BuildAnswerFromPathUnion(0, {2}, union_edges);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_EQ(tree->edges.size(), 2u);
+  EXPECT_DOUBLE_EQ(tree->keyword_distances[0], 3.0);
+}
+
+TEST(TreeBuilder, DiamondResolvedToTree) {
+  // Two root→keyword paths re-merge at node 3: the union is a DAG; the
+  // builder must return a tree using the cheaper branch.
+  std::vector<AnswerEdge> union_edges = {
+      {0, 1, 1.0f}, {1, 3, 1.0f},   // cheap branch: cost 2
+      {0, 2, 2.0f}, {2, 3, 2.0f},   // expensive branch: cost 4
+  };
+  auto tree = BuildAnswerFromPathUnion(0, {3}, union_edges);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_DOUBLE_EQ(tree->keyword_distances[0], 2.0);
+  // No node may have two parents.
+  std::map<NodeId, int> parents;
+  for (const AnswerEdge& e : tree->edges) parents[e.child]++;
+  for (auto [child, count] : parents) EXPECT_EQ(count, 1) << child;
+  // The expensive branch must be pruned entirely.
+  EXPECT_EQ(tree->edges.size(), 2u);
+}
+
+TEST(TreeBuilder, UnreachableTargetIsNullopt) {
+  std::vector<AnswerEdge> union_edges = {{0, 1, 1.0f}};
+  EXPECT_FALSE(BuildAnswerFromPathUnion(0, {2}, union_edges).has_value());
+  EXPECT_FALSE(BuildAnswerFromPathUnion(3, {1}, union_edges).has_value());
+}
+
+TEST(TreeBuilder, ParallelEdgesKeepMinWeight) {
+  std::vector<AnswerEdge> union_edges = {{0, 1, 5.0f}, {0, 1, 1.5f}};
+  auto tree = BuildAnswerFromPathUnion(0, {1}, union_edges);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_NEAR(tree->keyword_distances[0], 1.5, 1e-6);
+}
+
+TEST(TreeBuilder, SharedPrefixCountedPerKeyword) {
+  // root→a shared by both keyword paths, then a→k1, a→k2.
+  std::vector<AnswerEdge> union_edges = {
+      {0, 1, 1.0f}, {1, 2, 1.0f}, {1, 3, 2.0f}};
+  auto tree = BuildAnswerFromPathUnion(0, {2, 3}, union_edges);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_DOUBLE_EQ(tree->keyword_distances[0], 2.0);
+  EXPECT_DOUBLE_EQ(tree->keyword_distances[1], 3.0);
+  // Shared edge appears once in the tree.
+  EXPECT_EQ(tree->edges.size(), 3u);
+}
+
+TEST(TreeBuilder, PrunesBranchesToNoKeyword) {
+  // Union contains a stray edge not on any root→keyword path.
+  std::vector<AnswerEdge> union_edges = {
+      {0, 1, 1.0f}, {0, 9, 1.0f}};
+  auto tree = BuildAnswerFromPathUnion(0, {1}, union_edges);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_EQ(tree->edges.size(), 1u);
+  EXPECT_EQ(tree->edges[0].child, 1u);
+}
+
+TEST(TreeBuilder, CycleInUnionHandled) {
+  // Union with a cycle (possible from stale sp chains): Dijkstra is
+  // immune; result is still a tree.
+  std::vector<AnswerEdge> union_edges = {
+      {0, 1, 1.0f}, {1, 2, 1.0f}, {2, 0, 1.0f}};
+  auto tree = BuildAnswerFromPathUnion(0, {2}, union_edges);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_DOUBLE_EQ(tree->keyword_distances[0], 2.0);
+  EXPECT_EQ(tree->edges.size(), 2u);
+}
+
+TEST(TreeBuilder, KeywordAtRootPlusDistantKeyword) {
+  std::vector<AnswerEdge> union_edges = {{0, 1, 1.5f}};
+  auto tree = BuildAnswerFromPathUnion(0, {0, 1}, union_edges);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_DOUBLE_EQ(tree->keyword_distances[0], 0.0);
+  EXPECT_DOUBLE_EQ(tree->keyword_distances[1], 1.5);
+  EXPECT_TRUE(tree->RootMatchesAKeyword());
+}
+
+}  // namespace
+}  // namespace banks

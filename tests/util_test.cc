@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+#include "util/zipf.h"
+
+namespace banks {
+namespace {
+
+// ---------------------------------------------------------------- Rng --
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+  EXPECT_EQ(rng.Below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Range(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(13);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+// --------------------------------------------------------------- Zipf --
+
+TEST(Zipf, ProbabilitiesSumToOne) {
+  ZipfSampler z(100, 0.9);
+  double sum = 0;
+  for (size_t r = 0; r < z.n(); ++r) sum += z.Probability(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, RankZeroMostLikely) {
+  ZipfSampler z(50, 1.0);
+  for (size_t r = 1; r < z.n(); ++r) {
+    EXPECT_GE(z.Probability(0), z.Probability(r));
+  }
+}
+
+TEST(Zipf, EmpiricalFrequenciesMatchTheory) {
+  ZipfSampler z(10, 1.0);
+  Rng rng(5);
+  std::vector<int> counts(10, 0);
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) counts[z.Sample(&rng)]++;
+  for (size_t r = 0; r < 10; ++r) {
+    double expected = z.Probability(r) * kSamples;
+    EXPECT_NEAR(counts[r], expected, 5 * std::sqrt(expected) + 5)
+        << "rank " << r;
+  }
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  ZipfSampler z(4, 0.0);
+  for (size_t r = 0; r < 4; ++r) EXPECT_NEAR(z.Probability(r), 0.25, 1e-9);
+}
+
+TEST(Zipf, SingleElement) {
+  ZipfSampler z(1, 2.0);
+  Rng rng(1);
+  EXPECT_EQ(z.Sample(&rng), 0u);
+  EXPECT_NEAR(z.Probability(0), 1.0, 1e-12);
+}
+
+// -------------------------------------------------------------- Stats --
+
+TEST(Stats, MeanAndMedian) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({5, 1, 3}), 3);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0);
+  EXPECT_DOUBLE_EQ(Median({}), 0);
+}
+
+TEST(Stats, GeoMean) {
+  EXPECT_NEAR(GeoMean({1, 4}), 2.0, 1e-12);
+  EXPECT_NEAR(GeoMean({2, 2, 2}), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(GeoMean({}), 0);
+}
+
+TEST(Stats, StdDev) {
+  EXPECT_DOUBLE_EQ(StdDev({2, 2, 2}), 0);
+  EXPECT_NEAR(StdDev({1, 3}), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(StdDev({7}), 0);
+}
+
+// ------------------------------------------------------------ Strings --
+
+TEST(StringUtil, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("Hello World 42"), "hello world 42");
+  EXPECT_EQ(ToLowerAscii(""), "");
+}
+
+TEST(StringUtil, SplitAndTrim) {
+  auto parts = SplitAndTrim("a,b;;c", ",;");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_TRUE(SplitAndTrim(",,,", ",").empty());
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(StartsWith("conference", "conf"));
+  EXPECT_FALSE(StartsWith("conf", "conference"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+}  // namespace
+}  // namespace banks

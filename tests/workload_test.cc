@@ -1,0 +1,164 @@
+#include "datasets/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datasets/dblp_gen.h"
+#include "relational/graph_builder.h"
+
+namespace banks {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DblpConfig config;
+    config.num_authors = 300;
+    config.num_papers = 600;
+    config.num_conferences = 20;
+    db_ = new Database(GenerateDblp(config));
+    dg_ = new DataGraph(BuildDataGraph(*db_));
+  }
+  static void TearDownTestSuite() {
+    delete dg_;
+    delete db_;
+  }
+  static Database* db_;
+  static DataGraph* dg_;
+};
+
+Database* WorkloadTest::db_ = nullptr;
+DataGraph* WorkloadTest::dg_ = nullptr;
+
+TEST_F(WorkloadTest, GeneratesRequestedQueryCount) {
+  WorkloadGenerator gen(db_, dg_);
+  WorkloadOptions options;
+  options.num_queries = 10;
+  options.answer_size = 3;
+  options.min_keywords = 2;
+  options.max_keywords = 3;
+  options.seed = 7;
+  auto queries = gen.Generate(options);
+  EXPECT_EQ(queries.size(), 10u);
+  for (const auto& q : queries) {
+    EXPECT_GE(q.keywords.size(), 2u);
+    EXPECT_LE(q.keywords.size(), 3u);
+    EXPECT_EQ(q.origin_sizes.size(), q.keywords.size());
+    EXPECT_EQ(q.generating_tree_nodes.size(), 3u);
+    EXPECT_FALSE(q.relevant.empty());
+  }
+}
+
+TEST_F(WorkloadTest, DeterministicForSeed) {
+  WorkloadGenerator gen(db_, dg_);
+  WorkloadOptions options;
+  options.num_queries = 5;
+  options.answer_size = 3;
+  options.seed = 42;
+  auto a = gen.Generate(options);
+  auto b = gen.Generate(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].keywords, b[i].keywords);
+  }
+}
+
+TEST_F(WorkloadTest, KeywordsActuallyMatchOriginSizes) {
+  WorkloadGenerator gen(db_, dg_);
+  WorkloadOptions options;
+  options.num_queries = 8;
+  options.answer_size = 4;
+  options.seed = 3;
+  for (const auto& q : gen.Generate(options)) {
+    for (size_t i = 0; i < q.keywords.size(); ++i) {
+      EXPECT_EQ(dg_->index.MatchCount(q.keywords[i]), q.origin_sizes[i]);
+      EXPECT_GE(q.origin_sizes[i], 1u);
+    }
+  }
+}
+
+TEST_F(WorkloadTest, GeneratingTreeIsAmongRelevantAnswers) {
+  WorkloadGenerator gen(db_, dg_);
+  WorkloadOptions options;
+  options.num_queries = 10;
+  options.answer_size = 3;
+  options.seed = 11;
+  for (const auto& q : gen.Generate(options)) {
+    bool found = std::find(q.relevant.begin(), q.relevant.end(),
+                           q.generating_tree_nodes) != q.relevant.end();
+    EXPECT_TRUE(found)
+        << "the generating join tree must be in its own relevant set";
+  }
+}
+
+TEST_F(WorkloadTest, RelevantSetsAreSortedUniqueNodeSets) {
+  WorkloadGenerator gen(db_, dg_);
+  WorkloadOptions options;
+  options.num_queries = 6;
+  options.answer_size = 4;
+  options.seed = 17;
+  for (const auto& q : gen.Generate(options)) {
+    for (const auto& nodes : q.relevant) {
+      EXPECT_TRUE(std::is_sorted(nodes.begin(), nodes.end()));
+      EXPECT_EQ(std::adjacent_find(nodes.begin(), nodes.end()), nodes.end());
+      for (NodeId v : nodes) EXPECT_LT(v, dg_->graph.num_nodes());
+    }
+  }
+}
+
+TEST_F(WorkloadTest, CategoryConstraintsRespected) {
+  WorkloadGenerator gen(db_, dg_);
+  WorkloadOptions options;
+  options.num_queries = 5;
+  options.answer_size = 3;
+  options.seed = 23;
+  // Thresholds scaled for the small test dataset (max df is ~150 here).
+  options.thresholds.tiny_max = 10;
+  options.thresholds.small_min = 11;
+  options.thresholds.small_max = 30;
+  options.thresholds.medium_min = 31;
+  options.thresholds.medium_max = 60;
+  options.thresholds.large_min = 61;
+  options.categories = {FreqCategory::kTiny, FreqCategory::kTiny,
+                        FreqCategory::kLarge};
+  auto queries = gen.Generate(options);
+  for (const auto& q : queries) {
+    ASSERT_EQ(q.keywords.size(), 3u);
+    EXPECT_LE(q.origin_sizes[0], 10u);
+    EXPECT_LE(q.origin_sizes[1], 10u);
+    EXPECT_GE(q.origin_sizes[2], 61u);
+  }
+  // The DBLP titles are Zipf-skewed, so this combination is satisfiable.
+  EXPECT_FALSE(queries.empty());
+}
+
+TEST(FreqThresholds, CategorizeAndMatch) {
+  FreqThresholds t;
+  t.tiny_max = 10;
+  t.small_min = 20;
+  t.small_max = 30;
+  t.medium_min = 40;
+  t.medium_max = 50;
+  t.large_min = 60;
+  EXPECT_EQ(t.Categorize(5), FreqCategory::kTiny);
+  EXPECT_EQ(t.Categorize(25), FreqCategory::kSmall);
+  EXPECT_EQ(t.Categorize(45), FreqCategory::kMedium);
+  EXPECT_EQ(t.Categorize(100), FreqCategory::kLarge);
+  EXPECT_EQ(t.Categorize(15), FreqCategory::kAny);  // between bands
+  EXPECT_TRUE(t.Matches(FreqCategory::kAny, 15));
+  EXPECT_FALSE(t.Matches(FreqCategory::kAny, 0));
+  EXPECT_TRUE(t.Matches(FreqCategory::kLarge, 60));
+  EXPECT_FALSE(t.Matches(FreqCategory::kLarge, 59));
+}
+
+TEST(FreqCategoryLetter, Letters) {
+  EXPECT_EQ(FreqCategoryLetter(FreqCategory::kTiny), 'T');
+  EXPECT_EQ(FreqCategoryLetter(FreqCategory::kSmall), 'S');
+  EXPECT_EQ(FreqCategoryLetter(FreqCategory::kMedium), 'M');
+  EXPECT_EQ(FreqCategoryLetter(FreqCategory::kLarge), 'L');
+  EXPECT_EQ(FreqCategoryLetter(FreqCategory::kAny), '*');
+}
+
+}  // namespace
+}  // namespace banks
