@@ -1,0 +1,191 @@
+// SearchContext cold-vs-warm microbenchmark.
+//
+// Runs the §5.4 DBLP generator workload through each algorithm twice:
+// once with a fresh SearchContext per query (cold — the pre-context
+// behaviour of allocating all per-query state from scratch) and once
+// with a single context reused across the whole query stream (warm).
+// Reports per-query latency, the warm speedup, and heap allocation
+// counts measured by a counting global operator new.
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <new>
+#include <vector>
+
+#include "bench_common.h"
+#include "datasets/workload.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+// ---- Counting global allocator ---------------------------------------------
+
+namespace {
+
+std::atomic<uint64_t> g_alloc_count{0};
+std::atomic<uint64_t> g_alloc_bytes{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace banks::bench {
+namespace {
+
+struct ModeStats {
+  double seconds = 0;
+  uint64_t allocs = 0;
+  uint64_t bytes = 0;
+  size_t answers = 0;  // checksum: must match across modes
+};
+
+constexpr size_t kRepetitions = 3;
+
+/// Runs every query `kRepetitions` times. `warm` reuses one context for
+/// the entire stream; cold constructs a fresh context per query.
+ModeStats RunMode(const BenchEnv& env,
+                  const std::vector<std::vector<std::vector<NodeId>>>& queries,
+                  Algorithm algorithm, const SearchOptions& options,
+                  bool warm) {
+  auto searcher =
+      CreateSearcher(algorithm, env.dg.graph, env.prestige, options);
+  SearchContext reused;
+  ModeStats stats;
+  const uint64_t allocs0 = g_alloc_count.load(std::memory_order_relaxed);
+  const uint64_t bytes0 = g_alloc_bytes.load(std::memory_order_relaxed);
+  Timer timer;
+  for (size_t rep = 0; rep < kRepetitions; ++rep) {
+    for (const auto& origins : queries) {
+      if (warm) {
+        stats.answers += searcher->Search(origins, &reused).answers.size();
+      } else {
+        SearchContext fresh;
+        stats.answers += searcher->Search(origins, &fresh).answers.size();
+      }
+    }
+  }
+  stats.seconds = timer.ElapsedSeconds();
+  stats.allocs = g_alloc_count.load(std::memory_order_relaxed) - allocs0;
+  stats.bytes = g_alloc_bytes.load(std::memory_order_relaxed) - bytes0;
+  return stats;
+}
+
+/// Resolves a workload's keyword queries to origin sets, dropping
+/// queries with an unmatched keyword.
+std::vector<std::vector<std::vector<NodeId>>> ResolveQueries(
+    const BenchEnv& env, const std::vector<WorkloadQuery>& workload) {
+  std::vector<std::vector<std::vector<NodeId>>> queries;
+  for (const WorkloadQuery& q : workload) {
+    std::vector<std::vector<NodeId>> origins;
+    for (const auto& kw : q.keywords) origins.push_back(env.dg.index.Match(kw));
+    bool all_matched = !origins.empty();
+    for (const auto& s : origins) all_matched &= !s.empty();
+    if (all_matched) queries.push_back(std::move(origins));
+  }
+  return queries;
+}
+
+int Main(double scale) {
+  std::printf("=== SearchContext reuse: cold vs warm query latency ===\n");
+  BenchEnv env = MakeDblpEnv(scale);
+  std::printf("DBLP-like graph: %zu nodes / %zu edges\n",
+              env.dg.graph.num_nodes(), env.dg.graph.num_edges());
+  WorkloadGenerator gen(&env.db, &env.dg);
+
+  // Two §5.6-style query classes. Context reuse targets the first: on
+  // interactive (small-origin) queries the per-query state setup is a
+  // large fraction of total work, while large-origin queries are
+  // traversal-bound and show the floor of the optimization.
+  struct QueryClass {
+    const char* name;
+    std::vector<std::vector<std::vector<NodeId>>> queries;
+  };
+  std::vector<QueryClass> classes;
+  for (int klass = 0; klass < 2; ++klass) {
+    std::vector<std::vector<std::vector<NodeId>>> queries;
+    for (size_t kw = 2; kw <= 3; ++kw) {
+      WorkloadOptions wopt;
+      wopt.num_queries = 6;
+      wopt.answer_size = 4;
+      wopt.thresholds = env.thresholds;
+      wopt.categories.assign(kw, FreqCategory::kTiny);
+      wopt.categories.back() =
+          klass == 0 ? FreqCategory::kSmall : FreqCategory::kLarge;
+      wopt.seed = 17 + kw * 31 + klass;
+      auto resolved = ResolveQueries(env, gen.Generate(wopt));
+      queries.insert(queries.end(), resolved.begin(), resolved.end());
+    }
+    classes.push_back(
+        QueryClass{klass == 0 ? "small-origin" : "large-origin",
+                   std::move(queries)});
+  }
+
+  SearchOptions options;
+  options.k = 10;
+  options.bound = BoundMode::kLoose;  // the paper's measured configuration
+  options.max_nodes_explored = 100'000;
+
+  TablePrinter table({"Class", "Algorithm", "n", "cold ms/q", "warm ms/q",
+                      "speedup", "cold allocs/q", "warm allocs/q"});
+  for (const QueryClass& qc : classes) {
+    std::printf("%s: %zu queries x %zu repetitions per mode\n", qc.name,
+                qc.queries.size(), kRepetitions);
+    if (qc.queries.empty()) continue;
+    const size_t runs = qc.queries.size() * kRepetitions;
+    for (Algorithm algorithm :
+         {Algorithm::kBidirectional, Algorithm::kBackwardSI,
+          Algorithm::kBackwardMI}) {
+      // Untimed warm-up pass so both modes see hot caches and a settled
+      // allocator.
+      (void)RunMode(env, qc.queries, algorithm, options, /*warm=*/true);
+      ModeStats cold =
+          RunMode(env, qc.queries, algorithm, options, /*warm=*/false);
+      ModeStats warm =
+          RunMode(env, qc.queries, algorithm, options, /*warm=*/true);
+      if (cold.answers != warm.answers) {
+        std::printf("ERROR: %s cold/warm answer mismatch (%zu vs %zu)\n",
+                    AlgorithmName(algorithm), cold.answers, warm.answers);
+        return 1;
+      }
+      table.AddRow(
+          {qc.name, AlgorithmName(algorithm), std::to_string(runs),
+           TablePrinter::Fmt(1e3 * cold.seconds / runs, 3),
+           TablePrinter::Fmt(1e3 * warm.seconds / runs, 3),
+           TablePrinter::Fmt(SafeRatio(cold.seconds, warm.seconds), 2),
+           TablePrinter::Fmt(static_cast<double>(cold.allocs) / runs, 0),
+           TablePrinter::Fmt(static_cast<double>(warm.allocs) / runs, 0)});
+    }
+  }
+  std::printf("\n");
+  table.Print(std::cout);
+  std::printf(
+      "\nallocs/q counts every operator new during the mode's runs\n"
+      "(answer materialization included); warm reuses one SearchContext\n"
+      "across the stream, cold constructs one per query.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace banks::bench
+
+int main(int argc, char** argv) {
+  double scale = 1.0;
+  if (argc > 1) {
+    scale = std::atof(argv[1]);
+    if (scale <= 0.0) {
+      std::fprintf(stderr, "usage: %s [scale>0]  (got %s)\n", argv[0],
+                   argv[1]);
+      return 2;
+    }
+  }
+  return banks::bench::Main(scale);
+}

@@ -26,16 +26,17 @@ std::vector<std::vector<NodeId>> Engine::Resolve(
 }
 
 SearchResult Engine::Query(const std::vector<std::string>& keywords,
-                           Algorithm algorithm,
-                           const SearchOptions& options) const {
-  return QueryResolved(Resolve(keywords), algorithm, options);
+                           Algorithm algorithm, const SearchOptions& options,
+                           SearchContext* context) const {
+  return QueryResolved(Resolve(keywords), algorithm, options, context);
 }
 
 SearchResult Engine::QueryResolved(
     const std::vector<std::vector<NodeId>>& origins, Algorithm algorithm,
-    const SearchOptions& options) const {
-  return CreateSearcher(algorithm, data_.graph, prestige_, options)
-      ->Search(origins);
+    const SearchOptions& options, SearchContext* context) const {
+  auto searcher = CreateSearcher(algorithm, data_.graph, prestige_, options);
+  return context ? searcher->Search(origins, context)
+                 : searcher->Search(origins);
 }
 
 const std::string& Engine::NodeLabel(NodeId node) const {

@@ -44,16 +44,20 @@ class Engine {
   std::vector<std::vector<NodeId>> Resolve(
       const std::vector<std::string>& keywords) const;
 
-  /// End-to-end query: resolve + search.
+  /// End-to-end query: resolve + search. Pass a SearchContext to reuse
+  /// per-query scratch space across a query stream (the second query on
+  /// a warm context performs no large allocations); nullptr runs the
+  /// query on a fresh context.
   SearchResult Query(const std::vector<std::string>& keywords,
-                     Algorithm algorithm,
-                     const SearchOptions& options = {}) const;
+                     Algorithm algorithm, const SearchOptions& options = {},
+                     SearchContext* context = nullptr) const;
 
   /// Search over pre-resolved origin sets (benchmarks resolve once and
   /// run several algorithms on identical origins).
   SearchResult QueryResolved(const std::vector<std::vector<NodeId>>& origins,
                              Algorithm algorithm,
-                             const SearchOptions& options = {}) const;
+                             const SearchOptions& options = {},
+                             SearchContext* context = nullptr) const;
 
   const Graph& graph() const { return data_.graph; }
   const InvertedIndex& index() const { return data_.index; }

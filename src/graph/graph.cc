@@ -128,6 +128,13 @@ Graph GraphBuilder::Build(const GraphBuildOptions& options) {
     }
   }
 
+  if (!g.out_edges_.empty()) {
+    g.min_edge_weight_ = g.out_edges_.front().weight;
+    for (const Edge& e : g.out_edges_) {
+      g.min_edge_weight_ = std::min<double>(g.min_edge_weight_, e.weight);
+    }
+  }
+
   if (any_typed_) g.node_types_ = std::move(node_types_);
   g.type_names_ = std::move(type_names_);
 

@@ -58,6 +58,12 @@ class Graph {
   /// activation spreading from v.
   double OutInverseWeightSum(NodeId v) const { return out_inv_weight_sum_[v]; }
 
+  /// Smallest edge weight in the combined graph (1.0 for an edgeless
+  /// graph). Query-invariant aggregate precomputed at Build() time; the
+  /// §4.5 depth-floor bound multiplies frontier depth by this, and
+  /// recomputing it per query would scan every edge.
+  double MinEdgeWeight() const { return min_edge_weight_; }
+
   /// Relation/type of a node (kUntypedNode when the builder never set one).
   NodeType Type(NodeId v) const {
     return node_types_.empty() ? kUntypedNode : node_types_[v];
@@ -86,6 +92,7 @@ class Graph {
   std::vector<uint32_t> fwd_indegree_;
   std::vector<double> in_inv_weight_sum_;
   std::vector<double> out_inv_weight_sum_;
+  double min_edge_weight_ = 1.0;
   std::vector<NodeType> node_types_;
   std::vector<std::string> type_names_;
 };

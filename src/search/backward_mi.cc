@@ -6,11 +6,11 @@
 #include <limits>
 #include <optional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "search/output_heap.h"
 #include "search/scoring.h"
+#include "search/search_context.h"
 #include "search/tree_builder.h"
 #include "util/timer.h"
 
@@ -19,37 +19,26 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Dijkstra state reached by one iterator at one node.
-struct ReachInfo {
-  double dist;
-  NodeId next_hop;   // next node on the path toward the origin
-  uint32_t hops;     // edge count to origin (depth for the dmax cutoff)
-};
-
-/// One single-source backward shortest-path iterator (§3).
+/// One single-source backward shortest-path iterator (§3). Its Dijkstra
+/// state (BackwardReach per reached node, settled folded in) lives in a
+/// pooled flat map on the SearchContext.
 struct Iterator {
-  uint32_t keyword;
-  NodeId origin;
+  uint32_t keyword = 0;
+  NodeId origin = kInvalidNode;
+  FlatHashMap<NodeId, BackwardReach>* reach = nullptr;
   // Lazy-deletion min-heap of (dist, node).
   std::priority_queue<std::pair<double, NodeId>,
                       std::vector<std::pair<double, NodeId>>,
                       std::greater<>>
       frontier;
-  std::unordered_map<NodeId, ReachInfo> reach;
-  std::unordered_map<NodeId, bool> settled;
 
   /// Skips stale heap entries; returns the next true frontier distance
   /// or +inf when exhausted.
   double PeekDist() {
     while (!frontier.empty()) {
       auto [d, v] = frontier.top();
-      auto it = settled.find(v);
-      if (it != settled.end() && it->second) {
-        frontier.pop();
-        continue;
-      }
-      auto rit = reach.find(v);
-      if (rit == reach.end() || d > rit->second.dist + 1e-12) {
+      const BackwardReach* r = reach->Find(v);
+      if (r == nullptr || r->settled || d > r->dist + 1e-12) {
         frontier.pop();
         continue;
       }
@@ -59,21 +48,10 @@ struct Iterator {
   }
 };
 
-/// Per-node record of which iterators have visited it.
-struct VisitRecord {
-  // Best (minimum-distance) visit per keyword.
-  std::vector<double> best_dist;
-  std::vector<uint32_t> best_iter;
-  uint32_t covered = 0;  // number of keywords with a finite best_dist
-
-  explicit VisitRecord(size_t n)
-      : best_dist(n, kInf), best_iter(n, UINT32_MAX) {}
-};
-
 }  // namespace
 
 SearchResult BackwardMISearcher::Search(
-    const std::vector<std::vector<NodeId>>& origins) {
+    const std::vector<std::vector<NodeId>>& origins, SearchContext* context) {
   SearchResult result;
   Timer timer;
   const size_t n = origins.size();
@@ -82,7 +60,11 @@ SearchResult BackwardMISearcher::Search(
     if (s.empty()) return result;  // AND semantics: some keyword matches 0
   }
 
-  // Build one iterator per keyword node.
+  SearchContext& ctx = *context;
+  ctx.BeginQuery(n);
+
+  // Build one iterator per keyword node; reach maps are handed out from
+  // the context pool once the iterator count is known.
   std::vector<Iterator> iters;
   for (uint32_t i = 0; i < n; ++i) {
     std::vector<NodeId> uniq = origins[i];
@@ -92,11 +74,17 @@ SearchResult BackwardMISearcher::Search(
       Iterator it;
       it.keyword = i;
       it.origin = o;
-      it.reach[o] = ReachInfo{0.0, kInvalidNode, 0};
-      it.frontier.emplace(0.0, o);
       iters.push_back(std::move(it));
-      result.metrics.nodes_touched++;
     }
+  }
+  ctx.EnsureReachMaps(iters.size());
+  for (uint32_t i = 0; i < iters.size(); ++i) {
+    Iterator& it = iters[i];
+    it.reach = &ctx.reach_maps[i];
+    (*it.reach)[it.origin] = BackwardReach{0.0, kInvalidNode, it.origin, 0,
+                                           false};
+    it.frontier.emplace(0.0, it.origin);
+    result.metrics.nodes_touched++;
   }
 
   // Global scheduler: iterator with the nearest next node steps first.
@@ -105,7 +93,15 @@ SearchResult BackwardMISearcher::Search(
       scheduler;
   for (uint32_t i = 0; i < iters.size(); ++i) scheduler.emplace(0.0, i);
 
-  std::unordered_map<NodeId, VisitRecord> visits;
+  // Per-node record of which iterators have visited it. node → dense
+  // visit index (stored +1; 0 means absent); the per-keyword best
+  // distance / iterator live at visit_index * n + keyword in the flat
+  // pools, the covered-keyword count in visit_covered.
+  FlatHashMap<NodeId, uint32_t>& visits = ctx.node_index;
+  std::vector<double>& visit_dist = ctx.visit_dist;
+  std::vector<uint32_t>& visit_iter = ctx.visit_iter;
+  std::vector<uint32_t>& visit_covered = ctx.visit_covered;
+
   OutputHeap heap;
   uint64_t steps = 0;
   uint64_t last_progress = 0;  // last step the best pending answer changed
@@ -129,11 +125,11 @@ SearchResult BackwardMISearcher::Search(
       keyword_nodes[i] = it.origin;
       NodeId cur = root;
       for (;;) {
-        auto rit = it.reach.find(cur);
-        assert(rit != it.reach.end());
-        if (rit->second.next_hop == kInvalidNode) break;
-        NodeId nxt = rit->second.next_hop;
-        double w = rit->second.dist - it.reach.at(nxt).dist;
+        const BackwardReach* rit = it.reach->Find(cur);
+        assert(rit != nullptr);
+        if (rit->next_hop == kInvalidNode) break;
+        NodeId nxt = rit->next_hop;
+        double w = rit->dist - it.reach->Find(nxt)->dist;
         union_edges.push_back(AnswerEdge{cur, nxt, static_cast<float>(w)});
         cur = nxt;
       }
@@ -149,14 +145,14 @@ SearchResult BackwardMISearcher::Search(
 
   // Emits the combination of a fresh visit with the best other origins.
   auto emit_for_visit = [&](NodeId v, uint32_t iter_id) {
-    auto vit = visits.find(v);
-    if (vit == visits.end()) return;
-    VisitRecord& rec = vit->second;
-    if (rec.covered < n) return;
+    const uint32_t* slot = visits.Find(v);
+    if (slot == nullptr || *slot == 0) return;
+    const uint32_t vidx = *slot - 1;
+    if (visit_covered[vidx] < n) return;
     uint32_t kw = iters[iter_id].keyword;
     std::vector<uint32_t> ids(n);
     for (uint32_t j = 0; j < n; ++j) {
-      ids[j] = (j == kw) ? iter_id : rec.best_iter[j];
+      ids[j] = (j == kw) ? iter_id : visit_iter[vidx * n + j];
     }
     std::optional<AnswerTree> tree = build_tree(v, ids);
     if (!tree || !tree->IsMinimalRooted()) return;
@@ -170,7 +166,7 @@ SearchResult BackwardMISearcher::Search(
     }
   };
 
-  std::vector<double> minima;
+  std::vector<double>& minima = ctx.bound_scratch;
   auto maybe_release = [&](bool force) {
     uint64_t interval = options_.bound_check_interval;
     if (options_.bound == BoundMode::kTight) {
@@ -198,10 +194,11 @@ SearchResult BackwardMISearcher::Search(
       // partially visited root may complete each missing keyword at
       // m_i.
       double best_potential = h;
-      for (const auto& [node, rec] : visits) {
+      for (const auto& entry : visits) {
+        const uint32_t vidx = entry.value - 1;
         double pot = 0;
         for (size_t i = 0; i < n; ++i) {
-          pot += std::min(rec.best_dist[i], minima[i]);
+          pot += std::min(visit_dist[vidx * n + i], minima[i]);
         }
         best_potential = std::min(best_potential, pot);
       }
@@ -242,36 +239,47 @@ SearchResult BackwardMISearcher::Search(
     // Step the iterator: settle its nearest frontier node.
     auto [d, v] = it.frontier.top();
     it.frontier.pop();
-    it.settled[v] = true;
+    // Copy the hop count now: the reference into the flat reach map is
+    // invalidated by the (*it.reach)[u] insertions below.
+    BackwardReach& rv = *it.reach->Find(v);
+    rv.settled = true;
+    const uint32_t v_hops = rv.hops;
     result.metrics.nodes_explored++;
     steps++;
 
-    const ReachInfo& info = it.reach.at(v);
     // Record the visit and emit any completed combinations.
-    auto [vit, created] = visits.try_emplace(v, n);
-    VisitRecord& rec = vit->second;
-    uint32_t kw = it.keyword;
-    bool was_covered = rec.best_dist[kw] != kInf;
-    if (d < rec.best_dist[kw]) {
-      rec.best_dist[kw] = d;
-      rec.best_iter[kw] = iter_id;
+    uint32_t& vslot = visits[v];
+    if (vslot == 0) {
+      vslot = static_cast<uint32_t>(visit_covered.size()) + 1;
+      visit_dist.insert(visit_dist.end(), n, kInf);
+      visit_iter.insert(visit_iter.end(), n, UINT32_MAX);
+      visit_covered.push_back(0);
     }
-    if (!was_covered) rec.covered++;
+    const uint32_t vidx = vslot - 1;
+    uint32_t kw = it.keyword;
+    bool was_covered = visit_dist[vidx * n + kw] != kInf;
+    if (d < visit_dist[vidx * n + kw]) {
+      visit_dist[vidx * n + kw] = d;
+      visit_iter[vidx * n + kw] = iter_id;
+    }
+    if (!was_covered) visit_covered[vidx]++;
     emit_for_visit(v, iter_id);
 
     // Expand backward unless depth-capped.
-    if (info.hops < options_.dmax) {
-      uint32_t next_hops = info.hops + 1;
+    if (v_hops < options_.dmax) {
+      uint32_t next_hops = v_hops + 1;
       for (const Edge& e : graph_.InEdges(v)) {
         if (!EdgeAllowed(e)) continue;
         result.metrics.edges_relaxed++;
         NodeId u = e.other;
-        if (it.settled.count(u) && it.settled[u]) continue;
+        BackwardReach& ru = (*it.reach)[u];
+        if (ru.settled) continue;
         double nd = d + e.weight;
-        auto rit = it.reach.find(u);
-        if (rit == it.reach.end() || nd < rit->second.dist - 1e-12) {
-          if (rit == it.reach.end()) result.metrics.nodes_touched++;
-          it.reach[u] = ReachInfo{nd, v, next_hops};
+        if (nd < ru.dist - 1e-12) {
+          if (ru.dist == kInf) result.metrics.nodes_touched++;
+          ru.dist = nd;
+          ru.next_hop = v;
+          ru.hops = next_hops;
           it.frontier.emplace(nd, u);
         }
       }

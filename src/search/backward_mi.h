@@ -23,8 +23,10 @@ namespace banks {
 class BackwardMISearcher : public Searcher {
  public:
   using Searcher::Searcher;
+  using Searcher::Search;
 
-  SearchResult Search(const std::vector<std::vector<NodeId>>& origins) override;
+  SearchResult Search(const std::vector<std::vector<NodeId>>& origins,
+                      SearchContext* context) override;
 };
 
 }  // namespace banks

@@ -4,11 +4,11 @@
 #include <limits>
 #include <optional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "search/output_heap.h"
 #include "search/scoring.h"
+#include "search/search_context.h"
 #include "search/tree_builder.h"
 #include "util/timer.h"
 
@@ -17,20 +17,10 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Best known backward path from a node to the nearest origin of one
-/// keyword term.
-struct Reach {
-  double dist = kInf;
-  NodeId next_hop = kInvalidNode;  // toward the matched keyword node
-  NodeId matched = kInvalidNode;   // the origin node reached
-  uint32_t hops = 0;
-  bool settled = false;
-};
-
 }  // namespace
 
 SearchResult BackwardSISearcher::Search(
-    const std::vector<std::vector<NodeId>>& origins) {
+    const std::vector<std::vector<NodeId>>& origins, SearchContext* context) {
   SearchResult result;
   Timer timer;
   const size_t n = origins.size();
@@ -39,8 +29,15 @@ SearchResult BackwardSISearcher::Search(
     if (s.empty()) return result;
   }
 
-  // reach[i] maps node → best path to the nearest origin of keyword i.
-  std::vector<std::unordered_map<NodeId, Reach>> reach(n);
+  SearchContext& ctx = *context;
+  ctx.BeginQuery(n);
+
+  // reach_maps[i] maps node → best path to the nearest origin of keyword
+  // i (BackwardReach records, pooled flat tables in the context).
+  ctx.EnsureReachMaps(n);
+  auto reach = [&](size_t i) -> FlatHashMap<NodeId, BackwardReach>& {
+    return ctx.reach_maps[i];
+  };
   // Shared frontier: (dist, node, keyword), smallest distance first
   // ("its backward iterator is prioritized only by distance", §4.6).
   struct QE {
@@ -52,8 +49,9 @@ SearchResult BackwardSISearcher::Search(
   std::priority_queue<QE, std::vector<QE>, std::greater<>> frontier;
 
   // Count of keywords with finite distance, per node, for completion
-  // checks without scanning all n maps.
-  std::unordered_map<NodeId, uint32_t> covered;
+  // checks without scanning all n maps (ctx.node_index doubles as the
+  // covered-count table for this algorithm).
+  FlatHashMap<NodeId, uint32_t>& covered = ctx.node_index;
 
   OutputHeap heap;
   uint64_t steps = 0;
@@ -62,10 +60,10 @@ SearchResult BackwardSISearcher::Search(
 
   for (uint32_t i = 0; i < n; ++i) {
     for (NodeId o : origins[i]) {
-      Reach& r = reach[i][o];
+      BackwardReach& r = reach(i)[o];
       if (r.dist == 0 && r.matched == o) continue;  // duplicate origin
       if (r.dist != kInf) continue;
-      r = Reach{0.0, kInvalidNode, o, 0, false};
+      r = BackwardReach{0.0, kInvalidNode, o, 0, false};
       covered[o]++;
       frontier.push(QE{0.0, o, i});
       result.metrics.nodes_touched++;
@@ -77,18 +75,15 @@ SearchResult BackwardSISearcher::Search(
     std::vector<AnswerEdge> union_edges;
     for (uint32_t i = 0; i < n; ++i) {
       NodeId cur = root;
-      auto it = reach[i].find(cur);
-      if (it == reach[i].end() || it->second.dist == kInf) {
-        return std::nullopt;
-      }
-      keyword_nodes[i] = it->second.matched;
-      while (it->second.next_hop != kInvalidNode) {
-        NodeId nxt = it->second.next_hop;
-        auto nit = reach[i].find(nxt);
-        if (nit == reach[i].end()) return std::nullopt;
-        union_edges.push_back(AnswerEdge{
-            cur, nxt,
-            static_cast<float>(it->second.dist - nit->second.dist)});
+      const BackwardReach* it = reach(i).Find(cur);
+      if (it == nullptr || it->dist == kInf) return std::nullopt;
+      keyword_nodes[i] = it->matched;
+      while (it->next_hop != kInvalidNode) {
+        NodeId nxt = it->next_hop;
+        const BackwardReach* nit = reach(i).Find(nxt);
+        if (nit == nullptr) return std::nullopt;
+        union_edges.push_back(
+            AnswerEdge{cur, nxt, static_cast<float>(it->dist - nit->dist)});
         cur = nxt;
         it = nit;
       }
@@ -103,8 +98,8 @@ SearchResult BackwardSISearcher::Search(
   };
 
   auto try_emit = [&](NodeId v) {
-    auto cit = covered.find(v);
-    if (cit == covered.end() || cit->second < n) return;
+    const uint32_t* cit = covered.Find(v);
+    if (cit == nullptr || *cit < n) return;
     std::optional<AnswerTree> tree = build_tree(v);
     if (!tree || !tree->IsMinimalRooted()) return;
     if (heap.Insert(std::move(*tree))) {
@@ -150,11 +145,11 @@ SearchResult BackwardSISearcher::Search(
       // NRA-style (§4.5): partially reached nodes may complete each
       // missing keyword at cost m.
       double best_potential = h;
-      for (const auto& [node, count] : covered) {
+      for (const auto& entry : covered) {
         double pot = 0;
         for (uint32_t i = 0; i < n; ++i) {
-          auto it = reach[i].find(node);
-          double d = (it == reach[i].end()) ? kInf : it->second.dist;
+          const BackwardReach* it = reach(i).Find(entry.key);
+          double d = (it == nullptr) ? kInf : it->dist;
           pot += std::min(d, m);
         }
         best_potential = std::min(best_potential, pot);
@@ -185,27 +180,30 @@ SearchResult BackwardSISearcher::Search(
     }
     QE top = frontier.top();
     frontier.pop();
-    Reach& r = reach[top.keyword][top.node];
+    BackwardReach& r = reach(top.keyword)[top.node];
     if (r.settled || top.dist > r.dist + 1e-12) continue;  // stale entry
     r.settled = true;
     result.metrics.nodes_explored++;
     steps++;
 
     if (r.hops < options_.dmax) {
+      // Copy what the expansion needs: `r` points into the flat map and
+      // is invalidated by the reach(...)[u] insertions below.
       const uint32_t next_hops = r.hops + 1;
       const double base = r.dist;
+      const NodeId matched = r.matched;
       for (const Edge& e : graph_.InEdges(top.node)) {
         if (!EdgeAllowed(e)) continue;
         result.metrics.edges_relaxed++;
         NodeId u = e.other;
         double nd = base + e.weight;
-        Reach& ru = reach[top.keyword][u];
+        BackwardReach& ru = reach(top.keyword)[u];
         if (ru.settled) continue;
         if (nd < ru.dist - 1e-12) {
           bool was_unreached = ru.dist == kInf;
           ru.dist = nd;
           ru.next_hop = top.node;
-          ru.matched = r.matched;
+          ru.matched = matched;
           ru.hops = next_hops;
           if (was_unreached) {
             covered[u]++;

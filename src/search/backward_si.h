@@ -17,8 +17,10 @@ namespace banks {
 class BackwardSISearcher : public Searcher {
  public:
   using Searcher::Searcher;
+  using Searcher::Search;
 
-  SearchResult Search(const std::vector<std::vector<NodeId>>& origins) override;
+  SearchResult Search(const std::vector<std::vector<NodeId>>& origins,
+                      SearchContext* context) override;
 };
 
 }  // namespace banks

@@ -5,11 +5,11 @@
 #include <limits>
 #include <optional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "search/output_heap.h"
 #include "search/scoring.h"
+#include "search/search_context.h"
 #include "search/tree_builder.h"
 #include "util/indexed_heap.h"
 #include "util/timer.h"
@@ -20,27 +20,6 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr uint32_t kNoState = UINT32_MAX;
 
-/// Per-discovered-node bookkeeping (Figure 2 of the paper). Per-keyword
-/// arrays (dist, sp, activation) live in flat pools indexed by
-/// state_index * num_keywords + keyword to keep allocation cheap.
-struct NodeState {
-  NodeId node;
-  uint32_t depth = 0;        // hops from nearest seed when discovered
-  bool popped_in = false;    // member of X_in
-  bool popped_out = false;   // member of X_out
-  bool ever_in_qout = false; // inserted into Q_out at least once
-  bool dirty = false;        // complete and awaiting materialization
-  double last_emitted_eraw = kInf;
-  // Generation-point bookkeeping captured when the root is *marked*
-  // (that is when the answer first exists; materialization is deferred).
-  double marked_time = 0;
-  uint64_t marked_explored = 0;
-  uint64_t marked_touched = 0;
-  // P_u / C_u: explored edges into / out of this node (state idx, weight).
-  std::vector<std::pair<uint32_t, float>> parents;
-  std::vector<std::pair<uint32_t, float>> children;
-};
-
 // Flags per explored directed edge.
 constexpr uint8_t kEdgeRecorded = 1;   // parent/child lists + dist relax done
 constexpr uint8_t kSpreadBackward = 2; // activation spread v→u done
@@ -49,7 +28,7 @@ constexpr uint8_t kSpreadForward = 4;  // activation spread u→v done
 }  // namespace
 
 SearchResult BidirectionalSearcher::Search(
-    const std::vector<std::vector<NodeId>>& origins) {
+    const std::vector<std::vector<NodeId>>& origins, SearchContext* context) {
   SearchResult result;
   Timer timer;
   const uint32_t n = static_cast<uint32_t>(origins.size());
@@ -58,24 +37,24 @@ SearchResult BidirectionalSearcher::Search(
     if (s.empty()) return result;
   }
 
-  // ---- State storage ----------------------------------------------------
-  std::vector<NodeState> states;
-  std::vector<double> dist;    // states.size() * n
-  std::vector<uint32_t> sp;    // next state toward keyword, or kNoState
-  std::vector<double> act;     // per-keyword activation
-  std::vector<double> act_sum; // per-state total activation (queue priority)
-  std::unordered_map<NodeId, uint32_t> state_of;
-  std::unordered_map<uint64_t, uint8_t> edge_flags;
+  // ---- State storage (pooled in the reusable context) ---------------------
+  SearchContext& ctx = *context;
+  ctx.BeginQuery(n);
+  std::vector<NodeState>& states = ctx.states;
+  std::vector<double>& dist = ctx.dist;        // states.size() * n
+  std::vector<uint32_t>& sp = ctx.sp;          // next state toward keyword
+  std::vector<double>& act = ctx.act;          // per-keyword activation
+  std::vector<double>& act_sum = ctx.act_sum;  // per-state total (queue key)
 
   auto get_state = [&](NodeId v, uint32_t depth) -> uint32_t {
-    auto it = state_of.find(v);
-    if (it != state_of.end()) return it->second;
+    uint32_t& slot = ctx.node_index[v];
+    if (slot != 0) return slot - 1;  // stored index + 1; 0 means new
     uint32_t idx = static_cast<uint32_t>(states.size());
-    state_of.emplace(v, idx);
+    slot = idx + 1;
     NodeState st;
     st.node = v;
     st.depth = depth;
-    states.push_back(std::move(st));
+    states.push_back(st);
     dist.insert(dist.end(), n, kInf);
     sp.insert(sp.end(), n, kNoState);
     act.insert(act.end(), n, 0.0);
@@ -88,20 +67,18 @@ SearchResult BidirectionalSearcher::Search(
   auto a_at = [&](uint32_t s, uint32_t i) -> double& { return act[s * n + i]; };
 
   // ---- Queues and frontier bookkeeping -----------------------------------
-  IndexedHeap<double> qin;   // max-heap on total activation
-  IndexedHeap<double> qout;  // max-heap on total activation
+  IndexedHeap<double>& qin = ctx.qin;    // max-heap on total activation
+  IndexedHeap<double>& qout = ctx.qout;  // max-heap on total activation
   // Per-keyword min-dist over frontier states (for the §4.5 bound m_i).
-  std::vector<IndexedHeap<double, std::greater<double>>> min_dist(n);
+  std::vector<IndexedHeap<double, std::greater<double>>>& min_dist =
+      ctx.min_dist;
   // Min-depth over each queue (fallback bound when no distance is known).
-  IndexedHeap<uint32_t, std::greater<uint32_t>> qin_depth, qout_depth;
+  IndexedHeap<uint32_t, std::greater<uint32_t>>& qin_depth = ctx.qin_depth;
+  IndexedHeap<uint32_t, std::greater<uint32_t>>& qout_depth = ctx.qout_depth;
 
-  double min_edge_weight = kInf;
-  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
-    for (const Edge& e : graph_.OutEdges(v)) {
-      min_edge_weight = std::min(min_edge_weight, static_cast<double>(e.weight));
-    }
-  }
-  if (min_edge_weight == kInf) min_edge_weight = 1.0;
+  // Query-invariant aggregate, precomputed at graph build time (§4.5
+  // depth floor); recomputing it here would scan every edge per query.
+  const double min_edge_weight = graph_.MinEdgeWeight();
 
   // The per-keyword frontier-minimum heaps only feed the tight bound;
   // maintaining them costs a heap update per (relaxation × keyword), so
@@ -146,7 +123,7 @@ SearchResult BidirectionalSearcher::Search(
   // Attach can improve a completed root thousands of times. emit() only
   // *marks* the root; materialize_dirty() builds trees in batches at the
   // release checks, once the batch's distances have settled.
-  std::vector<uint32_t> dirty_roots;
+  std::vector<uint32_t>& dirty_roots = ctx.dirty_roots;
 
   // Top-k eraw watermark: a root whose raw edge score is far beyond the
   // k-th best generated answer cannot enter the top-k (prestige can
@@ -228,15 +205,17 @@ SearchResult BidirectionalSearcher::Search(
   };
 
   // ---- Attach: best-first propagation of distance improvements (§4.2.1) --
+  // The scratch queue lives on the context (drained to empty before each
+  // return, so reuse is safe) — Attach runs once per relaxation and a
+  // fresh heap allocation per call would dominate small queries.
   auto attach = [&](uint32_t s0, uint32_t i) {
-    using QE = std::pair<double, uint32_t>;
-    std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+    auto& pq = ctx.attach_queue;
     pq.emplace(d_at(s0, i), s0);
     while (!pq.empty()) {
       auto [d0, u] = pq.top();
       pq.pop();
       if (d0 > d_at(u, i) + 1e-12) continue;  // stale
-      for (auto [x, w] : states[u].parents) {
+      ctx.edge_lists.ForEach(states[u].parents, [&](uint32_t x, float w) {
         result.metrics.propagation_steps++;
         double nd = d0 + w;
         if (nd < d_at(x, i) - 1e-12) {
@@ -246,7 +225,7 @@ SearchResult BidirectionalSearcher::Search(
           emit(x);
           pq.emplace(nd, x);
         }
-      }
+      });
     }
   };
 
@@ -275,8 +254,7 @@ SearchResult BidirectionalSearcher::Search(
 
   auto activate = [&](uint32_t s0, uint32_t i) {
     if (options_.combine == ActivationCombine::kSum) return;
-    using QE = std::pair<double, uint32_t>;
-    std::priority_queue<QE> pq;  // max-heap: strongest activation first
+    auto& pq = ctx.activate_queue;  // max-heap: strongest activation first
     pq.emplace(a_at(s0, i), s0);
     while (!pq.empty()) {
       auto [a0, v] = pq.top();
@@ -285,19 +263,19 @@ SearchResult BidirectionalSearcher::Search(
       const NodeState& sv = states[v];
       double in_norm = graph_.InInverseWeightSum(sv.node);
       if (in_norm > 0) {
-        for (auto [x, w] : sv.parents) {
+        ctx.edge_lists.ForEach(sv.parents, [&](uint32_t x, float w) {
           result.metrics.propagation_steps++;
           double recv = options_.mu * a0 * (1.0 / w) / in_norm;
           if (raise_activation(x, i, recv)) pq.emplace(recv, x);
-        }
+        });
       }
       double out_norm = graph_.OutInverseWeightSum(sv.node);
       if (out_norm > 0) {
-        for (auto [y, w] : sv.children) {
+        ctx.edge_lists.ForEach(sv.children, [&](uint32_t y, float w) {
           result.metrics.propagation_steps++;
           double recv = options_.mu * a0 * (1.0 / w) / out_norm;
           if (raise_activation(y, i, recv)) pq.emplace(recv, y);
-        }
+        });
       }
     }
   };
@@ -310,12 +288,14 @@ SearchResult BidirectionalSearcher::Search(
                           bool incoming_context) {
     result.metrics.edges_relaxed++;
     uint64_t key = (static_cast<uint64_t>(su) << 32) | sv;
-    uint8_t& flags = edge_flags[key];
+    // Reference into the flat map: valid until the next edge_flags
+    // insertion, and nothing below inserts into edge_flags.
+    uint8_t& flags = ctx.edge_flags[key];
 
     if (!(flags & kEdgeRecorded)) {
       flags |= kEdgeRecorded;
-      states[sv].parents.emplace_back(su, w);
-      states[su].children.emplace_back(sv, w);
+      ctx.edge_lists.Append(&states[sv].parents, su, w);
+      ctx.edge_lists.Append(&states[su].children, sv, w);
       // Relax u's per-keyword distances through v ("if u has a better
       // path to t_i via v").
       for (uint32_t i = 0; i < n; ++i) {
@@ -401,7 +381,8 @@ SearchResult BidirectionalSearcher::Search(
     }
     if (!force && (steps % interval) != 0) return;
     materialize_dirty();
-    std::vector<double> m(n);
+    std::vector<double>& m = ctx.bound_scratch;
+    m.assign(n, 0.0);
     double h = 0;
     for (uint32_t i = 0; i < n; ++i) {
       m[i] = keyword_floor(i);
@@ -415,8 +396,6 @@ SearchResult BidirectionalSearcher::Search(
       if (options_.release_patience &&
           steps - last_progress >= options_.release_patience &&
           result.answers.size() < options_.k && heap.pending_count() > 0) {
-        // Staleness drip: nothing generated or released for a while —
-        // assume the best pending answer will not be beaten.
         // Staleness drip: the champion has been unbeaten for a while;
         // release a batch of the best pending answers.
         heap.ReleaseBest(std::max<size_t>(1, options_.k / 8), options_.k,

@@ -30,8 +30,10 @@ namespace banks {
 class BidirectionalSearcher : public Searcher {
  public:
   using Searcher::Searcher;
+  using Searcher::Search;
 
-  SearchResult Search(const std::vector<std::vector<NodeId>>& origins) override;
+  SearchResult Search(const std::vector<std::vector<NodeId>>& origins,
+                      SearchContext* context) override;
 };
 
 }  // namespace banks

@@ -1,0 +1,135 @@
+#ifndef BANKS_SEARCH_FLAT_HASH_H_
+#define BANKS_SEARCH_FLAT_HASH_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace banks {
+
+/// Finalizer of splitmix64 — a full-avalanche 64→64 bit mixer. Dense
+/// NodeIds and packed (state,state) edge keys are highly regular, so the
+/// open-addressing tables below must scramble them before masking.
+inline uint64_t HashMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Open-addressing hash map tuned for per-query search state.
+///
+/// Two properties matter on the query hot path and distinguish this from
+/// `std::unordered_map`:
+///  * **Flat storage.** The probe table is a contiguous slot array
+///    (linear probing) and values live in a dense `entries_` vector —
+///    no per-node heap allocation, and iteration over live entries is a
+///    linear scan of exactly `size()` elements.
+///  * **Epoch-versioned O(1) reset.** `Clear()` bumps a generation
+///    counter instead of touching the table, so a reused map starts the
+///    next query with all capacity retained and zero work done. A warm
+///    `SearchContext` therefore performs no hash-table allocations at
+///    all once its tables have grown to the working-set size.
+///
+/// K must be an unsigned integer type (NodeId or a packed uint64_t edge
+/// key). References returned by `operator[]`/`Find` are invalidated by
+/// the next insertion (dense storage may grow), like `std::vector`.
+template <typename K, typename V>
+class FlatHashMap {
+ public:
+  struct Entry {
+    K key;
+    V value;
+  };
+
+  FlatHashMap() = default;
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Forgets all entries in O(1), keeping both the slot table and the
+  /// dense entry capacity for reuse.
+  void Clear() {
+    entries_.clear();
+    if (++epoch_ == 0) {
+      // Epoch counter wrapped (once per 2^32 queries): hard-reset the
+      // slot generations so stale slots cannot alias the new epoch.
+      for (Slot& s : slots_) s.epoch = 0;
+      epoch_ = 1;
+    }
+  }
+
+  /// Pointer to the value for `key`, or nullptr if absent.
+  V* Find(K key) {
+    if (slots_.empty()) return nullptr;
+    size_t i = HashMix64(static_cast<uint64_t>(key)) & mask_;
+    for (;;) {
+      const Slot& s = slots_[i];
+      if (s.epoch != epoch_) return nullptr;
+      if (s.key == key) return &entries_[s.entry].value;
+      i = (i + 1) & mask_;
+    }
+  }
+  const V* Find(K key) const {
+    return const_cast<FlatHashMap*>(this)->Find(key);
+  }
+
+  /// Value for `key`, default-constructed and inserted if absent.
+  V& operator[](K key) {
+    if (slots_.empty() || (entries_.size() + 1) * 4 > slots_.size() * 3) {
+      Rehash(slots_.empty() ? 16 : slots_.size() * 2);
+    }
+    size_t i = HashMix64(static_cast<uint64_t>(key)) & mask_;
+    for (;;) {
+      Slot& s = slots_[i];
+      if (s.epoch != epoch_) {
+        s.epoch = epoch_;
+        s.key = key;
+        s.entry = static_cast<uint32_t>(entries_.size());
+        entries_.push_back(Entry{key, V{}});
+        return entries_.back().value;
+      }
+      if (s.key == key) return entries_[s.entry].value;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Dense iteration over live entries, in insertion order.
+  typename std::vector<Entry>::iterator begin() { return entries_.begin(); }
+  typename std::vector<Entry>::iterator end() { return entries_.end(); }
+  typename std::vector<Entry>::const_iterator begin() const {
+    return entries_.begin();
+  }
+  typename std::vector<Entry>::const_iterator end() const {
+    return entries_.end();
+  }
+
+ private:
+  struct Slot {
+    K key;
+    uint32_t epoch = 0;  // live iff equal to the map's current epoch
+    uint32_t entry = 0;  // index into entries_
+  };
+
+  void Rehash(size_t new_cap) {
+    assert((new_cap & (new_cap - 1)) == 0 && new_cap >= 8);
+    slots_.assign(new_cap, Slot{});
+    mask_ = new_cap - 1;
+    if (epoch_ == 0) epoch_ = 1;  // fresh table: make slot epoch 0 "dead"
+    for (uint32_t e = 0; e < entries_.size(); ++e) {
+      size_t i = HashMix64(static_cast<uint64_t>(entries_[e].key)) & mask_;
+      while (slots_[i].epoch == epoch_) i = (i + 1) & mask_;
+      slots_[i] = Slot{entries_[e].key, epoch_, e};
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<Entry> entries_;
+  size_t mask_ = 0;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_SEARCH_FLAT_HASH_H_

@@ -1,0 +1,41 @@
+#include "search/search_context.h"
+
+namespace banks {
+
+void SearchContext::BeginQuery(size_t num_keywords) {
+  ++queries_started_;
+
+  node_index.Clear();
+
+  states.clear();
+  dist.clear();
+  sp.clear();
+  act.clear();
+  act_sum.clear();
+  edge_lists.Clear();
+  edge_flags.Clear();
+  qin.Clear();
+  qout.Clear();
+  qin_depth.Clear();
+  qout_depth.Clear();
+  if (min_dist.size() < num_keywords) min_dist.resize(num_keywords);
+  for (auto& h : min_dist) h.Clear();
+  dirty_roots.clear();
+  // The Attach/Activate loops drain their queues before returning, so
+  // these are only non-empty if a previous query aborted mid-propagation
+  // (e.g. via an exception unwinding through Search).
+  while (!attach_queue.empty()) attach_queue.pop();
+  while (!activate_queue.empty()) activate_queue.pop();
+  bound_scratch.clear();
+
+  for (auto& m : reach_maps) m.Clear();
+  visit_dist.clear();
+  visit_iter.clear();
+  visit_covered.clear();
+}
+
+void SearchContext::EnsureReachMaps(size_t count) {
+  if (reach_maps.size() < count) reach_maps.resize(count);
+}
+
+}  // namespace banks

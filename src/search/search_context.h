@@ -1,0 +1,197 @@
+#ifndef BANKS_SEARCH_SEARCH_CONTEXT_H_
+#define BANKS_SEARCH_SEARCH_CONTEXT_H_
+
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "graph/types.h"
+#include "search/flat_hash.h"
+#include "util/indexed_heap.h"
+
+namespace banks {
+
+/// Arena for the explored-edge lists P_u / C_u of the Bidirectional
+/// algorithm (Figure 2 of the paper).
+///
+/// Every discovered node accumulates a list of explored in- and
+/// out-edges; with one `std::vector` per node that is two heap
+/// allocations (plus regrowth) per discovered node per query. Here all
+/// lists live in one chunk arena: a list is a chain of small fixed-size
+/// chunks referenced by (head, tail) indices, appended in O(1) and
+/// iterated in insertion order. `Clear()` recycles the whole arena at
+/// once, so a reused arena serves subsequent queries allocation-free.
+class EdgeListPool {
+ public:
+  static constexpr uint32_t kNil = UINT32_MAX;
+
+  /// Handle to one list; value-semantic, stored inside NodeState.
+  struct Ref {
+    uint32_t head = kNil;
+    uint32_t tail = kNil;
+  };
+
+  void Clear() { chunks_.clear(); }
+  size_t chunk_count() const { return chunks_.size(); }
+
+  /// Appends (state, weight) to the list designated by *ref.
+  void Append(Ref* ref, uint32_t state, float weight) {
+    if (ref->tail == kNil || chunks_[ref->tail].count == kChunkCap) {
+      uint32_t c = static_cast<uint32_t>(chunks_.size());
+      chunks_.emplace_back();
+      if (ref->tail == kNil) {
+        ref->head = c;
+      } else {
+        chunks_[ref->tail].next = c;
+      }
+      ref->tail = c;
+    }
+    Chunk& chunk = chunks_[ref->tail];
+    chunk.state[chunk.count] = state;
+    chunk.weight[chunk.count] = weight;
+    chunk.count++;
+  }
+
+  /// Calls f(state, weight) for each element, in insertion order.
+  template <typename F>
+  void ForEach(const Ref& ref, F&& f) const {
+    for (uint32_t c = ref.head; c != kNil; c = chunks_[c].next) {
+      const Chunk& chunk = chunks_[c];
+      for (uint32_t i = 0; i < chunk.count; ++i) {
+        f(chunk.state[i], chunk.weight[i]);
+      }
+    }
+  }
+
+ private:
+  static constexpr uint32_t kChunkCap = 6;  // 56-byte chunks
+  struct Chunk {
+    uint32_t next = kNil;
+    uint32_t count = 0;
+    uint32_t state[kChunkCap];
+    float weight[kChunkCap];
+  };
+  std::vector<Chunk> chunks_;
+};
+
+/// Per-discovered-node bookkeeping for the Bidirectional search
+/// (Figure 2). Per-keyword arrays (dist, sp, activation) live in flat
+/// pools on the SearchContext indexed by state_index * num_keywords +
+/// keyword; the explored-edge lists live in the context's EdgeListPool.
+struct NodeState {
+  NodeId node = kInvalidNode;
+  uint32_t depth = 0;        // hops from nearest seed when discovered
+  bool popped_in = false;    // member of X_in
+  bool popped_out = false;   // member of X_out
+  bool ever_in_qout = false; // inserted into Q_out at least once
+  bool dirty = false;        // complete and awaiting materialization
+  double last_emitted_eraw = std::numeric_limits<double>::infinity();
+  // Generation-point bookkeeping captured when the root is *marked*
+  // (that is when the answer first exists; materialization is deferred).
+  double marked_time = 0;
+  uint64_t marked_explored = 0;
+  uint64_t marked_touched = 0;
+  // P_u / C_u: explored edges into / out of this node.
+  EdgeListPool::Ref parents;
+  EdgeListPool::Ref children;
+};
+
+/// Best known backward path from a node toward one keyword's origin
+/// (shared record of the Backward MI/SI searchers; MI keeps one map per
+/// iterator and ignores `matched`, SI one map per keyword).
+struct BackwardReach {
+  double dist = std::numeric_limits<double>::infinity();
+  NodeId next_hop = kInvalidNode;  // toward the matched keyword node
+  NodeId matched = kInvalidNode;   // the origin node reached
+  uint32_t hops = 0;               // edge count (depth for dmax cutoff)
+  bool settled = false;
+};
+
+/// Reusable per-query scratch space for all three search algorithms.
+///
+/// A search discovers a small, query-dependent fraction of the graph but
+/// allocates state proportional to it: node records, per-keyword
+/// distance/activation arrays, explored-edge lists, frontier heaps, hash
+/// tables. Constructing these from scratch per query makes allocation —
+/// not graph traversal — the dominant cost of small interactive queries.
+///
+/// A SearchContext owns all of that state in flat, epoch-resettable
+/// pools. The first query on a context grows each pool to its working
+/// size; subsequent queries reuse the capacity and perform (almost) no
+/// allocations. Hold one context per query stream:
+///
+///   SearchContext ctx;
+///   for (const auto& origins : stream)
+///     engine.QueryResolved(origins, Algorithm::kBidirectional, opts, &ctx);
+///
+/// A context is scratch space, not a result: it carries no information
+/// across queries other than capacity, and a query run through a warm
+/// context returns byte-identical answers to one run through a fresh
+/// context. Not thread-safe; use one context per thread.
+class SearchContext {
+ public:
+  using ScoredState = std::pair<double, uint32_t>;
+
+  SearchContext() = default;
+  SearchContext(const SearchContext&) = delete;
+  SearchContext& operator=(const SearchContext&) = delete;
+
+  /// Resets all pools for a query over `num_keywords` keywords. O(live
+  /// state of the previous query), allocation-free once pools are warm.
+  void BeginQuery(size_t num_keywords);
+
+  /// Number of BeginQuery calls, i.e. queries served (diagnostics).
+  uint64_t queries_started() const { return queries_started_; }
+
+  /// Ensures reach_maps holds at least `count` maps (MI: one per
+  /// iterator; SI: one per keyword). Clearing is BeginQuery's job:
+  /// call this only after BeginQuery, which resets every existing map.
+  void EnsureReachMaps(size_t count);
+
+  // ---- Shared: node → dense index -----------------------------------------
+  // Bidirectional: NodeId → state index into `states`.
+  // Backward MI:   NodeId → visit index into the visit_* pools.
+  // Backward SI:   NodeId → count of keywords with a finite distance.
+  FlatHashMap<NodeId, uint32_t> node_index;
+
+  // ---- Bidirectional pools ------------------------------------------------
+  std::vector<NodeState> states;
+  std::vector<double> dist;     // states.size() * n, kInf when unreached
+  std::vector<uint32_t> sp;     // next state toward keyword, or sentinel
+  std::vector<double> act;      // per-keyword activation
+  std::vector<double> act_sum;  // per-state total activation (queue key)
+  EdgeListPool edge_lists;      // P_u / C_u arena
+  // (su << 32 | sv) → explored-edge flags.
+  FlatHashMap<uint64_t, uint8_t> edge_flags;
+  IndexedHeap<double> qin;   // max-heap on total activation
+  IndexedHeap<double> qout;  // max-heap on total activation
+  // Per-keyword min-dist over frontier states (§4.5 tight bound m_i).
+  std::vector<IndexedHeap<double, std::greater<double>>> min_dist;
+  // Min-depth over each queue (fallback bound when no distance known).
+  IndexedHeap<uint32_t, std::greater<uint32_t>> qin_depth;
+  IndexedHeap<uint32_t, std::greater<uint32_t>> qout_depth;
+  std::vector<uint32_t> dirty_roots;  // completed, awaiting materialization
+  // Drained-to-empty scratch queues of Attach / Activate (§4.2.1, §4.3).
+  std::priority_queue<ScoredState, std::vector<ScoredState>,
+                      std::greater<ScoredState>>
+      attach_queue;
+  std::priority_queue<ScoredState> activate_queue;
+  std::vector<double> bound_scratch;  // per-keyword m_i in release checks
+
+  // ---- Backward MI / SI pools ---------------------------------------------
+  // One Dijkstra reach map per MI iterator / SI keyword.
+  std::vector<FlatHashMap<NodeId, BackwardReach>> reach_maps;
+  // MI visit records in flat pools: best dist/iterator per keyword
+  // (visit_index * n + keyword) and per-visit covered-keyword count.
+  std::vector<double> visit_dist;
+  std::vector<uint32_t> visit_iter;
+  std::vector<uint32_t> visit_covered;
+
+ private:
+  uint64_t queries_started_ = 0;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_SEARCH_SEARCH_CONTEXT_H_

@@ -6,6 +6,11 @@
 
 namespace banks {
 
+SearchResult Searcher::Search(const std::vector<std::vector<NodeId>>& origins) {
+  if (!owned_context_) owned_context_ = std::make_unique<SearchContext>();
+  return Search(origins, owned_context_.get());
+}
+
 const char* AlgorithmName(Algorithm algorithm) {
   switch (algorithm) {
     case Algorithm::kBackwardMI:

@@ -8,6 +8,7 @@
 #include "search/answer.h"
 #include "search/metrics.h"
 #include "search/options.h"
+#include "search/search_context.h"
 
 namespace banks {
 
@@ -41,9 +42,16 @@ class Searcher {
   Searcher(const Searcher&) = delete;
   Searcher& operator=(const Searcher&) = delete;
 
-  /// Runs the search to top-k completion (or exhaustion/budget).
-  virtual SearchResult Search(
-      const std::vector<std::vector<NodeId>>& origins) = 0;
+  /// Runs the search to top-k completion (or exhaustion/budget) using
+  /// `context` as scratch space. The context is reset at query start;
+  /// passing the same (warm) context across a query stream avoids
+  /// re-allocating per-query state. Must not be null.
+  virtual SearchResult Search(const std::vector<std::vector<NodeId>>& origins,
+                              SearchContext* context) = 0;
+
+  /// Convenience overload backed by a context owned by this searcher
+  /// (lazily created, reused across calls on the same searcher).
+  SearchResult Search(const std::vector<std::vector<NodeId>>& origins);
 
   const SearchOptions& options() const { return options_; }
 
@@ -64,6 +72,9 @@ class Searcher {
   const Graph& graph_;
   const std::vector<double>& prestige_;
   SearchOptions options_;
+
+ private:
+  std::unique_ptr<SearchContext> owned_context_;
 };
 
 /// Factory over the Algorithm enum.

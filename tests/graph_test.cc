@@ -174,6 +174,37 @@ TEST(Graph, BuilderResetAfterBuild) {
   EXPECT_EQ(g2.num_edges(), 0u);
 }
 
+TEST(Graph, MinEdgeWeightPrecomputed) {
+  GraphBuilder b;
+  b.AddNodes(4);
+  b.AddEdge(0, 1, 0.5);
+  b.AddEdge(1, 2, 3.0);
+  b.AddEdge(2, 3, 3.0);
+  Graph g = b.Build();
+  // The combined graph includes derived backward edges; backward weight
+  // w * log2(1 + indegree) (floored at min_backward_weight) never drops
+  // below its forward edge's weight, so the minimum is the forward 0.5.
+  EXPECT_DOUBLE_EQ(g.MinEdgeWeight(), 0.5);
+
+  // Backward edges participate in the scan: a hub with fan-in 3 only
+  // has backward out-edges (weight 2 * log2(4) = 4) and the combined
+  // minimum stays the forward weight 2.
+  GraphBuilder hub;
+  hub.AddNodes(4);
+  hub.AddEdge(1, 0, 2.0);
+  hub.AddEdge(2, 0, 2.0);
+  hub.AddEdge(3, 0, 2.0);
+  Graph h = hub.Build();
+  EXPECT_DOUBLE_EQ(h.MinEdgeWeight(), 2.0);
+}
+
+TEST(Graph, MinEdgeWeightEdgelessDefaultsToOne) {
+  GraphBuilder b;
+  b.AddNodes(3);
+  Graph g = b.Build();
+  EXPECT_DOUBLE_EQ(g.MinEdgeWeight(), 1.0);
+}
+
 TEST(Graph, Fig4GraphShape) {
   testing::Fig4Graph fig = testing::MakeFig4Graph();
   // 100 database papers + 2 authors + 49 writes + 47 other papers.

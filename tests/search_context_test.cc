@@ -1,0 +1,270 @@
+#include "search/search_context.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "search/flat_hash.h"
+#include "search/searcher.h"
+#include "test_util.h"
+
+namespace banks {
+namespace {
+
+using testing::MakeFig4Graph;
+using testing::MakeRandomGraph;
+using testing::ValidateAnswers;
+
+// ---- FlatHashMap ------------------------------------------------------------
+
+TEST(FlatHashMap, InsertFindAndDefaultConstruct) {
+  FlatHashMap<NodeId, uint32_t> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(7), nullptr);
+
+  map[7] = 42;
+  map[9];  // default-inserted
+  ASSERT_NE(map.Find(7), nullptr);
+  EXPECT_EQ(*map.Find(7), 42u);
+  ASSERT_NE(map.Find(9), nullptr);
+  EXPECT_EQ(*map.Find(9), 0u);
+  EXPECT_EQ(map.Find(8), nullptr);
+  EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(FlatHashMap, GrowthPreservesEntries) {
+  FlatHashMap<uint64_t, uint64_t> map;
+  constexpr uint64_t kCount = 10'000;
+  for (uint64_t i = 0; i < kCount; ++i) map[i * 2654435761u] = i;
+  EXPECT_EQ(map.size(), kCount);
+  for (uint64_t i = 0; i < kCount; ++i) {
+    const uint64_t* v = map.Find(i * 2654435761u);
+    ASSERT_NE(v, nullptr) << i;
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(FlatHashMap, ClearIsEpochBasedAndReusable) {
+  FlatHashMap<NodeId, uint32_t> map;
+  for (NodeId v = 0; v < 1000; ++v) map[v] = v + 1;
+  map.Clear();
+  EXPECT_TRUE(map.empty());
+  // Every old key reads as absent after the epoch bump.
+  for (NodeId v = 0; v < 1000; ++v) EXPECT_EQ(map.Find(v), nullptr);
+  // Reuse with overlapping and fresh keys.
+  map[500] = 7;
+  map[2000] = 8;
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(*map.Find(500), 7u);
+  EXPECT_EQ(*map.Find(2000), 8u);
+  EXPECT_EQ(map.Find(499), nullptr);
+}
+
+TEST(FlatHashMap, DenseIterationInInsertionOrder) {
+  FlatHashMap<NodeId, uint32_t> map;
+  map[30] = 1;
+  map[10] = 2;
+  map[20] = 3;
+  std::vector<NodeId> keys;
+  for (const auto& e : map) keys.push_back(e.key);
+  EXPECT_EQ(keys, (std::vector<NodeId>{30, 10, 20}));
+}
+
+TEST(FlatHashMap, ManyEpochsStayConsistent) {
+  FlatHashMap<NodeId, uint32_t> map;
+  for (int epoch = 0; epoch < 100; ++epoch) {
+    for (NodeId v = 0; v < 64; ++v) map[v] = static_cast<uint32_t>(epoch);
+    EXPECT_EQ(map.size(), 64u);
+    EXPECT_EQ(*map.Find(63), static_cast<uint32_t>(epoch));
+    map.Clear();
+  }
+}
+
+// ---- EdgeListPool -----------------------------------------------------------
+
+TEST(EdgeListPool, AppendAndIterateInsertionOrder) {
+  EdgeListPool pool;
+  EdgeListPool::Ref a, b;
+  // Interleave appends to two lists to cross chunk boundaries.
+  for (uint32_t i = 0; i < 20; ++i) {
+    pool.Append(&a, i, static_cast<float>(i));
+    pool.Append(&b, 100 + i, 1.0f);
+    pool.Append(&b, 200 + i, 2.0f);
+  }
+  std::vector<uint32_t> got_a;
+  pool.ForEach(a, [&](uint32_t s, float w) {
+    EXPECT_EQ(w, static_cast<float>(s));
+    got_a.push_back(s);
+  });
+  ASSERT_EQ(got_a.size(), 20u);
+  for (uint32_t i = 0; i < 20; ++i) EXPECT_EQ(got_a[i], i);
+
+  std::vector<uint32_t> got_b;
+  pool.ForEach(b, [&](uint32_t s, float) { got_b.push_back(s); });
+  ASSERT_EQ(got_b.size(), 40u);
+  // b alternates 100+i, 200+i in insertion order.
+  for (uint32_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(got_b[2 * i], 100 + i);
+    EXPECT_EQ(got_b[2 * i + 1], 200 + i);
+  }
+}
+
+TEST(EdgeListPool, ClearRecyclesArena) {
+  EdgeListPool pool;
+  EdgeListPool::Ref a;
+  for (uint32_t i = 0; i < 100; ++i) pool.Append(&a, i, 1.0f);
+  EXPECT_GT(pool.chunk_count(), 0u);
+  pool.Clear();
+  EXPECT_EQ(pool.chunk_count(), 0u);
+  EdgeListPool::Ref fresh;
+  pool.Append(&fresh, 5, 2.0f);
+  size_t seen = 0;
+  pool.ForEach(fresh, [&](uint32_t s, float w) {
+    EXPECT_EQ(s, 5u);
+    EXPECT_EQ(w, 2.0f);
+    seen++;
+  });
+  EXPECT_EQ(seen, 1u);
+}
+
+// ---- Context reuse ----------------------------------------------------------
+
+class ContextReuse : public ::testing::TestWithParam<Algorithm> {};
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, ContextReuse,
+                         ::testing::Values(Algorithm::kBackwardMI,
+                                           Algorithm::kBackwardSI,
+                                           Algorithm::kBidirectional),
+                         [](const auto& info) {
+                           return std::string(AlgorithmName(info.param)) ==
+                                          "MI-Backward"
+                                      ? "MIBackward"
+                                  : std::string(AlgorithmName(info.param)) ==
+                                          "SI-Backward"
+                                      ? "SIBackward"
+                                      : "Bidirectional";
+                         });
+
+void ExpectIdenticalResults(const SearchResult& a, const SearchResult& b) {
+  ASSERT_EQ(a.answers.size(), b.answers.size());
+  for (size_t i = 0; i < a.answers.size(); ++i) {
+    const AnswerTree& x = a.answers[i];
+    const AnswerTree& y = b.answers[i];
+    EXPECT_EQ(x.root, y.root) << "answer " << i;
+    EXPECT_EQ(x.edges, y.edges) << "answer " << i;
+    EXPECT_EQ(x.keyword_nodes, y.keyword_nodes) << "answer " << i;
+    EXPECT_EQ(x.keyword_distances, y.keyword_distances) << "answer " << i;
+    EXPECT_EQ(x.edge_score_raw, y.edge_score_raw) << "answer " << i;
+    EXPECT_EQ(x.node_prestige, y.node_prestige) << "answer " << i;
+    EXPECT_EQ(x.score, y.score) << "answer " << i;
+  }
+  // Deterministic (non-wall-clock) metrics must match exactly.
+  EXPECT_EQ(a.metrics.nodes_explored, b.metrics.nodes_explored);
+  EXPECT_EQ(a.metrics.nodes_touched, b.metrics.nodes_touched);
+  EXPECT_EQ(a.metrics.edges_relaxed, b.metrics.edges_relaxed);
+  EXPECT_EQ(a.metrics.propagation_steps, b.metrics.propagation_steps);
+  EXPECT_EQ(a.metrics.answers_generated, b.metrics.answers_generated);
+  EXPECT_EQ(a.metrics.answers_output, b.metrics.answers_output);
+  EXPECT_EQ(a.metrics.budget_exhausted, b.metrics.budget_exhausted);
+}
+
+TEST_P(ContextReuse, SameQueryTwiceThroughOneContextIsIdentical) {
+  testing::Fig4Graph fig = MakeFig4Graph();
+  std::vector<double> prestige(fig.graph.num_nodes(), 1.0);
+  SearchOptions options;
+  options.k = 10;
+  std::vector<std::vector<NodeId>> origins = {
+      fig.database_papers, {fig.james}, {fig.john}};
+
+  auto searcher = CreateSearcher(GetParam(), fig.graph, prestige, options);
+  SearchContext ctx;
+  SearchResult first = searcher->Search(origins, &ctx);
+  SearchResult second = searcher->Search(origins, &ctx);
+  EXPECT_EQ(ctx.queries_started(), 2u);
+  EXPECT_FALSE(first.answers.empty());
+  ExpectIdenticalResults(first, second);
+  EXPECT_EQ(ValidateAnswers(fig.graph, second), "");
+}
+
+TEST_P(ContextReuse, WarmContextMatchesFreshContext) {
+  // Run a *different* (larger) query first so the warm context's pools
+  // carry stale capacity, then compare against a cold context.
+  Graph g = MakeRandomGraph(400, 1200, /*seed=*/7);
+  std::vector<double> prestige(g.num_nodes(), 1.0);
+  SearchOptions options;
+  options.k = 5;
+  auto searcher = CreateSearcher(GetParam(), g, prestige, options);
+
+  std::vector<std::vector<NodeId>> big = {{1, 2, 3, 4, 5}, {10, 20, 30}, {7}};
+  std::vector<std::vector<NodeId>> small = {{2, 9}, {17}};
+
+  SearchContext warm;
+  (void)searcher->Search(big, &warm);
+  SearchResult warm_result = searcher->Search(small, &warm);
+
+  SearchContext cold;
+  SearchResult cold_result = searcher->Search(small, &cold);
+  ExpectIdenticalResults(warm_result, cold_result);
+}
+
+TEST_P(ContextReuse, InterleavedQueriesDoNotLeakState) {
+  testing::Fig4Graph fig = MakeFig4Graph();
+  std::vector<double> prestige(fig.graph.num_nodes(), 1.0);
+  SearchOptions options;
+  options.k = 6;
+  auto searcher = CreateSearcher(GetParam(), fig.graph, prestige, options);
+
+  std::vector<std::vector<NodeId>> q1 = {fig.database_papers, {fig.john}};
+  std::vector<std::vector<NodeId>> q2 = {{fig.james}, {fig.john}};
+
+  SearchContext ctx;
+  SearchResult a1 = searcher->Search(q1, &ctx);
+  SearchResult a2 = searcher->Search(q2, &ctx);
+  SearchResult b1 = searcher->Search(q1, &ctx);
+  SearchResult b2 = searcher->Search(q2, &ctx);
+  ExpectIdenticalResults(a1, b1);
+  ExpectIdenticalResults(a2, b2);
+}
+
+TEST(SearchContext, OwnedContextOverloadMatchesExplicitContext) {
+  testing::Fig4Graph fig = MakeFig4Graph();
+  std::vector<double> prestige(fig.graph.num_nodes(), 1.0);
+  SearchOptions options;
+  std::vector<std::vector<NodeId>> origins = {{fig.james}, {fig.john}};
+
+  auto with_owned =
+      CreateSearcher(Algorithm::kBidirectional, fig.graph, prestige, options);
+  auto with_explicit =
+      CreateSearcher(Algorithm::kBidirectional, fig.graph, prestige, options);
+  SearchContext ctx;
+  ExpectIdenticalResults(with_owned->Search(origins),
+                         with_explicit->Search(origins, &ctx));
+  // The owned context is reused across calls on the same searcher.
+  ExpectIdenticalResults(with_owned->Search(origins),
+                         with_explicit->Search(origins, &ctx));
+}
+
+TEST(SearchContext, BeginQueryResetsPoolsButKeepsCapacity) {
+  SearchContext ctx;
+  ctx.BeginQuery(3);
+  ctx.node_index[5] = 1;
+  ctx.states.resize(4);
+  ctx.dist.assign(12, 0.5);
+  EdgeListPool::Ref r;
+  ctx.edge_lists.Append(&r, 0, 1.0f);
+  ctx.EnsureReachMaps(2);
+  ctx.reach_maps[0][9].dist = 3.0;
+
+  ctx.BeginQuery(2);
+  EXPECT_EQ(ctx.queries_started(), 2u);
+  EXPECT_TRUE(ctx.node_index.empty());
+  EXPECT_TRUE(ctx.states.empty());
+  EXPECT_TRUE(ctx.dist.empty());
+  EXPECT_EQ(ctx.edge_lists.chunk_count(), 0u);
+  EXPECT_EQ(ctx.reach_maps[0].Find(9), nullptr);
+  EXPECT_GE(ctx.min_dist.size(), 2u);
+}
+
+}  // namespace
+}  // namespace banks
