@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 
 #include "util/timer.h"
@@ -206,6 +207,84 @@ std::pair<double, size_t> SparseLowerBound(
 double SafeRatio(double a, double b) {
   if (b <= 0) return a <= 0 ? 1.0 : std::numeric_limits<double>::infinity();
   return a / b;
+}
+
+void JsonWriter::Separate() {
+  if (needs_comma_) out_ += ',';
+}
+
+void JsonWriter::Escaped(const std::string& s) {
+  out_ += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out_ += '\\';
+    out_ += c;
+  }
+  out_ += '"';
+}
+
+void JsonWriter::BeginObject() {
+  Separate();
+  out_ += '{';
+  needs_comma_ = false;
+}
+
+void JsonWriter::EndObject() {
+  out_ += '}';
+  needs_comma_ = true;
+}
+
+void JsonWriter::BeginArray() {
+  Separate();
+  out_ += '[';
+  needs_comma_ = false;
+}
+
+void JsonWriter::EndArray() {
+  out_ += ']';
+  needs_comma_ = true;
+}
+
+void JsonWriter::Key(const std::string& key) {
+  Separate();
+  Escaped(key);
+  out_ += ':';
+  needs_comma_ = false;
+}
+
+void JsonWriter::Field(const std::string& key, const std::string& value) {
+  Key(key);
+  Escaped(value);
+  needs_comma_ = true;
+}
+
+void JsonWriter::Field(const std::string& key, const char* value) {
+  Field(key, std::string(value));
+}
+
+void JsonWriter::Field(const std::string& key, double value) {
+  Key(key);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out_ += buf;
+  needs_comma_ = true;
+}
+
+void JsonWriter::Field(const std::string& key, uint64_t value) {
+  Key(key);
+  out_ += std::to_string(value);
+  needs_comma_ = true;
+}
+
+void JsonWriter::Field(const std::string& key, int value) {
+  Key(key);
+  out_ += std::to_string(value);
+  needs_comma_ = true;
+}
+
+void JsonWriter::Field(const std::string& key, bool value) {
+  Key(key);
+  out_ += value ? "true" : "false";
+  needs_comma_ = true;
 }
 
 }  // namespace banks::bench

@@ -1,6 +1,7 @@
 #ifndef BANKS_BENCH_BENCH_COMMON_H_
 #define BANKS_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -96,6 +97,41 @@ std::pair<double, size_t> SparseLowerBound(
 
 /// Ratio helper: a/b guarding zero denominators.
 double SafeRatio(double a, double b);
+
+/// Minimal JSON emitter for bench `--json` output (the CI bench-smoke
+/// job uploads these as BENCH_*.json artifacts). No dependency, no
+/// escaping beyond what bench strings need (quotes/backslashes).
+///
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Field("bench", "micro_batch"); w.Field("qps", 123.4);
+///   w.Key("rows"); w.BeginArray();
+///   ... w.BeginObject(); w.Field(...); w.EndObject(); ...
+///   w.EndArray(); w.EndObject();
+///   std::cout << w.str();
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  /// Emits the key of a nested object/array field; follow with Begin*.
+  void Key(const std::string& key);
+  void Field(const std::string& key, const std::string& value);
+  void Field(const std::string& key, const char* value);
+  void Field(const std::string& key, double value);
+  void Field(const std::string& key, uint64_t value);
+  void Field(const std::string& key, int value);
+  void Field(const std::string& key, bool value);
+  const std::string& str() const { return out_; }
+
+ private:
+  void Separate();
+  void Escaped(const std::string& s);
+
+  std::string out_;
+  bool needs_comma_ = false;
+};
 
 }  // namespace banks::bench
 

@@ -1,0 +1,247 @@
+// Engine::QueryBatch throughput microbenchmark.
+//
+// Runs a §5.4 DBLP generator workload (with deliberate duplicate
+// keyword sets, as a query stream from many users would have) through:
+//   * sequential warm — the PR-1 best case: a loop of Engine::Query
+//     calls sharing one SearchContext, and
+//   * Engine::QueryBatch at 1/2/4/8 worker threads over a shared
+//     SearchContextPool.
+// Reports queries/sec and the speedup over sequential warm, and checks
+// that every batch configuration returns answers identical to the
+// sequential run (thread count must never change results).
+//
+// --json emits the measurements as a JSON document for the CI
+// bench-smoke artifact (BENCH_batch.json).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "banks/engine.h"
+#include "bench_common.h"
+#include "datasets/workload.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace banks::bench {
+namespace {
+
+constexpr size_t kRepetitions = 3;
+const size_t kThreadCounts[] = {1, 2, 4, 8};
+
+struct Measurement {
+  std::string mode;  // "sequential" or "batch"
+  size_t threads = 1;
+  double seconds = 0;
+  double qps = 0;
+  double speedup = 1.0;
+  size_t origin_cache_hits = 0;
+};
+
+/// Builds the benchmark query stream: two §5.6-ish keyword classes, each
+/// spec duplicated once (stream position shuffled by interleaving) so
+/// the batch origin cache has real hits.
+std::vector<BatchQuerySpec> MakeSpecs(BenchEnv* env, const Engine& engine) {
+  WorkloadGenerator gen(&env->db, &env->dg);
+  std::vector<BatchQuerySpec> specs;
+  for (size_t kw = 2; kw <= 3; ++kw) {
+    WorkloadOptions wopt;
+    wopt.num_queries = 8;
+    wopt.answer_size = 4;
+    wopt.thresholds = env->thresholds;
+    wopt.categories.assign(kw, FreqCategory::kTiny);
+    wopt.categories.back() = FreqCategory::kSmall;
+    wopt.seed = 17 + kw * 31;
+    for (const WorkloadQuery& q : gen.Generate(wopt)) {
+      // Keep only fully-matched queries so every spec does real work.
+      bool all_matched = !q.keywords.empty();
+      for (const auto& origins : engine.Resolve(q.keywords)) {
+        all_matched &= !origins.empty();
+      }
+      if (all_matched) specs.push_back(BatchQuerySpec{q.keywords, {}});
+    }
+  }
+  // Interleave a duplicate of every query: positions 2i / 2i+1 share a
+  // keyword set, like repeated queries arriving in one service window.
+  std::vector<BatchQuerySpec> doubled;
+  doubled.reserve(specs.size() * 2);
+  for (const BatchQuerySpec& s : specs) {
+    doubled.push_back(s);
+    doubled.push_back(s);
+  }
+  return doubled;
+}
+
+int Main(double scale, bool json) {
+  if (!json) {
+    std::printf("=== Engine::QueryBatch: threaded batch vs sequential ===\n");
+  }
+  BenchEnv env = MakeDblpEnv(scale);
+  Engine engine(env.dg, EngineOptions{});
+  std::vector<BatchQuerySpec> specs = MakeSpecs(&env, engine);
+  if (!json) {
+    std::printf("DBLP-like graph: %zu nodes / %zu edges, %zu queries "
+                "(50%% duplicate keyword sets) x %zu repetitions, "
+                "%u hardware threads\n",
+                env.dg.graph.num_nodes(), env.dg.graph.num_edges(),
+                specs.size(), kRepetitions,
+                std::thread::hardware_concurrency());
+  }
+  if (specs.empty()) {
+    std::fprintf(stderr, "no runnable queries generated\n");
+    return 1;
+  }
+
+  SearchOptions options;
+  options.k = 10;
+  options.bound = BoundMode::kLoose;
+  options.max_nodes_explored = 100'000;
+
+  JsonWriter w;
+  if (json) {
+    w.BeginObject();
+    w.Field("bench", "micro_batch");
+    w.Field("scale", scale);
+    w.Field("graph_nodes", static_cast<uint64_t>(env.dg.graph.num_nodes()));
+    w.Field("graph_edges", static_cast<uint64_t>(env.dg.graph.num_edges()));
+    w.Field("queries_per_rep", static_cast<uint64_t>(specs.size()));
+    w.Field("repetitions", static_cast<uint64_t>(kRepetitions));
+    w.Field("hardware_concurrency",
+            static_cast<uint64_t>(std::thread::hardware_concurrency()));
+    w.Key("rows");
+    w.BeginArray();
+  }
+  TablePrinter table({"Algorithm", "mode", "threads", "ms/q", "q/s",
+                      "speedup", "cache hits"});
+  const size_t runs = specs.size() * kRepetitions;
+  bool all_identical = true;
+
+  for (Algorithm algorithm :
+       {Algorithm::kBidirectional, Algorithm::kBackwardSI,
+        Algorithm::kBackwardMI}) {
+    // Sequential warm baseline: one context across the whole stream,
+    // per-query resolve (what a pre-batch caller would write).
+    std::vector<SearchResult> reference;
+    SearchContext warm_context;
+    for (const BatchQuerySpec& s : specs) {  // untimed warm-up
+      (void)engine.Query(s.keywords, algorithm, options, &warm_context);
+    }
+    Timer timer;
+    for (size_t rep = 0; rep < kRepetitions; ++rep) {
+      for (const BatchQuerySpec& s : specs) {
+        SearchResult r =
+            engine.Query(s.keywords, algorithm, options, &warm_context);
+        if (rep == 0) reference.push_back(std::move(r));
+      }
+    }
+    Measurement seq;
+    seq.mode = "sequential";
+    seq.seconds = timer.ElapsedSeconds();
+    seq.qps = runs / seq.seconds;
+
+    std::vector<Measurement> rows;
+    rows.push_back(seq);
+    SearchContextPool pool;
+    for (size_t threads : kThreadCounts) {
+      BatchOptions bopt;
+      bopt.num_threads = threads;
+      bopt.pool = &pool;
+      (void)engine.QueryBatch(specs, algorithm, options, bopt);  // warm-up
+      Timer batch_timer;
+      BatchResult last;
+      for (size_t rep = 0; rep < kRepetitions; ++rep) {
+        last = engine.QueryBatch(specs, algorithm, options, bopt);
+      }
+      Measurement m;
+      m.mode = "batch";
+      m.threads = threads;
+      m.seconds = batch_timer.ElapsedSeconds();
+      m.qps = runs / m.seconds;
+      m.speedup = SafeRatio(seq.seconds, m.seconds);
+      m.origin_cache_hits = last.origin_cache_hits;
+      rows.push_back(m);
+
+      // Thread count must never change results: every answer of every
+      // query must match the sequential run field-for-field.
+      bool identical = last.results.size() == reference.size();
+      for (size_t i = 0; identical && i < reference.size(); ++i) {
+        identical = last.results[i].answers.size() ==
+                    reference[i].answers.size();
+        for (size_t j = 0; identical && j < reference[i].answers.size();
+             ++j) {
+          identical =
+              SameAnswer(last.results[i].answers[j], reference[i].answers[j]);
+        }
+      }
+      if (!identical) {
+        std::fprintf(stderr,
+                     "ERROR: %s batch(%zu threads) answers differ from "
+                     "sequential\n",
+                     AlgorithmName(algorithm), threads);
+        all_identical = false;
+      }
+    }
+
+    for (const Measurement& m : rows) {
+      if (json) {
+        w.BeginObject();
+        w.Field("algorithm", AlgorithmName(algorithm));
+        w.Field("mode", m.mode);
+        w.Field("threads", static_cast<uint64_t>(m.threads));
+        w.Field("ms_per_query", 1e3 * m.seconds / runs);
+        w.Field("qps", m.qps);
+        w.Field("speedup_vs_sequential", m.speedup);
+        w.Field("origin_cache_hits", static_cast<uint64_t>(m.origin_cache_hits));
+        w.EndObject();
+      } else {
+        table.AddRow({AlgorithmName(algorithm), m.mode,
+                      std::to_string(m.threads),
+                      TablePrinter::Fmt(1e3 * m.seconds / runs, 3),
+                      TablePrinter::Fmt(m.qps, 1),
+                      TablePrinter::Fmt(m.speedup, 2),
+                      std::to_string(m.origin_cache_hits)});
+      }
+    }
+  }
+
+  if (json) {
+    w.EndArray();
+    w.Field("answers_identical", all_identical);
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    std::printf("\n");
+    table.Print(std::cout);
+    std::printf(
+        "\nsequential = Engine::Query loop on one warm SearchContext;\n"
+        "batch = Engine::QueryBatch over a shared SearchContextPool.\n"
+        "cache hits = duplicate keyword sets that skipped index lookups\n"
+        "(per batch call). Answers are verified identical across modes.\n");
+  }
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace banks::bench
+
+int main(int argc, char** argv) {
+  double scale = 1.0;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      scale = std::atof(argv[i]);
+      if (scale <= 0.0) {
+        std::fprintf(stderr, "usage: %s [--json] [scale>0]  (got %s)\n",
+                     argv[0], argv[i]);
+        return 2;
+      }
+    }
+  }
+  return banks::bench::Main(scale, json);
+}

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <new>
 #include <vector>
@@ -94,11 +95,15 @@ std::vector<std::vector<std::vector<NodeId>>> ResolveQueries(
   return queries;
 }
 
-int Main(double scale) {
-  std::printf("=== SearchContext reuse: cold vs warm query latency ===\n");
+int Main(double scale, bool json) {
+  if (!json) {
+    std::printf("=== SearchContext reuse: cold vs warm query latency ===\n");
+  }
   BenchEnv env = MakeDblpEnv(scale);
-  std::printf("DBLP-like graph: %zu nodes / %zu edges\n",
-              env.dg.graph.num_nodes(), env.dg.graph.num_edges());
+  if (!json) {
+    std::printf("DBLP-like graph: %zu nodes / %zu edges\n",
+                env.dg.graph.num_nodes(), env.dg.graph.num_edges());
+  }
   WorkloadGenerator gen(&env.db, &env.dg);
 
   // Two §5.6-style query classes. Context reuse targets the first: on
@@ -136,9 +141,21 @@ int Main(double scale) {
 
   TablePrinter table({"Class", "Algorithm", "n", "cold ms/q", "warm ms/q",
                       "speedup", "cold allocs/q", "warm allocs/q"});
+  JsonWriter w;
+  if (json) {
+    w.BeginObject();
+    w.Field("bench", "micro_context");
+    w.Field("scale", scale);
+    w.Field("graph_nodes", static_cast<uint64_t>(env.dg.graph.num_nodes()));
+    w.Field("graph_edges", static_cast<uint64_t>(env.dg.graph.num_edges()));
+    w.Key("rows");
+    w.BeginArray();
+  }
   for (const QueryClass& qc : classes) {
-    std::printf("%s: %zu queries x %zu repetitions per mode\n", qc.name,
-                qc.queries.size(), kRepetitions);
+    if (!json) {
+      std::printf("%s: %zu queries x %zu repetitions per mode\n", qc.name,
+                  qc.queries.size(), kRepetitions);
+    }
     if (qc.queries.empty()) continue;
     const size_t runs = qc.queries.size() * kRepetitions;
     for (Algorithm algorithm :
@@ -156,14 +173,35 @@ int Main(double scale) {
                     AlgorithmName(algorithm), cold.answers, warm.answers);
         return 1;
       }
-      table.AddRow(
-          {qc.name, AlgorithmName(algorithm), std::to_string(runs),
-           TablePrinter::Fmt(1e3 * cold.seconds / runs, 3),
-           TablePrinter::Fmt(1e3 * warm.seconds / runs, 3),
-           TablePrinter::Fmt(SafeRatio(cold.seconds, warm.seconds), 2),
-           TablePrinter::Fmt(static_cast<double>(cold.allocs) / runs, 0),
-           TablePrinter::Fmt(static_cast<double>(warm.allocs) / runs, 0)});
+      if (json) {
+        w.BeginObject();
+        w.Field("class", qc.name);
+        w.Field("algorithm", AlgorithmName(algorithm));
+        w.Field("runs", static_cast<uint64_t>(runs));
+        w.Field("cold_ms_per_query", 1e3 * cold.seconds / runs);
+        w.Field("warm_ms_per_query", 1e3 * warm.seconds / runs);
+        w.Field("warm_speedup", SafeRatio(cold.seconds, warm.seconds));
+        w.Field("cold_allocs_per_query",
+                static_cast<double>(cold.allocs) / runs);
+        w.Field("warm_allocs_per_query",
+                static_cast<double>(warm.allocs) / runs);
+        w.EndObject();
+      } else {
+        table.AddRow(
+            {qc.name, AlgorithmName(algorithm), std::to_string(runs),
+             TablePrinter::Fmt(1e3 * cold.seconds / runs, 3),
+             TablePrinter::Fmt(1e3 * warm.seconds / runs, 3),
+             TablePrinter::Fmt(SafeRatio(cold.seconds, warm.seconds), 2),
+             TablePrinter::Fmt(static_cast<double>(cold.allocs) / runs, 0),
+             TablePrinter::Fmt(static_cast<double>(warm.allocs) / runs, 0)});
+      }
     }
+  }
+  if (json) {
+    w.EndArray();
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
   }
   std::printf("\n");
   table.Print(std::cout);
@@ -179,13 +217,18 @@ int Main(double scale) {
 
 int main(int argc, char** argv) {
   double scale = 1.0;
-  if (argc > 1) {
-    scale = std::atof(argv[1]);
-    if (scale <= 0.0) {
-      std::fprintf(stderr, "usage: %s [scale>0]  (got %s)\n", argv[0],
-                   argv[1]);
-      return 2;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      scale = std::atof(argv[i]);
+      if (scale <= 0.0) {
+        std::fprintf(stderr, "usage: %s [--json] [scale>0]  (got %s)\n",
+                     argv[0], argv[i]);
+        return 2;
+      }
     }
   }
-  return banks::bench::Main(scale);
+  return banks::bench::Main(scale, json);
 }

@@ -1,6 +1,16 @@
 #include "banks/engine.h"
 
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
 #include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
 namespace banks {
 
@@ -37,6 +47,150 @@ SearchResult Engine::QueryResolved(
   auto searcher = CreateSearcher(algorithm, data_.graph, prestige_, options);
   return context ? searcher->Search(origins, context)
                  : searcher->Search(origins);
+}
+
+namespace {
+
+/// Cache key for a spec's keyword list. Keywords are raw caller strings
+/// (they may contain any byte), so each is length-prefixed to keep the
+/// join injective.
+std::string KeywordCacheKey(const std::vector<std::string>& keywords) {
+  std::string key;
+  for (const std::string& kw : keywords) {
+    key += std::to_string(kw.size());
+    key += ':';
+    key += kw;
+  }
+  return key;
+}
+
+/// Folds one query's counters into the batch total. Timing vectors stay
+/// empty: per-answer timestamps are relative to their own query's start
+/// and do not aggregate meaningfully.
+void AccumulateMetrics(const SearchMetrics& m, SearchMetrics* total) {
+  total->nodes_explored += m.nodes_explored;
+  total->nodes_touched += m.nodes_touched;
+  total->edges_relaxed += m.edges_relaxed;
+  total->propagation_steps += m.propagation_steps;
+  total->answers_generated += m.answers_generated;
+  total->answers_output += m.answers_output;
+  total->elapsed_seconds += m.elapsed_seconds;
+  total->budget_exhausted |= m.budget_exhausted;
+}
+
+}  // namespace
+
+BatchResult Engine::QueryBatch(const std::vector<BatchQuerySpec>& specs,
+                               Algorithm algorithm,
+                               const SearchOptions& options,
+                               const BatchOptions& batch) const {
+  BatchResult out;
+  out.results.resize(specs.size());
+  if (specs.empty()) return out;
+
+  // ---- Resolve phase (calling thread) ----------------------------------
+  // Each distinct keyword set hits the inverted index once; duplicates
+  // within the batch share the resolved origins. Owned resolutions live
+  // in `resolved_storage` (unique_ptr for pointer stability); specs with
+  // pre-resolved origins are referenced in place.
+  std::vector<const std::vector<std::vector<NodeId>>*> origins(specs.size());
+  std::vector<std::unique_ptr<std::vector<std::vector<NodeId>>>>
+      resolved_storage;
+  std::unordered_map<std::string, const std::vector<std::vector<NodeId>>*>
+      cache;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (!specs[i].origins.empty()) {
+      origins[i] = &specs[i].origins;
+      continue;
+    }
+    std::string key = KeywordCacheKey(specs[i].keywords);
+    auto [it, inserted] = cache.try_emplace(key, nullptr);
+    if (inserted) {
+      resolved_storage.push_back(
+          std::make_unique<std::vector<std::vector<NodeId>>>(
+              Resolve(specs[i].keywords)));
+      it->second = resolved_storage.back().get();
+    } else {
+      ++out.origin_cache_hits;
+    }
+    origins[i] = it->second;
+  }
+
+  // ---- Execute phase ---------------------------------------------------
+  // One shared searcher (Search is const), one context per worker from
+  // the pool. Workers pull query indices off an atomic counter; results
+  // land in their input slot, so scheduling order never shows.
+  auto searcher = CreateSearcher(algorithm, data_.graph, prestige_, options);
+  SearchContextPool local_pool;
+  SearchContextPool* pool = batch.pool != nullptr ? batch.pool : &local_pool;
+
+  size_t num_threads =
+      batch.num_threads != 0
+          ? batch.num_threads
+          : static_cast<size_t>(std::thread::hardware_concurrency());
+  if (num_threads == 0) num_threads = 1;
+  if (num_threads > specs.size()) num_threads = specs.size();
+
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    // Claim work before taking a lease: a worker that arrives after the
+    // batch is drained must not grow a caller-shared pool with a context
+    // that would never run a query.
+    size_t i = next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= specs.size()) return;
+    SearchContextPool::Lease lease = pool->Acquire();
+    for (; i < specs.size();
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      out.results[i] = searcher->Search(*origins[i], lease.get());
+    }
+  };
+
+  if (num_threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    std::exception_ptr failure;
+    std::mutex failure_mu;
+    for (size_t t = 0; t < num_threads; ++t) {
+      threads.emplace_back([&]() {
+        try {
+          worker();
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(failure_mu);
+          if (!failure) failure = std::current_exception();
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    if (failure) std::rethrow_exception(failure);
+  }
+
+  // ---- Aggregate + dedup hook ------------------------------------------
+  std::unordered_set<uint64_t> seen_signatures;
+  for (SearchResult& r : out.results) {
+    AccumulateMetrics(r.metrics, &out.total);
+    if (!batch.dedup_answers) continue;
+    std::vector<AnswerTree> kept;
+    std::vector<uint64_t> kept_signatures;
+    kept.reserve(r.answers.size());
+    kept_signatures.reserve(r.answers.size());
+    for (AnswerTree& tree : r.answers) {
+      uint64_t signature = tree.Signature();
+      if (seen_signatures.count(signature) > 0) {
+        ++out.answers_deduplicated;
+      } else {
+        kept.push_back(std::move(tree));
+        kept_signatures.push_back(signature);
+      }
+    }
+    // Answers of one query join the seen set only after the whole query
+    // is filtered: within-query duplicate suppression is the searcher's
+    // job (§4.6 Signature collisions), not the batch's.
+    seen_signatures.insert(kept_signatures.begin(), kept_signatures.end());
+    r.answers = std::move(kept);
+  }
+  return out;
 }
 
 const std::string& Engine::NodeLabel(NodeId node) const {

@@ -1,11 +1,13 @@
 #ifndef BANKS_BANKS_ENGINE_H_
 #define BANKS_BANKS_ENGINE_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
 #include "prestige/pagerank.h"
 #include "relational/graph_builder.h"
+#include "search/context_pool.h"
 #include "search/searcher.h"
 
 namespace banks {
@@ -17,6 +19,51 @@ struct EngineOptions {
   /// When false, uniform prestige is used (pure edge-score ranking);
   /// saves the PageRank pass for tests and ablations.
   bool compute_prestige = true;
+};
+
+/// One query of a batch: keywords to resolve through the engine's index,
+/// or pre-resolved origin sets (benchmarks resolve once up front). When
+/// `origins` is non-empty it wins and `keywords` is ignored.
+struct BatchQuerySpec {
+  std::vector<std::string> keywords;
+  std::vector<std::vector<NodeId>> origins;
+};
+
+/// Execution knobs for Engine::QueryBatch.
+struct BatchOptions {
+  /// Worker threads executing queries. 1 runs the batch inline on the
+  /// calling thread; 0 means std::thread::hardware_concurrency().
+  /// Thread count never changes results: queries are independent and
+  /// results are returned in input order.
+  size_t num_threads = 1;
+
+  /// Drop answers that duplicate (same tree Signature()) an answer of an
+  /// *earlier* query in the batch. Off by default — with it off, each
+  /// query's results are byte-identical to a standalone Query call.
+  bool dedup_answers = false;
+
+  /// Context pool to draw scratch space from; batches sharing a pool
+  /// across calls reuse warm contexts. nullptr uses a batch-local pool
+  /// (first batch pays the cold-context cost).
+  SearchContextPool* pool = nullptr;
+};
+
+/// Result of Engine::QueryBatch.
+struct BatchResult {
+  /// Per-query results, in input order.
+  std::vector<SearchResult> results;
+
+  /// Work counters summed over the batch. elapsed_seconds is the sum of
+  /// per-query times (≈ CPU time across workers, not wall clock); the
+  /// per-answer time vectors are left empty.
+  SearchMetrics total;
+
+  /// Queries whose keyword set was already resolved earlier in this
+  /// batch and skipped the index lookups.
+  size_t origin_cache_hits = 0;
+
+  /// Answers removed by BatchOptions::dedup_answers.
+  size_t answers_deduplicated = 0;
 };
 
 /// The top-level BANKS engine: data graph + inverted keyword index +
@@ -58,6 +105,25 @@ class Engine {
                              Algorithm algorithm,
                              const SearchOptions& options = {},
                              SearchContext* context = nullptr) const;
+
+  /// Executes a batch of independent queries, optionally across worker
+  /// threads, returning results in input order.
+  ///
+  /// The batch path amortizes what a loop of Query calls cannot:
+  ///  * one searcher is constructed per batch and shared by all workers
+  ///    (Searcher::Search is const — scratch lives in the context);
+  ///  * contexts come from a SearchContextPool, so N threads reuse the
+  ///    pool's warm contexts instead of allocating fresh state;
+  ///  * keyword resolution is cached batch-wide — duplicate keyword
+  ///    sets skip the inverted-index lookups entirely.
+  ///
+  /// With BatchOptions::dedup_answers off (default), results[i] is
+  /// byte-identical to Query(specs[i].keywords, ...) modulo timing
+  /// fields, at any thread count.
+  BatchResult QueryBatch(const std::vector<BatchQuerySpec>& specs,
+                         Algorithm algorithm,
+                         const SearchOptions& options = {},
+                         const BatchOptions& batch = {}) const;
 
   const Graph& graph() const { return data_.graph; }
   const InvertedIndex& index() const { return data_.index; }

@@ -28,11 +28,20 @@ std::string EncodeRooted(const CandidateNetwork& cn, uint32_t root) {
     std::vector<std::string> parts;
     for (const auto& [u, label] : adj[v]) {
       if (visited[u]) continue;
-      parts.push_back("(" + label + self(self, u) + ")");
+      // Appends, not operator+ chains: GCC 12's -Wrestrict misfires on
+      // inlined string concatenation temporaries at -O3 (GCC PR105651).
+      std::string part = "(";
+      part += label;
+      part += self(self, u);
+      part += ')';
+      parts.push_back(std::move(part));
     }
     std::sort(parts.begin(), parts.end());
-    std::string out = "[" + std::to_string(cn.nodes[v].table) + "," +
-                      std::to_string(cn.nodes[v].keyword_mask) + "]";
+    std::string out = "[";
+    out += std::to_string(cn.nodes[v].table);
+    out += ',';
+    out += std::to_string(cn.nodes[v].keyword_mask);
+    out += ']';
     for (const std::string& p : parts) out += p;
     return out;
   };

@@ -72,6 +72,16 @@ uint64_t AnswerTree::Signature() const {
   return h;
 }
 
+bool SameAnswer(const AnswerTree& a, const AnswerTree& b) {
+  return a.root == b.root && a.edges == b.edges &&
+         a.keyword_nodes == b.keyword_nodes &&
+         a.keyword_distances == b.keyword_distances &&
+         a.edge_score_raw == b.edge_score_raw &&
+         a.node_prestige == b.node_prestige && a.score == b.score &&
+         a.explored_at_generation == b.explored_at_generation &&
+         a.touched_at_generation == b.touched_at_generation;
+}
+
 bool AnswerTree::Validate(const Graph& g, std::string* error) const {
   auto fail = [&](const std::string& msg) {
     if (error) *error = msg;

@@ -70,6 +70,14 @@ struct AnswerTree {
   bool Validate(const Graph& g, std::string* error = nullptr) const;
 };
 
+/// Equality over every deterministic field of two answers: structure
+/// (root, edges, keyword nodes/distances), score components, and the
+/// explored/touched generation counters. The wall-clock `generated_at`
+/// stamp is ignored — it is the one field that differs between reruns of
+/// the same search. Used to assert that batch / warm-context execution
+/// reproduces sequential answers exactly.
+bool SameAnswer(const AnswerTree& a, const AnswerTree& b);
+
 }  // namespace banks
 
 #endif  // BANKS_SEARCH_ANSWER_H_

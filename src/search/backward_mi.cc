@@ -51,7 +51,7 @@ struct Iterator {
 }  // namespace
 
 SearchResult BackwardMISearcher::Search(
-    const std::vector<std::vector<NodeId>>& origins, SearchContext* context) {
+    const std::vector<std::vector<NodeId>>& origins, SearchContext* context) const {
   SearchResult result;
   Timer timer;
   const size_t n = origins.size();

@@ -26,7 +26,7 @@ class BackwardMISearcher : public Searcher {
   using Searcher::Search;
 
   SearchResult Search(const std::vector<std::vector<NodeId>>& origins,
-                      SearchContext* context) override;
+                      SearchContext* context) const override;
 };
 
 }  // namespace banks

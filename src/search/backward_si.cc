@@ -20,7 +20,7 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
 SearchResult BackwardSISearcher::Search(
-    const std::vector<std::vector<NodeId>>& origins, SearchContext* context) {
+    const std::vector<std::vector<NodeId>>& origins, SearchContext* context) const {
   SearchResult result;
   Timer timer;
   const size_t n = origins.size();

@@ -20,7 +20,7 @@ class BackwardSISearcher : public Searcher {
   using Searcher::Search;
 
   SearchResult Search(const std::vector<std::vector<NodeId>>& origins,
-                      SearchContext* context) override;
+                      SearchContext* context) const override;
 };
 
 }  // namespace banks

@@ -28,7 +28,7 @@ constexpr uint8_t kSpreadForward = 4;  // activation spread u→v done
 }  // namespace
 
 SearchResult BidirectionalSearcher::Search(
-    const std::vector<std::vector<NodeId>>& origins, SearchContext* context) {
+    const std::vector<std::vector<NodeId>>& origins, SearchContext* context) const {
   SearchResult result;
   Timer timer;
   const uint32_t n = static_cast<uint32_t>(origins.size());

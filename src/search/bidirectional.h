@@ -33,7 +33,7 @@ class BidirectionalSearcher : public Searcher {
   using Searcher::Search;
 
   SearchResult Search(const std::vector<std::vector<NodeId>>& origins,
-                      SearchContext* context) override;
+                      SearchContext* context) const override;
 };
 
 }  // namespace banks

@@ -1,0 +1,46 @@
+#include "search/context_pool.h"
+
+namespace banks {
+
+SearchContextPool::SearchContextPool(size_t initial) {
+  all_.reserve(initial);
+  idle_.reserve(initial);
+  for (size_t i = 0; i < initial; ++i) {
+    all_.push_back(std::make_unique<SearchContext>());
+    idle_.push_back(all_.back().get());
+  }
+}
+
+SearchContextPool::Lease SearchContextPool::Acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++acquires_;
+  if (idle_.empty()) {
+    all_.push_back(std::make_unique<SearchContext>());
+    return Lease(this, all_.back().get());
+  }
+  SearchContext* context = idle_.back();
+  idle_.pop_back();
+  return Lease(this, context);
+}
+
+void SearchContextPool::Release(SearchContext* context) {
+  std::lock_guard<std::mutex> lock(mu_);
+  idle_.push_back(context);
+}
+
+size_t SearchContextPool::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return all_.size();
+}
+
+size_t SearchContextPool::available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return idle_.size();
+}
+
+uint64_t SearchContextPool::acquires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return acquires_;
+}
+
+}  // namespace banks

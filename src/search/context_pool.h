@@ -1,0 +1,114 @@
+#ifndef BANKS_SEARCH_CONTEXT_POOL_H_
+#define BANKS_SEARCH_CONTEXT_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "search/search_context.h"
+
+namespace banks {
+
+/// Thread-safe pool of reusable SearchContexts.
+///
+/// A SearchContext amortizes per-query allocations, but only for the one
+/// caller holding it (it is not thread-safe). A batch of queries running
+/// on N worker threads wants N warm contexts checked in and out as
+/// workers pick up work; this pool provides exactly that:
+///
+///   SearchContextPool pool;
+///   // on each worker thread:
+///   SearchContextPool::Lease lease = pool.Acquire();
+///   searcher->Search(origins, lease.get());
+///   // lease destructor returns the (now warm) context to the pool
+///
+/// Contexts are recycled most-recently-returned first, so a steady-state
+/// pool keeps reusing the same few warm contexts instead of spreading
+/// load over many cold ones. The pool never shrinks: the high-water mark
+/// of concurrent leases determines how many contexts exist.
+///
+/// Acquire/Release take a mutex but no lock is held while a context is
+/// leased, so the critical section is a few pointer moves — negligible
+/// next to any query.
+class SearchContextPool {
+ public:
+  /// RAII checkout: returns the context to the pool on destruction.
+  /// Movable, not copyable. A default-constructed / moved-from lease is
+  /// empty (get() == nullptr) and releases nothing.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), context_(other.context_) {
+      other.pool_ = nullptr;
+      other.context_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        Reset();
+        pool_ = other.pool_;
+        context_ = other.context_;
+        other.pool_ = nullptr;
+        other.context_ = nullptr;
+      }
+      return *this;
+    }
+    ~Lease() { Reset(); }
+
+    SearchContext* get() const { return context_; }
+    SearchContext* operator->() const { return context_; }
+    SearchContext& operator*() const { return *context_; }
+    explicit operator bool() const { return context_ != nullptr; }
+
+    /// Returns the context to the pool now, leaving the lease empty.
+    void Reset() {
+      if (pool_ != nullptr) pool_->Release(context_);
+      pool_ = nullptr;
+      context_ = nullptr;
+    }
+
+   private:
+    friend class SearchContextPool;
+    Lease(SearchContextPool* pool, SearchContext* context)
+        : pool_(pool), context_(context) {}
+
+    SearchContextPool* pool_ = nullptr;
+    SearchContext* context_ = nullptr;
+  };
+
+  /// `initial` contexts are constructed up front (they are still cold
+  /// until their first query; pre-sizing only saves the lazy path).
+  explicit SearchContextPool(size_t initial = 0);
+
+  SearchContextPool(const SearchContextPool&) = delete;
+  SearchContextPool& operator=(const SearchContextPool&) = delete;
+
+  /// Checks out an idle context, constructing a fresh one only when all
+  /// existing contexts are leased. Never blocks on other leases.
+  Lease Acquire();
+
+  /// Total contexts ever constructed (== high-water mark of concurrent
+  /// leases, plus any `initial` surplus).
+  size_t size() const;
+
+  /// Contexts currently idle in the pool.
+  size_t available() const;
+
+  /// Number of Acquire calls served (diagnostics).
+  uint64_t acquires() const;
+
+ private:
+  friend class Lease;
+  void Release(SearchContext* context);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<SearchContext>> all_;
+  std::vector<SearchContext*> idle_;  // LIFO: back is most recently returned
+  uint64_t acquires_ = 0;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_SEARCH_CONTEXT_POOL_H_

@@ -46,8 +46,13 @@ class Searcher {
   /// `context` as scratch space. The context is reset at query start;
   /// passing the same (warm) context across a query stream avoids
   /// re-allocating per-query state. Must not be null.
+  ///
+  /// Const: a search mutates only the context, so one searcher may be
+  /// shared by concurrent callers as long as each brings its own
+  /// SearchContext (Engine::QueryBatch shares one searcher across its
+  /// worker threads this way).
   virtual SearchResult Search(const std::vector<std::vector<NodeId>>& origins,
-                              SearchContext* context) = 0;
+                              SearchContext* context) const = 0;
 
   /// Convenience overload backed by a context owned by this searcher
   /// (lazily created, reused across calls on the same searcher).

@@ -1,0 +1,109 @@
+#include "search/context_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace banks {
+namespace {
+
+TEST(SearchContextPoolTest, AcquireCreatesOnDemand) {
+  SearchContextPool pool;
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_EQ(pool.available(), 0u);
+  {
+    SearchContextPool::Lease a = pool.Acquire();
+    SearchContextPool::Lease b = pool.Acquire();
+    ASSERT_NE(a.get(), nullptr);
+    ASSERT_NE(b.get(), nullptr);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_EQ(pool.size(), 2u);
+    EXPECT_EQ(pool.available(), 0u);
+  }
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.available(), 2u);
+  EXPECT_EQ(pool.acquires(), 2u);
+}
+
+TEST(SearchContextPoolTest, PreSizedPoolStartsIdle) {
+  SearchContextPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.available(), 3u);
+  SearchContextPool::Lease a = pool.Acquire();
+  EXPECT_EQ(pool.size(), 3u);  // no growth while idle contexts exist
+  EXPECT_EQ(pool.available(), 2u);
+}
+
+TEST(SearchContextPoolTest, RecyclesWarmContextsLifo) {
+  SearchContextPool pool;
+  SearchContext* first;
+  {
+    SearchContextPool::Lease lease = pool.Acquire();
+    first = lease.get();
+    first->BeginQuery(2);  // warm it up a little
+  }
+  // The most recently returned context is handed out again.
+  SearchContextPool::Lease again = pool.Acquire();
+  EXPECT_EQ(again.get(), first);
+  EXPECT_EQ(again->queries_started(), 1u);  // same object, kept its state
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(SearchContextPoolTest, LeaseMoveTransfersOwnership) {
+  SearchContextPool pool;
+  SearchContextPool::Lease a = pool.Acquire();
+  SearchContext* ctx = a.get();
+  SearchContextPool::Lease b = std::move(a);
+  EXPECT_EQ(a.get(), nullptr);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(b.get(), ctx);
+  EXPECT_EQ(pool.available(), 0u);  // still leased through b
+  b.Reset();
+  EXPECT_EQ(pool.available(), 1u);
+  b.Reset();  // idempotent
+  EXPECT_EQ(pool.available(), 1u);
+}
+
+TEST(SearchContextPoolTest, MoveAssignReleasesPrevious) {
+  SearchContextPool pool;
+  SearchContextPool::Lease a = pool.Acquire();
+  SearchContextPool::Lease b = pool.Acquire();
+  EXPECT_EQ(pool.available(), 0u);
+  a = std::move(b);  // a's original context goes back to the pool
+  EXPECT_EQ(pool.available(), 1u);
+  EXPECT_NE(a.get(), nullptr);
+}
+
+TEST(SearchContextPoolTest, ConcurrentAcquireHandsOutDistinctContexts) {
+  SearchContextPool pool;
+  constexpr size_t kThreads = 8;
+  constexpr size_t kIterations = 200;
+  std::atomic<bool> overlap{false};
+  std::atomic<int> in_use{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      for (size_t i = 0; i < kIterations; ++i) {
+        SearchContextPool::Lease lease = pool.Acquire();
+        // Touch the context: BeginQuery mutates freely, which ASan/TSan
+        // would flag if two leases ever aliased one context.
+        lease->BeginQuery(1 + (i % 3));
+        in_use.fetch_add(1);
+        if (in_use.load() > static_cast<int>(kThreads)) overlap = true;
+        in_use.fetch_sub(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(overlap.load());
+  // Never more contexts than the worst-case concurrency.
+  EXPECT_LE(pool.size(), kThreads);
+  EXPECT_EQ(pool.available(), pool.size());
+  EXPECT_EQ(pool.acquires(), kThreads * kIterations);
+}
+
+}  // namespace
+}  // namespace banks

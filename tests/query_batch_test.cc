@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "banks/engine.h"
+#include "datasets/dblp_gen.h"
+
+namespace banks {
+namespace {
+
+/// Counter-level metric equality. Wall-clock fields (elapsed_seconds and
+/// the per-answer time vectors) legitimately differ between runs and are
+/// not compared.
+void ExpectSameCounters(const SearchMetrics& a, const SearchMetrics& b) {
+  EXPECT_EQ(a.nodes_explored, b.nodes_explored);
+  EXPECT_EQ(a.nodes_touched, b.nodes_touched);
+  EXPECT_EQ(a.edges_relaxed, b.edges_relaxed);
+  EXPECT_EQ(a.propagation_steps, b.propagation_steps);
+  EXPECT_EQ(a.answers_generated, b.answers_generated);
+  EXPECT_EQ(a.answers_output, b.answers_output);
+  EXPECT_EQ(a.budget_exhausted, b.budget_exhausted);
+}
+
+void ExpectSameResult(const SearchResult& a, const SearchResult& b) {
+  ASSERT_EQ(a.answers.size(), b.answers.size());
+  for (size_t i = 0; i < a.answers.size(); ++i) {
+    EXPECT_TRUE(SameAnswer(a.answers[i], b.answers[i])) << "answer " << i;
+  }
+  ExpectSameCounters(a.metrics, b.metrics);
+}
+
+class QueryBatchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DblpConfig config;
+    config.num_authors = 200;
+    config.num_papers = 400;
+    config.num_conferences = 15;
+    db_ = new Database(GenerateDblp(config));
+    engine_ = new Engine(Engine::FromDatabase(*db_));
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete db_;
+  }
+
+  /// Batch of keyword queries built from author surnames: several
+  /// distinct 2-keyword sets, each duplicated once (interleaved), so the
+  /// batch exercises the origin cache on a realistic stream.
+  static std::vector<BatchQuerySpec> MakeSpecs() {
+    const Table& author = *db_->FindTable("author");
+    // Distinct surnames only, so every spec pair is a distinct keyword
+    // set and the duplicate count below is exact.
+    std::vector<std::string> surnames;
+    for (RowId r = 0;
+         r < static_cast<RowId>(author.num_rows()) && surnames.size() < 12;
+         ++r) {
+      std::string s =
+          engine_->index().tokenizer().Tokenize(author.RowText(r)).back();
+      if (std::find(surnames.begin(), surnames.end(), s) == surnames.end()) {
+        surnames.push_back(std::move(s));
+      }
+    }
+    std::vector<BatchQuerySpec> specs;
+    for (size_t i = 0; i + 1 < surnames.size(); i += 2) {
+      BatchQuerySpec spec;
+      spec.keywords = {surnames[i], surnames[i + 1]};
+      specs.push_back(spec);
+      specs.push_back(spec);  // duplicate keyword set
+    }
+    return specs;
+  }
+
+  static Database* db_;
+  static Engine* engine_;
+};
+
+Database* QueryBatchTest::db_ = nullptr;
+Engine* QueryBatchTest::engine_ = nullptr;
+
+TEST_F(QueryBatchTest, MatchesSequentialForAllAlgorithmsAndThreadCounts) {
+  std::vector<BatchQuerySpec> specs = MakeSpecs();
+  ASSERT_FALSE(specs.empty());
+  SearchOptions options;
+  options.k = 5;
+  for (Algorithm algorithm :
+       {Algorithm::kBidirectional, Algorithm::kBackwardSI,
+        Algorithm::kBackwardMI}) {
+    // Sequential reference: independent Query calls (fresh contexts).
+    std::vector<SearchResult> reference;
+    reference.reserve(specs.size());
+    for (const BatchQuerySpec& s : specs) {
+      reference.push_back(engine_->Query(s.keywords, algorithm, options));
+    }
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      BatchOptions bopt;
+      bopt.num_threads = threads;
+      BatchResult batch =
+          engine_->QueryBatch(specs, algorithm, options, bopt);
+      ASSERT_EQ(batch.results.size(), specs.size())
+          << AlgorithmName(algorithm) << " threads=" << threads;
+      for (size_t i = 0; i < specs.size(); ++i) {
+        SCOPED_TRACE(std::string(AlgorithmName(algorithm)) + " threads=" +
+                     std::to_string(threads) + " query=" + std::to_string(i));
+        ExpectSameResult(batch.results[i], reference[i]);
+      }
+      // Half the specs are duplicates and must have hit the cache.
+      EXPECT_EQ(batch.origin_cache_hits, specs.size() / 2);
+      // Aggregated counters = sum over the per-query metrics.
+      SearchMetrics sum;
+      for (const SearchResult& r : reference) {
+        sum.nodes_explored += r.metrics.nodes_explored;
+        sum.nodes_touched += r.metrics.nodes_touched;
+        sum.edges_relaxed += r.metrics.edges_relaxed;
+        sum.propagation_steps += r.metrics.propagation_steps;
+        sum.answers_generated += r.metrics.answers_generated;
+        sum.answers_output += r.metrics.answers_output;
+        sum.budget_exhausted |= r.metrics.budget_exhausted;
+      }
+      ExpectSameCounters(batch.total, sum);
+      EXPECT_EQ(batch.answers_deduplicated, 0u);  // dedup off by default
+    }
+  }
+}
+
+TEST_F(QueryBatchTest, PreResolvedOriginsSkipKeywordResolution) {
+  std::vector<BatchQuerySpec> keyword_specs = MakeSpecs();
+  SearchOptions options;
+  options.k = 3;
+  // The same batch with origins resolved up front must produce the same
+  // results; keywords are ignored when origins are present.
+  std::vector<BatchQuerySpec> resolved_specs;
+  for (const BatchQuerySpec& s : keyword_specs) {
+    BatchQuerySpec spec;
+    spec.origins = engine_->Resolve(s.keywords);
+    spec.keywords = {"ignored", "keywords"};
+    resolved_specs.push_back(std::move(spec));
+  }
+  BatchResult from_keywords =
+      engine_->QueryBatch(keyword_specs, Algorithm::kBackwardSI, options);
+  BatchResult from_origins =
+      engine_->QueryBatch(resolved_specs, Algorithm::kBackwardSI, options);
+  ASSERT_EQ(from_keywords.results.size(), from_origins.results.size());
+  for (size_t i = 0; i < from_keywords.results.size(); ++i) {
+    ExpectSameResult(from_keywords.results[i], from_origins.results[i]);
+  }
+  // Pre-resolved specs never consult the cache.
+  EXPECT_EQ(from_origins.origin_cache_hits, 0u);
+}
+
+TEST_F(QueryBatchTest, DedupDropsCrossQueryDuplicateAnswers) {
+  std::vector<BatchQuerySpec> specs = MakeSpecs();
+  SearchOptions options;
+  options.k = 5;
+  BatchOptions bopt;
+  bopt.dedup_answers = true;
+  BatchResult batch =
+      engine_->QueryBatch(specs, Algorithm::kBackwardSI, options, bopt);
+
+  // Simulate the documented dedup contract on sequential results: an
+  // answer is dropped iff its Signature appeared in an earlier query of
+  // the batch (a query's own kept answers join the seen set afterwards).
+  std::set<uint64_t> seen;
+  size_t expected_removed = 0;
+  size_t expected_kept_total = 0;
+  ASSERT_EQ(batch.results.size(), specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    SearchResult solo =
+        engine_->Query(specs[i].keywords, Algorithm::kBackwardSI, options);
+    std::vector<const AnswerTree*> expected;
+    for (const AnswerTree& tree : solo.answers) {
+      if (seen.count(tree.Signature()) > 0) {
+        ++expected_removed;
+      } else {
+        expected.push_back(&tree);
+      }
+    }
+    for (const AnswerTree* tree : expected) seen.insert(tree->Signature());
+    expected_kept_total += expected.size();
+    ASSERT_EQ(batch.results[i].answers.size(), expected.size())
+        << "query " << i;
+    for (size_t j = 0; j < expected.size(); ++j) {
+      EXPECT_TRUE(SameAnswer(batch.results[i].answers[j], *expected[j]))
+          << "query " << i << " answer " << j;
+    }
+  }
+  EXPECT_EQ(batch.answers_deduplicated, expected_removed);
+  // Specs are pairwise-duplicated, so when queries answer at all, the
+  // duplicate copies' answers must have been shed.
+  if (expected_kept_total > 0) {
+    EXPECT_GT(expected_removed, 0u);
+  }
+}
+
+TEST_F(QueryBatchTest, EmptyBatchAndUnmatchedKeywords) {
+  BatchResult empty = engine_->QueryBatch({}, Algorithm::kBidirectional);
+  EXPECT_TRUE(empty.results.empty());
+  EXPECT_EQ(empty.total.nodes_explored, 0u);
+
+  // A keyword matching nothing yields an empty result (AND semantics),
+  // batched exactly like Query does.
+  std::vector<BatchQuerySpec> specs(2);
+  specs[0].keywords = {"qqqqzzzz", "author"};
+  specs[1].keywords = {"author"};
+  BatchOptions bopt;
+  bopt.num_threads = 4;  // more threads than queries must be fine
+  BatchResult batch =
+      engine_->QueryBatch(specs, Algorithm::kBackwardMI, {}, bopt);
+  EXPECT_TRUE(batch.results[0].answers.empty());
+  EXPECT_FALSE(batch.results[1].answers.empty());
+}
+
+TEST_F(QueryBatchTest, SharedPoolWarmAcrossBatches) {
+  std::vector<BatchQuerySpec> specs = MakeSpecs();
+  SearchOptions options;
+  options.k = 5;
+  SearchContextPool pool;
+  BatchOptions bopt;
+  bopt.num_threads = 2;
+  bopt.pool = &pool;
+  BatchResult first =
+      engine_->QueryBatch(specs, Algorithm::kBidirectional, options, bopt);
+  size_t contexts_after_first = pool.size();
+  EXPECT_GE(contexts_after_first, 1u);
+  EXPECT_LE(contexts_after_first, 2u);
+  EXPECT_EQ(pool.available(), pool.size());  // all leases returned
+  BatchResult second =
+      engine_->QueryBatch(specs, Algorithm::kBidirectional, options, bopt);
+  // Warm reuse: the second batch created no new contexts and returned
+  // identical results.
+  EXPECT_EQ(pool.size(), contexts_after_first);
+  ASSERT_EQ(first.results.size(), second.results.size());
+  for (size_t i = 0; i < first.results.size(); ++i) {
+    ExpectSameResult(first.results[i], second.results[i]);
+  }
+}
+
+}  // namespace
+}  // namespace banks
