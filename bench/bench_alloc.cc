@@ -1,0 +1,57 @@
+#include "bench_alloc.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+// [[maybe_unused]]: with the override compiled out nothing increments
+// them, but the accessors below still read them (as zeros).
+[[maybe_unused]] std::atomic<uint64_t> g_alloc_count{0};
+[[maybe_unused]] std::atomic<uint64_t> g_alloc_bytes{0};
+
+}  // namespace
+
+#if BANKS_BENCH_ALLOC_COUNT
+
+// Counting global allocator. Lives in bench_common so every bench that
+// reports allocations shares one definition; pulled into the binary by
+// any reference to CurrentAllocCounts().
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#endif  // BANKS_BENCH_ALLOC_COUNT
+
+namespace banks::bench {
+
+AllocCounts CurrentAllocCounts() {
+  return AllocCounts{g_alloc_count.load(std::memory_order_relaxed),
+                     g_alloc_bytes.load(std::memory_order_relaxed)};
+}
+
+bool AllocCounterEnabled() {
+#if BANKS_BENCH_ALLOC_COUNT
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace banks::bench

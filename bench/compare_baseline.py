@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Diffs a bench --json output against a committed baseline snapshot.
+
+Usage: compare_baseline.py BASELINE.json CURRENT.json [--threshold 0.15]
+
+Matches rows by their identity fields (algorithm / mode / threads /
+class) and warns — never fails — when a latency metric (ms/q) regresses
+by more than the threshold, or when a row or metric disappears. Output
+uses GitHub Actions "::warning::" annotations so regressions surface on
+the workflow summary while keeping the perf trajectory advisory: the
+baselines are machine-dependent snapshots, and CI runners are noisy, so
+a hard gate would flake. Always exits 0.
+"""
+
+import argparse
+import json
+import sys
+
+# Fields that identify a row within a bench report.
+KEY_FIELDS = ("class", "algorithm", "mode", "threads")
+# Latency metrics to diff (higher = worse). Throughput/alloc metrics are
+# reported for information only.
+LATENCY_FIELDS = ("ms_per_query", "warm_ms_per_query", "cold_ms_per_query")
+
+
+def row_key(row):
+    return tuple((f, row[f]) for f in KEY_FIELDS if f in row)
+
+
+def fmt_key(key):
+    return " ".join(f"{f}={v}" for f, v in key)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="warn when ms/q grows by more than this "
+                             "fraction (default 0.15)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            base = json.load(f)
+        with open(args.current) as f:
+            cur = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"::warning::bench baseline diff skipped: {e}")
+        return 0
+
+    name = cur.get("bench", "?")
+    base_rows = {row_key(r): r for r in base.get("rows", [])}
+    cur_rows = {row_key(r): r for r in cur.get("rows", [])}
+
+    warnings = 0
+    for key, brow in base_rows.items():
+        crow = cur_rows.get(key)
+        if crow is None:
+            print(f"::warning::{name}: baseline row missing from current "
+                  f"run: {fmt_key(key)}")
+            warnings += 1
+            continue
+        for field in LATENCY_FIELDS:
+            if field not in brow:
+                continue
+            if field not in crow:
+                print(f"::warning::{name}: metric {field} missing for "
+                      f"{fmt_key(key)}")
+                warnings += 1
+                continue
+            b, c = brow[field], crow[field]
+            if b <= 0:
+                continue
+            ratio = c / b
+            if ratio > 1.0 + args.threshold:
+                print(f"::warning::{name}: {field} regressed "
+                      f"{ratio:.2f}x ({b:.3f} -> {c:.3f} ms/q) for "
+                      f"{fmt_key(key)}")
+                warnings += 1
+
+    matched = sum(1 for k in base_rows if k in cur_rows)
+    print(f"{name}: compared {matched}/{len(base_rows)} baseline rows, "
+          f"{warnings} warning(s), threshold +{args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

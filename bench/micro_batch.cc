@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "banks/engine.h"
+#include "bench_alloc.h"
 #include "bench_common.h"
 #include "datasets/workload.h"
 #include "util/table_printer.h"
@@ -40,6 +41,7 @@ struct Measurement {
   double qps = 0;
   double speedup = 1.0;
   size_t origin_cache_hits = 0;
+  double allocs_per_query = 0;  // all threads, timed reps only
 };
 
 /// Builds the benchmark query stream: two §5.6-ish keyword classes, each
@@ -106,6 +108,7 @@ int Main(double scale, bool json) {
     w.BeginObject();
     w.Field("bench", "micro_batch");
     w.Field("scale", scale);
+    w.Field("alloc_counter_enabled", AllocCounterEnabled());
     w.Field("graph_nodes", static_cast<uint64_t>(env.dg.graph.num_nodes()));
     w.Field("graph_edges", static_cast<uint64_t>(env.dg.graph.num_edges()));
     w.Field("queries_per_rep", static_cast<uint64_t>(specs.size()));
@@ -116,7 +119,7 @@ int Main(double scale, bool json) {
     w.BeginArray();
   }
   TablePrinter table({"Algorithm", "mode", "threads", "ms/q", "q/s",
-                      "speedup", "cache hits"});
+                      "speedup", "cache hits", "allocs/q"});
   const size_t runs = specs.size() * kRepetitions;
   bool all_identical = true;
 
@@ -130,6 +133,7 @@ int Main(double scale, bool json) {
     for (const BatchQuerySpec& s : specs) {  // untimed warm-up
       (void)engine.Query(s.keywords, algorithm, options, &warm_context);
     }
+    const AllocCounts seq_allocs0 = CurrentAllocCounts();
     Timer timer;
     for (size_t rep = 0; rep < kRepetitions; ++rep) {
       for (const BatchQuerySpec& s : specs) {
@@ -142,6 +146,9 @@ int Main(double scale, bool json) {
     seq.mode = "sequential";
     seq.seconds = timer.ElapsedSeconds();
     seq.qps = runs / seq.seconds;
+    seq.allocs_per_query =
+        static_cast<double>(CurrentAllocCounts().count - seq_allocs0.count) /
+        runs;
 
     std::vector<Measurement> rows;
     rows.push_back(seq);
@@ -151,6 +158,7 @@ int Main(double scale, bool json) {
       bopt.num_threads = threads;
       bopt.pool = &pool;
       (void)engine.QueryBatch(specs, algorithm, options, bopt);  // warm-up
+      const AllocCounts batch_allocs0 = CurrentAllocCounts();
       Timer batch_timer;
       BatchResult last;
       for (size_t rep = 0; rep < kRepetitions; ++rep) {
@@ -161,6 +169,10 @@ int Main(double scale, bool json) {
       m.threads = threads;
       m.seconds = batch_timer.ElapsedSeconds();
       m.qps = runs / m.seconds;
+      m.allocs_per_query =
+          static_cast<double>(CurrentAllocCounts().count -
+                              batch_allocs0.count) /
+          runs;
       m.speedup = SafeRatio(seq.seconds, m.seconds);
       m.origin_cache_hits = last.origin_cache_hits;
       rows.push_back(m);
@@ -196,6 +208,7 @@ int Main(double scale, bool json) {
         w.Field("qps", m.qps);
         w.Field("speedup_vs_sequential", m.speedup);
         w.Field("origin_cache_hits", static_cast<uint64_t>(m.origin_cache_hits));
+        w.Field("allocs_per_query", m.allocs_per_query);
         w.EndObject();
       } else {
         table.AddRow({AlgorithmName(algorithm), m.mode,
@@ -203,7 +216,8 @@ int Main(double scale, bool json) {
                       TablePrinter::Fmt(1e3 * m.seconds / runs, 3),
                       TablePrinter::Fmt(m.qps, 1),
                       TablePrinter::Fmt(m.speedup, 2),
-                      std::to_string(m.origin_cache_hits)});
+                      std::to_string(m.origin_cache_hits),
+                      TablePrinter::Fmt(m.allocs_per_query, 0)});
       }
     }
   }

@@ -2,10 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
-#include <set>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
+#include <vector>
 
 namespace banks {
 namespace {
@@ -22,23 +20,36 @@ uint64_t HashCombine(uint64_t h, uint64_t v) {
 
 std::vector<NodeId> AnswerTree::Nodes() const {
   std::vector<NodeId> nodes;
-  nodes.push_back(root);
-  for (const AnswerEdge& e : edges) {
-    nodes.push_back(e.parent);
-    nodes.push_back(e.child);
-  }
-  for (NodeId k : keyword_nodes) nodes.push_back(k);
-  std::sort(nodes.begin(), nodes.end());
-  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  Nodes(&nodes);
   return nodes;
 }
 
-size_t AnswerTree::RootChildCount() const {
-  std::set<NodeId> children;
+void AnswerTree::Nodes(std::vector<NodeId>* out) const {
+  out->clear();
+  out->push_back(root);
   for (const AnswerEdge& e : edges) {
-    if (e.parent == root) children.insert(e.child);
+    out->push_back(e.parent);
+    out->push_back(e.child);
   }
-  return children.size();
+  for (NodeId k : keyword_nodes) out->push_back(k);
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+size_t AnswerTree::RootChildCount() const {
+  // Allocation-free distinct count: answers have a handful of edges, so
+  // the quadratic "seen earlier?" scan beats building a set. Runs per
+  // materialized tree (IsMinimalRooted) on the hot path.
+  size_t count = 0;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (edges[i].parent != root) continue;
+    bool seen = false;
+    for (size_t j = 0; j < i && !seen; ++j) {
+      seen = edges[j].parent == root && edges[j].child == edges[i].child;
+    }
+    if (!seen) count++;
+  }
+  return count;
 }
 
 bool AnswerTree::RootMatchesAKeyword() const {
@@ -53,12 +64,18 @@ bool AnswerTree::IsMinimalRooted() const {
 }
 
 uint64_t AnswerTree::Signature() const {
+  SignatureScratch scratch;
+  return Signature(&scratch);
+}
+
+uint64_t AnswerTree::Signature(SignatureScratch* scratch) const {
   uint64_t h = 0x5851F42D4C957F2DULL;
-  for (NodeId v : Nodes()) h = HashCombine(h, v);
+  Nodes(&scratch->nodes);
+  for (NodeId v : scratch->nodes) h = HashCombine(h, v);
   // Undirected edge multiset, canonically ordered so that rotations of
   // the same tree hash identically.
-  std::vector<std::pair<NodeId, NodeId>> undirected;
-  undirected.reserve(edges.size());
+  std::vector<std::pair<NodeId, NodeId>>& undirected = scratch->undirected;
+  undirected.clear();
   for (const AnswerEdge& e : edges) {
     undirected.emplace_back(std::min(e.parent, e.child),
                             std::max(e.parent, e.child));
@@ -90,7 +107,12 @@ bool AnswerTree::Validate(const Graph& g, std::string* error) const {
   if (root == kInvalidNode) return fail("invalid root");
   if (root >= g.num_nodes()) return fail("root out of range");
 
-  std::unordered_map<NodeId, NodeId> parent_of;
+  // Answers are tiny (≤ n keyword paths of ≤ dmax hops), so parent
+  // lookups run on a flat sorted (child, parent) vector instead of a
+  // hash map — no allocation beyond one small buffer, and cache-friendly
+  // binary searches.
+  std::vector<std::pair<NodeId, NodeId>> parent_of;
+  parent_of.reserve(edges.size());
   for (const AnswerEdge& e : edges) {
     if (e.parent >= g.num_nodes() || e.child >= g.num_nodes()) {
       return fail("edge endpoint out of range");
@@ -108,34 +130,51 @@ bool AnswerTree::Validate(const Graph& g, std::string* error) const {
       }
       if (!found) return fail("edge weight mismatch");
     }
-    auto [it, inserted] = parent_of.emplace(e.child, e.parent);
-    if (!inserted && it->second != e.parent) {
-      return fail("node has two parents (not a tree)");
-    }
+    parent_of.emplace_back(e.child, e.parent);
     if (e.child == root) return fail("root has a parent");
   }
+  std::sort(parent_of.begin(), parent_of.end());
+  for (size_t i = 1; i < parent_of.size(); ++i) {
+    if (parent_of[i].first == parent_of[i - 1].first &&
+        parent_of[i].second != parent_of[i - 1].second) {
+      return fail("node has two parents (not a tree)");
+    }
+  }
+  auto find_parent = [&](NodeId child) -> const NodeId* {
+    auto it = std::lower_bound(
+        parent_of.begin(), parent_of.end(), child,
+        [](const std::pair<NodeId, NodeId>& p, NodeId c) {
+          return p.first < c;
+        });
+    if (it == parent_of.end() || it->first != child) return nullptr;
+    return &it->second;
+  };
 
   // Every node must reach the root by following parents (acyclic, rooted).
   for (const AnswerEdge& e : edges) {
     NodeId cur = e.child;
     size_t hops = 0;
     while (cur != root) {
-      auto it = parent_of.find(cur);
-      if (it == parent_of.end()) return fail("disconnected edge");
-      cur = it->second;
+      const NodeId* p = find_parent(cur);
+      if (p == nullptr) return fail("disconnected edge");
+      cur = *p;
       if (++hops > edges.size()) return fail("cycle in answer edges");
     }
   }
 
   // Keyword nodes must be in the tree (root counts).
-  std::unordered_set<NodeId> nodes;
-  nodes.insert(root);
+  std::vector<NodeId> nodes;
+  nodes.reserve(edges.size() * 2 + 1);
+  nodes.push_back(root);
   for (const AnswerEdge& e : edges) {
-    nodes.insert(e.parent);
-    nodes.insert(e.child);
+    nodes.push_back(e.parent);
+    nodes.push_back(e.child);
   }
+  std::sort(nodes.begin(), nodes.end());
   for (NodeId k : keyword_nodes) {
-    if (!nodes.count(k)) return fail("keyword node not in tree");
+    if (!std::binary_search(nodes.begin(), nodes.end(), k)) {
+      return fail("keyword node not in tree");
+    }
   }
   return true;
 }

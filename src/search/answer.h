@@ -44,8 +44,17 @@ struct AnswerTree {
   uint64_t explored_at_generation = 0;
   uint64_t touched_at_generation = 0;
 
+  /// Pooled scratch for allocation-free Signature() on the hot path.
+  struct SignatureScratch {
+    std::vector<NodeId> nodes;
+    std::vector<std::pair<NodeId, NodeId>> undirected;
+  };
+
   /// Distinct nodes of the tree (root, internal, leaves), sorted.
   std::vector<NodeId> Nodes() const;
+
+  /// Fills *out with the distinct sorted nodes (capacity-reusing form).
+  void Nodes(std::vector<NodeId>* out) const;
 
   /// Number of distinct children of the root.
   size_t RootChildCount() const;
@@ -62,6 +71,10 @@ struct AnswerTree {
   /// edge set hashed together. Two rotations of one tree collide, which
   /// is exactly what duplicate suppression wants.
   uint64_t Signature() const;
+
+  /// Signature computed through caller-owned scratch buffers: the form
+  /// the OutputHeap uses so duplicate suppression allocates nothing.
+  uint64_t Signature(SignatureScratch* scratch) const;
 
   /// Structural validation against a graph: every edge exists with the
   /// stated weight, edges form a tree rooted at `root`, and every

@@ -4,8 +4,6 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
-#include <optional>
-#include <queue>
 #include <vector>
 
 #include "search/output_heap.h"
@@ -18,35 +16,6 @@ namespace banks {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/// One single-source backward shortest-path iterator (§3). Its Dijkstra
-/// state (BackwardReach per reached node, settled folded in) lives in a
-/// pooled flat map on the SearchContext.
-struct Iterator {
-  uint32_t keyword = 0;
-  NodeId origin = kInvalidNode;
-  FlatHashMap<NodeId, BackwardReach>* reach = nullptr;
-  // Lazy-deletion min-heap of (dist, node).
-  std::priority_queue<std::pair<double, NodeId>,
-                      std::vector<std::pair<double, NodeId>>,
-                      std::greater<>>
-      frontier;
-
-  /// Skips stale heap entries; returns the next true frontier distance
-  /// or +inf when exhausted.
-  double PeekDist() {
-    while (!frontier.empty()) {
-      auto [d, v] = frontier.top();
-      const BackwardReach* r = reach->Find(v);
-      if (r == nullptr || r->settled || d > r->dist + 1e-12) {
-        frontier.pop();
-        continue;
-      }
-      return d;
-    }
-    return kInf;
-  }
-};
 
 }  // namespace
 
@@ -63,35 +32,75 @@ SearchResult BackwardMISearcher::Search(
   SearchContext& ctx = *context;
   ctx.BeginQuery(n);
 
-  // Build one iterator per keyword node; reach maps are handed out from
-  // the context pool once the iterator count is known.
-  std::vector<Iterator> iters;
+  // One single-source backward shortest-path iterator per keyword node
+  // (§3), structure-of-arrays on the context: iterator i owns reach map
+  // ctx.reach_maps[i] and the lazy-deletion frontier heap segment
+  // ctx.frontiers.Segment(i). Frequent-keyword queries build hundreds of
+  // iterators; on a warm context none of this allocates.
+  std::vector<uint32_t>& iter_keyword = ctx.iter_keyword;
+  std::vector<NodeId>& iter_origin = ctx.iter_origin;
   for (uint32_t i = 0; i < n; ++i) {
-    std::vector<NodeId> uniq = origins[i];
+    std::vector<NodeId>& uniq = ctx.uniq_scratch;
+    uniq.assign(origins[i].begin(), origins[i].end());
     std::sort(uniq.begin(), uniq.end());
     uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
     for (NodeId o : uniq) {
-      Iterator it;
-      it.keyword = i;
-      it.origin = o;
-      iters.push_back(std::move(it));
+      iter_keyword.push_back(i);
+      iter_origin.push_back(o);
     }
   }
-  ctx.EnsureReachMaps(iters.size());
-  for (uint32_t i = 0; i < iters.size(); ++i) {
-    Iterator& it = iters[i];
-    it.reach = &ctx.reach_maps[i];
-    (*it.reach)[it.origin] = BackwardReach{0.0, kInvalidNode, it.origin, 0,
-                                           false};
-    it.frontier.emplace(0.0, it.origin);
+  const uint32_t num_iters = static_cast<uint32_t>(iter_origin.size());
+  ctx.EnsureReachMaps(num_iters);
+
+  // Per-iterator lazy-deletion min-heap of (dist, node) over the pooled
+  // frontier segments, driven by push/pop_heap with the same comparator
+  // the std::priority_queue it replaces used.
+  using FrontierEntry = FrontierPool::Entry;
+  auto frontier_push = [&](uint32_t it_id, double d, NodeId v) {
+    std::vector<FrontierEntry>& seg = ctx.frontiers.Segment(it_id);
+    seg.emplace_back(d, v);
+    std::push_heap(seg.begin(), seg.end(), std::greater<>());
+  };
+  /// Skips stale heap entries; returns the next true frontier distance
+  /// or +inf when exhausted.
+  auto peek_dist = [&](uint32_t it_id) -> double {
+    std::vector<FrontierEntry>& seg = ctx.frontiers.Segment(it_id);
+    FlatHashMap<NodeId, BackwardReach>& reach = ctx.reach_maps[it_id];
+    while (!seg.empty()) {
+      auto [d, v] = seg.front();
+      const BackwardReach* r = reach.Find(v);
+      if (r == nullptr || r->settled || d > r->dist + 1e-12) {
+        std::pop_heap(seg.begin(), seg.end(), std::greater<>());
+        seg.pop_back();
+        continue;
+      }
+      return d;
+    }
+    return kInf;
+  };
+
+  for (uint32_t i = 0; i < num_iters; ++i) {
+    ctx.reach_maps[i][iter_origin[i]] =
+        BackwardReach{0.0, kInvalidNode, iter_origin[i], 0, false};
+    frontier_push(i, 0.0, iter_origin[i]);
     result.metrics.nodes_touched++;
   }
 
   // Global scheduler: iterator with the nearest next node steps first.
-  using SchedEntry = std::pair<double, uint32_t>;  // (peek dist, iter idx)
-  std::priority_queue<SchedEntry, std::vector<SchedEntry>, std::greater<>>
-      scheduler;
-  for (uint32_t i = 0; i < iters.size(); ++i) scheduler.emplace(0.0, i);
+  // (peek dist, iter idx) min-heap over pooled storage.
+  using SchedEntry = SearchContext::ScoredState;
+  std::vector<SchedEntry>& scheduler = ctx.scheduler;
+  auto sched_push = [&](double d, uint32_t it_id) {
+    scheduler.emplace_back(d, it_id);
+    std::push_heap(scheduler.begin(), scheduler.end(), std::greater<>());
+  };
+  auto sched_pop = [&]() -> SchedEntry {
+    std::pop_heap(scheduler.begin(), scheduler.end(), std::greater<>());
+    SchedEntry top = scheduler.back();
+    scheduler.pop_back();
+    return top;
+  };
+  for (uint32_t i = 0; i < num_iters; ++i) sched_push(0.0, i);
 
   // Per-node record of which iterators have visited it. node → dense
   // visit index (stored +1; 0 means absent); the per-keyword best
@@ -102,7 +111,7 @@ SearchResult BackwardMISearcher::Search(
   std::vector<uint32_t>& visit_iter = ctx.visit_iter;
   std::vector<uint32_t>& visit_covered = ctx.visit_covered;
 
-  OutputHeap heap;
+  OutputHeap& heap = ctx.output_heap;
   uint64_t steps = 0;
   uint64_t last_progress = 0;  // last step the best pending answer changed
   double last_top = -1;        // champion score being aged
@@ -110,37 +119,46 @@ SearchResult BackwardMISearcher::Search(
   // Frontier minima per keyword for the §4.5 release bound.
   auto frontier_minima = [&](std::vector<double>* m) {
     m->assign(n, kInf);
-    for (auto& it : iters) {
-      double d = it.PeekDist();
-      (*m)[it.keyword] = std::min((*m)[it.keyword], d);
+    for (uint32_t i = 0; i < num_iters; ++i) {
+      double d = peek_dist(i);
+      uint32_t kw = iter_keyword[i];
+      (*m)[kw] = std::min((*m)[kw], d);
     }
   };
 
+  // Builds the candidate into ctx.answer_scratch; returns false when
+  // some keyword node is unreachable within the path union.
   auto build_tree = [&](NodeId root, const std::vector<uint32_t>& iter_ids)
-      -> std::optional<AnswerTree> {
-    std::vector<NodeId> keyword_nodes(n);
-    std::vector<AnswerEdge> union_edges;
+      -> bool {
+    std::vector<NodeId>& keyword_nodes = ctx.kw_scratch;
+    std::vector<AnswerEdge>& union_edges = ctx.union_edge_scratch;
+    keyword_nodes.assign(n, kInvalidNode);
+    union_edges.clear();
     for (uint32_t i = 0; i < n; ++i) {
-      const Iterator& it = iters[iter_ids[i]];
-      keyword_nodes[i] = it.origin;
+      const uint32_t it_id = iter_ids[i];
+      FlatHashMap<NodeId, BackwardReach>& reach = ctx.reach_maps[it_id];
+      keyword_nodes[i] = iter_origin[it_id];
       NodeId cur = root;
       for (;;) {
-        const BackwardReach* rit = it.reach->Find(cur);
+        const BackwardReach* rit = reach.Find(cur);
         assert(rit != nullptr);
         if (rit->next_hop == kInvalidNode) break;
         NodeId nxt = rit->next_hop;
-        double w = rit->dist - it.reach->Find(nxt)->dist;
+        double w = rit->dist - reach.Find(nxt)->dist;
         union_edges.push_back(AnswerEdge{cur, nxt, static_cast<float>(w)});
         cur = nxt;
       }
     }
-    auto tree = BuildAnswerFromPathUnion(root, keyword_nodes, union_edges);
-    if (!tree) return std::nullopt;
-    ScoreTree(&*tree, prestige_, options_.lambda);
-    tree->generated_at = timer.ElapsedSeconds();
-    tree->explored_at_generation = result.metrics.nodes_explored;
-    tree->touched_at_generation = result.metrics.nodes_touched;
-    return tree;
+    AnswerTree& tree = ctx.answer_scratch;
+    if (!BuildAnswerFromPathUnion(root, keyword_nodes, union_edges,
+                                  &ctx.tree_scratch, &tree)) {
+      return false;
+    }
+    ScoreTree(&tree, prestige_, options_.lambda);
+    tree.generated_at = timer.ElapsedSeconds();
+    tree.explored_at_generation = result.metrics.nodes_explored;
+    tree.touched_at_generation = result.metrics.nodes_touched;
+    return true;
   };
 
   // Emits the combination of a fresh visit with the best other origins.
@@ -149,14 +167,14 @@ SearchResult BackwardMISearcher::Search(
     if (slot == nullptr || *slot == 0) return;
     const uint32_t vidx = *slot - 1;
     if (visit_covered[vidx] < n) return;
-    uint32_t kw = iters[iter_id].keyword;
-    std::vector<uint32_t> ids(n);
+    uint32_t kw = iter_keyword[iter_id];
+    std::vector<uint32_t>& ids = ctx.id_scratch;
+    ids.assign(n, 0);
     for (uint32_t j = 0; j < n; ++j) {
       ids[j] = (j == kw) ? iter_id : visit_iter[vidx * n + j];
     }
-    std::optional<AnswerTree> tree = build_tree(v, ids);
-    if (!tree || !tree->IsMinimalRooted()) return;
-    if (heap.Insert(std::move(*tree))) {
+    if (!build_tree(v, ids) || !ctx.answer_scratch.IsMinimalRooted()) return;
+    if (heap.InsertCopy(ctx.answer_scratch)) {
       result.metrics.answers_generated++;
       double top = heap.BestPendingScore();
       if (top > last_top + 1e-15) {
@@ -226,22 +244,23 @@ SearchResult BackwardMISearcher::Search(
       result.metrics.budget_exhausted = true;
       break;
     }
-    auto [sched_dist, iter_id] = scheduler.top();
-    scheduler.pop();
-    Iterator& it = iters[iter_id];
-    double actual = it.PeekDist();
+    auto [sched_dist, iter_id] = sched_pop();
+    double actual = peek_dist(iter_id);
     if (actual == kInf) continue;  // exhausted iterator
     if (actual > sched_dist + 1e-12) {
-      scheduler.emplace(actual, iter_id);  // stale entry; re-schedule
+      sched_push(actual, iter_id);  // stale entry; re-schedule
       continue;
     }
 
     // Step the iterator: settle its nearest frontier node.
-    auto [d, v] = it.frontier.top();
-    it.frontier.pop();
+    std::vector<FrontierEntry>& seg = ctx.frontiers.Segment(iter_id);
+    auto [d, v] = seg.front();
+    std::pop_heap(seg.begin(), seg.end(), std::greater<>());
+    seg.pop_back();
+    FlatHashMap<NodeId, BackwardReach>& it_reach = ctx.reach_maps[iter_id];
     // Copy the hop count now: the reference into the flat reach map is
-    // invalidated by the (*it.reach)[u] insertions below.
-    BackwardReach& rv = *it.reach->Find(v);
+    // invalidated by the it_reach[u] insertions below.
+    BackwardReach& rv = *it_reach.Find(v);
     rv.settled = true;
     const uint32_t v_hops = rv.hops;
     result.metrics.nodes_explored++;
@@ -256,7 +275,7 @@ SearchResult BackwardMISearcher::Search(
       visit_covered.push_back(0);
     }
     const uint32_t vidx = vslot - 1;
-    uint32_t kw = it.keyword;
+    uint32_t kw = iter_keyword[iter_id];
     bool was_covered = visit_dist[vidx * n + kw] != kInf;
     if (d < visit_dist[vidx * n + kw]) {
       visit_dist[vidx * n + kw] = d;
@@ -272,7 +291,7 @@ SearchResult BackwardMISearcher::Search(
         if (!EdgeAllowed(e)) continue;
         result.metrics.edges_relaxed++;
         NodeId u = e.other;
-        BackwardReach& ru = (*it.reach)[u];
+        BackwardReach& ru = it_reach[u];
         if (ru.settled) continue;
         double nd = d + e.weight;
         if (nd < ru.dist - 1e-12) {
@@ -280,12 +299,12 @@ SearchResult BackwardMISearcher::Search(
           ru.dist = nd;
           ru.next_hop = v;
           ru.hops = next_hops;
-          it.frontier.emplace(nd, u);
+          frontier_push(iter_id, nd, u);
         }
       }
     }
-    double nxt = it.PeekDist();
-    if (nxt != kInf) scheduler.emplace(nxt, iter_id);
+    double nxt = peek_dist(iter_id);
+    if (nxt != kInf) sched_push(nxt, iter_id);
 
     maybe_release(false);
   }

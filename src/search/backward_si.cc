@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <optional>
-#include <queue>
 #include <vector>
 
 #include "search/output_heap.h"
@@ -40,20 +38,30 @@ SearchResult BackwardSISearcher::Search(
   };
   // Shared frontier: (dist, node, keyword), smallest distance first
   // ("its backward iterator is prioritized only by distance", §4.6).
-  struct QE {
-    double dist;
-    NodeId node;
-    uint32_t keyword;
-    bool operator>(const QE& o) const { return dist > o.dist; }
+  // Pooled min-heap storage on the context, driven by push/pop_heap —
+  // byte-compatible with the std::priority_queue it replaces.
+  using QE = SearchContext::SIFrontierEntry;
+  std::vector<QE>& frontier = ctx.si_frontier;
+  auto frontier_greater = [](const QE& a, const QE& b) {
+    return a.dist > b.dist;
   };
-  std::priority_queue<QE, std::vector<QE>, std::greater<>> frontier;
+  auto frontier_push = [&](QE e) {
+    frontier.push_back(e);
+    std::push_heap(frontier.begin(), frontier.end(), frontier_greater);
+  };
+  auto frontier_pop = [&]() -> QE {
+    std::pop_heap(frontier.begin(), frontier.end(), frontier_greater);
+    QE top = frontier.back();
+    frontier.pop_back();
+    return top;
+  };
 
   // Count of keywords with finite distance, per node, for completion
   // checks without scanning all n maps (ctx.node_index doubles as the
   // covered-count table for this algorithm).
   FlatHashMap<NodeId, uint32_t>& covered = ctx.node_index;
 
-  OutputHeap heap;
+  OutputHeap& heap = ctx.output_heap;
   uint64_t steps = 0;
   uint64_t last_progress = 0;  // last step the best pending answer changed
   double last_top = -1;        // champion score being aged
@@ -65,44 +73,50 @@ SearchResult BackwardSISearcher::Search(
       if (r.dist != kInf) continue;
       r = BackwardReach{0.0, kInvalidNode, o, 0, false};
       covered[o]++;
-      frontier.push(QE{0.0, o, i});
+      frontier_push(QE{0.0, o, i});
       result.metrics.nodes_touched++;
     }
   }
 
-  auto build_tree = [&](NodeId root) -> std::optional<AnswerTree> {
-    std::vector<NodeId> keyword_nodes(n);
-    std::vector<AnswerEdge> union_edges;
+  // Builds the candidate into ctx.answer_scratch; returns false when a
+  // reach chain is broken (stale path).
+  auto build_tree = [&](NodeId root) -> bool {
+    std::vector<NodeId>& keyword_nodes = ctx.kw_scratch;
+    std::vector<AnswerEdge>& union_edges = ctx.union_edge_scratch;
+    keyword_nodes.assign(n, kInvalidNode);
+    union_edges.clear();
     for (uint32_t i = 0; i < n; ++i) {
       NodeId cur = root;
       const BackwardReach* it = reach(i).Find(cur);
-      if (it == nullptr || it->dist == kInf) return std::nullopt;
+      if (it == nullptr || it->dist == kInf) return false;
       keyword_nodes[i] = it->matched;
       while (it->next_hop != kInvalidNode) {
         NodeId nxt = it->next_hop;
         const BackwardReach* nit = reach(i).Find(nxt);
-        if (nit == nullptr) return std::nullopt;
+        if (nit == nullptr) return false;
         union_edges.push_back(
             AnswerEdge{cur, nxt, static_cast<float>(it->dist - nit->dist)});
         cur = nxt;
         it = nit;
       }
     }
-    auto tree = BuildAnswerFromPathUnion(root, keyword_nodes, union_edges);
-    if (!tree) return std::nullopt;
-    ScoreTree(&*tree, prestige_, options_.lambda);
-    tree->generated_at = timer.ElapsedSeconds();
-    tree->explored_at_generation = result.metrics.nodes_explored;
-    tree->touched_at_generation = result.metrics.nodes_touched;
-    return tree;
+    AnswerTree& tree = ctx.answer_scratch;
+    if (!BuildAnswerFromPathUnion(root, keyword_nodes, union_edges,
+                                  &ctx.tree_scratch, &tree)) {
+      return false;
+    }
+    ScoreTree(&tree, prestige_, options_.lambda);
+    tree.generated_at = timer.ElapsedSeconds();
+    tree.explored_at_generation = result.metrics.nodes_explored;
+    tree.touched_at_generation = result.metrics.nodes_touched;
+    return true;
   };
 
   auto try_emit = [&](NodeId v) {
     const uint32_t* cit = covered.Find(v);
     if (cit == nullptr || *cit < n) return;
-    std::optional<AnswerTree> tree = build_tree(v);
-    if (!tree || !tree->IsMinimalRooted()) return;
-    if (heap.Insert(std::move(*tree))) {
+    if (!build_tree(v) || !ctx.answer_scratch.IsMinimalRooted()) return;
+    if (heap.InsertCopy(ctx.answer_scratch)) {
       result.metrics.answers_generated++;
       double top = heap.BestPendingScore();
       if (top > last_top + 1e-15) {
@@ -126,7 +140,7 @@ SearchResult BackwardSISearcher::Search(
     if (!force && (steps % interval) != 0) return;
     // Coarse §4.5 bound: the global frontier minimum lower-bounds every
     // m_i (the paper's "coarser approximation").
-    double m = frontier.empty() ? kInf : frontier.top().dist;
+    double m = frontier.empty() ? kInf : frontier.front().dist;
     double h = m * static_cast<double>(n);
     size_t before = result.answers.size();
     if (options_.bound == BoundMode::kImmediate) {
@@ -178,8 +192,7 @@ SearchResult BackwardSISearcher::Search(
       result.metrics.budget_exhausted = true;
       break;
     }
-    QE top = frontier.top();
-    frontier.pop();
+    QE top = frontier_pop();
     BackwardReach& r = reach(top.keyword)[top.node];
     if (r.settled || top.dist > r.dist + 1e-12) continue;  // stale entry
     r.settled = true;
@@ -209,7 +222,7 @@ SearchResult BackwardSISearcher::Search(
             covered[u]++;
             result.metrics.nodes_touched++;
           }
-          frontier.push(QE{nd, u, top.keyword});
+          frontier_push(QE{nd, u, top.keyword});
           try_emit(u);
         }
       }

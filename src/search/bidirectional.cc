@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
-#include <optional>
-#include <queue>
 #include <vector>
 
 #include "search/output_heap.h"
@@ -38,10 +36,17 @@ SearchResult BidirectionalSearcher::Search(
   }
 
   // ---- State storage (pooled in the reusable context) ---------------------
+  // Per-state bookkeeping is structure-of-arrays: parallel flat vectors
+  // indexed by state index. The explore loop below only ever touches the
+  // arrays it reads — popping a node reads node/depth/flags without
+  // dragging the materialization bookkeeping through the cache.
   SearchContext& ctx = *context;
   ctx.BeginQuery(n);
-  std::vector<NodeState>& states = ctx.states;
-  std::vector<double>& dist = ctx.dist;        // states.size() * n
+  std::vector<NodeId>& node_of = ctx.node;
+  std::vector<uint32_t>& depth_of = ctx.depth;
+  std::vector<uint8_t>& flags_of = ctx.state_flags;
+  std::vector<double>& last_eraw = ctx.last_eraw;
+  std::vector<double>& dist = ctx.dist;        // num_states() * n
   std::vector<uint32_t>& sp = ctx.sp;          // next state toward keyword
   std::vector<double>& act = ctx.act;          // per-keyword activation
   std::vector<double>& act_sum = ctx.act_sum;  // per-state total (queue key)
@@ -49,12 +54,17 @@ SearchResult BidirectionalSearcher::Search(
   auto get_state = [&](NodeId v, uint32_t depth) -> uint32_t {
     uint32_t& slot = ctx.node_index[v];
     if (slot != 0) return slot - 1;  // stored index + 1; 0 means new
-    uint32_t idx = static_cast<uint32_t>(states.size());
+    uint32_t idx = static_cast<uint32_t>(node_of.size());
     slot = idx + 1;
-    NodeState st;
-    st.node = v;
-    st.depth = depth;
-    states.push_back(st);
+    node_of.push_back(v);
+    depth_of.push_back(depth);
+    flags_of.push_back(0);
+    last_eraw.push_back(kInf);
+    ctx.marked_time.push_back(0);
+    ctx.marked_explored.push_back(0);
+    ctx.marked_touched.push_back(0);
+    ctx.parents.emplace_back();
+    ctx.children.emplace_back();
     dist.insert(dist.end(), n, kInf);
     sp.insert(sp.end(), n, kNoState);
     act.insert(act.end(), n, 0.0);
@@ -105,7 +115,7 @@ SearchResult BidirectionalSearcher::Search(
     }
   };
 
-  OutputHeap heap;
+  OutputHeap& heap = ctx.output_heap;
   uint64_t steps = 0;
   uint64_t last_progress = 0;  // last step the best pending answer changed
   double last_top = -1;        // champion score being aged
@@ -129,26 +139,26 @@ SearchResult BidirectionalSearcher::Search(
   // k-th best generated answer cannot enter the top-k (prestige can
   // reorder scores only within a bounded factor; the 2(1+w) slack is
   // generous for λ = 0.2). Prunes the long tail of late completions.
-  std::priority_queue<double> best_eraws;  // max-heap of the k smallest
+  // Pooled max-heap of the k smallest eraws seen.
+  std::vector<double>& best_eraws = ctx.best_eraws;
   auto beyond_watermark = [&](double eraw) {
     return best_eraws.size() >= options_.k &&
-           eraw > 2.0 * (1.0 + best_eraws.top());
+           eraw > 2.0 * (1.0 + best_eraws.front());
   };
 
   auto emit = [&](uint32_t s) {
     if (!is_complete(s)) return;
     double eraw = 0;
     for (uint32_t i = 0; i < n; ++i) eraw += d_at(s, i);
-    NodeState& st = states[s];
     // Re-materialize only on a >=2% improvement: micro-refinements do
     // not change rank but tree construction dominates per-answer cost.
-    if (eraw >= st.last_emitted_eraw * 0.98 - 1e-12) return;
+    if (eraw >= last_eraw[s] * 0.98 - 1e-12) return;
     if (beyond_watermark(eraw)) return;
-    if (!st.dirty) {
-      st.dirty = true;
-      st.marked_time = timer.ElapsedSeconds();
-      st.marked_explored = result.metrics.nodes_explored;
-      st.marked_touched = result.metrics.nodes_touched;
+    if (!(flags_of[s] & kStateDirty)) {
+      flags_of[s] |= kStateDirty;
+      ctx.marked_time[s] = timer.ElapsedSeconds();
+      ctx.marked_explored[s] = result.metrics.nodes_explored;
+      ctx.marked_touched[s] = result.metrics.nodes_touched;
       dirty_roots.push_back(s);
     }
   };
@@ -156,38 +166,46 @@ SearchResult BidirectionalSearcher::Search(
   auto materialize = [&](uint32_t s) {
     double eraw = 0;
     for (uint32_t i = 0; i < n; ++i) eraw += d_at(s, i);
-    NodeState& st = states[s];
-    if (eraw >= st.last_emitted_eraw * 0.98 - 1e-12) return;
+    if (eraw >= last_eraw[s] * 0.98 - 1e-12) return;
     if (beyond_watermark(eraw)) return;
-    st.last_emitted_eraw = eraw;
+    last_eraw[s] = eraw;
 
-    std::vector<NodeId> keyword_nodes(n);
-    std::vector<AnswerEdge> union_edges;
+    std::vector<NodeId>& keyword_nodes = ctx.kw_scratch;
+    std::vector<AnswerEdge>& union_edges = ctx.union_edge_scratch;
+    keyword_nodes.assign(n, kInvalidNode);
+    union_edges.clear();
     for (uint32_t i = 0; i < n; ++i) {
       uint32_t cur = s;
       size_t guard = 0;
       while (sp_at(cur, i) != kNoState) {
         uint32_t nxt = sp_at(cur, i);
         union_edges.push_back(AnswerEdge{
-            states[cur].node, states[nxt].node,
+            node_of[cur], node_of[nxt],
             static_cast<float>(d_at(cur, i) - d_at(nxt, i))});
         cur = nxt;
-        if (++guard > states.size()) return;  // stale cycle; skip emission
+        if (++guard > node_of.size()) return;  // stale cycle; skip emission
       }
       if (d_at(cur, i) != 0) return;  // broken chain; skip
-      keyword_nodes[i] = states[cur].node;
+      keyword_nodes[i] = node_of[cur];
     }
-    auto tree =
-        BuildAnswerFromPathUnion(states[s].node, keyword_nodes, union_edges);
-    if (!tree || !tree->IsMinimalRooted()) return;
-    ScoreTree(&*tree, prestige_, options_.lambda);
-    tree->generated_at = st.marked_time;
-    tree->explored_at_generation = st.marked_explored;
-    tree->touched_at_generation = st.marked_touched;
-    if (heap.Insert(std::move(*tree))) {
+    AnswerTree& tree = ctx.answer_scratch;
+    if (!BuildAnswerFromPathUnion(node_of[s], keyword_nodes, union_edges,
+                                  &ctx.tree_scratch, &tree) ||
+        !tree.IsMinimalRooted()) {
+      return;
+    }
+    ScoreTree(&tree, prestige_, options_.lambda);
+    tree.generated_at = ctx.marked_time[s];
+    tree.explored_at_generation = ctx.marked_explored[s];
+    tree.touched_at_generation = ctx.marked_touched[s];
+    if (heap.InsertCopy(tree)) {
       result.metrics.answers_generated++;
-      best_eraws.push(eraw);
-      if (best_eraws.size() > options_.k) best_eraws.pop();
+      best_eraws.push_back(eraw);
+      std::push_heap(best_eraws.begin(), best_eraws.end());
+      if (best_eraws.size() > options_.k) {
+        std::pop_heap(best_eraws.begin(), best_eraws.end());
+        best_eraws.pop_back();
+      }
       double top = heap.BestPendingScore();
       if (top > last_top + 1e-15) {
         last_top = top;
@@ -198,7 +216,7 @@ SearchResult BidirectionalSearcher::Search(
 
   auto materialize_dirty = [&] {
     for (uint32_t s : dirty_roots) {
-      states[s].dirty = false;
+      flags_of[s] &= static_cast<uint8_t>(~kStateDirty);
       if (is_complete(s)) materialize(s);
     }
     dirty_roots.clear();
@@ -215,7 +233,7 @@ SearchResult BidirectionalSearcher::Search(
       auto [d0, u] = pq.top();
       pq.pop();
       if (d0 > d_at(u, i) + 1e-12) continue;  // stale
-      ctx.edge_lists.ForEach(states[u].parents, [&](uint32_t x, float w) {
+      ctx.edge_lists.ForEach(ctx.parents[u], [&](uint32_t x, float w) {
         result.metrics.propagation_steps++;
         double nd = d0 + w;
         if (nd < d_at(x, i) - 1e-12) {
@@ -260,18 +278,18 @@ SearchResult BidirectionalSearcher::Search(
       auto [a0, v] = pq.top();
       pq.pop();
       if (a0 < a_at(v, i) * (1 - 1e-12)) continue;  // stale
-      const NodeState& sv = states[v];
-      double in_norm = graph_.InInverseWeightSum(sv.node);
+      const NodeId v_node = node_of[v];
+      double in_norm = graph_.InInverseWeightSum(v_node);
       if (in_norm > 0) {
-        ctx.edge_lists.ForEach(sv.parents, [&](uint32_t x, float w) {
+        ctx.edge_lists.ForEach(ctx.parents[v], [&](uint32_t x, float w) {
           result.metrics.propagation_steps++;
           double recv = options_.mu * a0 * (1.0 / w) / in_norm;
           if (raise_activation(x, i, recv)) pq.emplace(recv, x);
         });
       }
-      double out_norm = graph_.OutInverseWeightSum(sv.node);
+      double out_norm = graph_.OutInverseWeightSum(v_node);
       if (out_norm > 0) {
-        ctx.edge_lists.ForEach(sv.children, [&](uint32_t y, float w) {
+        ctx.edge_lists.ForEach(ctx.children[v], [&](uint32_t y, float w) {
           result.metrics.propagation_steps++;
           double recv = options_.mu * a0 * (1.0 / w) / out_norm;
           if (raise_activation(y, i, recv)) pq.emplace(recv, y);
@@ -294,8 +312,8 @@ SearchResult BidirectionalSearcher::Search(
 
     if (!(flags & kEdgeRecorded)) {
       flags |= kEdgeRecorded;
-      ctx.edge_lists.Append(&states[sv].parents, su, w);
-      ctx.edge_lists.Append(&states[su].children, sv, w);
+      ctx.edge_lists.Append(&ctx.parents[sv], su, w);
+      ctx.edge_lists.Append(&ctx.children[su], sv, w);
       // Relax u's per-keyword distances through v ("if u has a better
       // path to t_i via v").
       for (uint32_t i = 0; i < n; ++i) {
@@ -313,7 +331,7 @@ SearchResult BidirectionalSearcher::Search(
 
     if (incoming_context && !(flags & kSpreadBackward)) {
       flags |= kSpreadBackward;
-      double norm = graph_.InInverseWeightSum(states[sv].node);
+      double norm = graph_.InInverseWeightSum(node_of[sv]);
       if (norm > 0) {
         for (uint32_t i = 0; i < n; ++i) {
           if (a_at(sv, i) <= 0) continue;
@@ -324,7 +342,7 @@ SearchResult BidirectionalSearcher::Search(
     }
     if (!incoming_context && !(flags & kSpreadForward)) {
       flags |= kSpreadForward;
-      double norm = graph_.OutInverseWeightSum(states[su].node);
+      double norm = graph_.OutInverseWeightSum(node_of[su]);
       if (norm > 0) {
         for (uint32_t i = 0; i < n; ++i) {
           if (a_at(su, i) <= 0) continue;
@@ -337,7 +355,8 @@ SearchResult BidirectionalSearcher::Search(
 
   // ---- Seeding (Eq. 1): a_{u,i} = prestige(u) / |S_i| ---------------------
   for (uint32_t i = 0; i < n; ++i) {
-    std::vector<NodeId> uniq = origins[i];
+    std::vector<NodeId>& uniq = ctx.uniq_scratch;
+    uniq.assign(origins[i].begin(), origins[i].end());
     std::sort(uniq.begin(), uniq.end());
     uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
     const double denom = static_cast<double>(uniq.size());
@@ -349,12 +368,12 @@ SearchResult BidirectionalSearcher::Search(
     }
   }
   // Recompute totals exactly (seed arithmetic above avoids double counts).
-  for (uint32_t s = 0; s < states.size(); ++s) {
+  for (uint32_t s = 0; s < node_of.size(); ++s) {
     double total = 0;
     for (uint32_t i = 0; i < n; ++i) total += a_at(s, i);
     act_sum[s] = total;
     qin.Push(s, act_sum[s]);
-    qin_depth.Push(s, states[s].depth);
+    qin_depth.Push(s, depth_of[s]);
     result.metrics.nodes_touched++;
     frontier_enter(s);
   }
@@ -377,7 +396,7 @@ SearchResult BidirectionalSearcher::Search(
     // immediate releases are cheap and run at the base interval.
     uint64_t interval = options_.bound_check_interval;
     if (options_.bound == BoundMode::kTight) {
-      interval = std::max<uint64_t>(interval, states.size() / 8);
+      interval = std::max<uint64_t>(interval, node_of.size() / 8);
     }
     if (!force && (steps % interval) != 0) return;
     materialize_dirty();
@@ -406,7 +425,7 @@ SearchResult BidirectionalSearcher::Search(
       // node may complete with m_i for its missing keywords.
       double best_potential_eraw = h;
       double ub = ScoreUpperBound(h, 1.0, options_.lambda);
-      for (uint32_t s = 0; s < states.size(); ++s) {
+      for (uint32_t s = 0; s < node_of.size(); ++s) {
         double pot = 0;
         for (uint32_t i = 0; i < n; ++i) {
           pot += std::min(d_at(s, i), m[i]);
@@ -450,15 +469,15 @@ SearchResult BidirectionalSearcher::Search(
       take_in = qin.TopPriority() >= qout.TopPriority();  // tie → Q_in
     }
 
-    // NOTE: get_state() may reallocate `states`; never hold a NodeState
-    // reference across it — copy what we need into locals.
+    // NOTE: get_state() may reallocate the per-state arrays; never hold a
+    // reference into them across it — copy what we need into locals.
     if (take_in) {
       uint32_t v = qin.Pop();
       if (qin_depth.Contains(v)) qin_depth.Erase(v);
       frontier_leave(v);
-      states[v].popped_in = true;
-      const NodeId v_node = states[v].node;
-      const uint32_t v_depth = states[v].depth;
+      flags_of[v] |= kStatePoppedIn;
+      const NodeId v_node = node_of[v];
+      const uint32_t v_depth = depth_of[v];
       result.metrics.nodes_explored++;
       steps++;
       emit(v);
@@ -467,16 +486,16 @@ SearchResult BidirectionalSearcher::Search(
           if (!EdgeAllowed(e)) continue;
           uint32_t u = get_state(e.other, v_depth + 1);
           explore_edge(u, v, e.weight, /*incoming_context=*/true);
-          if (!states[u].popped_in && !qin.Contains(u)) {
+          if (!(flags_of[u] & kStatePoppedIn) && !qin.Contains(u)) {
             qin.Push(u, act_sum[u]);
-            qin_depth.Push(u, states[u].depth);
+            qin_depth.Push(u, depth_of[u]);
             result.metrics.nodes_touched++;
             frontier_enter(u);
           }
         }
       }
-      if (!states[v].ever_in_qout) {
-        states[v].ever_in_qout = true;
+      if (!(flags_of[v] & kStateEverInQout)) {
+        flags_of[v] |= kStateEverInQout;
         qout.Push(v, act_sum[v]);
         qout_depth.Push(v, v_depth);
         result.metrics.nodes_touched++;
@@ -486,9 +505,9 @@ SearchResult BidirectionalSearcher::Search(
       uint32_t u = qout.Pop();
       if (qout_depth.Contains(u)) qout_depth.Erase(u);
       frontier_leave(u);
-      states[u].popped_out = true;
-      const NodeId u_node = states[u].node;
-      const uint32_t u_depth = states[u].depth;
+      flags_of[u] |= kStatePoppedOut;
+      const NodeId u_node = node_of[u];
+      const uint32_t u_depth = depth_of[u];
       result.metrics.nodes_explored++;
       steps++;
       emit(u);
@@ -497,10 +516,10 @@ SearchResult BidirectionalSearcher::Search(
           if (!EdgeAllowed(e)) continue;
           uint32_t v = get_state(e.other, u_depth + 1);
           explore_edge(u, v, e.weight, /*incoming_context=*/false);
-          if (!states[v].ever_in_qout) {
-            states[v].ever_in_qout = true;
+          if (!(flags_of[v] & kStateEverInQout)) {
+            flags_of[v] |= kStateEverInQout;
             qout.Push(v, act_sum[v]);
-            qout_depth.Push(v, states[v].depth);
+            qout_depth.Push(v, depth_of[v]);
             result.metrics.nodes_touched++;
             frontier_enter(v);
           }

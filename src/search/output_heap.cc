@@ -4,57 +4,90 @@
 
 namespace banks {
 
-bool OutputHeap::Insert(AnswerTree tree) {
-  uint64_t sig = tree.Signature();
-  auto out_it = output_scores_.find(sig);
-  if (out_it != output_scores_.end()) {
+void OutputHeap::Reset() {
+  index_.Clear();
+  used_ = 0;  // slots_ keeps its records (and their vector capacity)
+  pending_count_ = 0;
+  release_scratch_.clear();
+  cached_best_ = -1;
+  cache_valid_ = true;
+}
+
+OutputHeap::Record* OutputHeap::Accept(const AnswerTree& tree) {
+  uint64_t sig = tree.Signature(&sig_scratch_);
+  const size_t before = index_.size();
+  uint32_t& slot = index_[sig];
+  if (index_.size() != before) {  // fresh signature this query
+    if (used_ == slots_.size()) slots_.emplace_back();
+    slot = static_cast<uint32_t>(used_++);
+    Record& rec = slots_[slot];
+    rec.sig = sig;
+    rec.score = tree.score;
+    rec.released = false;
+    pending_count_++;
+    if (cache_valid_) cached_best_ = std::max(cached_best_, tree.score);
+    return &rec;
+  }
+  Record& rec = slots_[slot];
+  if (rec.released) {
     // Already released; late lower-scored rotations are dropped. A late
     // *better* rotation would ideally have waited — the bound machinery
     // exists to make this rare (§5.7 observes near-perfect ordering).
-    return false;
+    return nullptr;
   }
-  auto it = pending_.find(sig);
-  if (it == pending_.end()) {
-    if (cache_valid_) cached_best_ = std::max(cached_best_, tree.score);
-    pending_.emplace(sig, std::move(tree));
-    return true;
-  }
-  if (it->second.score >= tree.score) return false;
+  if (rec.score >= tree.score) return nullptr;
   if (cache_valid_) cached_best_ = std::max(cached_best_, tree.score);
-  it->second = std::move(tree);
+  rec.score = tree.score;
+  return &rec;
+}
+
+bool OutputHeap::Insert(AnswerTree tree) {
+  Record* rec = Accept(tree);
+  if (rec == nullptr) return false;
+  rec->tree = std::move(tree);
+  return true;
+}
+
+bool OutputHeap::InsertCopy(const AnswerTree& tree) {
+  Record* rec = Accept(tree);
+  if (rec == nullptr) return false;
+  rec->tree = tree;  // copy-assign reuses the slot's vector capacity
   return true;
 }
 
 double OutputHeap::BestPendingScore() const {
   if (!cache_valid_) {
     cached_best_ = -1;
-    for (const auto& [sig, tree] : pending_) {
-      cached_best_ = std::max(cached_best_, tree.score);
+    for (size_t i = 0; i < used_; ++i) {
+      if (slots_[i].released) continue;
+      cached_best_ = std::max(cached_best_, slots_[i].score);
     }
     cache_valid_ = true;
   }
-  return pending_.empty() ? -1 : cached_best_;
+  return pending_count_ == 0 ? -1 : cached_best_;
 }
 
 void OutputHeap::ReleaseIf(size_t limit, std::vector<AnswerTree>* out,
                            bool (*releasable)(const AnswerTree&, double),
                            double arg) {
-  std::vector<uint64_t> sigs;
-  for (const auto& [sig, tree] : pending_) {
-    if (releasable(tree, arg)) sigs.push_back(sig);
+  std::vector<uint32_t>& picks = release_scratch_;
+  picks.clear();
+  for (uint32_t i = 0; i < used_; ++i) {
+    if (slots_[i].released) continue;
+    if (releasable(slots_[i].tree, arg)) picks.push_back(i);
   }
-  std::sort(sigs.begin(), sigs.end(), [&](uint64_t a, uint64_t b) {
-    const AnswerTree& ta = pending_.at(a);
-    const AnswerTree& tb = pending_.at(b);
-    if (ta.score != tb.score) return ta.score > tb.score;
-    return a < b;  // deterministic tie-break
+  std::sort(picks.begin(), picks.end(), [&](uint32_t a, uint32_t b) {
+    const Record& ra = slots_[a];
+    const Record& rb = slots_[b];
+    if (ra.score != rb.score) return ra.score > rb.score;
+    return ra.sig < rb.sig;  // deterministic tie-break
   });
-  for (uint64_t sig : sigs) {
+  for (uint32_t i : picks) {
     if (out->size() >= limit) break;
-    auto it = pending_.find(sig);
-    output_scores_[sig] = it->second.score;
-    out->push_back(std::move(it->second));
-    pending_.erase(it);
+    Record& rec = slots_[i];
+    rec.released = true;
+    out->push_back(std::move(rec.tree));
+    pending_count_--;
     cache_valid_ = false;
   }
 }

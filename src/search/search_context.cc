@@ -7,7 +7,16 @@ void SearchContext::BeginQuery(size_t num_keywords) {
 
   node_index.Clear();
 
-  states.clear();
+  node.clear();
+  depth.clear();
+  state_flags.clear();
+  last_eraw.clear();
+  marked_time.clear();
+  marked_explored.clear();
+  marked_touched.clear();
+  parents.clear();
+  children.clear();
+
   dist.clear();
   sp.clear();
   act.clear();
@@ -21,6 +30,7 @@ void SearchContext::BeginQuery(size_t num_keywords) {
   if (min_dist.size() < num_keywords) min_dist.resize(num_keywords);
   for (auto& h : min_dist) h.Clear();
   dirty_roots.clear();
+  best_eraws.clear();
   // The Attach/Activate loops drain their queues before returning, so
   // these are only non-empty if a previous query aborted mid-propagation
   // (e.g. via an exception unwinding through Search).
@@ -28,7 +38,18 @@ void SearchContext::BeginQuery(size_t num_keywords) {
   while (!activate_queue.empty()) activate_queue.pop();
   bound_scratch.clear();
 
+  output_heap.Reset();
+  kw_scratch.clear();
+  union_edge_scratch.clear();
+  uniq_scratch.clear();
+
   for (auto& m : reach_maps) m.Clear();
+  frontiers.Clear();
+  iter_keyword.clear();
+  iter_origin.clear();
+  scheduler.clear();
+  id_scratch.clear();
+  si_frontier.clear();
   visit_dist.clear();
   visit_iter.clear();
   visit_covered.clear();
@@ -36,6 +57,7 @@ void SearchContext::BeginQuery(size_t num_keywords) {
 
 void SearchContext::EnsureReachMaps(size_t count) {
   if (reach_maps.size() < count) reach_maps.resize(count);
+  frontiers.EnsureSegments(count);
 }
 
 }  // namespace banks

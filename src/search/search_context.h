@@ -4,10 +4,14 @@
 #include <cstdint>
 #include <limits>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "graph/types.h"
+#include "search/answer.h"
 #include "search/flat_hash.h"
+#include "search/output_heap.h"
+#include "search/tree_builder.h"
 #include "util/indexed_heap.h"
 
 namespace banks {
@@ -26,7 +30,8 @@ class EdgeListPool {
  public:
   static constexpr uint32_t kNil = UINT32_MAX;
 
-  /// Handle to one list; value-semantic, stored inside NodeState.
+  /// Handle to one list; value-semantic, stored in the per-state
+  /// parents/children arrays of the SearchContext.
   struct Ref {
     uint32_t head = kNil;
     uint32_t tail = kNil;
@@ -75,27 +80,13 @@ class EdgeListPool {
   std::vector<Chunk> chunks_;
 };
 
-/// Per-discovered-node bookkeeping for the Bidirectional search
-/// (Figure 2). Per-keyword arrays (dist, sp, activation) live in flat
-/// pools on the SearchContext indexed by state_index * num_keywords +
-/// keyword; the explored-edge lists live in the context's EdgeListPool.
-struct NodeState {
-  NodeId node = kInvalidNode;
-  uint32_t depth = 0;        // hops from nearest seed when discovered
-  bool popped_in = false;    // member of X_in
-  bool popped_out = false;   // member of X_out
-  bool ever_in_qout = false; // inserted into Q_out at least once
-  bool dirty = false;        // complete and awaiting materialization
-  double last_emitted_eraw = std::numeric_limits<double>::infinity();
-  // Generation-point bookkeeping captured when the root is *marked*
-  // (that is when the answer first exists; materialization is deferred).
-  double marked_time = 0;
-  uint64_t marked_explored = 0;
-  uint64_t marked_touched = 0;
-  // P_u / C_u: explored edges into / out of this node.
-  EdgeListPool::Ref parents;
-  EdgeListPool::Ref children;
-};
+// Packed per-state flag bits (SearchContext::state_flags). One byte per
+// state instead of four bools: the hot explore loop tests at most one
+// flag per pop, so the flags ride in their own dense array.
+inline constexpr uint8_t kStatePoppedIn = 1u << 0;    // member of X_in
+inline constexpr uint8_t kStatePoppedOut = 1u << 1;   // member of X_out
+inline constexpr uint8_t kStateEverInQout = 1u << 2;  // entered Q_out once
+inline constexpr uint8_t kStateDirty = 1u << 3;       // awaiting materialize
 
 /// Best known backward path from a node toward one keyword's origin
 /// (shared record of the Backward MI/SI searchers; MI keeps one map per
@@ -108,13 +99,49 @@ struct BackwardReach {
   bool settled = false;
 };
 
+/// Pooled storage for Backward-MI's per-iterator lazy-deletion frontier
+/// heaps: one segment per single-node iterator, used as a binary
+/// min-heap via std::push_heap/pop_heap. Segments keep their capacity
+/// across queries (Clear() empties without deallocating), so a warm
+/// context runs frequent-keyword queries — which construct hundreds of
+/// iterators — without a single frontier allocation.
+class FrontierPool {
+ public:
+  using Entry = std::pair<double, NodeId>;  // (dist, node)
+
+  /// Grows the pool to at least `count` segments (never shrinks).
+  void EnsureSegments(size_t count) {
+    if (segments_.size() < count) segments_.resize(count);
+  }
+
+  /// Empties every segment, keeping all capacity.
+  void Clear() {
+    for (auto& s : segments_) s.clear();
+  }
+
+  std::vector<Entry>& Segment(size_t i) { return segments_[i]; }
+
+  size_t segment_count() const { return segments_.size(); }
+
+  /// Sum of segment capacities (test hook: warm reuse must not grow it).
+  size_t TotalCapacity() const {
+    size_t total = 0;
+    for (const auto& s : segments_) total += s.capacity();
+    return total;
+  }
+
+ private:
+  std::vector<std::vector<Entry>> segments_;
+};
+
 /// Reusable per-query scratch space for all three search algorithms.
 ///
 /// A search discovers a small, query-dependent fraction of the graph but
 /// allocates state proportional to it: node records, per-keyword
 /// distance/activation arrays, explored-edge lists, frontier heaps, hash
-/// tables. Constructing these from scratch per query makes allocation —
-/// not graph traversal — the dominant cost of small interactive queries.
+/// tables, the answer output buffer. Constructing these from scratch per
+/// query makes allocation — not graph traversal — the dominant cost of
+/// small interactive queries.
 ///
 /// A SearchContext owns all of that state in flat, epoch-resettable
 /// pools. The first query on a context grows each pool to its working
@@ -125,6 +152,13 @@ struct BackwardReach {
 ///   for (const auto& origins : stream)
 ///     engine.QueryResolved(origins, Algorithm::kBidirectional, opts, &ctx);
 ///
+/// Per-discovered-node bookkeeping is structure-of-arrays: parallel flat
+/// vectors indexed by state index (node ids, depths, packed flag bytes,
+/// materialization bookkeeping, explored-edge list refs), matching the
+/// layout of the per-keyword dist/sp/act pools. The hot explore loop
+/// touches only the arrays it actually reads, and per-shard workers
+/// slicing states by index range never false-share a record.
+///
 /// A context is scratch space, not a result: it carries no information
 /// across queries other than capacity, and a query run through a warm
 /// context returns byte-identical answers to one run through a fresh
@@ -132,6 +166,13 @@ struct BackwardReach {
 class SearchContext {
  public:
   using ScoredState = std::pair<double, uint32_t>;
+
+  /// Entry of Backward-SI's shared frontier heap (pooled below).
+  struct SIFrontierEntry {
+    double dist;
+    NodeId node;
+    uint32_t keyword;
+  };
 
   SearchContext() = default;
   SearchContext(const SearchContext&) = delete;
@@ -144,20 +185,37 @@ class SearchContext {
   /// Number of BeginQuery calls, i.e. queries served (diagnostics).
   uint64_t queries_started() const { return queries_started_; }
 
-  /// Ensures reach_maps holds at least `count` maps (MI: one per
-  /// iterator; SI: one per keyword). Clearing is BeginQuery's job:
-  /// call this only after BeginQuery, which resets every existing map.
+  /// Ensures reach_maps and frontier segments hold at least `count`
+  /// entries (MI: one per iterator; SI: one reach map per keyword).
+  /// Clearing is BeginQuery's job: call this only after BeginQuery,
+  /// which resets every existing map and segment.
   void EnsureReachMaps(size_t count);
 
+  /// Number of discovered states this query (Bidirectional).
+  size_t num_states() const { return node.size(); }
+
   // ---- Shared: node → dense index -----------------------------------------
-  // Bidirectional: NodeId → state index into `states`.
+  // Bidirectional: NodeId → state index into the per-state arrays.
   // Backward MI:   NodeId → visit index into the visit_* pools.
   // Backward SI:   NodeId → count of keywords with a finite distance.
   FlatHashMap<NodeId, uint32_t> node_index;
 
-  // ---- Bidirectional pools ------------------------------------------------
-  std::vector<NodeState> states;
-  std::vector<double> dist;     // states.size() * n, kInf when unreached
+  // ---- Bidirectional per-state arrays (SoA, parallel) ---------------------
+  std::vector<NodeId> node;        // state → discovered node id
+  std::vector<uint32_t> depth;     // hops from nearest seed at discovery
+  std::vector<uint8_t> state_flags;  // kState* bits
+  // Materialization bookkeeping, captured when the root is *marked*
+  // (that is when the answer first exists; materialization is deferred).
+  std::vector<double> last_eraw;   // last materialized raw edge score
+  std::vector<double> marked_time;
+  std::vector<uint64_t> marked_explored;
+  std::vector<uint64_t> marked_touched;
+  // P_u / C_u: explored edges into / out of each state.
+  std::vector<EdgeListPool::Ref> parents;
+  std::vector<EdgeListPool::Ref> children;
+
+  // ---- Bidirectional per-keyword pools ------------------------------------
+  std::vector<double> dist;     // num_states() * n, kInf when unreached
   std::vector<uint32_t> sp;     // next state toward keyword, or sentinel
   std::vector<double> act;      // per-keyword activation
   std::vector<double> act_sum;  // per-state total activation (queue key)
@@ -172,6 +230,9 @@ class SearchContext {
   IndexedHeap<uint32_t, std::greater<uint32_t>> qin_depth;
   IndexedHeap<uint32_t, std::greater<uint32_t>> qout_depth;
   std::vector<uint32_t> dirty_roots;  // completed, awaiting materialization
+  // Max-heap (push_heap/pop_heap) of the k smallest generated eraws:
+  // the top-k watermark that prunes late completions.
+  std::vector<double> best_eraws;
   // Drained-to-empty scratch queues of Attach / Activate (§4.2.1, §4.3).
   std::priority_queue<ScoredState, std::vector<ScoredState>,
                       std::greater<ScoredState>>
@@ -179,9 +240,34 @@ class SearchContext {
   std::priority_queue<ScoredState> activate_queue;
   std::vector<double> bound_scratch;  // per-keyword m_i in release checks
 
+  // ---- Answer buffering / materialization ---------------------------------
+  // The §4.3 output buffer, pooled: its signature tables and release
+  // scratch keep their capacity across queries.
+  OutputHeap output_heap;
+  // Union-Dijkstra scratch of BuildAnswerFromPathUnion.
+  TreeBuilderScratch tree_scratch;
+  // Candidate tree, rebuilt in place per materialization; the output
+  // heap copies it only on accept (OutputHeap::InsertCopy), so rejected
+  // duplicates never allocate.
+  AnswerTree answer_scratch;
+  // Per-materialization path-union scratch (keyword nodes + edges).
+  std::vector<NodeId> kw_scratch;
+  std::vector<AnswerEdge> union_edge_scratch;
+  std::vector<NodeId> uniq_scratch;  // per-keyword origin dedup at seeding
+
   // ---- Backward MI / SI pools ---------------------------------------------
   // One Dijkstra reach map per MI iterator / SI keyword.
   std::vector<FlatHashMap<NodeId, BackwardReach>> reach_maps;
+  // One lazy-deletion frontier heap segment per MI iterator.
+  FrontierPool frontiers;
+  // MI iterator records, SoA: keyword and origin per iterator.
+  std::vector<uint32_t> iter_keyword;
+  std::vector<NodeId> iter_origin;
+  // MI global scheduler: (peek dist, iter idx) min-heap storage.
+  std::vector<ScoredState> scheduler;
+  std::vector<uint32_t> id_scratch;  // MI emit: chosen iterator per keyword
+  // SI shared frontier: (dist, node, keyword) min-heap storage.
+  std::vector<SIFrontierEntry> si_frontier;
   // MI visit records in flat pools: best dist/iterator per keyword
   // (visit_index * n + keyword) and per-visit covered-keyword count.
   std::vector<double> visit_dist;

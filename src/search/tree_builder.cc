@@ -2,70 +2,84 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
-#include <unordered_map>
+#include <tuple>
 #include <vector>
 
 namespace banks {
 
-std::optional<AnswerTree> BuildAnswerFromPathUnion(
-    NodeId root, const std::vector<NodeId>& keyword_nodes,
-    const std::vector<AnswerEdge>& union_edges) {
-  // Deduplicated adjacency over the union subgraph (keep min weight per
-  // directed pair).
-  std::unordered_map<NodeId, std::vector<std::pair<NodeId, float>>> adj;
-  {
-    std::unordered_map<uint64_t, float> best;
-    for (const AnswerEdge& e : union_edges) {
-      uint64_t key = (static_cast<uint64_t>(e.parent) << 32) | e.child;
-      auto [it, inserted] = best.emplace(key, e.weight);
-      if (!inserted && e.weight < it->second) it->second = e.weight;
-    }
-    for (const auto& [key, w] : best) {
-      adj[static_cast<NodeId>(key >> 32)].emplace_back(
-          static_cast<NodeId>(key & 0xFFFFFFFF), w);
+bool BuildAnswerFromPathUnion(NodeId root,
+                              const std::vector<NodeId>& keyword_nodes,
+                              const std::vector<AnswerEdge>& union_edges,
+                              TreeBuilderScratch* scratch, AnswerTree* out) {
+  TreeBuilderScratch& s = *scratch;
+
+  // Deduplicate the union subgraph (keep min weight per directed pair).
+  s.best_edge.Clear();
+  s.edges.clear();
+  for (const AnswerEdge& e : union_edges) {
+    uint64_t key = (static_cast<uint64_t>(e.parent) << 32) | e.child;
+    const size_t before = s.best_edge.size();
+    float& w = s.best_edge[key];
+    if (s.best_edge.size() != before) {
+      w = e.weight;
+      s.edges.push_back(e);
+    } else if (e.weight < w) {
+      w = e.weight;
     }
   }
+  for (AnswerEdge& e : s.edges) {
+    uint64_t key = (static_cast<uint64_t>(e.parent) << 32) | e.child;
+    e.weight = *s.best_edge.Find(key);
+  }
 
-  // Dijkstra from the root over the union subgraph.
-  std::unordered_map<NodeId, double> dist;
-  std::unordered_map<NodeId, NodeId> parent;
+  // Dijkstra from the root over the union subgraph. Relaxation scans the
+  // whole (tiny) edge list per settled node; no adjacency index needed.
+  s.reached.Clear();
+  s.pq.clear();
   using QE = std::pair<double, NodeId>;
-  std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
-  dist[root] = 0;
-  pq.emplace(0, root);
-  while (!pq.empty()) {
-    auto [d, u] = pq.top();
-    pq.pop();
-    auto dit = dist.find(u);
-    if (dit == dist.end() || d > dit->second + 1e-12) continue;
-    auto ait = adj.find(u);
-    if (ait == adj.end()) continue;
-    for (auto [v, w] : ait->second) {
-      double nd = d + w;
-      auto vit = dist.find(v);
-      if (vit == dist.end() || nd < vit->second - 1e-12) {
-        dist[v] = nd;
-        parent[v] = u;
-        pq.emplace(nd, v);
+  auto heap_greater = std::greater<QE>();
+  s.reached[root] = TreeBuilderScratch::PathRec{0, kInvalidNode};
+  s.pq.emplace_back(0, root);
+  while (!s.pq.empty()) {
+    std::pop_heap(s.pq.begin(), s.pq.end(), heap_greater);
+    auto [d, u] = s.pq.back();
+    s.pq.pop_back();
+    const TreeBuilderScratch::PathRec* urec = s.reached.Find(u);
+    if (urec == nullptr || d > urec->dist + 1e-12) continue;
+    for (const AnswerEdge& e : s.edges) {
+      if (e.parent != u) continue;
+      double nd = d + e.weight;
+      TreeBuilderScratch::PathRec* vrec = s.reached.Find(e.child);
+      if (vrec == nullptr || nd < vrec->dist - 1e-12) {
+        s.reached[e.child] = TreeBuilderScratch::PathRec{nd, u};
+        s.pq.emplace_back(nd, e.child);
+        std::push_heap(s.pq.begin(), s.pq.end(), heap_greater);
       }
     }
   }
 
-  AnswerTree tree;
+  AnswerTree& tree = *out;
   tree.root = root;
-  tree.keyword_nodes = keyword_nodes;
-  tree.keyword_distances.resize(keyword_nodes.size());
-  std::vector<AnswerEdge> edges;
+  tree.keyword_nodes.assign(keyword_nodes.begin(), keyword_nodes.end());
+  tree.keyword_distances.assign(keyword_nodes.size(), 0.0);
+  tree.edge_score_raw = 0;
+  tree.node_prestige = 0;
+  tree.score = 0;
+  tree.generated_at = 0;
+  tree.explored_at_generation = 0;
+  tree.touched_at_generation = 0;
+  std::vector<AnswerEdge>& edges = s.edge_scratch;
+  edges.clear();
   for (size_t i = 0; i < keyword_nodes.size(); ++i) {
     NodeId target = keyword_nodes[i];
-    auto dit = dist.find(target);
-    if (dit == dist.end()) return std::nullopt;
-    tree.keyword_distances[i] = dit->second;
+    const TreeBuilderScratch::PathRec* trec = s.reached.Find(target);
+    if (trec == nullptr) return false;
+    tree.keyword_distances[i] = trec->dist;
     NodeId cur = target;
     while (cur != root) {
-      NodeId p = parent.at(cur);
-      float w = static_cast<float>(dist.at(cur) - dist.at(p));
+      const TreeBuilderScratch::PathRec& rec = *s.reached.Find(cur);
+      NodeId p = rec.parent;
+      float w = static_cast<float>(rec.dist - s.reached.Find(p)->dist);
       edges.push_back(AnswerEdge{p, cur, w});
       cur = p;
     }
@@ -79,8 +93,26 @@ std::optional<AnswerTree> BuildAnswerFromPathUnion(
                             return a.parent == b.parent && a.child == b.child;
                           }),
               edges.end());
-  tree.edges = std::move(edges);
+  tree.edges.assign(edges.begin(), edges.end());
+  return true;
+}
+
+std::optional<AnswerTree> BuildAnswerFromPathUnion(
+    NodeId root, const std::vector<NodeId>& keyword_nodes,
+    const std::vector<AnswerEdge>& union_edges, TreeBuilderScratch* scratch) {
+  AnswerTree tree;
+  if (!BuildAnswerFromPathUnion(root, keyword_nodes, union_edges, scratch,
+                                &tree)) {
+    return std::nullopt;
+  }
   return tree;
+}
+
+std::optional<AnswerTree> BuildAnswerFromPathUnion(
+    NodeId root, const std::vector<NodeId>& keyword_nodes,
+    const std::vector<AnswerEdge>& union_edges) {
+  TreeBuilderScratch scratch;
+  return BuildAnswerFromPathUnion(root, keyword_nodes, union_edges, &scratch);
 }
 
 }  // namespace banks

@@ -1,12 +1,40 @@
 #ifndef BANKS_SEARCH_TREE_BUILDER_H_
 #define BANKS_SEARCH_TREE_BUILDER_H_
 
+#include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "search/answer.h"
+#include "search/flat_hash.h"
 
 namespace banks {
+
+/// Pooled scratch of BuildAnswerFromPathUnion. Tree construction runs
+/// once per released answer — inside the hot path of every searcher —
+/// and used to build four `std::unordered_map`s per call. All of that
+/// state now lives here: epoch-cleared flat maps plus retained-capacity
+/// vectors, so a warm scratch builds trees allocation-free. Owned by
+/// SearchContext; default-constructible for standalone use in tests.
+struct TreeBuilderScratch {
+  /// Per-node shortest-path record over the union subgraph.
+  struct PathRec {
+    double dist = 0;
+    NodeId parent = kInvalidNode;
+  };
+
+  // (parent << 32 | child) → min weight over duplicate union edges.
+  FlatHashMap<uint64_t, float> best_edge;
+  // Deduplicated union edges in first-seen order. The subgraph is at
+  // most a few dozen edges (n keyword paths of ≤ dmax hops), so the
+  // Dijkstra below relaxes by linear scan instead of building adjacency.
+  std::vector<AnswerEdge> edges;
+  // Dijkstra over the union subgraph.
+  FlatHashMap<NodeId, PathRec> reached;
+  std::vector<std::pair<double, NodeId>> pq;  // min-heap storage
+  std::vector<AnswerEdge> edge_scratch;       // tree edges pre-dedup
+};
 
 /// Assembles a minimal rooted answer tree from the union of per-keyword
 /// best paths discovered by a search.
@@ -21,6 +49,20 @@ namespace banks {
 /// Returns nullopt if some keyword node is unreachable from the root
 /// within the union (callers treat this as "emit nothing"; it indicates
 /// a stale path during propagation, which the algorithms tolerate).
+/// Capacity-reusing form: assembles the tree into *out (every field is
+/// overwritten; score/timing fields reset to zero) and returns false on
+/// the unreachable-keyword case. Searchers pass a pooled scratch tree so
+/// candidate materialization allocates nothing once warm.
+bool BuildAnswerFromPathUnion(NodeId root,
+                              const std::vector<NodeId>& keyword_nodes,
+                              const std::vector<AnswerEdge>& union_edges,
+                              TreeBuilderScratch* scratch, AnswerTree* out);
+
+std::optional<AnswerTree> BuildAnswerFromPathUnion(
+    NodeId root, const std::vector<NodeId>& keyword_nodes,
+    const std::vector<AnswerEdge>& union_edges, TreeBuilderScratch* scratch);
+
+/// Convenience overload with private scratch (tests, one-off callers).
 std::optional<AnswerTree> BuildAnswerFromPathUnion(
     NodeId root, const std::vector<NodeId>& keyword_nodes,
     const std::vector<AnswerEdge>& union_edges);

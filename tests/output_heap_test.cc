@@ -1,0 +1,208 @@
+// Pooled-reuse contract of the OutputHeap and the Backward-MI frontier
+// pool: a warm (recycled) buffer must behave byte-identically to a
+// fresh one, and the warm path must not grow the pools.
+
+#include "search/output_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "search/search_context.h"
+#include "search/searcher.h"
+#include "test_util.h"
+
+namespace banks {
+namespace {
+
+using testing::MakeFig4Graph;
+using testing::MakeRandomGraph;
+
+AnswerTree ScoredTree(NodeId root, double score, double eraw) {
+  AnswerTree t;
+  t.root = root;
+  t.keyword_nodes = {root};
+  t.keyword_distances = {0};
+  t.score = score;
+  t.edge_score_raw = eraw;
+  return t;
+}
+
+/// One scripted round of Insert / partial releases / Drain, returning
+/// every observable the heap exposes along the way.
+struct RoundLog {
+  std::vector<bool> insert_results;
+  std::vector<AnswerTree> released;
+  std::vector<size_t> pending_counts;
+  std::vector<double> best_scores;
+};
+
+RoundLog RunSequence(OutputHeap* heap, uint64_t salt) {
+  RoundLog log;
+  auto observe = [&] {
+    log.pending_counts.push_back(heap->pending_count());
+    log.best_scores.push_back(heap->BestPendingScore());
+  };
+  // Roots vary with `salt` so different rounds buffer different trees.
+  for (NodeId r = 0; r < 12; ++r) {
+    NodeId root = r + static_cast<NodeId>(salt) * 100;
+    log.insert_results.push_back(
+        heap->Insert(ScoredTree(root, 0.05 * (r % 7) + 0.1, 10.0 - r)));
+  }
+  // Duplicates: worse (dropped), better (kept).
+  log.insert_results.push_back(heap->Insert(
+      ScoredTree(static_cast<NodeId>(salt) * 100, 0.01, 20)));
+  log.insert_results.push_back(heap->Insert(
+      ScoredTree(static_cast<NodeId>(salt) * 100, 0.95, 1)));
+  observe();
+  heap->ReleaseWithScoreBound(0.3, 100, &log.released);
+  observe();
+  heap->ReleaseWithEdgeBound(5.0, 100, &log.released);
+  observe();
+  // Re-insert an already released signature: must be dropped.
+  log.insert_results.push_back(heap->Insert(
+      ScoredTree(static_cast<NodeId>(salt) * 100, 0.99, 1)));
+  heap->ReleaseBest(2, 100, &log.released);
+  observe();
+  heap->Drain(100, &log.released);
+  observe();
+  return log;
+}
+
+void ExpectSameLog(const RoundLog& a, const RoundLog& b) {
+  EXPECT_EQ(a.insert_results, b.insert_results);
+  EXPECT_EQ(a.pending_counts, b.pending_counts);
+  EXPECT_EQ(a.best_scores, b.best_scores);
+  ASSERT_EQ(a.released.size(), b.released.size());
+  for (size_t i = 0; i < a.released.size(); ++i) {
+    EXPECT_TRUE(SameAnswer(a.released[i], b.released[i])) << i;
+  }
+}
+
+TEST(OutputHeapPooling, WarmHeapMatchesFreshAcrossSequences) {
+  OutputHeap warm;
+  for (uint64_t round = 0; round < 5; ++round) {
+    warm.Reset();
+    OutputHeap fresh;
+    RoundLog warm_log = RunSequence(&warm, round);
+    RoundLog fresh_log = RunSequence(&fresh, round);
+    ExpectSameLog(warm_log, fresh_log);
+  }
+}
+
+TEST(OutputHeapPooling, ResetForgetsReleasedSignatures) {
+  OutputHeap heap;
+  ASSERT_TRUE(heap.Insert(ScoredTree(7, 0.5, 1)));
+  std::vector<AnswerTree> out;
+  heap.Drain(10, &out);
+  EXPECT_FALSE(heap.Insert(ScoredTree(7, 0.9, 1)));  // released is final
+  heap.Reset();
+  EXPECT_EQ(heap.pending_count(), 0u);
+  EXPECT_TRUE(heap.Insert(ScoredTree(7, 0.9, 1)));  // new query, new life
+  EXPECT_EQ(heap.pending_count(), 1u);
+}
+
+TEST(OutputHeapPooling, InsertCopyMatchesInsertAndKeepsScratchIntact) {
+  OutputHeap by_move;
+  OutputHeap by_copy;
+  AnswerTree scratch;
+  for (NodeId r = 0; r < 8; ++r) {
+    AnswerTree t = ScoredTree(r % 5, 0.1 * r, 8.0 - r);
+    scratch = t;
+    EXPECT_EQ(by_move.Insert(t), by_copy.InsertCopy(scratch));
+    // The scratch stays usable after a rejected or accepted copy.
+    EXPECT_EQ(scratch.root, r % 5);
+    EXPECT_EQ(scratch.keyword_nodes.size(), 1u);
+  }
+  std::vector<AnswerTree> move_out;
+  std::vector<AnswerTree> copy_out;
+  by_move.Drain(100, &move_out);
+  by_copy.Drain(100, &copy_out);
+  ASSERT_EQ(move_out.size(), copy_out.size());
+  for (size_t i = 0; i < move_out.size(); ++i) {
+    EXPECT_TRUE(SameAnswer(move_out[i], copy_out[i])) << i;
+  }
+}
+
+// ---- Backward-MI frontier pool ---------------------------------------------
+
+TEST(FrontierPool, SegmentsClearButKeepCapacity) {
+  FrontierPool pool;
+  pool.EnsureSegments(3);
+  EXPECT_EQ(pool.segment_count(), 3u);
+  for (int i = 0; i < 50; ++i) pool.Segment(1).emplace_back(1.0 * i, i);
+  size_t capacity = pool.TotalCapacity();
+  EXPECT_GE(capacity, 50u);
+  pool.Clear();
+  EXPECT_TRUE(pool.Segment(1).empty());
+  EXPECT_EQ(pool.TotalCapacity(), capacity);  // capacity survives Clear
+  pool.EnsureSegments(2);                     // never shrinks
+  EXPECT_EQ(pool.segment_count(), 3u);
+}
+
+TEST(FrontierPool, WarmMIQueriesReuseFrontiersWithIdenticalAnswers) {
+  testing::Fig4Graph fig = MakeFig4Graph();
+  std::vector<double> prestige(fig.graph.num_nodes(), 1.0);
+  SearchOptions options;
+  options.k = 5;
+  auto searcher = CreateSearcher(Algorithm::kBackwardMI, fig.graph, prestige,
+                                 options);
+  // "Database John": the frequent keyword builds ~100 MI iterators, each
+  // with its own pooled frontier segment.
+  std::vector<std::vector<NodeId>> origins = {fig.database_papers,
+                                              {fig.john}};
+
+  SearchContext ctx;
+  SearchResult first = searcher->Search(origins, &ctx);
+  ASSERT_GT(first.answers.size(), 0u);
+  const size_t segments_after_first = ctx.frontiers.segment_count();
+  const size_t capacity_after_first = ctx.frontiers.TotalCapacity();
+  EXPECT_GE(segments_after_first, fig.database_papers.size());
+
+  for (int round = 0; round < 3; ++round) {
+    SearchResult again = searcher->Search(origins, &ctx);
+    ASSERT_EQ(again.answers.size(), first.answers.size());
+    for (size_t i = 0; i < first.answers.size(); ++i) {
+      EXPECT_TRUE(SameAnswer(again.answers[i], first.answers[i])) << i;
+    }
+    // Warm path: zero pool growth — no new segments, no regrowth.
+    EXPECT_EQ(ctx.frontiers.segment_count(), segments_after_first);
+    EXPECT_EQ(ctx.frontiers.TotalCapacity(), capacity_after_first);
+  }
+}
+
+TEST(FrontierPool, MixedQuerySizesOnOneContextStayCorrect) {
+  Graph graph = MakeRandomGraph(300, 1200, 42);
+  std::vector<double> prestige(graph.num_nodes(), 1.0);
+  SearchOptions options;
+  options.k = 4;
+  auto searcher =
+      CreateSearcher(Algorithm::kBackwardMI, graph, prestige, options);
+
+  // Alternate a many-iterator query with a two-iterator one: stale
+  // segments from the bigger query must never leak into the smaller.
+  std::vector<std::vector<NodeId>> big = {{1, 2, 3, 4, 5, 6, 7, 8},
+                                          {20, 21, 22, 23}};
+  std::vector<std::vector<NodeId>> small = {{9}, {30}};
+  SearchContext fresh_big_ctx;
+  SearchContext fresh_small_ctx;
+  SearchResult ref_big = searcher->Search(big, &fresh_big_ctx);
+  SearchResult ref_small = searcher->Search(small, &fresh_small_ctx);
+
+  SearchContext ctx;
+  for (int round = 0; round < 3; ++round) {
+    SearchResult b = searcher->Search(big, &ctx);
+    SearchResult s = searcher->Search(small, &ctx);
+    ASSERT_EQ(b.answers.size(), ref_big.answers.size());
+    for (size_t i = 0; i < b.answers.size(); ++i) {
+      EXPECT_TRUE(SameAnswer(b.answers[i], ref_big.answers[i])) << i;
+    }
+    ASSERT_EQ(s.answers.size(), ref_small.answers.size());
+    for (size_t i = 0; i < s.answers.size(); ++i) {
+      EXPECT_TRUE(SameAnswer(s.answers[i], ref_small.answers[i])) << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace banks

@@ -249,7 +249,8 @@ TEST(SearchContext, BeginQueryResetsPoolsButKeepsCapacity) {
   SearchContext ctx;
   ctx.BeginQuery(3);
   ctx.node_index[5] = 1;
-  ctx.states.resize(4);
+  ctx.node.resize(4);
+  ctx.state_flags.assign(4, kStateDirty);
   ctx.dist.assign(12, 0.5);
   EdgeListPool::Ref r;
   ctx.edge_lists.Append(&r, 0, 1.0f);
@@ -259,7 +260,8 @@ TEST(SearchContext, BeginQueryResetsPoolsButKeepsCapacity) {
   ctx.BeginQuery(2);
   EXPECT_EQ(ctx.queries_started(), 2u);
   EXPECT_TRUE(ctx.node_index.empty());
-  EXPECT_TRUE(ctx.states.empty());
+  EXPECT_TRUE(ctx.node.empty());
+  EXPECT_TRUE(ctx.state_flags.empty());
   EXPECT_TRUE(ctx.dist.empty());
   EXPECT_EQ(ctx.edge_lists.chunk_count(), 0u);
   EXPECT_EQ(ctx.reach_maps[0].Find(9), nullptr);
