@@ -1,0 +1,234 @@
+// Sharded-frontier latency microbenchmark.
+//
+// Runs a §5.4 DBLP generator workload through each algorithm at
+// shard_count 1 (the sequential path) and 2/4/8, sharing one warm
+// SearchContext per stream and one SearchContextPool for shard-worker
+// scratch. Reports per-query latency and the speedup over 1 shard, for
+// both the loose and tight release bounds (the tight bound's NRA scans
+// and the materialization batches are where shard workers engage).
+//
+// Built-in equivalence check: every sharded configuration must return
+// answers identical (SameAnswer) to shard_count = 1 — the bench exits
+// nonzero otherwise, so CI catches a divergence even outside the unit
+// suite. On a 1-hardware-thread container the >1-shard rows can only
+// show coordination overhead, not scaling; the CI bench-smoke job on
+// multicore runners records the real curve.
+//
+// --json emits the measurements for the CI bench-smoke artifact
+// (BENCH_shard.json).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "banks/engine.h"
+#include "bench_alloc.h"
+#include "bench_common.h"
+#include "datasets/workload.h"
+#include "search/context_pool.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace banks::bench {
+namespace {
+
+constexpr size_t kRepetitions = 3;
+const uint32_t kShardCounts[] = {1, 2, 4, 8};
+
+struct BoundCase {
+  BoundMode bound;
+  const char* name;
+};
+const BoundCase kBounds[] = {{BoundMode::kLoose, "loose"},
+                             {BoundMode::kTight, "tight"}};
+
+/// Resolved origin sets of the benchmark stream (resolved once so every
+/// configuration searches identical origins).
+std::vector<std::vector<std::vector<NodeId>>> MakeQueries(
+    BenchEnv* env, const Engine& engine) {
+  WorkloadGenerator gen(&env->db, &env->dg);
+  std::vector<std::vector<std::vector<NodeId>>> queries;
+  for (size_t kw = 2; kw <= 3; ++kw) {
+    WorkloadOptions wopt;
+    wopt.num_queries = 8;
+    wopt.answer_size = 4;
+    wopt.thresholds = env->thresholds;
+    wopt.categories.assign(kw, FreqCategory::kTiny);
+    wopt.categories.back() = FreqCategory::kSmall;
+    wopt.seed = 23 + kw * 41;
+    for (const WorkloadQuery& q : gen.Generate(wopt)) {
+      std::vector<std::vector<NodeId>> origins = engine.Resolve(q.keywords);
+      bool all_matched = !origins.empty();
+      for (const auto& s : origins) all_matched &= !s.empty();
+      if (all_matched) queries.push_back(std::move(origins));
+    }
+  }
+  return queries;
+}
+
+int Main(double scale, bool json) {
+  if (!json) {
+    std::printf("=== Sharded frontier: 1/2/4/8-shard query latency ===\n");
+  }
+  BenchEnv env = MakeDblpEnv(scale);
+  Engine engine(env.dg, EngineOptions{});
+  std::vector<std::vector<std::vector<NodeId>>> queries =
+      MakeQueries(&env, engine);
+  if (!json) {
+    std::printf("DBLP-like graph: %zu nodes / %zu edges, %zu queries x %zu "
+                "repetitions, %u hardware threads\n",
+                env.dg.graph.num_nodes(), env.dg.graph.num_edges(),
+                queries.size(), kRepetitions,
+                std::thread::hardware_concurrency());
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "no runnable queries generated\n");
+    return 1;
+  }
+
+  JsonWriter w;
+  if (json) {
+    w.BeginObject();
+    w.Field("bench", "micro_shard");
+    w.Field("scale", scale);
+    w.Field("alloc_counter_enabled", AllocCounterEnabled());
+    w.Field("graph_nodes", static_cast<uint64_t>(env.dg.graph.num_nodes()));
+    w.Field("graph_edges", static_cast<uint64_t>(env.dg.graph.num_edges()));
+    w.Field("queries_per_rep", static_cast<uint64_t>(queries.size()));
+    w.Field("repetitions", static_cast<uint64_t>(kRepetitions));
+    w.Field("hardware_concurrency",
+            static_cast<uint64_t>(std::thread::hardware_concurrency()));
+    w.Key("rows");
+    w.BeginArray();
+  }
+  TablePrinter table(
+      {"Algorithm", "bound", "shards", "ms/q", "q/s", "speedup", "allocs/q"});
+  const size_t runs = queries.size() * kRepetitions;
+  bool all_identical = true;
+
+  for (Algorithm algorithm :
+       {Algorithm::kBidirectional, Algorithm::kBackwardSI,
+        Algorithm::kBackwardMI}) {
+    for (const BoundCase& bc : kBounds) {
+      SearchOptions options;
+      options.k = 10;
+      options.bound = bc.bound;
+      options.max_nodes_explored = 100'000;
+
+      double one_shard_seconds = 0;
+      std::vector<SearchResult> reference;
+      SearchContextPool worker_pool;
+      for (uint32_t shards : kShardCounts) {
+        options.shard_count = shards;
+        options.shard_pool = &worker_pool;
+        SearchContext warm_context;
+        for (const auto& origins : queries) {  // untimed warm-up
+          (void)engine.QueryResolved(origins, algorithm, options,
+                                     &warm_context);
+        }
+        const AllocCounts allocs0 = CurrentAllocCounts();
+        Timer timer;
+        std::vector<SearchResult> first_rep;
+        for (size_t rep = 0; rep < kRepetitions; ++rep) {
+          for (const auto& origins : queries) {
+            SearchResult r = engine.QueryResolved(origins, algorithm,
+                                                  options, &warm_context);
+            if (rep == 0) first_rep.push_back(std::move(r));
+          }
+        }
+        double seconds = timer.ElapsedSeconds();
+        double allocs_per_query =
+            static_cast<double>(CurrentAllocCounts().count - allocs0.count) /
+            runs;
+        if (shards == 1) {
+          one_shard_seconds = seconds;
+          reference = std::move(first_rep);
+        } else {
+          // Shard count must never change results.
+          bool identical = first_rep.size() == reference.size();
+          for (size_t i = 0; identical && i < reference.size(); ++i) {
+            identical =
+                first_rep[i].answers.size() == reference[i].answers.size();
+            for (size_t j = 0; identical && j < reference[i].answers.size();
+                 ++j) {
+              identical = SameAnswer(first_rep[i].answers[j],
+                                     reference[i].answers[j]);
+            }
+          }
+          if (!identical) {
+            std::fprintf(stderr,
+                         "ERROR: %s (%s bound) at %u shards differs from "
+                         "1 shard\n",
+                         AlgorithmName(algorithm), bc.name, shards);
+            all_identical = false;
+          }
+        }
+
+        double speedup = shards == 1
+                             ? 1.0
+                             : SafeRatio(one_shard_seconds, seconds);
+        if (json) {
+          w.BeginObject();
+          w.Field("class", bc.name);
+          w.Field("algorithm", AlgorithmName(algorithm));
+          w.Field("mode", "sharded");
+          w.Field("threads", static_cast<uint64_t>(shards));
+          w.Field("ms_per_query", 1e3 * seconds / runs);
+          w.Field("qps", runs / seconds);
+          w.Field("speedup_vs_1shard", speedup);
+          w.Field("allocs_per_query", allocs_per_query);
+          w.EndObject();
+        } else {
+          table.AddRow({AlgorithmName(algorithm), bc.name,
+                        std::to_string(shards),
+                        TablePrinter::Fmt(1e3 * seconds / runs, 3),
+                        TablePrinter::Fmt(runs / seconds, 1),
+                        TablePrinter::Fmt(speedup, 2),
+                        TablePrinter::Fmt(allocs_per_query, 0)});
+        }
+      }
+    }
+  }
+
+  if (json) {
+    w.EndArray();
+    w.Field("answers_identical", all_identical);
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    std::printf("\n");
+    table.Print(std::cout);
+    std::printf(
+        "\nEvery row reuses one warm SearchContext across the stream; shard\n"
+        "worker scratch comes from one shared SearchContextPool. Answers\n"
+        "are verified identical across all shard counts (exit 1 on any\n"
+        "difference). On a single hardware thread multi-shard rows measure\n"
+        "coordination overhead only.\n");
+  }
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace banks::bench
+
+int main(int argc, char** argv) {
+  double scale = 1.0;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      scale = std::atof(argv[i]);
+      if (scale <= 0.0) {
+        std::fprintf(stderr, "usage: %s [--json] [scale>0]  (got %s)\n",
+                     argv[0], argv[i]);
+        return 2;
+      }
+    }
+  }
+  return banks::bench::Main(scale, json);
+}

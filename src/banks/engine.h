@@ -95,6 +95,15 @@ class Engine {
   /// per-query scratch space across a query stream (the second query on
   /// a warm context performs no large allocations); nullptr runs the
   /// query on a fresh context.
+  ///
+  /// Intra-query parallelism rides in on the options:
+  /// SearchOptions::shard_count > 1 splits this one query's frontier
+  /// across worker threads (answers stay byte-identical to
+  /// shard_count = 1), with worker scratch leased from
+  /// SearchOptions::shard_pool. Composes with QueryBatch — batch
+  /// workers parallelize across queries, shard workers within one —
+  /// but on a saturated batch prefer shard_count = 1: cross-query
+  /// parallelism has no coordination overhead.
   SearchResult Query(const std::vector<std::string>& keywords,
                      Algorithm algorithm, const SearchOptions& options = {},
                      SearchContext* context = nullptr) const;

@@ -9,6 +9,8 @@
 #include "search/output_heap.h"
 #include "search/scoring.h"
 #include "search/search_context.h"
+#include "search/shard_team.h"
+#include "search/sharding.h"
 #include "search/tree_builder.h"
 #include "util/timer.h"
 
@@ -16,6 +18,12 @@ namespace banks {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Engage the shard team for the per-release frontier-minima sweep /
+// tight-bound scan only past this much work per shard (scheduling
+// choice only; the reductions compute identical values either way).
+constexpr size_t kMinItersPerShard = 64;
+constexpr size_t kMinScanEntriesPerShard = 2048;
 
 }  // namespace
 
@@ -29,14 +37,21 @@ SearchResult BackwardMISearcher::Search(
     if (s.empty()) return result;  // AND semantics: some keyword matches 0
   }
 
+  const uint32_t num_shards = std::max<uint32_t>(1, options_.shard_count);
+  const ShardPlan plan{num_shards, graph_.num_nodes()};
+  ShardRuntime runtime(num_shards, options_.shard_pool);
+
   SearchContext& ctx = *context;
-  ctx.BeginQuery(n);
+  ctx.BeginQuery(n, num_shards);
 
   // One single-source backward shortest-path iterator per keyword node
   // (§3), structure-of-arrays on the context: iterator i owns reach map
   // ctx.reach_maps[i] and the lazy-deletion frontier heap segment
   // ctx.frontiers.Segment(i). Frequent-keyword queries build hundreds of
-  // iterators; on a warm context none of this allocates.
+  // iterators; on a warm context none of this allocates. An iterator
+  // belongs to the shard owning its origin NodeId — that shard's
+  // scheduler heap carries it, and that shard's worker sweeps it in the
+  // batched frontier-minima phase.
   std::vector<uint32_t>& iter_keyword = ctx.iter_keyword;
   std::vector<NodeId>& iter_origin = ctx.iter_origin;
   for (uint32_t i = 0; i < n; ++i) {
@@ -51,6 +66,9 @@ SearchResult BackwardMISearcher::Search(
   }
   const uint32_t num_iters = static_cast<uint32_t>(iter_origin.size());
   ctx.EnsureReachMaps(num_iters);
+  auto shard_of_iter = [&](uint32_t it_id) {
+    return plan.ShardOf(iter_origin[it_id]);
+  };
 
   // Per-iterator lazy-deletion min-heap of (dist, node) over the pooled
   // frontier segments, driven by push/pop_heap with the same comparator
@@ -86,18 +104,33 @@ SearchResult BackwardMISearcher::Search(
     result.metrics.nodes_touched++;
   }
 
-  // Global scheduler: iterator with the nearest next node steps first.
-  // (peek dist, iter idx) min-heap over pooled storage.
+  // Scheduler: iterator with the nearest next node steps first. (peek
+  // dist, iter idx) min-heaps over pooled storage, one per shard; the
+  // pair order is already total, so the argmin over shard fronts is
+  // exactly the entry one global heap would pop at any shard count.
   using SchedEntry = SearchContext::ScoredState;
-  std::vector<SchedEntry>& scheduler = ctx.scheduler;
+  std::vector<std::vector<SchedEntry>>& scheduler = ctx.scheduler;
   auto sched_push = [&](double d, uint32_t it_id) {
-    scheduler.emplace_back(d, it_id);
-    std::push_heap(scheduler.begin(), scheduler.end(), std::greater<>());
+    std::vector<SchedEntry>& shard = scheduler[shard_of_iter(it_id)];
+    shard.emplace_back(d, it_id);
+    std::push_heap(shard.begin(), shard.end(), std::greater<>());
   };
-  auto sched_pop = [&]() -> SchedEntry {
-    std::pop_heap(scheduler.begin(), scheduler.end(), std::greater<>());
-    SchedEntry top = scheduler.back();
-    scheduler.pop_back();
+  // Shard whose front is the global minimum entry, or -1 when empty.
+  auto sched_best_shard = [&]() -> int {
+    int best = -1;
+    for (uint32_t p = 0; p < num_shards; ++p) {
+      if (scheduler[p].empty()) continue;
+      if (best < 0 || scheduler[p].front() < scheduler[best].front()) {
+        best = static_cast<int>(p);
+      }
+    }
+    return best;
+  };
+  auto sched_pop = [&](uint32_t p) -> SchedEntry {
+    std::vector<SchedEntry>& shard = scheduler[p];
+    std::pop_heap(shard.begin(), shard.end(), std::greater<>());
+    SchedEntry top = shard.back();
+    shard.pop_back();
     return top;
   };
   for (uint32_t i = 0; i < num_iters; ++i) sched_push(0.0, i);
@@ -111,18 +144,44 @@ SearchResult BackwardMISearcher::Search(
   std::vector<uint32_t>& visit_iter = ctx.visit_iter;
   std::vector<uint32_t>& visit_covered = ctx.visit_covered;
 
-  OutputHeap& heap = ctx.output_heap;
+  // Signature-sharded output buffers, merged at every release check.
+  OutputHeap* heaps = ctx.output_heaps.data();
   uint64_t steps = 0;
   uint64_t last_progress = 0;  // last step the best pending answer changed
   double last_top = -1;        // champion score being aged
 
-  // Frontier minima per keyword for the §4.5 release bound.
+  // Frontier minima per keyword for the §4.5 release bound. Each shard's
+  // worker sweeps its own iterators (peek_dist prunes stale entries from
+  // segments that shard owns) into its slice of the partial-minima
+  // table; the coordinator then min-reduces across shards. The lazy
+  // pruning is per-iterator and deterministic, so who performs it never
+  // shows in the results.
   auto frontier_minima = [&](std::vector<double>* m) {
     m->assign(n, kInf);
-    for (uint32_t i = 0; i < num_iters; ++i) {
-      double d = peek_dist(i);
-      uint32_t kw = iter_keyword[i];
-      (*m)[kw] = std::min((*m)[kw], d);
+    if (runtime.Engage(num_iters, kMinItersPerShard)) {
+      std::vector<double>& partial = ctx.shard_minima;
+      partial.assign(static_cast<size_t>(num_shards) * n, kInf);
+      runtime.Run([&](uint32_t shard) {
+        double* mine = partial.data() + static_cast<size_t>(shard) * n;
+        for (uint32_t i = 0; i < num_iters; ++i) {
+          if (shard_of_iter(i) != shard) continue;
+          double d = peek_dist(i);
+          uint32_t kw = iter_keyword[i];
+          mine[kw] = std::min(mine[kw], d);
+        }
+      });
+      for (uint32_t p = 0; p < num_shards; ++p) {
+        for (uint32_t kw = 0; kw < n; ++kw) {
+          (*m)[kw] =
+              std::min((*m)[kw], partial[static_cast<size_t>(p) * n + kw]);
+        }
+      }
+    } else {
+      for (uint32_t i = 0; i < num_iters; ++i) {
+        double d = peek_dist(i);
+        uint32_t kw = iter_keyword[i];
+        (*m)[kw] = std::min((*m)[kw], d);
+      }
     }
   };
 
@@ -174,9 +233,10 @@ SearchResult BackwardMISearcher::Search(
       ids[j] = (j == kw) ? iter_id : visit_iter[vidx * n + j];
     }
     if (!build_tree(v, ids) || !ctx.answer_scratch.IsMinimalRooted()) return;
-    if (heap.InsertCopy(ctx.answer_scratch)) {
+    uint64_t sig = ctx.answer_scratch.Signature(&ctx.sig_scratch);
+    if (heaps[sig % num_shards].InsertCopy(ctx.answer_scratch, sig)) {
       result.metrics.answers_generated++;
-      double top = heap.BestPendingScore();
+      double top = MergedBestPendingScore(heaps, num_shards);
       if (top > last_top + 1e-15) {
         last_top = top;
         last_progress = steps;
@@ -196,36 +256,59 @@ SearchResult BackwardMISearcher::Search(
     for (double m : minima) h += m;
     size_t before = result.answers.size();
     if (options_.bound == BoundMode::kImmediate) {
-      heap.Drain(options_.k, &result.answers);
+      MergedDrain(heaps, num_shards, options_.k, &result.answers);
     } else if (options_.bound == BoundMode::kLoose) {
-      heap.ReleaseWithEdgeBound(h, options_.k, &result.answers);
+      MergedReleaseWithEdgeBound(heaps, num_shards, h, options_.k,
+                                 &result.answers);
       if (options_.release_patience &&
           steps - last_progress >= options_.release_patience &&
-          result.answers.size() < options_.k && heap.pending_count() > 0) {
+          result.answers.size() < options_.k &&
+          MergedPendingCount(heaps, num_shards) > 0) {
         // Staleness drip: the champion has been unbeaten for a while;
         // release a batch of the best pending answers.
-        heap.ReleaseBest(std::max<size_t>(1, options_.k / 8), options_.k,
-                         &result.answers);
+        MergedReleaseBest(heaps, num_shards,
+                          std::max<size_t>(1, options_.k / 8), options_.k,
+                          &result.answers);
       }
     } else {
       // NRA-style (§4.5): an unseen root costs at least h = Σ m_i; a
       // partially visited root may complete each missing keyword at
-      // m_i.
-      double best_potential = h;
-      for (const auto& entry : visits) {
-        const uint32_t vidx = entry.value - 1;
-        double pot = 0;
-        for (size_t i = 0; i < n; ++i) {
-          pot += std::min(visit_dist[vidx * n + i], minima[i]);
+      // m_i. Pure min-reduction over the dense visit entries: shard
+      // workers scan contiguous slices.
+      const size_t num_entries = visits.size();
+      auto scan_slice = [&](size_t begin, size_t end) -> double {
+        double best = kInf;
+        for (size_t e = begin; e < end; ++e) {
+          const uint32_t vidx = (visits.begin() + e)->value - 1;
+          double pot = 0;
+          for (size_t i = 0; i < n; ++i) {
+            pot += std::min(visit_dist[vidx * n + i], minima[i]);
+          }
+          best = std::min(best, pot);
         }
-        best_potential = std::min(best_potential, pot);
+        return best;
+      };
+      double best_potential = h;
+      if (runtime.Engage(num_entries, kMinScanEntriesPerShard)) {
+        ctx.nra_partial.assign(num_shards, kInf);
+        runtime.Run([&](uint32_t shard) {
+          size_t begin = num_entries * shard / num_shards;
+          size_t end = num_entries * (shard + 1) / num_shards;
+          ctx.nra_partial[shard] = scan_slice(begin, end);
+        });
+        for (double p : ctx.nra_partial) {
+          best_potential = std::min(best_potential, p);
+        }
+      } else {
+        best_potential = std::min(best_potential, scan_slice(0, num_entries));
       }
       double ub = ScoreUpperBound(best_potential, 1.0, options_.lambda);
-      heap.ReleaseWithScoreBound(ub - 1e-12, options_.k, &result.answers);
+      MergedReleaseWithScoreBound(heaps, num_shards, ub - 1e-12, options_.k,
+                                  &result.answers);
     }
     if (result.answers.size() != before) {
       last_progress = steps;
-      last_top = heap.BestPendingScore();
+      last_top = MergedBestPendingScore(heaps, num_shards);
     }
     for (size_t i = before; i < result.answers.size(); ++i) {
       result.metrics.generated_times.push_back(result.answers[i].generated_at);
@@ -233,7 +316,9 @@ SearchResult BackwardMISearcher::Search(
     }
   };
 
-  while (!scheduler.empty() && result.answers.size() < options_.k) {
+  for (;;) {
+    int p = sched_best_shard();
+    if (p < 0 || result.answers.size() >= options_.k) break;
     if (options_.max_nodes_explored &&
         result.metrics.nodes_explored >= options_.max_nodes_explored) {
       result.metrics.budget_exhausted = true;
@@ -244,7 +329,7 @@ SearchResult BackwardMISearcher::Search(
       result.metrics.budget_exhausted = true;
       break;
     }
-    auto [sched_dist, iter_id] = sched_pop();
+    auto [sched_dist, iter_id] = sched_pop(static_cast<uint32_t>(p));
     double actual = peek_dist(iter_id);
     if (actual == kInf) continue;  // exhausted iterator
     if (actual > sched_dist + 1e-12) {
@@ -312,7 +397,7 @@ SearchResult BackwardMISearcher::Search(
   maybe_release(true);
   if (result.answers.size() < options_.k) {
     size_t before = result.answers.size();
-    heap.Drain(options_.k, &result.answers);
+    MergedDrain(heaps, num_shards, options_.k, &result.answers);
     for (size_t i = before; i < result.answers.size(); ++i) {
       result.metrics.generated_times.push_back(result.answers[i].generated_at);
       result.metrics.output_times.push_back(timer.ElapsedSeconds());

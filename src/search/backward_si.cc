@@ -7,6 +7,8 @@
 #include "search/output_heap.h"
 #include "search/scoring.h"
 #include "search/search_context.h"
+#include "search/shard_team.h"
+#include "search/sharding.h"
 #include "search/tree_builder.h"
 #include "util/timer.h"
 
@@ -14,6 +16,10 @@ namespace banks {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Engage the shard team for the tight-bound scan only past this many
+// reached nodes per shard (scheduling choice only; values identical).
+constexpr size_t kMinScanEntriesPerShard = 2048;
 
 }  // namespace
 
@@ -27,8 +33,12 @@ SearchResult BackwardSISearcher::Search(
     if (s.empty()) return result;
   }
 
+  const uint32_t num_shards = std::max<uint32_t>(1, options_.shard_count);
+  const ShardPlan plan{num_shards, graph_.num_nodes()};
+  ShardRuntime runtime(num_shards, options_.shard_pool);
+
   SearchContext& ctx = *context;
-  ctx.BeginQuery(n);
+  ctx.BeginQuery(n, num_shards);
 
   // reach_maps[i] maps node → best path to the nearest origin of keyword
   // i (BackwardReach records, pooled flat tables in the context).
@@ -36,23 +46,41 @@ SearchResult BackwardSISearcher::Search(
   auto reach = [&](size_t i) -> FlatHashMap<NodeId, BackwardReach>& {
     return ctx.reach_maps[i];
   };
-  // Shared frontier: (dist, node, keyword), smallest distance first
-  // ("its backward iterator is prioritized only by distance", §4.6).
-  // Pooled min-heap storage on the context, driven by push/pop_heap —
-  // byte-compatible with the std::priority_queue it replaces.
+  // Shared frontier: (dist, node, keyword), smallest first under a
+  // *lexicographic* order ("its backward iterator is prioritized only by
+  // distance", §4.6 — the node/keyword tie-break never changes which
+  // distance pops, it pins WHICH entry does, so the frontier can be
+  // sharded by NodeId range: the argmin over per-shard heap fronts is
+  // the exact entry a single heap would pop). Pooled per-shard min-heap
+  // storage on the context, driven by push/pop_heap.
   using QE = SearchContext::SIFrontierEntry;
-  std::vector<QE>& frontier = ctx.si_frontier;
-  auto frontier_greater = [](const QE& a, const QE& b) {
-    return a.dist > b.dist;
+  std::vector<std::vector<QE>>& frontier = ctx.si_frontier;
+  auto qe_after = [](const QE& a, const QE& b) {
+    if (a.dist != b.dist) return a.dist > b.dist;
+    if (a.node != b.node) return a.node > b.node;
+    return a.keyword > b.keyword;
   };
   auto frontier_push = [&](QE e) {
-    frontier.push_back(e);
-    std::push_heap(frontier.begin(), frontier.end(), frontier_greater);
+    std::vector<QE>& shard = frontier[plan.ShardOf(e.node)];
+    shard.push_back(e);
+    std::push_heap(shard.begin(), shard.end(), qe_after);
   };
-  auto frontier_pop = [&]() -> QE {
-    std::pop_heap(frontier.begin(), frontier.end(), frontier_greater);
-    QE top = frontier.back();
-    frontier.pop_back();
+  // Shard whose front is the global minimum entry, or -1 when empty.
+  auto best_shard = [&]() -> int {
+    int best = -1;
+    for (uint32_t p = 0; p < num_shards; ++p) {
+      if (frontier[p].empty()) continue;
+      if (best < 0 || qe_after(frontier[best].front(), frontier[p].front())) {
+        best = static_cast<int>(p);
+      }
+    }
+    return best;
+  };
+  auto frontier_pop = [&](uint32_t p) -> QE {
+    std::vector<QE>& shard = frontier[p];
+    std::pop_heap(shard.begin(), shard.end(), qe_after);
+    QE top = shard.back();
+    shard.pop_back();
     return top;
   };
 
@@ -61,7 +89,8 @@ SearchResult BackwardSISearcher::Search(
   // covered-count table for this algorithm).
   FlatHashMap<NodeId, uint32_t>& covered = ctx.node_index;
 
-  OutputHeap& heap = ctx.output_heap;
+  // Signature-sharded output buffers, merged at every release check.
+  OutputHeap* heaps = ctx.output_heaps.data();
   uint64_t steps = 0;
   uint64_t last_progress = 0;  // last step the best pending answer changed
   double last_top = -1;        // champion score being aged
@@ -116,9 +145,10 @@ SearchResult BackwardSISearcher::Search(
     const uint32_t* cit = covered.Find(v);
     if (cit == nullptr || *cit < n) return;
     if (!build_tree(v) || !ctx.answer_scratch.IsMinimalRooted()) return;
-    if (heap.InsertCopy(ctx.answer_scratch)) {
+    uint64_t sig = ctx.answer_scratch.Signature(&ctx.sig_scratch);
+    if (heaps[sig % num_shards].InsertCopy(ctx.answer_scratch, sig)) {
       result.metrics.answers_generated++;
-      double top = heap.BestPendingScore();
+      double top = MergedBestPendingScore(heaps, num_shards);
       if (top > last_top + 1e-15) {
         last_top = top;
         last_progress = steps;
@@ -139,41 +169,69 @@ SearchResult BackwardSISearcher::Search(
     }
     if (!force && (steps % interval) != 0) return;
     // Coarse §4.5 bound: the global frontier minimum lower-bounds every
-    // m_i (the paper's "coarser approximation").
-    double m = frontier.empty() ? kInf : frontier.front().dist;
+    // m_i (the paper's "coarser approximation") — with shards, the min
+    // over the per-shard heap fronts.
+    double m = kInf;
+    for (uint32_t p = 0; p < num_shards; ++p) {
+      if (!frontier[p].empty()) m = std::min(m, frontier[p].front().dist);
+    }
     double h = m * static_cast<double>(n);
     size_t before = result.answers.size();
     if (options_.bound == BoundMode::kImmediate) {
-      heap.Drain(options_.k, &result.answers);
+      MergedDrain(heaps, num_shards, options_.k, &result.answers);
     } else if (options_.bound == BoundMode::kLoose) {
-      heap.ReleaseWithEdgeBound(h, options_.k, &result.answers);
+      MergedReleaseWithEdgeBound(heaps, num_shards, h, options_.k,
+                                 &result.answers);
       if (options_.release_patience &&
           steps - last_progress >= options_.release_patience &&
-          result.answers.size() < options_.k && heap.pending_count() > 0) {
+          result.answers.size() < options_.k &&
+          MergedPendingCount(heaps, num_shards) > 0) {
         // Staleness drip: the champion has been unbeaten for a while;
         // release a batch of the best pending answers.
-        heap.ReleaseBest(std::max<size_t>(1, options_.k / 8), options_.k,
-                         &result.answers);
+        MergedReleaseBest(heaps, num_shards,
+                          std::max<size_t>(1, options_.k / 8), options_.k,
+                          &result.answers);
       }
     } else {
       // NRA-style (§4.5): partially reached nodes may complete each
-      // missing keyword at cost m.
-      double best_potential = h;
-      for (const auto& entry : covered) {
-        double pot = 0;
-        for (uint32_t i = 0; i < n; ++i) {
-          const BackwardReach* it = reach(i).Find(entry.key);
-          double d = (it == nullptr) ? kInf : it->dist;
-          pot += std::min(d, m);
+      // missing keyword at cost m. Pure min-reduction over the dense
+      // covered entries: shard workers scan contiguous slices.
+      const size_t num_entries = covered.size();
+      auto scan_slice = [&](size_t begin, size_t end) -> double {
+        double best = kInf;
+        for (size_t e = begin; e < end; ++e) {
+          const NodeId v = (covered.begin() + e)->key;
+          double pot = 0;
+          for (uint32_t i = 0; i < n; ++i) {
+            const BackwardReach* it = reach(i).Find(v);
+            double d = (it == nullptr) ? kInf : it->dist;
+            pot += std::min(d, m);
+          }
+          best = std::min(best, pot);
         }
-        best_potential = std::min(best_potential, pot);
+        return best;
+      };
+      double best_potential = h;
+      if (runtime.Engage(num_entries, kMinScanEntriesPerShard)) {
+        ctx.nra_partial.assign(num_shards, kInf);
+        runtime.Run([&](uint32_t shard) {
+          size_t begin = num_entries * shard / num_shards;
+          size_t end = num_entries * (shard + 1) / num_shards;
+          ctx.nra_partial[shard] = scan_slice(begin, end);
+        });
+        for (double p : ctx.nra_partial) {
+          best_potential = std::min(best_potential, p);
+        }
+      } else {
+        best_potential = std::min(best_potential, scan_slice(0, num_entries));
       }
       double ub = ScoreUpperBound(best_potential, 1.0, options_.lambda);
-      heap.ReleaseWithScoreBound(ub - 1e-12, options_.k, &result.answers);
+      MergedReleaseWithScoreBound(heaps, num_shards, ub - 1e-12, options_.k,
+                                  &result.answers);
     }
     if (result.answers.size() != before) {
       last_progress = steps;
-      last_top = heap.BestPendingScore();
+      last_top = MergedBestPendingScore(heaps, num_shards);
     }
     for (size_t i = before; i < result.answers.size(); ++i) {
       result.metrics.generated_times.push_back(result.answers[i].generated_at);
@@ -181,7 +239,9 @@ SearchResult BackwardSISearcher::Search(
     }
   };
 
-  while (!frontier.empty() && result.answers.size() < options_.k) {
+  for (;;) {
+    int p = best_shard();
+    if (p < 0 || result.answers.size() >= options_.k) break;
     if (options_.max_nodes_explored &&
         result.metrics.nodes_explored >= options_.max_nodes_explored) {
       result.metrics.budget_exhausted = true;
@@ -192,7 +252,7 @@ SearchResult BackwardSISearcher::Search(
       result.metrics.budget_exhausted = true;
       break;
     }
-    QE top = frontier_pop();
+    QE top = frontier_pop(static_cast<uint32_t>(p));
     BackwardReach& r = reach(top.keyword)[top.node];
     if (r.settled || top.dist > r.dist + 1e-12) continue;  // stale entry
     r.settled = true;
@@ -233,7 +293,7 @@ SearchResult BackwardSISearcher::Search(
   maybe_release(true);
   if (result.answers.size() < options_.k) {
     size_t before = result.answers.size();
-    heap.Drain(options_.k, &result.answers);
+    MergedDrain(heaps, num_shards, options_.k, &result.answers);
     for (size_t i = before; i < result.answers.size(); ++i) {
       result.metrics.generated_times.push_back(result.answers[i].generated_at);
       result.metrics.output_times.push_back(timer.ElapsedSeconds());

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
 #include "search/output_heap.h"
 #include "search/scoring.h"
 #include "search/search_context.h"
+#include "search/shard_team.h"
+#include "search/sharding.h"
 #include "search/tree_builder.h"
 #include "util/indexed_heap.h"
 #include "util/timer.h"
@@ -23,6 +26,22 @@ constexpr uint8_t kEdgeRecorded = 1;   // parent/child lists + dist relax done
 constexpr uint8_t kSpreadBackward = 2; // activation spread v→u done
 constexpr uint8_t kSpreadForward = 4;  // activation spread u→v done
 
+// Outcome of one parallel candidate build (materialization batch). The
+// sequential accept pass replays the guards of the one-at-a-time
+// materialize in this order: improvement pre-check (kSkip = failed),
+// watermark (sequential only — it depends on earlier accepts), then
+// last_eraw commit, then the build outcome.
+constexpr uint8_t kCandSkip = 0;       // eraw does not improve the root
+constexpr uint8_t kCandWalkFail = 1;   // stale sp chain; commit eraw only
+constexpr uint8_t kCandBuildFail = 2;  // union build / minimality failed
+constexpr uint8_t kCandReady = 3;      // tree staged in cand_trees
+
+// Engage the shard team only when a phase has enough work to amortize
+// the wake-up barrier. Purely a scheduling choice: the same values are
+// computed either way.
+constexpr size_t kMinCandidatesPerShard = 2;
+constexpr size_t kMinScanStatesPerShard = 2048;
+
 }  // namespace
 
 SearchResult BidirectionalSearcher::Search(
@@ -35,13 +54,25 @@ SearchResult BidirectionalSearcher::Search(
     if (s.empty()) return result;
   }
 
+  // ---- Sharding plan ------------------------------------------------------
+  // The frontier (queues, node→state maps, §4.5 minima, output buffers)
+  // is partitioned into NodeId ranges. Expansion order is a strict total
+  // order — activation, then NodeId — so the argmax over per-shard heap
+  // tops is the same node a single heap would pop, and every shard count
+  // (including 1, the sequential path) runs the identical search.
+  const uint32_t num_shards = std::max<uint32_t>(1, options_.shard_count);
+  const ShardPlan plan{num_shards, graph_.num_nodes()};
+  ShardRuntime runtime(num_shards, options_.shard_pool);
+
   // ---- State storage (pooled in the reusable context) ---------------------
   // Per-state bookkeeping is structure-of-arrays: parallel flat vectors
   // indexed by state index. The explore loop below only ever touches the
   // arrays it reads — popping a node reads node/depth/flags without
-  // dragging the materialization bookkeeping through the cache.
+  // dragging the materialization bookkeeping through the cache. State
+  // indices are global (discovery order); only the frontier structures
+  // are per-shard.
   SearchContext& ctx = *context;
-  ctx.BeginQuery(n);
+  ctx.BeginQuery(n, num_shards);
   std::vector<NodeId>& node_of = ctx.node;
   std::vector<uint32_t>& depth_of = ctx.depth;
   std::vector<uint8_t>& flags_of = ctx.state_flags;
@@ -52,7 +83,7 @@ SearchResult BidirectionalSearcher::Search(
   std::vector<double>& act_sum = ctx.act_sum;  // per-state total (queue key)
 
   auto get_state = [&](NodeId v, uint32_t depth) -> uint32_t {
-    uint32_t& slot = ctx.node_index[v];
+    uint32_t& slot = ctx.node_shard_index[plan.ShardOf(v)][v];
     if (slot != 0) return slot - 1;  // stored index + 1; 0 means new
     uint32_t idx = static_cast<uint32_t>(node_of.size());
     slot = idx + 1;
@@ -77,14 +108,26 @@ SearchResult BidirectionalSearcher::Search(
   auto a_at = [&](uint32_t s, uint32_t i) -> double& { return act[s * n + i]; };
 
   // ---- Queues and frontier bookkeeping -----------------------------------
-  IndexedHeap<double>& qin = ctx.qin;    // max-heap on total activation
-  IndexedHeap<double>& qout = ctx.qout;  // max-heap on total activation
-  // Per-keyword min-dist over frontier states (for the §4.5 bound m_i).
+  // One heap per shard; a state lives in the heaps of the shard owning
+  // its NodeId. Priorities carry (activation, NodeId) so the cross-shard
+  // argmax below is total-order exact.
+  std::vector<IndexedHeap<ActPriority>>& qin = ctx.qin;
+  std::vector<IndexedHeap<ActPriority>>& qout = ctx.qout;
+  // Per (shard, keyword) min-dist over frontier states (§4.5 bound m_i:
+  // reduced min across shards).
   std::vector<IndexedHeap<double, std::greater<double>>>& min_dist =
       ctx.min_dist;
-  // Min-depth over each queue (fallback bound when no distance is known).
-  IndexedHeap<uint32_t, std::greater<uint32_t>>& qin_depth = ctx.qin_depth;
-  IndexedHeap<uint32_t, std::greater<uint32_t>>& qout_depth = ctx.qout_depth;
+  // Min-depth over each queue shard (fallback bound when no distance is
+  // known).
+  std::vector<IndexedHeap<uint32_t, std::greater<uint32_t>>>& qin_depth =
+      ctx.qin_depth;
+  std::vector<IndexedHeap<uint32_t, std::greater<uint32_t>>>& qout_depth =
+      ctx.qout_depth;
+
+  auto shard_of_state = [&](uint32_t s) { return plan.ShardOf(node_of[s]); };
+  auto pri_of = [&](uint32_t s) {
+    return ActPriority{act_sum[s], node_of[s]};
+  };
 
   // Query-invariant aggregate, precomputed at graph build time (§4.5
   // depth floor); recomputing it here would scan every edge per query.
@@ -97,25 +140,29 @@ SearchResult BidirectionalSearcher::Search(
   const bool track_frontier_minima = options_.bound == BoundMode::kTight;
   auto frontier_dist_update = [&](uint32_t s, uint32_t i) {
     if (!track_frontier_minima) return;
-    if (qin.Contains(s) || qout.Contains(s)) {
-      if (d_at(s, i) != kInf) min_dist[i].Update(s, d_at(s, i));
+    const uint32_t p = shard_of_state(s);
+    if (qin[p].Contains(s) || qout[p].Contains(s)) {
+      if (d_at(s, i) != kInf) min_dist[p * n + i].Update(s, d_at(s, i));
     }
   };
   auto frontier_enter = [&](uint32_t s) {
     if (!track_frontier_minima) return;
+    const uint32_t p = shard_of_state(s);
     for (uint32_t i = 0; i < n; ++i) {
-      if (d_at(s, i) != kInf) min_dist[i].Update(s, d_at(s, i));
+      if (d_at(s, i) != kInf) min_dist[p * n + i].Update(s, d_at(s, i));
     }
   };
   auto frontier_leave = [&](uint32_t s) {
     if (!track_frontier_minima) return;
-    if (qin.Contains(s) || qout.Contains(s)) return;  // still a frontier node
+    const uint32_t p = shard_of_state(s);
+    if (qin[p].Contains(s) || qout[p].Contains(s)) return;  // still frontier
     for (uint32_t i = 0; i < n; ++i) {
-      if (min_dist[i].Contains(s)) min_dist[i].Erase(s);
+      if (min_dist[p * n + i].Contains(s)) min_dist[p * n + i].Erase(s);
     }
   };
 
-  OutputHeap& heap = ctx.output_heap;
+  // Signature-sharded output buffers, merged at every release check.
+  OutputHeap* heaps = ctx.output_heaps.data();
   uint64_t steps = 0;
   uint64_t last_progress = 0;  // last step the best pending answer changed
   double last_top = -1;        // champion score being aged
@@ -163,17 +210,24 @@ SearchResult BidirectionalSearcher::Search(
     }
   };
 
-  auto materialize = [&](uint32_t s) {
+  // Builds the candidate tree for marked root `s` into *scratch's pooled
+  // buffers and stages it in ctx.cand_trees[j]. Pure reads of the
+  // settled dist/sp/marked state — safe for concurrent shard workers —
+  // with all accept decisions deferred to the sequential pass below.
+  auto build_candidate = [&](size_t j, SearchContext* scratch) {
+    const uint32_t s = dirty_roots[j];
+    ctx.cand_state[j] = kCandSkip;
+    if (!is_complete(s)) return;
     double eraw = 0;
     for (uint32_t i = 0; i < n; ++i) eraw += d_at(s, i);
     if (eraw >= last_eraw[s] * 0.98 - 1e-12) return;
-    if (beyond_watermark(eraw)) return;
-    last_eraw[s] = eraw;
+    ctx.cand_eraw[j] = eraw;
 
-    std::vector<NodeId>& keyword_nodes = ctx.kw_scratch;
-    std::vector<AnswerEdge>& union_edges = ctx.union_edge_scratch;
+    std::vector<NodeId>& keyword_nodes = scratch->kw_scratch;
+    std::vector<AnswerEdge>& union_edges = scratch->union_edge_scratch;
     keyword_nodes.assign(n, kInvalidNode);
     union_edges.clear();
+    ctx.cand_state[j] = kCandWalkFail;
     for (uint32_t i = 0; i < n; ++i) {
       uint32_t cur = s;
       size_t guard = 0;
@@ -188,9 +242,10 @@ SearchResult BidirectionalSearcher::Search(
       if (d_at(cur, i) != 0) return;  // broken chain; skip
       keyword_nodes[i] = node_of[cur];
     }
-    AnswerTree& tree = ctx.answer_scratch;
+    AnswerTree& tree = scratch->answer_scratch;
+    ctx.cand_state[j] = kCandBuildFail;
     if (!BuildAnswerFromPathUnion(node_of[s], keyword_nodes, union_edges,
-                                  &ctx.tree_scratch, &tree) ||
+                                  &scratch->tree_scratch, &tree) ||
         !tree.IsMinimalRooted()) {
       return;
     }
@@ -198,26 +253,58 @@ SearchResult BidirectionalSearcher::Search(
     tree.generated_at = ctx.marked_time[s];
     tree.explored_at_generation = ctx.marked_explored[s];
     tree.touched_at_generation = ctx.marked_touched[s];
-    if (heap.InsertCopy(tree)) {
-      result.metrics.answers_generated++;
-      best_eraws.push_back(eraw);
-      std::push_heap(best_eraws.begin(), best_eraws.end());
-      if (best_eraws.size() > options_.k) {
-        std::pop_heap(best_eraws.begin(), best_eraws.end());
-        best_eraws.pop_back();
-      }
-      double top = heap.BestPendingScore();
-      if (top > last_top + 1e-15) {
-        last_top = top;
-        last_progress = steps;
-      }
-    }
+    ctx.cand_trees[j] = tree;  // copy-assign into the recycled slot
+    ctx.cand_state[j] = kCandReady;
   };
 
+  // Two-phase materialization: shard workers build the batch's candidate
+  // trees in parallel (the expensive union-Dijkstra + scoring), then the
+  // coordinator replays acceptance — watermark, last_eraw commit,
+  // duplicate suppression, metrics — sequentially in mark order. The
+  // outcome is byte-identical to materializing each root on arrival.
   auto materialize_dirty = [&] {
-    for (uint32_t s : dirty_roots) {
+    const size_t batch = dirty_roots.size();
+    if (batch == 0) return;
+    if (ctx.cand_trees.size() < batch) ctx.cand_trees.resize(batch);
+    ctx.cand_state.assign(batch, kCandSkip);
+    ctx.cand_eraw.assign(batch, kInf);
+    if (runtime.Engage(batch, kMinCandidatesPerShard)) {
+      runtime.PrepareWorkerScratch();
+      runtime.Run([&](uint32_t shard) {
+        SearchContext* scratch =
+            shard == 0 ? &ctx : runtime.WorkerScratch(shard);
+        for (size_t j = shard; j < batch; j += num_shards) {
+          build_candidate(j, scratch);
+        }
+      });
+    } else {
+      for (size_t j = 0; j < batch; ++j) build_candidate(j, &ctx);
+    }
+
+    for (size_t j = 0; j < batch; ++j) {
+      const uint32_t s = dirty_roots[j];
       flags_of[s] &= static_cast<uint8_t>(~kStateDirty);
-      if (is_complete(s)) materialize(s);
+      if (ctx.cand_state[j] == kCandSkip) continue;
+      const double eraw = ctx.cand_eraw[j];
+      if (beyond_watermark(eraw)) continue;
+      last_eraw[s] = eraw;
+      if (ctx.cand_state[j] != kCandReady) continue;
+      AnswerTree& tree = ctx.cand_trees[j];
+      uint64_t sig = tree.Signature(&ctx.sig_scratch);
+      if (heaps[sig % num_shards].InsertCopy(tree, sig)) {
+        result.metrics.answers_generated++;
+        best_eraws.push_back(eraw);
+        std::push_heap(best_eraws.begin(), best_eraws.end());
+        if (best_eraws.size() > options_.k) {
+          std::pop_heap(best_eraws.begin(), best_eraws.end());
+          best_eraws.pop_back();
+        }
+        double top = MergedBestPendingScore(heaps, num_shards);
+        if (top > last_top + 1e-15) {
+          last_top = top;
+          last_progress = steps;
+        }
+      }
     }
     dirty_roots.clear();
   };
@@ -249,8 +336,9 @@ SearchResult BidirectionalSearcher::Search(
 
   // ---- Activate: best-first propagation of activation increases (§4.3) ---
   auto queue_priority_update = [&](uint32_t s) {
-    if (qin.Contains(s)) qin.Update(s, act_sum[s]);
-    if (qout.Contains(s)) qout.Update(s, act_sum[s]);
+    const uint32_t p = shard_of_state(s);
+    if (qin[p].Contains(s)) qin[p].Update(s, pri_of(s));
+    if (qout[p].Contains(s)) qout[p].Update(s, pri_of(s));
   };
 
   auto raise_activation = [&](uint32_t s, uint32_t i, double value) -> bool {
@@ -372,21 +460,38 @@ SearchResult BidirectionalSearcher::Search(
     double total = 0;
     for (uint32_t i = 0; i < n; ++i) total += a_at(s, i);
     act_sum[s] = total;
-    qin.Push(s, act_sum[s]);
-    qin_depth.Push(s, depth_of[s]);
+    const uint32_t p = shard_of_state(s);
+    qin[p].Push(s, pri_of(s));
+    qin_depth[p].Push(s, depth_of[s]);
     result.metrics.nodes_touched++;
     frontier_enter(s);
   }
 
   // ---- §4.5 release bound -------------------------------------------------
+  // Both floors are reductions across shards: min over the per-shard
+  // frontier-minimum heaps, min over the per-shard depth heaps.
   auto keyword_floor = [&](uint32_t i) -> double {
     double m = kInf;
-    if (!min_dist[i].empty()) m = min_dist[i].TopPriority();
+    for (uint32_t p = 0; p < num_shards; ++p) {
+      if (!min_dist[p * n + i].empty()) {
+        m = std::min(m, min_dist[p * n + i].TopPriority());
+      }
+    }
+    uint32_t best_in_depth = UINT32_MAX;
+    uint32_t best_out_depth = UINT32_MAX;
+    for (uint32_t p = 0; p < num_shards; ++p) {
+      if (!qin_depth[p].empty()) {
+        best_in_depth = std::min(best_in_depth, qin_depth[p].TopPriority());
+      }
+      if (!qout_depth[p].empty()) {
+        best_out_depth = std::min(best_out_depth, qout_depth[p].TopPriority());
+      }
+    }
     double depth_floor = kInf;
-    if (!qin_depth.empty()) {
-      depth_floor = (qin_depth.TopPriority() + 1) * min_edge_weight;
-    } else if (!qout_depth.empty()) {
-      depth_floor = (qout_depth.TopPriority() + 1) * min_edge_weight;
+    if (best_in_depth != UINT32_MAX) {
+      depth_floor = (best_in_depth + 1) * min_edge_weight;
+    } else if (best_out_depth != UINT32_MAX) {
+      depth_floor = (best_out_depth + 1) * min_edge_weight;
     }
     return std::min(m, depth_floor);
   };
@@ -409,36 +514,61 @@ SearchResult BidirectionalSearcher::Search(
     }
     size_t before = result.answers.size();
     if (options_.bound == BoundMode::kImmediate) {
-      heap.Drain(options_.k, &result.answers);
+      MergedDrain(heaps, num_shards, options_.k, &result.answers);
     } else if (options_.bound == BoundMode::kLoose) {
-      heap.ReleaseWithEdgeBound(h, options_.k, &result.answers);
+      MergedReleaseWithEdgeBound(heaps, num_shards, h, options_.k,
+                                 &result.answers);
       if (options_.release_patience &&
           steps - last_progress >= options_.release_patience &&
-          result.answers.size() < options_.k && heap.pending_count() > 0) {
+          result.answers.size() < options_.k &&
+          MergedPendingCount(heaps, num_shards) > 0) {
         // Staleness drip: the champion has been unbeaten for a while;
         // release a batch of the best pending answers.
-        heap.ReleaseBest(std::max<size_t>(1, options_.k / 8), options_.k,
-                         &result.answers);
+        MergedReleaseBest(heaps, num_shards,
+                          std::max<size_t>(1, options_.k / 8), options_.k,
+                          &result.answers);
       }
     } else {
       // NRA-style: unseen roots are bounded by h; every partially seen
-      // node may complete with m_i for its missing keywords.
+      // node may complete with m_i for its missing keywords. The scan
+      // over the flat state slab is a pure min-reduction, so each shard
+      // worker takes a contiguous slice of the state range.
       double best_potential_eraw = h;
-      double ub = ScoreUpperBound(h, 1.0, options_.lambda);
-      for (uint32_t s = 0; s < node_of.size(); ++s) {
-        double pot = 0;
-        for (uint32_t i = 0; i < n; ++i) {
-          pot += std::min(d_at(s, i), m[i]);
+      const size_t num_states = node_of.size();
+      auto scan_slice = [&](size_t begin, size_t end) -> double {
+        double best = kInf;
+        for (size_t s = begin; s < end; ++s) {
+          double pot = 0;
+          for (uint32_t i = 0; i < n; ++i) {
+            pot += std::min(dist[s * n + i], m[i]);
+          }
+          best = std::min(best, pot);
         }
-        best_potential_eraw = std::min(best_potential_eraw, pot);
+        return best;
+      };
+      if (runtime.Engage(num_states, kMinScanStatesPerShard)) {
+        ctx.nra_partial.assign(num_shards, kInf);
+        runtime.Run([&](uint32_t shard) {
+          size_t begin = num_states * shard / num_shards;
+          size_t end = num_states * (shard + 1) / num_shards;
+          ctx.nra_partial[shard] = scan_slice(begin, end);
+        });
+        for (double p : ctx.nra_partial) {
+          best_potential_eraw = std::min(best_potential_eraw, p);
+        }
+      } else {
+        best_potential_eraw =
+            std::min(best_potential_eraw, scan_slice(0, num_states));
       }
+      double ub = ScoreUpperBound(h, 1.0, options_.lambda);
       ub = std::max(
           ub, ScoreUpperBound(best_potential_eraw, 1.0, options_.lambda));
-      heap.ReleaseWithScoreBound(ub - 1e-12, options_.k, &result.answers);
+      MergedReleaseWithScoreBound(heaps, num_shards, ub - 1e-12, options_.k,
+                                  &result.answers);
     }
     if (result.answers.size() != before) {
       last_progress = steps;
-      last_top = heap.BestPendingScore();
+      last_top = MergedBestPendingScore(heaps, num_shards);
     }
     for (size_t i = before; i < result.answers.size(); ++i) {
       result.metrics.generated_times.push_back(result.answers[i].generated_at);
@@ -447,8 +577,29 @@ SearchResult BidirectionalSearcher::Search(
   };
 
   // ---- Main loop (Figure 3 lines 4–23) ------------------------------------
-  while ((!qin.empty() || !qout.empty()) &&
-         result.answers.size() < options_.k) {
+  // The pop is the argmax over the per-shard heap tops under the
+  // (activation, NodeId) total order; on an exact tie between the best
+  // Q_in and Q_out tops — only possible when one node is in both — Q_in
+  // wins, as in the unsharded algorithm.
+  for (;;) {
+    int best_in = -1;
+    int best_out = -1;
+    ActPriority in_top;
+    ActPriority out_top;
+    for (uint32_t p = 0; p < num_shards; ++p) {
+      if (!qin[p].empty() &&
+          (best_in < 0 || in_top < qin[p].TopPriority())) {
+        best_in = static_cast<int>(p);
+        in_top = qin[p].TopPriority();
+      }
+      if (!qout[p].empty() &&
+          (best_out < 0 || out_top < qout[p].TopPriority())) {
+        best_out = static_cast<int>(p);
+        out_top = qout[p].TopPriority();
+      }
+    }
+    if (best_in < 0 && best_out < 0) break;
+    if (result.answers.size() >= options_.k) break;
     if (options_.max_nodes_explored &&
         result.metrics.nodes_explored >= options_.max_nodes_explored) {
       result.metrics.budget_exhausted = true;
@@ -460,20 +611,15 @@ SearchResult BidirectionalSearcher::Search(
       break;
     }
 
-    bool take_in;
-    if (qin.empty()) {
-      take_in = false;
-    } else if (qout.empty()) {
-      take_in = true;
-    } else {
-      take_in = qin.TopPriority() >= qout.TopPriority();  // tie → Q_in
-    }
+    const bool take_in =
+        best_out < 0 || (best_in >= 0 && !(in_top < out_top));  // tie → Q_in
 
     // NOTE: get_state() may reallocate the per-state arrays; never hold a
     // reference into them across it — copy what we need into locals.
     if (take_in) {
-      uint32_t v = qin.Pop();
-      if (qin_depth.Contains(v)) qin_depth.Erase(v);
+      const uint32_t vp = static_cast<uint32_t>(best_in);
+      uint32_t v = qin[vp].Pop();
+      if (qin_depth[vp].Contains(v)) qin_depth[vp].Erase(v);
       frontier_leave(v);
       flags_of[v] |= kStatePoppedIn;
       const NodeId v_node = node_of[v];
@@ -486,9 +632,10 @@ SearchResult BidirectionalSearcher::Search(
           if (!EdgeAllowed(e)) continue;
           uint32_t u = get_state(e.other, v_depth + 1);
           explore_edge(u, v, e.weight, /*incoming_context=*/true);
-          if (!(flags_of[u] & kStatePoppedIn) && !qin.Contains(u)) {
-            qin.Push(u, act_sum[u]);
-            qin_depth.Push(u, depth_of[u]);
+          const uint32_t up = shard_of_state(u);
+          if (!(flags_of[u] & kStatePoppedIn) && !qin[up].Contains(u)) {
+            qin[up].Push(u, pri_of(u));
+            qin_depth[up].Push(u, depth_of[u]);
             result.metrics.nodes_touched++;
             frontier_enter(u);
           }
@@ -496,14 +643,15 @@ SearchResult BidirectionalSearcher::Search(
       }
       if (!(flags_of[v] & kStateEverInQout)) {
         flags_of[v] |= kStateEverInQout;
-        qout.Push(v, act_sum[v]);
-        qout_depth.Push(v, v_depth);
+        qout[vp].Push(v, pri_of(v));
+        qout_depth[vp].Push(v, v_depth);
         result.metrics.nodes_touched++;
         frontier_enter(v);
       }
     } else {
-      uint32_t u = qout.Pop();
-      if (qout_depth.Contains(u)) qout_depth.Erase(u);
+      const uint32_t up = static_cast<uint32_t>(best_out);
+      uint32_t u = qout[up].Pop();
+      if (qout_depth[up].Contains(u)) qout_depth[up].Erase(u);
       frontier_leave(u);
       flags_of[u] |= kStatePoppedOut;
       const NodeId u_node = node_of[u];
@@ -516,10 +664,11 @@ SearchResult BidirectionalSearcher::Search(
           if (!EdgeAllowed(e)) continue;
           uint32_t v = get_state(e.other, u_depth + 1);
           explore_edge(u, v, e.weight, /*incoming_context=*/false);
+          const uint32_t vp = shard_of_state(v);
           if (!(flags_of[v] & kStateEverInQout)) {
             flags_of[v] |= kStateEverInQout;
-            qout.Push(v, act_sum[v]);
-            qout_depth.Push(v, depth_of[v]);
+            qout[vp].Push(v, pri_of(v));
+            qout_depth[vp].Push(v, depth_of[v]);
             result.metrics.nodes_touched++;
             frontier_enter(v);
           }
@@ -532,7 +681,7 @@ SearchResult BidirectionalSearcher::Search(
   maybe_release(true);
   if (result.answers.size() < options_.k) {
     size_t before = result.answers.size();
-    heap.Drain(options_.k, &result.answers);
+    MergedDrain(heaps, num_shards, options_.k, &result.answers);
     for (size_t i = before; i < result.answers.size(); ++i) {
       result.metrics.generated_times.push_back(result.answers[i].generated_at);
       result.metrics.output_times.push_back(timer.ElapsedSeconds());

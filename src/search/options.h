@@ -6,6 +6,8 @@
 
 namespace banks {
 
+class SearchContextPool;
+
 /// How per-keyword activation received over multiple edges is combined
 /// (§4.3): kMax reflects shortest-path tree scoring (paper default);
 /// kSum rewards confluence of many paths and powers the "near queries"
@@ -69,6 +71,24 @@ struct SearchOptions {
   /// degenerating into full-graph exploration. The §5.7 recall/precision
   /// harness validates that ordering quality survives. 0 disables.
   uint64_t release_patience = 512;
+
+  /// Shards of the intra-query frontier: the per-node search state
+  /// (Q_in/Q_out heaps, NodeId→state maps, §4.5 frontier-minimum heaps,
+  /// output buffers) is partitioned into this many NodeId ranges, and
+  /// the search's batched phases — candidate-tree materialization and
+  /// the release-bound scans — run one slice per worker thread. 1 (the
+  /// default) is the sequential path. Any shard count returns identical
+  /// answers and deterministic metrics: expansion follows a strict
+  /// total order (activation, then NodeId), so partitioning can never
+  /// reorder the search. 0 is treated as 1.
+  uint32_t shard_count = 1;
+
+  /// Scratch pool for shard worker threads (shard_count > 1): each
+  /// worker leases a SearchContext for its tree-building scratch.
+  /// Non-owning; null falls back to a per-query internal pool, which is
+  /// correct but cold — callers running query streams should share one
+  /// pool so worker scratch stays warm.
+  SearchContextPool* shard_pool = nullptr;
 };
 
 }  // namespace banks

@@ -8,13 +8,13 @@ void OutputHeap::Reset() {
   index_.Clear();
   used_ = 0;  // slots_ keeps its records (and their vector capacity)
   pending_count_ = 0;
-  release_scratch_.clear();
+  merge_scratch_.clear();
+  taken_sigs_.clear();
   cached_best_ = -1;
   cache_valid_ = true;
 }
 
-OutputHeap::Record* OutputHeap::Accept(const AnswerTree& tree) {
-  uint64_t sig = tree.Signature(&sig_scratch_);
+OutputHeap::Record* OutputHeap::Accept(const AnswerTree& tree, uint64_t sig) {
   const size_t before = index_.size();
   uint32_t& slot = index_[sig];
   if (index_.size() != before) {  // fresh signature this query
@@ -42,14 +42,18 @@ OutputHeap::Record* OutputHeap::Accept(const AnswerTree& tree) {
 }
 
 bool OutputHeap::Insert(AnswerTree tree) {
-  Record* rec = Accept(tree);
+  Record* rec = Accept(tree, tree.Signature(&sig_scratch_));
   if (rec == nullptr) return false;
   rec->tree = std::move(tree);
   return true;
 }
 
 bool OutputHeap::InsertCopy(const AnswerTree& tree) {
-  Record* rec = Accept(tree);
+  return InsertCopy(tree, tree.Signature(&sig_scratch_));
+}
+
+bool OutputHeap::InsertCopy(const AnswerTree& tree, uint64_t sig) {
+  Record* rec = Accept(tree, sig);
   if (rec == nullptr) return false;
   rec->tree = tree;  // copy-assign reuses the slot's vector capacity
   return true;
@@ -67,56 +71,139 @@ double OutputHeap::BestPendingScore() const {
   return pending_count_ == 0 ? -1 : cached_best_;
 }
 
-void OutputHeap::ReleaseIf(size_t limit, std::vector<AnswerTree>* out,
-                           bool (*releasable)(const AnswerTree&, double),
-                           double arg) {
-  std::vector<uint32_t>& picks = release_scratch_;
-  picks.clear();
+void OutputHeap::CollectReleasable(bool (*releasable)(const AnswerTree&,
+                                                      double),
+                                   double arg, uint32_t heap_tag,
+                                   std::vector<MergedPick>* out) const {
   for (uint32_t i = 0; i < used_; ++i) {
     if (slots_[i].released) continue;
-    if (releasable(slots_[i].tree, arg)) picks.push_back(i);
+    if (releasable(slots_[i].tree, arg)) {
+      out->push_back(MergedPick{slots_[i].score, slots_[i].sig, heap_tag, i});
+    }
   }
-  std::sort(picks.begin(), picks.end(), [&](uint32_t a, uint32_t b) {
-    const Record& ra = slots_[a];
-    const Record& rb = slots_[b];
-    if (ra.score != rb.score) return ra.score > rb.score;
-    return ra.sig < rb.sig;  // deterministic tie-break
-  });
-  for (uint32_t i : picks) {
-    if (out->size() >= limit) break;
-    Record& rec = slots_[i];
-    rec.released = true;
-    out->push_back(std::move(rec.tree));
-    pending_count_--;
-    cache_valid_ = false;
+}
+
+AnswerTree OutputHeap::TakeSlot(uint32_t slot) {
+  Record& rec = slots_[slot];
+  rec.released = true;
+  pending_count_--;
+  cache_valid_ = false;
+  return std::move(rec.tree);
+}
+
+void OutputHeap::DiscardSlot(uint32_t slot) {
+  Record& rec = slots_[slot];
+  rec.released = true;
+  pending_count_--;
+  cache_valid_ = false;
+}
+
+/// The shared release core: collects the releasable records of every
+/// heap, orders them globally by the canonical (score desc, sig asc)
+/// release order — heap tag as a final tie-break, reachable only for a
+/// cross-heap duplicate signature — and releases until `limit`. This is
+/// the single release path: the per-heap Release* members call it with
+/// count == 1, so "merging N shard heaps" and "one heap" are literally
+/// the same code ordering the same keys.
+void MergedReleaseIf(OutputHeap* heaps, size_t count,
+                     bool (*releasable)(const AnswerTree&, double), double arg,
+                     size_t limit, std::vector<AnswerTree>* out) {
+  using MergedPick = OutputHeap::MergedPick;
+  std::vector<MergedPick>& picks = heaps[0].merge_scratch_;
+  picks.clear();
+  for (uint32_t h = 0; h < count; ++h) {
+    heaps[h].CollectReleasable(releasable, arg, h, &picks);
+  }
+  std::sort(picks.begin(), picks.end(),
+            [](const MergedPick& a, const MergedPick& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.sig != b.sig) return a.sig < b.sig;
+              return a.heap < b.heap;
+            });
+  std::vector<uint64_t>& taken = heaps[0].taken_sigs_;
+  taken.clear();
+  for (const MergedPick& pick : picks) {
+    if (count > 1 &&
+        std::find(taken.begin(), taken.end(), pick.sig) != taken.end()) {
+      // A lower-scored copy of a signature already released this merge:
+      // a single heap would have rejected it at insert time. Discarded
+      // even once the limit is reached — otherwise the loser would
+      // survive as pending and be emitted by a later release.
+      heaps[pick.heap].DiscardSlot(pick.slot);
+      continue;
+    }
+    if (out->size() >= limit) {
+      if (count == 1) break;  // nothing left to do without dedup
+      continue;               // keep scanning for duplicates of taken sigs
+    }
+    out->push_back(heaps[pick.heap].TakeSlot(pick.slot));
+    if (count > 1) taken.push_back(pick.sig);
   }
 }
 
 void OutputHeap::ReleaseWithScoreBound(double bound, size_t limit,
                                        std::vector<AnswerTree>* out) {
-  ReleaseIf(
-      limit, out,
-      [](const AnswerTree& t, double b) { return t.score >= b; }, bound);
+  MergedReleaseWithScoreBound(this, 1, bound, limit, out);
 }
 
 void OutputHeap::ReleaseWithEdgeBound(double max_eraw, size_t limit,
                                       std::vector<AnswerTree>* out) {
-  ReleaseIf(
-      limit, out,
-      [](const AnswerTree& t, double b) { return t.edge_score_raw <= b; },
-      max_eraw);
+  MergedReleaseWithEdgeBound(this, 1, max_eraw, limit, out);
 }
 
 void OutputHeap::ReleaseBest(size_t count, size_t limit,
                              std::vector<AnswerTree>* out) {
-  size_t capped = std::min(limit, out->size() + count);
-  ReleaseIf(
-      capped, out, [](const AnswerTree&, double) { return true; }, 0);
+  MergedReleaseBest(this, 1, count, limit, out);
 }
 
 void OutputHeap::Drain(size_t limit, std::vector<AnswerTree>* out) {
-  ReleaseIf(
-      limit, out, [](const AnswerTree&, double) { return true; }, 0);
+  MergedDrain(this, 1, limit, out);
+}
+
+void MergedReleaseWithScoreBound(OutputHeap* heaps, size_t count, double bound,
+                                 size_t limit, std::vector<AnswerTree>* out) {
+  MergedReleaseIf(
+      heaps, count,
+      [](const AnswerTree& t, double b) { return t.score >= b; }, bound,
+      limit, out);
+}
+
+void MergedReleaseWithEdgeBound(OutputHeap* heaps, size_t count,
+                                double max_eraw, size_t limit,
+                                std::vector<AnswerTree>* out) {
+  MergedReleaseIf(
+      heaps, count,
+      [](const AnswerTree& t, double b) { return t.edge_score_raw <= b; },
+      max_eraw, limit, out);
+}
+
+void MergedReleaseBest(OutputHeap* heaps, size_t count, size_t release_count,
+                       size_t limit, std::vector<AnswerTree>* out) {
+  size_t capped = std::min(limit, out->size() + release_count);
+  MergedReleaseIf(
+      heaps, count, [](const AnswerTree&, double) { return true; }, 0,
+      capped, out);
+}
+
+void MergedDrain(OutputHeap* heaps, size_t count, size_t limit,
+                 std::vector<AnswerTree>* out) {
+  MergedReleaseIf(
+      heaps, count, [](const AnswerTree&, double) { return true; }, 0, limit,
+      out);
+}
+
+size_t MergedPendingCount(const OutputHeap* heaps, size_t count) {
+  size_t total = 0;
+  for (size_t h = 0; h < count; ++h) total += heaps[h].pending_count();
+  return total;
+}
+
+double MergedBestPendingScore(const OutputHeap* heaps, size_t count) {
+  double best = -1;
+  for (size_t h = 0; h < count; ++h) {
+    best = std::max(best, heaps[h].BestPendingScore());
+  }
+  return best;
 }
 
 }  // namespace banks

@@ -1,11 +1,22 @@
 #include "search/search_context.h"
 
+#include <algorithm>
+
 namespace banks {
 
-void SearchContext::BeginQuery(size_t num_keywords) {
+void SearchContext::BeginQuery(size_t num_keywords, uint32_t shard_count) {
   ++queries_started_;
+  active_shards_ = std::max<uint32_t>(1, shard_count);
 
   node_index.Clear();
+  // Sharded pools grow to the largest (shard_count, keywords) seen and
+  // never shrink; every existing slot is cleared — not just the first
+  // active_shards_ — so no stale state can leak into a later query run
+  // at a higher shard count.
+  if (node_shard_index.size() < active_shards_) {
+    node_shard_index.resize(active_shards_);
+  }
+  for (auto& m : node_shard_index) m.Clear();
 
   node.clear();
   depth.clear();
@@ -23,11 +34,16 @@ void SearchContext::BeginQuery(size_t num_keywords) {
   act_sum.clear();
   edge_lists.Clear();
   edge_flags.Clear();
-  qin.Clear();
-  qout.Clear();
-  qin_depth.Clear();
-  qout_depth.Clear();
-  if (min_dist.size() < num_keywords) min_dist.resize(num_keywords);
+  if (qin.size() < active_shards_) qin.resize(active_shards_);
+  if (qout.size() < active_shards_) qout.resize(active_shards_);
+  if (qin_depth.size() < active_shards_) qin_depth.resize(active_shards_);
+  if (qout_depth.size() < active_shards_) qout_depth.resize(active_shards_);
+  for (auto& h : qin) h.Clear();
+  for (auto& h : qout) h.Clear();
+  for (auto& h : qin_depth) h.Clear();
+  for (auto& h : qout_depth) h.Clear();
+  const size_t min_dist_slots = active_shards_ * num_keywords;
+  if (min_dist.size() < min_dist_slots) min_dist.resize(min_dist_slots);
   for (auto& h : min_dist) h.Clear();
   dirty_roots.clear();
   best_eraws.clear();
@@ -38,18 +54,28 @@ void SearchContext::BeginQuery(size_t num_keywords) {
   while (!activate_queue.empty()) activate_queue.pop();
   bound_scratch.clear();
 
-  output_heap.Reset();
+  if (output_heaps.size() < active_shards_) output_heaps.resize(active_shards_);
+  for (auto& h : output_heaps) h.Reset();
   kw_scratch.clear();
   union_edge_scratch.clear();
   uniq_scratch.clear();
+  // cand_trees keeps its slots (their vectors' capacity is recycled by
+  // the next batch's copy-assignments); cand_state/cand_eraw are sized
+  // per batch by the searcher.
+  cand_state.clear();
+  cand_eraw.clear();
+  nra_partial.clear();
+  shard_minima.clear();
 
   for (auto& m : reach_maps) m.Clear();
   frontiers.Clear();
   iter_keyword.clear();
   iter_origin.clear();
-  scheduler.clear();
+  if (scheduler.size() < active_shards_) scheduler.resize(active_shards_);
+  for (auto& s : scheduler) s.clear();
   id_scratch.clear();
-  si_frontier.clear();
+  if (si_frontier.size() < active_shards_) si_frontier.resize(active_shards_);
+  for (auto& s : si_frontier) s.clear();
   visit_dist.clear();
   visit_iter.clear();
   visit_covered.clear();

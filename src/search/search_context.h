@@ -11,6 +11,7 @@
 #include "search/answer.h"
 #include "search/flat_hash.h"
 #include "search/output_heap.h"
+#include "search/sharding.h"
 #include "search/tree_builder.h"
 #include "util/indexed_heap.h"
 
@@ -156,13 +157,21 @@ class FrontierPool {
 /// vectors indexed by state index (node ids, depths, packed flag bytes,
 /// materialization bookkeeping, explored-edge list refs), matching the
 /// layout of the per-keyword dist/sp/act pools. The hot explore loop
-/// touches only the arrays it actually reads, and per-shard workers
-/// slicing states by index range never false-share a record.
+/// touches only the arrays it actually reads, and shard workers scanning
+/// states by contiguous index range never false-share a record.
+///
+/// Frontier structures are sharded (SearchOptions::shard_count): the
+/// queue heaps, per-shard NodeId→state maps, §4.5 frontier-minimum heaps
+/// and output buffers are vectors with one element per shard, of which
+/// the first `active_shards()` are live for the current query. A context
+/// warmed at one shard count serves any other without reallocation of
+/// the shared pools (only never-before-used shard slots start cold).
 ///
 /// A context is scratch space, not a result: it carries no information
 /// across queries other than capacity, and a query run through a warm
 /// context returns byte-identical answers to one run through a fresh
-/// context. Not thread-safe; use one context per thread.
+/// context. Not thread-safe; use one context per thread — shard workers
+/// get their own leased contexts for scratch and only read this one.
 class SearchContext {
  public:
   using ScoredState = std::pair<double, uint32_t>;
@@ -178,9 +187,13 @@ class SearchContext {
   SearchContext(const SearchContext&) = delete;
   SearchContext& operator=(const SearchContext&) = delete;
 
-  /// Resets all pools for a query over `num_keywords` keywords. O(live
-  /// state of the previous query), allocation-free once pools are warm.
-  void BeginQuery(size_t num_keywords);
+  /// Resets all pools for a query over `num_keywords` keywords with the
+  /// frontier split into `shard_count` NodeId ranges. O(live state of
+  /// the previous query), allocation-free once pools are warm.
+  void BeginQuery(size_t num_keywords, uint32_t shard_count = 1);
+
+  /// Shard count of the current query (set by BeginQuery; >= 1).
+  uint32_t active_shards() const { return active_shards_; }
 
   /// Number of BeginQuery calls, i.e. queries served (diagnostics).
   uint64_t queries_started() const { return queries_started_; }
@@ -195,10 +208,17 @@ class SearchContext {
   size_t num_states() const { return node.size(); }
 
   // ---- Shared: node → dense index -----------------------------------------
-  // Bidirectional: NodeId → state index into the per-state arrays.
   // Backward MI:   NodeId → visit index into the visit_* pools.
   // Backward SI:   NodeId → count of keywords with a finite distance.
+  // (Bidirectional keeps its NodeId→state maps per shard, below.)
   FlatHashMap<NodeId, uint32_t> node_index;
+
+  // Bidirectional: NodeId → state index + 1 into the per-state arrays,
+  // one map per shard — a node is looked up only in the map of the
+  // shard owning its NodeId range. State indices stay global (assigned
+  // in discovery order, which the canonical expansion order makes
+  // layout-independent), so every flat per-state array below is shared.
+  std::vector<FlatHashMap<NodeId, uint32_t>> node_shard_index;
 
   // ---- Bidirectional per-state arrays (SoA, parallel) ---------------------
   std::vector<NodeId> node;        // state → discovered node id
@@ -222,13 +242,20 @@ class SearchContext {
   EdgeListPool edge_lists;      // P_u / C_u arena
   // (su << 32 | sv) → explored-edge flags.
   FlatHashMap<uint64_t, uint8_t> edge_flags;
-  IndexedHeap<double> qin;   // max-heap on total activation
-  IndexedHeap<double> qout;  // max-heap on total activation
-  // Per-keyword min-dist over frontier states (§4.5 tight bound m_i).
+  // Sharded frontiers: element p holds the states whose NodeId falls in
+  // shard p's range, keyed by global state index with an ActPriority
+  // (activation, NodeId) total order — the next pop is the argmax over
+  // the <= shard_count heap tops, which the total order makes identical
+  // to a single global heap's pop at any shard count.
+  std::vector<IndexedHeap<ActPriority>> qin;
+  std::vector<IndexedHeap<ActPriority>> qout;
+  // Per (shard, keyword) min-dist over frontier states; the §4.5 tight
+  // bound m_i reduces min over the shard heaps at index p*n + i.
   std::vector<IndexedHeap<double, std::greater<double>>> min_dist;
-  // Min-depth over each queue (fallback bound when no distance known).
-  IndexedHeap<uint32_t, std::greater<uint32_t>> qin_depth;
-  IndexedHeap<uint32_t, std::greater<uint32_t>> qout_depth;
+  // Min-depth over each queue shard (fallback bound when no distance
+  // known); the depth floor reduces min across shards.
+  std::vector<IndexedHeap<uint32_t, std::greater<uint32_t>>> qin_depth;
+  std::vector<IndexedHeap<uint32_t, std::greater<uint32_t>>> qout_depth;
   std::vector<uint32_t> dirty_roots;  // completed, awaiting materialization
   // Max-heap (push_heap/pop_heap) of the k smallest generated eraws:
   // the top-k watermark that prunes late completions.
@@ -241,19 +268,40 @@ class SearchContext {
   std::vector<double> bound_scratch;  // per-keyword m_i in release checks
 
   // ---- Answer buffering / materialization ---------------------------------
-  // The §4.3 output buffer, pooled: its signature tables and release
-  // scratch keep their capacity across queries.
-  OutputHeap output_heap;
+  // The §4.3 output buffer, sharded by answer signature (sig mod
+  // shard_count): a signature deterministically owns one shard-local
+  // heap, so duplicate suppression is exact without cross-shard
+  // coordination, and the release checks merge the per-shard heaps
+  // (MergedRelease*). Pooled: signature tables and release scratch keep
+  // their capacity across queries. Element 0 is the whole buffer when
+  // unsharded.
+  std::vector<OutputHeap> output_heaps;
   // Union-Dijkstra scratch of BuildAnswerFromPathUnion.
   TreeBuilderScratch tree_scratch;
   // Candidate tree, rebuilt in place per materialization; the output
   // heap copies it only on accept (OutputHeap::InsertCopy), so rejected
   // duplicates never allocate.
   AnswerTree answer_scratch;
+  // Signature scratch for routing candidates to their output shard.
+  AnswerTree::SignatureScratch sig_scratch;
   // Per-materialization path-union scratch (keyword nodes + edges).
   std::vector<NodeId> kw_scratch;
   std::vector<AnswerEdge> union_edge_scratch;
   std::vector<NodeId> uniq_scratch;  // per-keyword origin dedup at seeding
+  // Staging slots of the two-phase materialization batch: shard workers
+  // build candidate trees for the marked roots in parallel (pure reads
+  // of the settled dist/sp state into these recycled slots), then the
+  // coordinator replays the accept decisions — watermark, duplicate
+  // suppression, metrics — sequentially in mark order, so the batch is
+  // byte-identical to materializing one root at a time.
+  std::vector<AnswerTree> cand_trees;   // never shrinks; capacity recycled
+  std::vector<uint8_t> cand_state;      // per-root build outcome (kCand*)
+  std::vector<double> cand_eraw;        // per-root raw edge score
+  // Per-shard partial results of the batched reduction phases: the
+  // §4.5 NRA scan minima (one slot per shard) and MI's per-(shard,
+  // keyword) frontier minima (shard*n + i).
+  std::vector<double> nra_partial;
+  std::vector<double> shard_minima;
 
   // ---- Backward MI / SI pools ---------------------------------------------
   // One Dijkstra reach map per MI iterator / SI keyword.
@@ -263,11 +311,15 @@ class SearchContext {
   // MI iterator records, SoA: keyword and origin per iterator.
   std::vector<uint32_t> iter_keyword;
   std::vector<NodeId> iter_origin;
-  // MI global scheduler: (peek dist, iter idx) min-heap storage.
-  std::vector<ScoredState> scheduler;
+  // MI scheduler, sharded by iterator origin NodeId range: (peek dist,
+  // iter idx) min-heap storage per shard; the next step is the argmin
+  // over shard tops (the pair order is already total, so sharding never
+  // reorders the schedule).
+  std::vector<std::vector<ScoredState>> scheduler;
   std::vector<uint32_t> id_scratch;  // MI emit: chosen iterator per keyword
-  // SI shared frontier: (dist, node, keyword) min-heap storage.
-  std::vector<SIFrontierEntry> si_frontier;
+  // SI shared frontier, sharded by NodeId range: (dist, node, keyword)
+  // min-heap storage per shard under a lexicographic total order.
+  std::vector<std::vector<SIFrontierEntry>> si_frontier;
   // MI visit records in flat pools: best dist/iterator per keyword
   // (visit_index * n + keyword) and per-visit covered-keyword count.
   std::vector<double> visit_dist;
@@ -276,6 +328,7 @@ class SearchContext {
 
  private:
   uint64_t queries_started_ = 0;
+  uint32_t active_shards_ = 1;
 };
 
 }  // namespace banks

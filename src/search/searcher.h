@@ -51,6 +51,12 @@ class Searcher {
   /// shared by concurrent callers as long as each brings its own
   /// SearchContext (Engine::QueryBatch shares one searcher across its
   /// worker threads this way).
+  ///
+  /// With SearchOptions::shard_count > 1 the search shards its frontier
+  /// by NodeId range and runs its batched phases on worker threads
+  /// (scratch leased from SearchOptions::shard_pool); results are
+  /// byte-identical to shard_count = 1 — expansion follows a strict
+  /// total order that partitioning cannot change.
   virtual SearchResult Search(const std::vector<std::vector<NodeId>>& origins,
                               SearchContext* context) const = 0;
 

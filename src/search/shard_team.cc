@@ -1,0 +1,107 @@
+#include "search/shard_team.h"
+
+namespace banks {
+
+ShardTeam::ShardTeam(uint32_t shards) : shards_(shards == 0 ? 1 : shards) {
+  workers_.reserve(shards_ - 1);
+  for (uint32_t w = 1; w < shards_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ShardTeam::~ShardTeam() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ShardTeam::WorkerLoop(uint32_t shard) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(uint32_t)>* job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    try {
+      (*job)(shard);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!failure_) failure_ = std::current_exception();
+    }
+    bool last;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      last = --outstanding_ == 0;
+    }
+    if (last) done_cv_.notify_one();
+  }
+}
+
+void ShardTeam::Run(const std::function<void(uint32_t)>& fn) {
+  if (shards_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    outstanding_ = shards_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  try {
+    fn(0);  // the coordinator is shard 0
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!failure_) failure_ = std::current_exception();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+  job_ = nullptr;
+  if (failure_) {
+    std::exception_ptr f = failure_;
+    failure_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(f);
+  }
+}
+
+ShardRuntime::ShardRuntime(uint32_t shards, SearchContextPool* pool)
+    : shards_(shards == 0 ? 1 : shards), pool_(pool) {}
+
+bool ShardRuntime::Engage(size_t work_items, size_t min_per_shard) {
+  return shards_ > 1 && work_items >= min_per_shard * shards_;
+}
+
+void ShardRuntime::Run(const std::function<void(uint32_t)>& fn) {
+  if (shards_ == 1) {
+    fn(0);
+    return;
+  }
+  if (!team_) team_ = std::make_unique<ShardTeam>(shards_);
+  team_->Run(fn);
+}
+
+void ShardRuntime::PrepareWorkerScratch() {
+  if (shards_ == 1 || !leases_.empty()) return;
+  if (pool_ == nullptr) {
+    local_pool_ = std::make_unique<SearchContextPool>();
+    pool_ = local_pool_.get();
+  }
+  leases_.resize(shards_ - 1);
+  for (SearchContextPool::Lease& lease : leases_) lease = pool_->Acquire();
+}
+
+SearchContext* ShardRuntime::WorkerScratch(uint32_t shard) const {
+  if (shard == 0 || leases_.empty()) return nullptr;
+  return leases_[shard - 1].get();
+}
+
+}  // namespace banks

@@ -1,0 +1,112 @@
+#ifndef BANKS_SEARCH_SHARD_TEAM_H_
+#define BANKS_SEARCH_SHARD_TEAM_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "search/context_pool.h"
+
+namespace banks {
+
+/// Worker threads for one sharded query's parallel phases.
+///
+/// A team of `shards - 1` threads parks on a condition variable;
+/// `Run(fn)` wakes them, executes fn(shard) for every shard in
+/// [0, shards) — shard 0 on the calling thread — and returns once all
+/// shards completed (a full barrier, so phase writes happen-before the
+/// coordinator's next read). The coordinator-only sections of a search
+/// run while the team is parked, so a phase function may freely touch
+/// state the sequential sections also touch, as long as concurrent
+/// shards stay on their own slices.
+///
+/// An exception escaping any shard's fn is captured and rethrown from
+/// Run on the calling thread (first one wins; the barrier still
+/// completes).
+class ShardTeam {
+ public:
+  /// Spawns `shards - 1` parked workers. shards must be >= 1.
+  explicit ShardTeam(uint32_t shards);
+  ~ShardTeam();
+
+  ShardTeam(const ShardTeam&) = delete;
+  ShardTeam& operator=(const ShardTeam&) = delete;
+
+  uint32_t shards() const { return shards_; }
+
+  /// Executes fn(shard) for shard ∈ [0, shards()), in parallel, and
+  /// waits for all of them.
+  void Run(const std::function<void(uint32_t)>& fn);
+
+ private:
+  void WorkerLoop(uint32_t shard);
+
+  const uint32_t shards_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(uint32_t)>* job_ = nullptr;  // valid during a Run
+  uint64_t generation_ = 0;   // bumped per Run; workers wait for a new one
+  uint32_t outstanding_ = 0;  // workers still running the current job
+  bool stop_ = false;
+  std::exception_ptr failure_;
+  std::vector<std::thread> workers_;
+};
+
+/// Per-query execution state of a sharded search: the shard partition,
+/// a lazily-spawned ShardTeam, and per-worker scratch contexts leased
+/// from a SearchContextPool.
+///
+/// Thread spawn and lease checkout are deferred until a phase is big
+/// enough to engage the team (Engage), so a sharded query whose batches
+/// stay tiny costs nothing over the sequential path. Worker shard w >= 1
+/// draws its materialization scratch (tree builder, candidate tree,
+/// path-union buffers) from a pool lease; shard 0 is the coordinator and
+/// uses the query's own SearchContext. When the caller provides no pool
+/// (SearchOptions::shard_pool == nullptr) an internal per-query pool is
+/// used — correctness is unchanged, but the leases start cold, so
+/// streaming callers should share a pool across queries.
+class ShardRuntime {
+ public:
+  /// `pool` may be null (internal pool). `shards` >= 1.
+  ShardRuntime(uint32_t shards, SearchContextPool* pool);
+
+  uint32_t shards() const { return shards_; }
+
+  /// True when `work_items` justifies waking (and, first time, spawning)
+  /// the team: sharding enabled and at least `min_per_shard` items per
+  /// shard. Deterministic in the work size only — engaging or not never
+  /// changes results, just who computes them.
+  bool Engage(size_t work_items, size_t min_per_shard);
+
+  /// Runs fn(shard) across the team (spawning it on first use).
+  void Run(const std::function<void(uint32_t)>& fn);
+
+  /// Checks out one pool lease per worker shard (idempotent). Must be
+  /// called by the coordinator before a Run whose phase function uses
+  /// WorkerScratch — the leases are acquired here, on one thread, so
+  /// the phase itself only reads the lease table.
+  void PrepareWorkerScratch();
+
+  /// Leased scratch context for worker shard w >= 1 (prepared by
+  /// PrepareWorkerScratch; read-only here, safe from any shard).
+  /// Returns nullptr for shard 0: the coordinator owns the query
+  /// context and uses its scratch directly.
+  SearchContext* WorkerScratch(uint32_t shard) const;
+
+ private:
+  const uint32_t shards_;
+  SearchContextPool* pool_;
+  std::unique_ptr<SearchContextPool> local_pool_;  // when caller gave none
+  std::unique_ptr<ShardTeam> team_;
+  std::vector<SearchContextPool::Lease> leases_;  // [shard-1] for shard >= 1
+};
+
+}  // namespace banks
+
+#endif  // BANKS_SEARCH_SHARD_TEAM_H_

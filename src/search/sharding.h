@@ -1,0 +1,54 @@
+#ifndef BANKS_SEARCH_SHARDING_H_
+#define BANKS_SEARCH_SHARDING_H_
+
+#include <cstdint>
+
+#include "graph/types.h"
+
+namespace banks {
+
+/// Node-space partition of the sharded frontier: shard p owns the
+/// contiguous NodeId range [p*N/S, (p+1)*N/S). Every per-node frontier
+/// structure (Q_in/Q_out heaps, the NodeId→state maps, the per-keyword
+/// frontier-minimum heaps) is split along this partition, so one query's
+/// expansion state can be maintained — and its batched phases scanned —
+/// per shard without two shards ever touching the same node's slot.
+struct ShardPlan {
+  uint32_t count = 1;      // active shards (1 = unsharded)
+  uint64_t num_nodes = 0;  // graph size the ranges partition
+
+  uint32_t ShardOf(NodeId v) const {
+    // count == 1 short-circuits the division on the default path: this
+    // runs once per relaxed edge.
+    if (count == 1 || num_nodes == 0) return 0;
+    uint32_t s =
+        static_cast<uint32_t>(static_cast<uint64_t>(v) * count / num_nodes);
+    return s < count ? s : count - 1;  // ids beyond num_nodes clamp
+  }
+};
+
+/// Frontier priority of the Bidirectional Q_in/Q_out queues: activation
+/// first (the paper's prioritization), NodeId as a strict tie-break.
+///
+/// The tie-break is what makes the sharded frontier possible: with a
+/// strict *total* order, "the next node to expand" is a property of the
+/// frontier's contents alone, not of any heap's internal layout — so the
+/// argmax over per-shard heap tops pops exactly the node a single global
+/// heap would, and shard_count can never change the expansion sequence.
+struct ActPriority {
+  double act = 0;
+  NodeId node = kInvalidNode;
+
+  /// std::priority_queue convention: a < b means a pops *after* b.
+  /// Higher activation wins; equal activation falls to the smaller
+  /// NodeId. Incomparable duplicates cannot arise: a node is in a given
+  /// queue at most once.
+  friend bool operator<(const ActPriority& a, const ActPriority& b) {
+    if (a.act != b.act) return a.act < b.act;
+    return a.node > b.node;
+  }
+};
+
+}  // namespace banks
+
+#endif  // BANKS_SEARCH_SHARDING_H_

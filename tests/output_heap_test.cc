@@ -11,6 +11,7 @@
 #include "search/search_context.h"
 #include "search/searcher.h"
 #include "test_util.h"
+#include "util/rng.h"
 
 namespace banks {
 namespace {
@@ -201,6 +202,187 @@ TEST(FrontierPool, MixedQuerySizesOnOneContextStayCorrect) {
     for (size_t i = 0; i < s.answers.size(); ++i) {
       EXPECT_TRUE(SameAnswer(s.answers[i], ref_small.answers[i])) << i;
     }
+  }
+}
+
+// ---- Merged release over shard-local heaps --------------------------------
+// Property: inserting a set of trees into N heaps routed by signature
+// shard (sig mod N) and releasing through the Merged* functions is
+// indistinguishable — released sequences, pending counts, best pending
+// scores — from inserting the union into one heap and using its member
+// releases. This is the invariant the sharded searchers' release checks
+// stand on.
+
+/// Applies one release op to both the reference heap and the shard set.
+struct MergedFixture {
+  OutputHeap reference;
+  std::vector<OutputHeap> shards;
+  std::vector<AnswerTree> ref_out;
+  std::vector<AnswerTree> merged_out;
+
+  explicit MergedFixture(size_t n) : shards(n) {}
+
+  void Insert(const AnswerTree& t) {
+    uint64_t sig = t.Signature();
+    bool a = reference.InsertCopy(t, sig);
+    bool b = shards[sig % shards.size()].InsertCopy(t, sig);
+    EXPECT_EQ(a, b);
+  }
+
+  void ExpectAggregatesMatch() {
+    EXPECT_EQ(MergedPendingCount(shards.data(), shards.size()),
+              reference.pending_count());
+    EXPECT_EQ(MergedBestPendingScore(shards.data(), shards.size()),
+              reference.BestPendingScore());
+  }
+
+  void ExpectOutputsMatch() {
+    ASSERT_EQ(ref_out.size(), merged_out.size());
+    for (size_t i = 0; i < ref_out.size(); ++i) {
+      EXPECT_TRUE(SameAnswer(ref_out[i], merged_out[i])) << i;
+    }
+  }
+};
+
+TEST(OutputHeapMerge, ScriptedReleasesMatchSingleHeap) {
+  MergedFixture f(3);
+  for (NodeId r = 0; r < 20; ++r) {
+    f.Insert(ScoredTree(r, 0.03 * (r % 9) + 0.05, 18.0 - r));
+  }
+  // Duplicates across the script: worse and better rotations.
+  f.Insert(ScoredTree(4, 0.01, 30));
+  f.Insert(ScoredTree(4, 0.93, 2));
+  f.ExpectAggregatesMatch();
+
+  f.reference.ReleaseWithScoreBound(0.2, 7, &f.ref_out);
+  MergedReleaseWithScoreBound(f.shards.data(), f.shards.size(), 0.2, 7,
+                              &f.merged_out);
+  f.ExpectAggregatesMatch();
+  f.ExpectOutputsMatch();
+
+  f.reference.ReleaseWithEdgeBound(9.0, 12, &f.ref_out);
+  MergedReleaseWithEdgeBound(f.shards.data(), f.shards.size(), 9.0, 12,
+                             &f.merged_out);
+  f.ExpectAggregatesMatch();
+  f.ExpectOutputsMatch();
+
+  f.reference.ReleaseBest(3, 100, &f.ref_out);
+  MergedReleaseBest(f.shards.data(), f.shards.size(), 3, 100, &f.merged_out);
+  f.ExpectAggregatesMatch();
+  f.ExpectOutputsMatch();
+
+  // Late duplicate of a released signature: dropped on both sides.
+  f.Insert(ScoredTree(0, 0.99, 1));
+
+  f.reference.Drain(100, &f.ref_out);
+  MergedDrain(f.shards.data(), f.shards.size(), 100, &f.merged_out);
+  f.ExpectAggregatesMatch();
+  f.ExpectOutputsMatch();
+}
+
+TEST(OutputHeapMerge, FuzzedSequencesMatchSingleHeap) {
+  Rng rng(0xBA27C5);
+  for (size_t n : {2u, 3u, 5u, 8u}) {
+    for (int round = 0; round < 12; ++round) {
+      MergedFixture f(n);
+      size_t ops = 30 + rng.Below(40);
+      for (size_t op = 0; op < ops; ++op) {
+        switch (rng.Below(6)) {
+          case 0:
+          case 1:
+          case 2: {  // insert, small root space to force duplicates
+            NodeId root = static_cast<NodeId>(rng.Below(24));
+            double score = 0.01 * (1 + rng.Below(99));
+            double eraw = 0.5 * (1 + rng.Below(30));
+            f.Insert(ScoredTree(root, score, eraw));
+            break;
+          }
+          case 3: {
+            double bound = 0.01 * rng.Below(110);
+            size_t limit = f.ref_out.size() + rng.Below(6);
+            f.reference.ReleaseWithScoreBound(bound, limit, &f.ref_out);
+            MergedReleaseWithScoreBound(f.shards.data(), n, bound, limit,
+                                        &f.merged_out);
+            break;
+          }
+          case 4: {
+            double max_eraw = 0.5 * rng.Below(35);
+            size_t limit = f.ref_out.size() + rng.Below(6);
+            f.reference.ReleaseWithEdgeBound(max_eraw, limit, &f.ref_out);
+            MergedReleaseWithEdgeBound(f.shards.data(), n, max_eraw, limit,
+                                       &f.merged_out);
+            break;
+          }
+          case 5: {
+            size_t count = 1 + rng.Below(4);
+            f.reference.ReleaseBest(count, 1000, &f.ref_out);
+            MergedReleaseBest(f.shards.data(), n, count, 1000, &f.merged_out);
+            break;
+          }
+        }
+        f.ExpectAggregatesMatch();
+      }
+      f.reference.Drain(1000, &f.ref_out);
+      MergedDrain(f.shards.data(), n, 1000, &f.merged_out);
+      f.ExpectAggregatesMatch();
+      f.ExpectOutputsMatch();
+    }
+  }
+}
+
+TEST(OutputHeapMerge, LimitedReleaseStillDiscardsDuplicateOfTakenSig) {
+  // The winner of a duplicated signature is taken against a tight
+  // limit; the loser must be tombstoned in the same merge, not survive
+  // as pending to be emitted by a later release.
+  std::vector<OutputHeap> shards(2);
+  ASSERT_TRUE(shards[0].Insert(ScoredTree(7, 0.4, 5)));
+  ASSERT_TRUE(shards[1].Insert(ScoredTree(7, 0.9, 3)));
+  std::vector<AnswerTree> out;
+  MergedDrain(shards.data(), 2, /*limit=*/1, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].score, 0.9);
+  EXPECT_EQ(MergedPendingCount(shards.data(), 2), 0u);
+  std::vector<AnswerTree> later;
+  MergedDrain(shards.data(), 2, 100, &later);
+  EXPECT_TRUE(later.empty()) << "duplicate signature emitted twice";
+}
+
+TEST(OutputHeapMerge, CrossHeapDuplicateKeepsBestScore) {
+  // Two heaps that (against the searchers' routing invariant) both hold
+  // the same signature: the merged drain emits only the higher-scored
+  // copy, exactly as a single heap would have kept only it at insert.
+  std::vector<OutputHeap> shards(2);
+  ASSERT_TRUE(shards[0].Insert(ScoredTree(7, 0.4, 5)));
+  ASSERT_TRUE(shards[1].Insert(ScoredTree(7, 0.9, 3)));
+  ASSERT_TRUE(shards[0].Insert(ScoredTree(8, 0.2, 6)));
+  std::vector<AnswerTree> out;
+  MergedDrain(shards.data(), 2, 100, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].score, 0.9);  // best copy of sig(7)
+  EXPECT_EQ(out[1].score, 0.2);
+  // The losing copy was tombstoned, not left pending.
+  EXPECT_EQ(MergedPendingCount(shards.data(), 2), 0u);
+}
+
+TEST(OutputHeapMerge, SingleShardIsTheMemberPath) {
+  // count == 1 must behave exactly like the member calls (it is the
+  // member calls — they share one implementation).
+  OutputHeap a;
+  std::vector<OutputHeap> b(1);
+  for (NodeId r = 0; r < 10; ++r) {
+    AnswerTree t = ScoredTree(r, 0.1 * (r % 4), 10.0 - r);
+    a.InsertCopy(t);
+    b[0].InsertCopy(t);
+  }
+  std::vector<AnswerTree> out_a;
+  std::vector<AnswerTree> out_b;
+  a.ReleaseWithEdgeBound(7.0, 5, &out_a);
+  MergedReleaseWithEdgeBound(b.data(), 1, 7.0, 5, &out_b);
+  a.Drain(100, &out_a);
+  MergedDrain(b.data(), 1, 100, &out_b);
+  ASSERT_EQ(out_a.size(), out_b.size());
+  for (size_t i = 0; i < out_a.size(); ++i) {
+    EXPECT_TRUE(SameAnswer(out_a[i], out_b[i])) << i;
   }
 }
 

@@ -1,0 +1,350 @@
+// Differential & concurrency harness of the sharded frontier.
+//
+// The contract under test: SearchOptions::shard_count must never change
+// what a search computes — answers (every deterministic field, via
+// SameAnswer) and deterministic metrics are byte-identical to
+// shard_count = 1 for all three algorithms, at any shard count, on any
+// graph, warm or cold, from any number of concurrent callers. The
+// randomized differential sweep covers graphs × seeds × bounds × k; the
+// stress tests hammer one sharded query per thread from a shared
+// SearchContextPool and pin the PR-3 guarantee: once warm, the pool
+// stops growing.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "search/context_pool.h"
+#include "search/sharding.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace banks {
+namespace {
+
+constexpr uint32_t kShardCounts[] = {2, 4, 8};
+
+/// Deterministic-field equality of two runs: every answer SameAnswer and
+/// every order-determined metric equal. Timing values are excluded, but
+/// the *lengths* of the timing vectors are not — they count release
+/// events.
+void ExpectSameResults(const SearchResult& a, const SearchResult& b,
+                       const std::string& what) {
+  ASSERT_EQ(a.answers.size(), b.answers.size()) << what;
+  for (size_t i = 0; i < a.answers.size(); ++i) {
+    EXPECT_TRUE(SameAnswer(a.answers[i], b.answers[i]))
+        << what << ": answer " << i << " differs";
+  }
+  EXPECT_EQ(a.metrics.nodes_explored, b.metrics.nodes_explored) << what;
+  EXPECT_EQ(a.metrics.nodes_touched, b.metrics.nodes_touched) << what;
+  EXPECT_EQ(a.metrics.edges_relaxed, b.metrics.edges_relaxed) << what;
+  EXPECT_EQ(a.metrics.propagation_steps, b.metrics.propagation_steps) << what;
+  EXPECT_EQ(a.metrics.answers_generated, b.metrics.answers_generated) << what;
+  EXPECT_EQ(a.metrics.answers_output, b.metrics.answers_output) << what;
+  EXPECT_EQ(a.metrics.budget_exhausted, b.metrics.budget_exhausted) << what;
+  EXPECT_EQ(a.metrics.generated_times.size(), b.metrics.generated_times.size())
+      << what;
+  EXPECT_EQ(a.metrics.output_times.size(), b.metrics.output_times.size())
+      << what;
+}
+
+/// Runs `origins` on `graph` at shard_count 1 and every count in
+/// kShardCounts (sharing one worker-scratch pool) and asserts all runs
+/// identical.
+void ExpectShardInvariant(Algorithm algorithm, const Graph& graph,
+                          const std::vector<std::vector<NodeId>>& origins,
+                          SearchOptions options, const std::string& what) {
+  SearchContextPool pool;
+  options.shard_count = 1;
+  options.shard_pool = &pool;
+  SearchResult reference = testing::RunSearch(algorithm, graph, origins,
+                                              options);
+  for (uint32_t shards : kShardCounts) {
+    options.shard_count = shards;
+    SearchResult sharded = testing::RunSearch(algorithm, graph, origins,
+                                              options);
+    ExpectSameResults(reference, sharded,
+                      what + " shards=" + std::to_string(shards));
+  }
+}
+
+struct ShardCase {
+  Algorithm algorithm;
+  uint64_t seed;
+};
+
+class ShardedSearch : public ::testing::TestWithParam<ShardCase> {
+ protected:
+  void SetUp() override {
+    graph_ = testing::MakeRandomGraph(260, 1040, GetParam().seed);
+    // Derive deterministic origin sets from the seed (same scheme as the
+    // property sweep, different multiplier so the cases differ).
+    Rng rng(GetParam().seed * 6151 + 29);
+    size_t num_keywords = 2 + rng.Below(3);
+    origins_.resize(num_keywords);
+    for (auto& s : origins_) {
+      size_t count = 1 + rng.Below(10);
+      for (size_t i = 0; i < count; ++i) {
+        s.push_back(static_cast<NodeId>(rng.Below(graph_.num_nodes())));
+      }
+    }
+  }
+
+  Graph graph_;
+  std::vector<std::vector<NodeId>> origins_;
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ShardedSearch,
+    ::testing::ValuesIn([] {
+      std::vector<ShardCase> cases;
+      for (Algorithm a : {Algorithm::kBackwardMI, Algorithm::kBackwardSI,
+                          Algorithm::kBidirectional}) {
+        for (uint64_t seed = 1; seed <= 5; ++seed) {
+          cases.push_back(ShardCase{a, seed});
+        }
+      }
+      return cases;
+    }()),
+    [](const auto& info) {
+      std::string name = AlgorithmName(info.param.algorithm);
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name + "_seed" + std::to_string(info.param.seed);
+    });
+
+TEST_P(ShardedSearch, TightBoundDifferential) {
+  SearchOptions options;
+  options.bound = BoundMode::kTight;
+  ExpectShardInvariant(GetParam().algorithm, graph_, origins_, options,
+                       "tight");
+}
+
+TEST_P(ShardedSearch, LooseBoundDifferential) {
+  SearchOptions options;
+  options.bound = BoundMode::kLoose;
+  ExpectShardInvariant(GetParam().algorithm, graph_, origins_, options,
+                       "loose");
+}
+
+TEST_P(ShardedSearch, ImmediateBoundSmallK) {
+  SearchOptions options;
+  options.bound = BoundMode::kImmediate;
+  options.k = 3;
+  ExpectShardInvariant(GetParam().algorithm, graph_, origins_, options,
+                       "immediate k=3");
+}
+
+TEST_P(ShardedSearch, ExplorationBudgetDifferential) {
+  // Budgets make the result depend on the *exact* expansion prefix, so
+  // any shard-induced reordering would show immediately.
+  SearchOptions options;
+  options.bound = BoundMode::kLoose;
+  options.max_nodes_explored = 150;
+  ExpectShardInvariant(GetParam().algorithm, graph_, origins_, options,
+                       "budget");
+}
+
+class ShardedSearchEdgeCases
+    : public ::testing::TestWithParam<Algorithm> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, ShardedSearchEdgeCases,
+    ::testing::Values(Algorithm::kBackwardMI, Algorithm::kBackwardSI,
+                      Algorithm::kBidirectional),
+    [](const auto& info) {
+      std::string name = AlgorithmName(info.param);
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name;
+    });
+
+TEST_P(ShardedSearchEdgeCases, Fig4QueryAllShardCounts) {
+  testing::Fig4Graph fig = testing::MakeFig4Graph();
+  std::vector<std::vector<NodeId>> origins = {
+      fig.database_papers, {fig.james}, {fig.john}};
+  SearchOptions options;
+  options.bound = BoundMode::kTight;
+  ExpectShardInvariant(GetParam(), fig.graph, origins, options, "fig4");
+}
+
+TEST_P(ShardedSearchEdgeCases, UnmatchedKeywordIsEmptyAtAnyShardCount) {
+  Graph graph = testing::MakePathGraph(12);
+  std::vector<std::vector<NodeId>> origins = {{0, 3}, {}};
+  for (uint32_t shards : {1u, 2u, 8u}) {
+    SearchOptions options;
+    options.shard_count = shards;
+    SearchResult r = testing::RunSearch(GetParam(), graph, origins, options);
+    EXPECT_TRUE(r.answers.empty()) << shards;
+    EXPECT_EQ(r.metrics.nodes_explored, 0u) << shards;
+  }
+}
+
+TEST_P(ShardedSearchEdgeCases, EmptyQueryIsEmptyAtAnyShardCount) {
+  Graph graph = testing::MakePathGraph(6);
+  for (uint32_t shards : {1u, 4u}) {
+    SearchOptions options;
+    options.shard_count = shards;
+    SearchResult r = testing::RunSearch(GetParam(), graph, {}, options);
+    EXPECT_TRUE(r.answers.empty()) << shards;
+  }
+}
+
+TEST_P(ShardedSearchEdgeCases, SingleOriginSingleKeyword) {
+  Graph graph = testing::MakeStarGraph(24);
+  SearchOptions options;
+  ExpectShardInvariant(GetParam(), graph, {{5}}, options, "single-origin");
+}
+
+TEST_P(ShardedSearchEdgeCases, MoreShardsThanNodes) {
+  Graph graph = testing::MakePathGraph(3);
+  std::vector<std::vector<NodeId>> origins = {{0}, {2}};
+  SearchOptions options;
+  options.shard_count = 1;
+  SearchResult reference =
+      testing::RunSearch(GetParam(), graph, origins, options);
+  options.shard_count = 16;  // shards > nodes: most ranges are empty
+  SearchResult sharded =
+      testing::RunSearch(GetParam(), graph, origins, options);
+  ExpectSameResults(reference, sharded, "shards>nodes");
+  EXPECT_FALSE(reference.answers.empty());
+}
+
+TEST_P(ShardedSearchEdgeCases, WarmContextAlternatingShardCounts) {
+  // One warm context serves shard counts 4, 1, 8, 2 back to back; each
+  // run must match a fresh-context run at shard_count 1.
+  Graph graph = testing::MakeRandomGraph(180, 720, 11);
+  std::vector<std::vector<NodeId>> origins = {{3, 17, 40}, {9, 88}};
+  SearchOptions base;
+  base.bound = BoundMode::kTight;
+  std::vector<double> prestige;  // empty = uniform; outlives the searchers
+  SearchContext fresh;
+  auto searcher1 = CreateSearcher(GetParam(), graph, prestige, base);
+  SearchResult reference = searcher1->Search(origins, &fresh);
+
+  SearchContextPool pool;
+  SearchContext warm;
+  for (uint32_t shards : {4u, 1u, 8u, 2u}) {
+    SearchOptions options = base;
+    options.shard_count = shards;
+    options.shard_pool = &pool;
+    auto searcher = CreateSearcher(GetParam(), graph, prestige, options);
+    SearchResult r = searcher->Search(origins, &warm);
+    ExpectSameResults(reference, r,
+                      "warm alternating shards=" + std::to_string(shards));
+  }
+}
+
+TEST(ShardPlanTest, RangesPartitionTheNodeSpace) {
+  ShardPlan plan{4, 100};
+  uint32_t prev = 0;
+  for (NodeId v = 0; v < 100; ++v) {
+    uint32_t s = plan.ShardOf(v);
+    ASSERT_LT(s, 4u);
+    ASSERT_GE(s, prev) << "ranges must be contiguous and nondecreasing";
+    prev = s;
+  }
+  EXPECT_EQ(plan.ShardOf(0), 0u);
+  EXPECT_EQ(plan.ShardOf(99), 3u);
+  // Degenerate plans.
+  EXPECT_EQ((ShardPlan{1, 100}).ShardOf(42), 0u);
+  EXPECT_EQ((ShardPlan{8, 0}).ShardOf(0), 0u);
+  EXPECT_EQ((ShardPlan{3, 2}).ShardOf(1), 1u);
+}
+
+// ---- Concurrency stress ---------------------------------------------------
+// One sharded query per thread, worker scratch drawn from one shared
+// SearchContextPool. After a warm-up round the pool must stop growing
+// (the shard workers' scratch is recycled, extending the allocation-free
+// guarantee to sharded execution), and every thread's every round must
+// reproduce the sequential reference exactly.
+
+void StressSharedPool(Algorithm algorithm, uint32_t shards, size_t threads,
+                      size_t rounds, bool expect_engagement) {
+  Graph graph = testing::MakeRandomGraph(300, 1500, 23);
+  std::vector<std::vector<NodeId>> origins = {
+      {1, 30, 61, 92, 123}, {7, 77, 147}, {15, 155, 255}};
+  SearchOptions options;
+  options.bound = BoundMode::kTight;  // exercises the sliced NRA scan
+  options.k = 20;
+
+  std::vector<double> prestige;
+  auto reference_searcher = CreateSearcher(algorithm, graph, prestige,
+                                           options);
+  SearchResult reference = reference_searcher->Search(origins);
+
+  SearchContextPool pool;
+  options.shard_count = shards;
+  options.shard_pool = &pool;
+  auto searcher = CreateSearcher(algorithm, graph, prestige, options);
+
+  // Warm-up round: every thread runs once concurrently, growing the
+  // pool to its high-water mark.
+  std::atomic<size_t> mismatches{0};
+  auto run_round = [&](std::vector<SearchContext>* contexts) {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        SearchResult r = searcher->Search(origins, &(*contexts)[t]);
+        bool same = r.answers.size() == reference.answers.size();
+        for (size_t i = 0; same && i < r.answers.size(); ++i) {
+          same = SameAnswer(r.answers[i], reference.answers[i]);
+        }
+        if (!same || r.metrics.nodes_explored !=
+                         reference.metrics.nodes_explored) {
+          mismatches.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  };
+
+  std::vector<SearchContext> contexts(threads);
+  run_round(&contexts);
+  const size_t warm_size = pool.size();
+  if (expect_engagement) {
+    // This workload's materialization batches are big enough to engage
+    // the team (verified for Bidirectional): each query leases scratch
+    // for its shards - 1 workers, so the shared pool must have grown.
+    EXPECT_GE(warm_size, shards - 1)
+        << "shard team never engaged; the stress is not stressing";
+  }
+  // Worker scratch is only leased while a query runs, so between rounds
+  // everything is back in the pool.
+  EXPECT_EQ(pool.available(), pool.size());
+
+  for (size_t round = 1; round < rounds; ++round) run_round(&contexts);
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(pool.size(), warm_size)
+      << "pool grew after the warm-up round: shard workers are not "
+         "recycling their scratch";
+  // At most (shards - 1) leases per concurrently running query.
+  EXPECT_LE(pool.size(), threads * (shards - 1));
+}
+
+TEST(ShardedSearchStress, BidirectionalSharedPoolNoGrowthOnceWarm) {
+  StressSharedPool(Algorithm::kBidirectional, 2, 4, 5,
+                   /*expect_engagement=*/true);
+}
+
+TEST(ShardedSearchStress, BidirectionalFourShards) {
+  StressSharedPool(Algorithm::kBidirectional, 4, 3, 4,
+                   /*expect_engagement=*/true);
+}
+
+TEST(ShardedSearchStress, BackwardSISharedPool) {
+  // SI's workers never need build scratch on this graph size (only the
+  // bound scans parallelize), so no engagement floor is asserted.
+  StressSharedPool(Algorithm::kBackwardSI, 4, 3, 4,
+                   /*expect_engagement=*/false);
+}
+
+TEST(ShardedSearchStress, BackwardMISharedPool) {
+  StressSharedPool(Algorithm::kBackwardMI, 4, 3, 4,
+                   /*expect_engagement=*/false);
+}
+
+}  // namespace
+}  // namespace banks
