@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
   options.k = 5;
   options.bound = BoundMode::kLoose;
   options.max_nodes_explored = 2'000'000;
+  SearchContext context;  // warm scratch shared across the session
 
   std::string line;
   while (std::printf("query> "), std::fflush(stdout),
@@ -96,16 +97,25 @@ int main(int argc, char** argv) {
                   db.FindTable("paper")->RowText(0).c_str());
       continue;
     }
+    // Stream answers as the search releases them — the incremental UX
+    // the paper's web frontend describes (§4.5's buffer exists so
+    // answers can be emitted while the search is still running). Each
+    // answer prints with its own latency; the first one typically lands
+    // well before the search finishes. The shared context keeps every
+    // query after the first allocation-free.
     Timer timer;
-    SearchResult r = engine.QueryResolved(origins, algorithm, options);
-    std::printf("  %zu answers in %.1f ms (%llu nodes explored)\n\n",
-                r.answers.size(), timer.ElapsedMillis(),
-                static_cast<unsigned long long>(r.metrics.nodes_explored));
-    for (size_t i = 0; i < r.answers.size(); ++i) {
-      std::printf("-- answer %zu --\n%s", i + 1,
-                  engine.DescribeAnswer(r.answers[i]).c_str());
+    AnswerStream stream = engine.OpenQueryResolved(
+        std::move(origins), algorithm, options, StreamOptions{}, &context);
+    size_t count = 0;
+    while (auto answer = stream.Next()) {
+      std::printf("-- answer %zu  (+%.1f ms) --\n%s", ++count,
+                  timer.ElapsedMillis(),
+                  engine.DescribeAnswer(*answer).c_str());
     }
-    std::printf("\n");
+    std::printf("  %zu answers in %.1f ms total (%llu nodes explored)\n\n",
+                count, timer.ElapsedMillis(),
+                static_cast<unsigned long long>(
+                    stream.metrics().nodes_explored));
   }
   return 0;
 }

@@ -12,6 +12,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "text/tokenizer.h"
+
 namespace banks {
 
 Engine Engine::FromDatabase(const Database& db, const EngineOptions& options) {
@@ -44,9 +46,34 @@ SearchResult Engine::Query(const std::vector<std::string>& keywords,
 SearchResult Engine::QueryResolved(
     const std::vector<std::vector<NodeId>>& origins, Algorithm algorithm,
     const SearchOptions& options, SearchContext* context) const {
+  // A drained query is a stream pulled in one slice. The borrowed-origins
+  // stream form avoids copying the caller's origin sets: the stream dies
+  // inside this statement, well within `origins`' lifetime.
   auto searcher = CreateSearcher(algorithm, data_.graph, prestige_, options);
-  return context ? searcher->Search(origins, context)
-                 : searcher->Search(origins);
+  const Searcher* raw = searcher.get();
+  return AnswerStream(raw, {}, &origins, StreamOptions{}, context,
+                      std::move(searcher))
+      .Drain();
+}
+
+AnswerStream Engine::OpenQuery(const std::vector<std::string>& keywords,
+                               Algorithm algorithm,
+                               const SearchOptions& options,
+                               const StreamOptions& stream,
+                               SearchContext* context) const {
+  return OpenQueryResolved(Resolve(keywords), algorithm, options, stream,
+                           context);
+}
+
+AnswerStream Engine::OpenQueryResolved(std::vector<std::vector<NodeId>> origins,
+                                       Algorithm algorithm,
+                                       const SearchOptions& options,
+                                       const StreamOptions& stream,
+                                       SearchContext* context) const {
+  auto searcher = CreateSearcher(algorithm, data_.graph, prestige_, options);
+  const Searcher* raw = searcher.get();
+  return AnswerStream(raw, std::move(origins), nullptr, stream, context,
+                      std::move(searcher));
 }
 
 namespace {
@@ -93,12 +120,41 @@ BatchResult Engine::QueryBatch(const std::vector<BatchQuerySpec>& specs,
   // within the batch share the resolved origins. Owned resolutions live
   // in `resolved_storage` (unique_ptr for pointer stability); specs with
   // pre-resolved origins are referenced in place.
+  // ---- Answer-cache phase (calling thread) -----------------------------
+  // Keyword specs whose full query signature has a live cache entry are
+  // served before any resolution or search work; their on_answer replay
+  // happens here, sequentially, in stored release order.
+  std::vector<uint8_t> served(specs.size(), 0);
+  std::vector<std::string> cache_keys(specs.size());
+  if (batch.answer_cache != nullptr) {
+    std::vector<std::string> folded;
+    for (size_t i = 0; i < specs.size(); ++i) {
+      if (!specs[i].origins.empty()) continue;  // keyword specs only
+      folded.clear();
+      folded.reserve(specs[i].keywords.size());
+      for (const std::string& kw : specs[i].keywords) {
+        folded.push_back(Tokenizer::FoldKeyword(kw));
+      }
+      cache_keys[i] = AnswerCacheKey(algorithm, options, folded);
+      if (batch.answer_cache->Lookup(cache_keys[i], &out.results[i])) {
+        served[i] = 1;
+        ++out.answer_cache_hits;
+        if (batch.on_answer) {
+          for (const AnswerTree& answer : out.results[i].answers) {
+            batch.on_answer(i, answer);
+          }
+        }
+      }
+    }
+  }
+
   std::vector<const std::vector<std::vector<NodeId>>*> origins(specs.size());
   std::vector<std::unique_ptr<std::vector<std::vector<NodeId>>>>
       resolved_storage;
   std::unordered_map<std::string, const std::vector<std::vector<NodeId>>*>
       cache;
   for (size_t i = 0; i < specs.size(); ++i) {
+    if (served[i]) continue;
     if (!specs[i].origins.empty()) {
       origins[i] = &specs[i].origins;
       continue;
@@ -134,14 +190,42 @@ BatchResult Engine::QueryBatch(const std::vector<BatchQuerySpec>& specs,
   std::atomic<size_t> next{0};
   auto worker = [&]() {
     // Claim work before taking a lease: a worker that arrives after the
-    // batch is drained must not grow a caller-shared pool with a context
-    // that would never run a query.
+    // batch is drained (or finds only cache-served queries) must not
+    // grow a caller-shared pool with a context that would never run a
+    // query.
     size_t i = next.fetch_add(1, std::memory_order_relaxed);
+    while (i < specs.size() && served[i]) {
+      i = next.fetch_add(1, std::memory_order_relaxed);
+    }
     if (i >= specs.size()) return;
     SearchContextPool::Lease lease = pool->Acquire();
     for (; i < specs.size();
          i = next.fetch_add(1, std::memory_order_relaxed)) {
-      out.results[i] = searcher->Search(*origins[i], lease.get());
+      if (served[i]) continue;
+      if (!batch.on_answer) {
+        out.results[i] = searcher->Search(*origins[i], lease.get());
+        continue;
+      }
+      // Streaming delivery: pull the search one released answer at a
+      // time and fire the callback in release order. Pausing is
+      // behavior-neutral, so the final result is identical to the
+      // non-streaming run's.
+      SearchContext* context = lease.get();
+      context->stream.Reset();
+      size_t reported = 0;
+      for (;;) {
+        StepLimits limits;
+        limits.release_target = reported + 1;
+        SearchStatus status = searcher->Resume(*origins[i], context, limits);
+        const std::vector<AnswerTree>& released =
+            context->stream.result.answers;
+        for (; reported < released.size(); ++reported) {
+          batch.on_answer(i, released[reported]);
+        }
+        if (status == SearchStatus::kDone) break;
+      }
+      out.results[i] = std::move(context->stream.result);
+      context->stream.Reset();
     }
   };
 
@@ -164,6 +248,17 @@ BatchResult Engine::QueryBatch(const std::vector<BatchQuerySpec>& specs,
     }
     for (std::thread& t : threads) t.join();
     if (failure) std::rethrow_exception(failure);
+  }
+
+  // ---- Cache store ------------------------------------------------------
+  // Executed keyword queries feed the shared cache before the dedup hook
+  // below can filter their answers: the cache holds each query's own
+  // full result, exactly what a later standalone hit should serve.
+  if (batch.answer_cache != nullptr) {
+    for (size_t i = 0; i < specs.size(); ++i) {
+      if (served[i] || cache_keys[i].empty()) continue;
+      batch.answer_cache->Store(cache_keys[i], out.results[i]);
+    }
   }
 
   // ---- Aggregate + dedup hook ------------------------------------------

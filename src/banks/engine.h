@@ -5,8 +5,12 @@
 #include <string>
 #include <vector>
 
+#include <functional>
+
 #include "prestige/pagerank.h"
 #include "relational/graph_builder.h"
+#include "search/answer_cache.h"
+#include "search/answer_stream.h"
 #include "search/context_pool.h"
 #include "search/searcher.h"
 
@@ -46,6 +50,28 @@ struct BatchOptions {
   /// across calls reuse warm contexts. nullptr uses a batch-local pool
   /// (first batch pays the cold-context cost).
   SearchContextPool* pool = nullptr;
+
+  /// Streaming delivery: when set, invoked for every answer of every
+  /// query *in release order* while its search is still running
+  /// (query_index is the spec's input position; the reference is only
+  /// valid during the call). Runs on the worker thread executing that
+  /// query, so it must be thread-safe when num_threads > 1; answers of
+  /// one query arrive in order, answers of different queries interleave.
+  /// Answers still land in BatchResult::results, and the sequence per
+  /// query is identical to the non-streaming run's. Cache-served
+  /// queries (answer_cache) replay their answers through the callback
+  /// on the calling thread before workers start.
+  std::function<void(size_t query_index, const AnswerTree& answer)> on_answer;
+
+  /// Opt-in result cache shared across batches: keyword-spec queries
+  /// whose signature (normalized keywords, algorithm, options
+  /// fingerprint) has a live entry skip resolution and the whole
+  /// search, and every executed keyword query stores its result for
+  /// later batches. Pre-resolved origin specs bypass the cache. Serving
+  /// from the cache is stale-tolerant by definition (up to the cache's
+  /// TTL) — leave null for always-fresh results. The cache may be
+  /// shared by concurrent batches.
+  AnswerCache* answer_cache = nullptr;
 };
 
 /// Result of Engine::QueryBatch.
@@ -64,6 +90,10 @@ struct BatchResult {
 
   /// Answers removed by BatchOptions::dedup_answers.
   size_t answers_deduplicated = 0;
+
+  /// Queries served from BatchOptions::answer_cache without searching.
+  /// (Served results keep the metrics of the run that produced them.)
+  size_t answer_cache_hits = 0;
 };
 
 /// The top-level BANKS engine: data graph + inverted keyword index +
@@ -74,6 +104,20 @@ struct BatchResult {
 ///   Engine engine = Engine::FromDatabase(db);
 ///   SearchResult r = engine.Query({"gray", "transaction"},
 ///                                 Algorithm::kBidirectional);
+///
+/// BANKS is an *incremental* top-k system: §4.5's output buffer exists
+/// so answers can be emitted one at a time while the search is still
+/// running. OpenQuery is the streaming front door that exposes exactly
+/// that — an AnswerStream whose Next() runs the search just far enough
+/// to release the next in-order answer:
+///
+///   AnswerStream s = engine.OpenQuery({"gray", "transaction"},
+///                                     Algorithm::kBidirectional);
+///   while (auto answer = s.Next()) display(*answer);
+///
+/// Query is OpenQuery(...).Drain() — same state machine, run in one
+/// slice — so streamed and drained results are identical prefix by
+/// prefix.
 ///
 /// Node prestige is computed once at construction (§2.3: "node prestige
 /// scores can be assumed to be precomputed").
@@ -114,6 +158,31 @@ class Engine {
                              Algorithm algorithm,
                              const SearchOptions& options = {},
                              SearchContext* context = nullptr) const;
+
+  /// Opens a resumable search and returns its pull cursor: resolve +
+  /// begin, but no expansion work happens until the first Next()/
+  /// Drain(). Context precedence: explicit `context` (borrowed; must
+  /// outlive the stream) > StreamOptions::pool (leased, returned by the
+  /// stream's RAII cleanup) > a stream-private context. Pass a warm
+  /// context or a shared pool when opening streams in a loop — streaming
+  /// adds no steady-state allocations beyond the per-answer handoff.
+  ///
+  /// The answer sequence pulled from the stream is identical, prefix by
+  /// prefix, to the drained Query result for the same arguments, at
+  /// every algorithm × bound mode × shard count.
+  AnswerStream OpenQuery(const std::vector<std::string>& keywords,
+                         Algorithm algorithm,
+                         const SearchOptions& options = {},
+                         const StreamOptions& stream = {},
+                         SearchContext* context = nullptr) const;
+
+  /// OpenQuery over pre-resolved origin sets. The stream owns the moved
+  /// origins, so the caller's copy may go away.
+  AnswerStream OpenQueryResolved(std::vector<std::vector<NodeId>> origins,
+                                 Algorithm algorithm,
+                                 const SearchOptions& options = {},
+                                 const StreamOptions& stream = {},
+                                 SearchContext* context = nullptr) const;
 
   /// Executes a batch of independent queries, optionally across worker
   /// threads, returning results in input order.

@@ -7,6 +7,7 @@
 
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "search/metrics.h"
 
 namespace banks {
 
@@ -90,6 +91,14 @@ struct AnswerTree {
 /// the same search. Used to assert that batch / warm-context execution
 /// reproduces sequential answers exactly.
 bool SameAnswer(const AnswerTree& a, const AnswerTree& b);
+
+/// Result of one keyword search: answers in output order plus the
+/// paper's performance counters. (Lives here rather than in searcher.h
+/// so the SearchContext's resumable stream state can hold one.)
+struct SearchResult {
+  std::vector<AnswerTree> answers;
+  SearchMetrics metrics;
+};
 
 }  // namespace banks
 

@@ -1,0 +1,102 @@
+#include "search/answer_cache.h"
+
+#include <chrono>
+
+namespace banks {
+
+AnswerCache::AnswerCache(const AnswerCacheOptions& options)
+    : options_(options) {}
+
+double AnswerCache::Now() const {
+  if (options_.clock) return options_.clock();
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool AnswerCache::Lookup(const std::string& key, SearchResult* out) {
+  const double now = Now();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.expires_at <= now) {
+    if (it != entries_.end()) entries_.erase(it);  // expired: reclaim
+    ++misses_;
+    return false;
+  }
+  *out = it->second.result;
+  ++hits_;
+  return true;
+}
+
+void AnswerCache::Store(const std::string& key, const SearchResult& result) {
+  const double now = Now();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(key);
+  it->second.result = result;
+  it->second.expires_at = now + options_.ttl_seconds;
+  // Every store — refresh included — re-ages the entry, so a hot
+  // recurring query is never evicted in favour of a stale first-comer.
+  it->second.stored_seq = next_seq_++;
+  if (inserted) EvictLocked(now);
+}
+
+void AnswerCache::EvictLocked(double now) {
+  if (options_.max_entries == 0) return;
+  // Pass 1: expired entries go first, regardless of age.
+  for (auto it = entries_.begin();
+       it != entries_.end() && entries_.size() > options_.max_entries;) {
+    if (it->second.expires_at <= now) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Pass 2: oldest-stored live entries. A linear min-scan per eviction
+  // is fine: evictions only happen at the (bounded) capacity limit, and
+  // keeping the age on the entry itself means nothing can leak or go
+  // stale — unlike an insertion-order side list.
+  while (entries_.size() > options_.max_entries) {
+    auto oldest = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.stored_seq < oldest->second.stored_seq) oldest = it;
+    }
+    entries_.erase(oldest);
+  }
+}
+
+void AnswerCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+size_t AnswerCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+uint64_t AnswerCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t AnswerCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::string AnswerCacheKey(Algorithm algorithm, const SearchOptions& options,
+                           const std::vector<std::string>& keywords) {
+  std::string key;
+  key += std::to_string(static_cast<int>(algorithm));
+  key += '|';
+  key += std::to_string(OptionsFingerprint(options));
+  for (const std::string& kw : keywords) {
+    key += '|';
+    key += std::to_string(kw.size());
+    key += ':';
+    key += kw;
+  }
+  return key;
+}
+
+}  // namespace banks

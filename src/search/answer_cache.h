@@ -1,0 +1,100 @@
+#ifndef BANKS_SEARCH_ANSWER_CACHE_H_
+#define BANKS_SEARCH_ANSWER_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "search/answer.h"
+#include "search/options.h"
+#include "search/searcher.h"
+
+namespace banks {
+
+/// Construction knobs for AnswerCache.
+struct AnswerCacheOptions {
+  /// Seconds an entry stays servable after Store. Expired entries are
+  /// treated as misses and reclaimed lazily.
+  double ttl_seconds = 60.0;
+
+  /// Capacity bound; storing past it evicts expired entries first, then
+  /// the oldest live ones (FIFO). 0 = unbounded.
+  size_t max_entries = 1024;
+
+  /// Clock returning monotonic seconds; tests inject a fake to exercise
+  /// TTL without sleeping. Default: std::chrono::steady_clock.
+  std::function<double()> clock;
+};
+
+/// Signature-keyed, TTL'd cache of finished search results, shared
+/// across query batches (the ROADMAP's batch-level result caching item).
+///
+/// The key is the full query signature — normalized keywords, algorithm
+/// and the result-affecting options fingerprint (OptionsFingerprint) —
+/// so a hit is a query that would have produced the identical result,
+/// and serving it skips resolution *and* the whole search. Callers opt
+/// in per batch (BatchOptions::answer_cache) because cached answers are
+/// stale-tolerant by definition: anything up to ttl_seconds old.
+///
+/// Thread-safe: one mutex over the table; entries are copied in and out,
+/// so a served result never aliases cache storage.
+class AnswerCache {
+ public:
+  explicit AnswerCache(const AnswerCacheOptions& options = {});
+
+  AnswerCache(const AnswerCache&) = delete;
+  AnswerCache& operator=(const AnswerCache&) = delete;
+
+  /// Copies the cached result for `key` into *out and returns true when
+  /// a live (unexpired) entry exists; false otherwise. Counts toward
+  /// hits()/misses().
+  bool Lookup(const std::string& key, SearchResult* out);
+
+  /// Stores a copy of `result` under `key`, refreshing the TTL (and the
+  /// FIFO age) of an existing entry.
+  void Store(const std::string& key, const SearchResult& result);
+
+  /// Drops every entry.
+  void Clear();
+
+  size_t size() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  double Now() const;
+  /// Reclaims expired entries; then, if still above max_entries, evicts
+  /// oldest-first. Caller holds mu_.
+  void EvictLocked(double now);
+
+  struct Entry {
+    SearchResult result;
+    double expires_at = 0;
+    uint64_t stored_seq = 0;  // FIFO age: bumped on every Store (refresh too)
+  };
+
+  AnswerCacheOptions options_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  uint64_t next_seq_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+/// Canonical cache key for a keyword query: algorithm, the
+/// result-affecting options fingerprint, and the keywords
+/// length-prefixed (keywords may contain any byte; the prefix keeps the
+/// join injective). Keywords must already be normalized the way the
+/// caller's index folds them (Engine passes Tokenizer::FoldKeyword
+/// output), and their *order* is preserved — keyword order permutes the
+/// per-keyword arrays of every answer, so reordering is not
+/// result-neutral.
+std::string AnswerCacheKey(Algorithm algorithm, const SearchOptions& options,
+                           const std::vector<std::string>& keywords);
+
+}  // namespace banks
+
+#endif  // BANKS_SEARCH_ANSWER_CACHE_H_

@@ -27,22 +27,28 @@ constexpr size_t kMinScanEntriesPerShard = 2048;
 
 }  // namespace
 
-SearchResult BackwardMISearcher::Search(
-    const std::vector<std::vector<NodeId>>& origins, SearchContext* context) const {
-  SearchResult result;
-  Timer timer;
+SearchStatus BackwardMISearcher::Resume(
+    const std::vector<std::vector<NodeId>>& origins, SearchContext* context,
+    const StepLimits& limits) const {
+  SearchContext::StreamState& ss = context->stream;
+  const SliceStart start = BeginResumeSlice(origins, &ss);
+  if (start == SliceStart::kAlreadyDone) return SearchStatus::kDone;
+  const bool fresh = start == SliceStart::kFresh;
+
+  // Control state persists in the stream state; the scheduler position,
+  // iterator frontiers and visit tables persist in the context pools, so
+  // a resumed slice re-binds references and continues exactly where the
+  // previous slice paused.
+  SearchResult& result = ss.result;
+  SliceTimer timer(ss.elapsed);
   const size_t n = origins.size();
-  if (n == 0) return result;
-  for (const auto& s : origins) {
-    if (s.empty()) return result;  // AND semantics: some keyword matches 0
-  }
 
   const uint32_t num_shards = std::max<uint32_t>(1, options_.shard_count);
   const ShardPlan plan{num_shards, graph_.num_nodes()};
   ShardRuntime runtime(num_shards, options_.shard_pool);
 
   SearchContext& ctx = *context;
-  ctx.BeginQuery(n, num_shards);
+  if (fresh) ctx.BeginQuery(n, num_shards);
 
   // One single-source backward shortest-path iterator per keyword node
   // (§3), structure-of-arrays on the context: iterator i owns reach map
@@ -54,18 +60,20 @@ SearchResult BackwardMISearcher::Search(
   // batched frontier-minima phase.
   std::vector<uint32_t>& iter_keyword = ctx.iter_keyword;
   std::vector<NodeId>& iter_origin = ctx.iter_origin;
-  for (uint32_t i = 0; i < n; ++i) {
-    std::vector<NodeId>& uniq = ctx.uniq_scratch;
-    uniq.assign(origins[i].begin(), origins[i].end());
-    std::sort(uniq.begin(), uniq.end());
-    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
-    for (NodeId o : uniq) {
-      iter_keyword.push_back(i);
-      iter_origin.push_back(o);
+  if (fresh) {
+    for (uint32_t i = 0; i < n; ++i) {
+      std::vector<NodeId>& uniq = ctx.uniq_scratch;
+      uniq.assign(origins[i].begin(), origins[i].end());
+      std::sort(uniq.begin(), uniq.end());
+      uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+      for (NodeId o : uniq) {
+        iter_keyword.push_back(i);
+        iter_origin.push_back(o);
+      }
     }
+    ctx.EnsureReachMaps(iter_origin.size());
   }
   const uint32_t num_iters = static_cast<uint32_t>(iter_origin.size());
-  ctx.EnsureReachMaps(num_iters);
   auto shard_of_iter = [&](uint32_t it_id) {
     return plan.ShardOf(iter_origin[it_id]);
   };
@@ -97,11 +105,13 @@ SearchResult BackwardMISearcher::Search(
     return kInf;
   };
 
-  for (uint32_t i = 0; i < num_iters; ++i) {
-    ctx.reach_maps[i][iter_origin[i]] =
-        BackwardReach{0.0, kInvalidNode, iter_origin[i], 0, false};
-    frontier_push(i, 0.0, iter_origin[i]);
-    result.metrics.nodes_touched++;
+  if (fresh) {
+    for (uint32_t i = 0; i < num_iters; ++i) {
+      ctx.reach_maps[i][iter_origin[i]] =
+          BackwardReach{0.0, kInvalidNode, iter_origin[i], 0, false};
+      frontier_push(i, 0.0, iter_origin[i]);
+      result.metrics.nodes_touched++;
+    }
   }
 
   // Scheduler: iterator with the nearest next node steps first. (peek
@@ -133,7 +143,9 @@ SearchResult BackwardMISearcher::Search(
     shard.pop_back();
     return top;
   };
-  for (uint32_t i = 0; i < num_iters; ++i) sched_push(0.0, i);
+  if (fresh) {
+    for (uint32_t i = 0; i < num_iters; ++i) sched_push(0.0, i);
+  }
 
   // Per-node record of which iterators have visited it. node → dense
   // visit index (stored +1; 0 means absent); the per-keyword best
@@ -146,9 +158,9 @@ SearchResult BackwardMISearcher::Search(
 
   // Signature-sharded output buffers, merged at every release check.
   OutputHeap* heaps = ctx.output_heaps.data();
-  uint64_t steps = 0;
-  uint64_t last_progress = 0;  // last step the best pending answer changed
-  double last_top = -1;        // champion score being aged
+  uint64_t& steps = ss.steps;
+  uint64_t& last_progress = ss.last_progress;  // last step best pending changed
+  double& last_top = ss.last_top;              // champion score being aged
 
   // Frontier minima per keyword for the §4.5 release bound. Each shard's
   // worker sweeps its own iterators (peek_dist prunes stale entries from
@@ -316,6 +328,10 @@ SearchResult BackwardMISearcher::Search(
     }
   };
 
+  // Slice bounds (streaming pauses): checked between loop iterations
+  // only, so a pause never changes what the search computes.
+  const SliceGuard slice(limits, &ss, &timer);
+
   for (;;) {
     int p = sched_best_shard();
     if (p < 0 || result.answers.size() >= options_.k) break;
@@ -329,6 +345,7 @@ SearchResult BackwardMISearcher::Search(
       result.metrics.budget_exhausted = true;
       break;
     }
+    if (slice.PauseDue()) return slice.Pause();
     auto [sched_dist, iter_id] = sched_pop(static_cast<uint32_t>(p));
     double actual = peek_dist(iter_id);
     if (actual == kInf) continue;  // exhausted iterator
@@ -403,9 +420,7 @@ SearchResult BackwardMISearcher::Search(
       result.metrics.output_times.push_back(timer.ElapsedSeconds());
     }
   }
-  result.metrics.answers_output = result.answers.size();
-  result.metrics.elapsed_seconds = timer.ElapsedSeconds();
-  return result;
+  return FinishResume(&ss, timer);
 }
 
 }  // namespace banks

@@ -23,26 +23,33 @@ constexpr size_t kMinScanEntriesPerShard = 2048;
 
 }  // namespace
 
-SearchResult BackwardSISearcher::Search(
-    const std::vector<std::vector<NodeId>>& origins, SearchContext* context) const {
-  SearchResult result;
-  Timer timer;
+SearchStatus BackwardSISearcher::Resume(
+    const std::vector<std::vector<NodeId>>& origins, SearchContext* context,
+    const StepLimits& limits) const {
+  SearchContext::StreamState& ss = context->stream;
+  const SliceStart start = BeginResumeSlice(origins, &ss);
+  if (start == SliceStart::kAlreadyDone) return SearchStatus::kDone;
+  const bool fresh = start == SliceStart::kFresh;
+
+  // Control state persists in the stream state; a resumed slice re-binds
+  // the references and lambdas and continues the Dijkstra loop exactly
+  // where the previous slice paused.
+  SearchResult& result = ss.result;
+  SliceTimer timer(ss.elapsed);
   const size_t n = origins.size();
-  if (n == 0) return result;
-  for (const auto& s : origins) {
-    if (s.empty()) return result;
-  }
 
   const uint32_t num_shards = std::max<uint32_t>(1, options_.shard_count);
   const ShardPlan plan{num_shards, graph_.num_nodes()};
   ShardRuntime runtime(num_shards, options_.shard_pool);
 
   SearchContext& ctx = *context;
-  ctx.BeginQuery(n, num_shards);
-
-  // reach_maps[i] maps node → best path to the nearest origin of keyword
-  // i (BackwardReach records, pooled flat tables in the context).
-  ctx.EnsureReachMaps(n);
+  if (fresh) {
+    ctx.BeginQuery(n, num_shards);
+    // reach_maps[i] maps node → best path to the nearest origin of
+    // keyword i (BackwardReach records, pooled flat tables in the
+    // context).
+    ctx.EnsureReachMaps(n);
+  }
   auto reach = [&](size_t i) -> FlatHashMap<NodeId, BackwardReach>& {
     return ctx.reach_maps[i];
   };
@@ -91,19 +98,21 @@ SearchResult BackwardSISearcher::Search(
 
   // Signature-sharded output buffers, merged at every release check.
   OutputHeap* heaps = ctx.output_heaps.data();
-  uint64_t steps = 0;
-  uint64_t last_progress = 0;  // last step the best pending answer changed
-  double last_top = -1;        // champion score being aged
+  uint64_t& steps = ss.steps;
+  uint64_t& last_progress = ss.last_progress;  // last step best pending changed
+  double& last_top = ss.last_top;              // champion score being aged
 
-  for (uint32_t i = 0; i < n; ++i) {
-    for (NodeId o : origins[i]) {
-      BackwardReach& r = reach(i)[o];
-      if (r.dist == 0 && r.matched == o) continue;  // duplicate origin
-      if (r.dist != kInf) continue;
-      r = BackwardReach{0.0, kInvalidNode, o, 0, false};
-      covered[o]++;
-      frontier_push(QE{0.0, o, i});
-      result.metrics.nodes_touched++;
+  if (fresh) {
+    for (uint32_t i = 0; i < n; ++i) {
+      for (NodeId o : origins[i]) {
+        BackwardReach& r = reach(i)[o];
+        if (r.dist == 0 && r.matched == o) continue;  // duplicate origin
+        if (r.dist != kInf) continue;
+        r = BackwardReach{0.0, kInvalidNode, o, 0, false};
+        covered[o]++;
+        frontier_push(QE{0.0, o, i});
+        result.metrics.nodes_touched++;
+      }
     }
   }
 
@@ -158,8 +167,10 @@ SearchResult BackwardSISearcher::Search(
 
   // Nodes complete at seed time (single-keyword queries; nodes matching
   // every keyword at once) are already answers.
-  for (const auto& s : origins) {
-    for (NodeId o : s) try_emit(o);
+  if (fresh) {
+    for (const auto& s : origins) {
+      for (NodeId o : s) try_emit(o);
+    }
   }
 
   auto maybe_release = [&](bool force) {
@@ -239,6 +250,10 @@ SearchResult BackwardSISearcher::Search(
     }
   };
 
+  // Slice bounds (streaming pauses): checked between loop iterations
+  // only, so a pause never changes what the search computes.
+  const SliceGuard slice(limits, &ss, &timer);
+
   for (;;) {
     int p = best_shard();
     if (p < 0 || result.answers.size() >= options_.k) break;
@@ -252,6 +267,7 @@ SearchResult BackwardSISearcher::Search(
       result.metrics.budget_exhausted = true;
       break;
     }
+    if (slice.PauseDue()) return slice.Pause();
     QE top = frontier_pop(static_cast<uint32_t>(p));
     BackwardReach& r = reach(top.keyword)[top.node];
     if (r.settled || top.dist > r.dist + 1e-12) continue;  // stale entry
@@ -299,9 +315,7 @@ SearchResult BackwardSISearcher::Search(
       result.metrics.output_times.push_back(timer.ElapsedSeconds());
     }
   }
-  result.metrics.answers_output = result.answers.size();
-  result.metrics.elapsed_seconds = timer.ElapsedSeconds();
-  return result;
+  return FinishResume(&ss, timer);
 }
 
 }  // namespace banks

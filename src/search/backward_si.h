@@ -17,10 +17,10 @@ namespace banks {
 class BackwardSISearcher : public Searcher {
  public:
   using Searcher::Searcher;
-  using Searcher::Search;
 
-  SearchResult Search(const std::vector<std::vector<NodeId>>& origins,
-                      SearchContext* context) const override;
+  SearchStatus Resume(const std::vector<std::vector<NodeId>>& origins,
+                      SearchContext* context,
+                      const StepLimits& limits) const override;
 };
 
 }  // namespace banks

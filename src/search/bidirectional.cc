@@ -44,15 +44,22 @@ constexpr size_t kMinScanStatesPerShard = 2048;
 
 }  // namespace
 
-SearchResult BidirectionalSearcher::Search(
-    const std::vector<std::vector<NodeId>>& origins, SearchContext* context) const {
-  SearchResult result;
-  Timer timer;
+SearchStatus BidirectionalSearcher::Resume(
+    const std::vector<std::vector<NodeId>>& origins, SearchContext* context,
+    const StepLimits& limits) const {
+  SearchContext::StreamState& ss = context->stream;
+  const SliceStart start = BeginResumeSlice(origins, &ss);
+  if (start == SliceStart::kAlreadyDone) return SearchStatus::kDone;
+  const bool fresh = start == SliceStart::kFresh;
+
+  // The whole control state of the search lives in the stream state;
+  // everything below it (frontiers, per-state arrays, output buffers)
+  // lives in the context pools. A resumed slice re-binds the references
+  // and lambdas — cheap — and continues the loop exactly where the
+  // previous slice paused.
+  SearchResult& result = ss.result;
+  SliceTimer timer(ss.elapsed);
   const uint32_t n = static_cast<uint32_t>(origins.size());
-  if (n == 0) return result;
-  for (const auto& s : origins) {
-    if (s.empty()) return result;
-  }
 
   // ---- Sharding plan ------------------------------------------------------
   // The frontier (queues, node→state maps, §4.5 minima, output buffers)
@@ -72,7 +79,7 @@ SearchResult BidirectionalSearcher::Search(
   // indices are global (discovery order); only the frontier structures
   // are per-shard.
   SearchContext& ctx = *context;
-  ctx.BeginQuery(n, num_shards);
+  if (fresh) ctx.BeginQuery(n, num_shards);
   std::vector<NodeId>& node_of = ctx.node;
   std::vector<uint32_t>& depth_of = ctx.depth;
   std::vector<uint8_t>& flags_of = ctx.state_flags;
@@ -163,9 +170,9 @@ SearchResult BidirectionalSearcher::Search(
 
   // Signature-sharded output buffers, merged at every release check.
   OutputHeap* heaps = ctx.output_heaps.data();
-  uint64_t steps = 0;
-  uint64_t last_progress = 0;  // last step the best pending answer changed
-  double last_top = -1;        // champion score being aged
+  uint64_t& steps = ss.steps;
+  uint64_t& last_progress = ss.last_progress;  // last step best pending changed
+  double& last_top = ss.last_top;              // champion score being aged
 
   // ---- Emission -----------------------------------------------------------
   auto is_complete = [&](uint32_t s) {
@@ -442,29 +449,31 @@ SearchResult BidirectionalSearcher::Search(
   };
 
   // ---- Seeding (Eq. 1): a_{u,i} = prestige(u) / |S_i| ---------------------
-  for (uint32_t i = 0; i < n; ++i) {
-    std::vector<NodeId>& uniq = ctx.uniq_scratch;
-    uniq.assign(origins[i].begin(), origins[i].end());
-    std::sort(uniq.begin(), uniq.end());
-    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
-    const double denom = static_cast<double>(uniq.size());
-    for (NodeId o : uniq) {
-      uint32_t s = get_state(o, 0);
-      d_at(s, i) = 0;
-      double prestige = prestige_.empty() ? 1.0 : prestige_[o];
-      a_at(s, i) = std::max(a_at(s, i), prestige / denom);
+  if (fresh) {
+    for (uint32_t i = 0; i < n; ++i) {
+      std::vector<NodeId>& uniq = ctx.uniq_scratch;
+      uniq.assign(origins[i].begin(), origins[i].end());
+      std::sort(uniq.begin(), uniq.end());
+      uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+      const double denom = static_cast<double>(uniq.size());
+      for (NodeId o : uniq) {
+        uint32_t s = get_state(o, 0);
+        d_at(s, i) = 0;
+        double prestige = prestige_.empty() ? 1.0 : prestige_[o];
+        a_at(s, i) = std::max(a_at(s, i), prestige / denom);
+      }
     }
-  }
-  // Recompute totals exactly (seed arithmetic above avoids double counts).
-  for (uint32_t s = 0; s < node_of.size(); ++s) {
-    double total = 0;
-    for (uint32_t i = 0; i < n; ++i) total += a_at(s, i);
-    act_sum[s] = total;
-    const uint32_t p = shard_of_state(s);
-    qin[p].Push(s, pri_of(s));
-    qin_depth[p].Push(s, depth_of[s]);
-    result.metrics.nodes_touched++;
-    frontier_enter(s);
+    // Recompute totals exactly (seed arithmetic above avoids double counts).
+    for (uint32_t s = 0; s < node_of.size(); ++s) {
+      double total = 0;
+      for (uint32_t i = 0; i < n; ++i) total += a_at(s, i);
+      act_sum[s] = total;
+      const uint32_t p = shard_of_state(s);
+      qin[p].Push(s, pri_of(s));
+      qin_depth[p].Push(s, depth_of[s]);
+      result.metrics.nodes_touched++;
+      frontier_enter(s);
+    }
   }
 
   // ---- §4.5 release bound -------------------------------------------------
@@ -576,6 +585,10 @@ SearchResult BidirectionalSearcher::Search(
     }
   };
 
+  // Slice bounds (streaming pauses): checked between loop iterations
+  // only, so a pause never changes what the search computes.
+  const SliceGuard slice(limits, &ss, &timer);
+
   // ---- Main loop (Figure 3 lines 4–23) ------------------------------------
   // The pop is the argmax over the per-shard heap tops under the
   // (activation, NodeId) total order; on an exact tie between the best
@@ -610,6 +623,7 @@ SearchResult BidirectionalSearcher::Search(
       result.metrics.budget_exhausted = true;
       break;
     }
+    if (slice.PauseDue()) return slice.Pause();
 
     const bool take_in =
         best_out < 0 || (best_in >= 0 && !(in_top < out_top));  // tie → Q_in
@@ -687,9 +701,7 @@ SearchResult BidirectionalSearcher::Search(
       result.metrics.output_times.push_back(timer.ElapsedSeconds());
     }
   }
-  result.metrics.answers_output = result.answers.size();
-  result.metrics.elapsed_seconds = timer.ElapsedSeconds();
-  return result;
+  return FinishResume(&ss, timer);
 }
 
 }  // namespace banks

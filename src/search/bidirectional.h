@@ -30,10 +30,10 @@ namespace banks {
 class BidirectionalSearcher : public Searcher {
  public:
   using Searcher::Searcher;
-  using Searcher::Search;
 
-  SearchResult Search(const std::vector<std::vector<NodeId>>& origins,
-                      SearchContext* context) const override;
+  SearchStatus Resume(const std::vector<std::vector<NodeId>>& origins,
+                      SearchContext* context,
+                      const StepLimits& limits) const override;
 };
 
 }  // namespace banks

@@ -1,0 +1,50 @@
+#include "search/options.h"
+
+#include <bit>
+
+namespace banks {
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void Mix(uint64_t value, uint64_t* h) {
+  for (int byte = 0; byte < 8; ++byte) {
+    *h ^= (value >> (byte * 8)) & 0xff;
+    *h *= kFnvPrime;
+  }
+}
+
+void Mix(double value, uint64_t* h) { Mix(std::bit_cast<uint64_t>(value), h); }
+
+}  // namespace
+
+uint64_t OptionsFingerprint(const SearchOptions& o) {
+  uint64_t h = kFnvOffset;
+  Mix(static_cast<uint64_t>(o.k), &h);
+  Mix(static_cast<uint64_t>(o.dmax), &h);
+  Mix(o.lambda, &h);
+  Mix(o.mu, &h);
+  Mix(static_cast<uint64_t>(o.combine), &h);
+  Mix(static_cast<uint64_t>(o.bound), &h);
+  Mix(static_cast<uint64_t>(o.edge_filter), &h);
+  Mix(o.max_nodes_explored, &h);
+  Mix(o.max_answers_generated, &h);
+  Mix(static_cast<uint64_t>(o.bound_check_interval), &h);
+  Mix(o.release_patience, &h);
+  return h;
+}
+
+bool SameResultOptions(const SearchOptions& a, const SearchOptions& b) {
+  return a.k == b.k && a.dmax == b.dmax &&
+         std::bit_cast<uint64_t>(a.lambda) == std::bit_cast<uint64_t>(b.lambda) &&
+         std::bit_cast<uint64_t>(a.mu) == std::bit_cast<uint64_t>(b.mu) &&
+         a.combine == b.combine && a.bound == b.bound &&
+         a.edge_filter == b.edge_filter &&
+         a.max_nodes_explored == b.max_nodes_explored &&
+         a.max_answers_generated == b.max_answers_generated &&
+         a.bound_check_interval == b.bound_check_interval &&
+         a.release_patience == b.release_patience;
+}
+
+}  // namespace banks

@@ -91,6 +91,26 @@ struct SearchOptions {
   SearchContextPool* shard_pool = nullptr;
 };
 
+/// Canonical 64-bit fingerprint (FNV-1a) over every *result-affecting*
+/// field of the options: k, dmax, lambda, mu, combine, bound,
+/// edge_filter, the two budgets, bound_check_interval and
+/// release_patience. Excluded by design: shard_count and shard_pool —
+/// sharding is proven result-neutral (any shard count returns
+/// byte-identical answers), and a scratch pool is an execution detail —
+/// so one cache entry serves a query at any parallelism. Floating
+/// fields hash by bit pattern: -0.0 vs 0.0 (or two NaN payloads) count
+/// as different options, which errs on the side of never aliasing two
+/// configurations that could differ.
+///
+/// This is the options half of the AnswerCache key; equal fingerprints
+/// from distinct option sets are possible in principle (64-bit hash) but
+/// SameResultOptions gives the exact predicate when needed.
+uint64_t OptionsFingerprint(const SearchOptions& options);
+
+/// Exact field-wise equality over the same result-affecting set that
+/// OptionsFingerprint hashes (shard_count/shard_pool ignored).
+bool SameResultOptions(const SearchOptions& a, const SearchOptions& b);
+
 }  // namespace banks
 
 #endif  // BANKS_SEARCH_OPTIONS_H_

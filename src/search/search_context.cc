@@ -4,6 +4,29 @@
 
 namespace banks {
 
+void SearchContext::StreamState::Reset() {
+  phase = Phase::kFresh;
+  // Clear rather than assign fresh objects: the answers vector and the
+  // metrics' per-answer time vectors keep their capacity, so a warm
+  // stream's bookkeeping allocates nothing.
+  result.answers.clear();
+  SearchMetrics& m = result.metrics;
+  m.nodes_explored = 0;
+  m.nodes_touched = 0;
+  m.edges_relaxed = 0;
+  m.propagation_steps = 0;
+  m.answers_generated = 0;
+  m.answers_output = 0;
+  m.elapsed_seconds = 0;
+  m.generated_times.clear();
+  m.output_times.clear();
+  m.budget_exhausted = false;
+  steps = 0;
+  last_progress = 0;
+  last_top = -1;
+  elapsed = 0;
+}
+
 void SearchContext::BeginQuery(size_t num_keywords, uint32_t shard_count) {
   ++queries_started_;
   active_shards_ = std::max<uint32_t>(1, shard_count);

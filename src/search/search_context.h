@@ -10,6 +10,7 @@
 #include "graph/types.h"
 #include "search/answer.h"
 #include "search/flat_hash.h"
+#include "search/metrics.h"
 #include "search/output_heap.h"
 #include "search/sharding.h"
 #include "search/tree_builder.h"
@@ -186,6 +187,49 @@ class SearchContext {
   SearchContext() = default;
   SearchContext(const SearchContext&) = delete;
   SearchContext& operator=(const SearchContext&) = delete;
+
+  /// Persisted control state of a resumable search (Searcher::Resume /
+  /// AnswerStream). Everything a searcher's main loop used to keep in
+  /// function-local variables lives here instead: the released answers
+  /// and metrics accumulated so far, the expansion-step counter that
+  /// drives the release-check cadence, the release-progress tracking of
+  /// the loose bound's staleness drip, and the search time accumulated
+  /// across slices. The *positional* state — frontier heaps, node maps,
+  /// reach maps, output buffers, MI scheduler — already lives in the
+  /// pools below, which is what lets a search pause at any
+  /// answer-release point and resume exactly where it left off.
+  ///
+  /// Like the rest of the context this is scratch, not a result: a
+  /// stream abandoned mid-search leaves the context fully reusable (the
+  /// next Reset/BeginQuery clears it), and Reset keeps the answer
+  /// vector's capacity so warm streaming allocates nothing beyond the
+  /// per-answer handoff.
+  struct StreamState {
+    enum class Phase : uint8_t {
+      kFresh,    // no query started since Reset()
+      kRunning,  // mid-search: Resume continues this query
+      kDone,     // search complete (or cancelled): result is final
+    };
+
+    Phase phase = Phase::kFresh;
+    /// Answers in release order plus metrics-so-far; final at kDone.
+    SearchResult result;
+    /// Node expansions so far (the release-check cadence counter).
+    uint64_t steps = 0;
+    /// Last step the best pending answer improved or a release happened
+    /// (ages the loose bound's staleness drip).
+    uint64_t last_progress = 0;
+    /// Best pending score being aged by the staleness drip.
+    double last_top = -1;
+    /// Search seconds accumulated across completed slices (pauses
+    /// excluded, so answer timestamps stay in search time).
+    double elapsed = 0;
+
+    /// Forgets the current query, keeping result-vector capacity.
+    void Reset();
+  };
+
+  StreamState stream;
 
   /// Resets all pools for a query over `num_keywords` keywords with the
   /// frontier split into `shard_count` NodeId ranges. O(live state of

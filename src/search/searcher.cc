@@ -11,6 +11,17 @@ SearchResult Searcher::Search(const std::vector<std::vector<NodeId>>& origins) {
   return Search(origins, owned_context_.get());
 }
 
+SearchResult Searcher::Search(const std::vector<std::vector<NodeId>>& origins,
+                              SearchContext* context) const {
+  context->stream.Reset();
+  Resume(origins, context, StepLimits{});  // unbounded: must complete
+  SearchResult result = std::move(context->stream.result);
+  // Leave the stream state fresh: the moved-from result must not be
+  // mistaken for a finished query by a later Resume on this context.
+  context->stream.Reset();
+  return result;
+}
+
 const char* AlgorithmName(Algorithm algorithm) {
   switch (algorithm) {
     case Algorithm::kBackwardMI:

@@ -1,0 +1,311 @@
+#include "search/answer_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "banks/engine.h"
+#include "datasets/dblp_gen.h"
+
+namespace banks {
+namespace {
+
+AnswerTree MakeTree(NodeId root, double score) {
+  AnswerTree tree;
+  tree.root = root;
+  tree.keyword_nodes = {root};
+  tree.keyword_distances = {0};
+  tree.score = score;
+  return tree;
+}
+
+SearchResult MakeResult(NodeId root) {
+  SearchResult result;
+  result.answers.push_back(MakeTree(root, 0.5));
+  result.metrics.answers_output = 1;
+  return result;
+}
+
+// ---- Key construction -----------------------------------------------------
+
+TEST(AnswerCacheKey, DependsOnEveryComponent) {
+  SearchOptions options;
+  std::string base =
+      AnswerCacheKey(Algorithm::kBidirectional, options, {"gray", "tx"});
+  EXPECT_EQ(base,
+            AnswerCacheKey(Algorithm::kBidirectional, options, {"gray", "tx"}));
+  EXPECT_NE(base,
+            AnswerCacheKey(Algorithm::kBackwardMI, options, {"gray", "tx"}));
+  EXPECT_NE(base,
+            AnswerCacheKey(Algorithm::kBidirectional, options, {"gray"}));
+  // Keyword order is result-affecting (it permutes per-keyword arrays).
+  EXPECT_NE(base,
+            AnswerCacheKey(Algorithm::kBidirectional, options, {"tx", "gray"}));
+  SearchOptions other = options;
+  other.k += 1;
+  EXPECT_NE(base,
+            AnswerCacheKey(Algorithm::kBidirectional, other, {"gray", "tx"}));
+}
+
+TEST(AnswerCacheKey, LengthPrefixKeepsJoinInjective) {
+  SearchOptions options;
+  EXPECT_NE(AnswerCacheKey(Algorithm::kBackwardSI, options, {"ab", "c"}),
+            AnswerCacheKey(Algorithm::kBackwardSI, options, {"a", "bc"}));
+}
+
+// ---- Store / Lookup / TTL -------------------------------------------------
+
+TEST(AnswerCache, StoreThenLookupCopiesResult) {
+  AnswerCache cache;
+  SearchResult out;
+  EXPECT_FALSE(cache.Lookup("k", &out));
+  EXPECT_EQ(cache.misses(), 1u);
+
+  cache.Store("k", MakeResult(7));
+  ASSERT_TRUE(cache.Lookup("k", &out));
+  EXPECT_EQ(cache.hits(), 1u);
+  ASSERT_EQ(out.answers.size(), 1u);
+  EXPECT_TRUE(SameAnswer(out.answers[0], MakeTree(7, 0.5)));
+  EXPECT_EQ(out.metrics.answers_output, 1u);
+
+  // Served copies never alias cache storage.
+  out.answers[0].root = 99;
+  SearchResult again;
+  ASSERT_TRUE(cache.Lookup("k", &again));
+  EXPECT_EQ(again.answers[0].root, 7u);
+}
+
+TEST(AnswerCache, TtlExpiresEntries) {
+  double now = 1000.0;
+  AnswerCacheOptions options;
+  options.ttl_seconds = 10.0;
+  options.clock = [&now]() { return now; };
+  AnswerCache cache(options);
+
+  cache.Store("k", MakeResult(3));
+  SearchResult out;
+  now += 9.9;
+  EXPECT_TRUE(cache.Lookup("k", &out));
+  now += 0.2;  // past the TTL
+  EXPECT_FALSE(cache.Lookup("k", &out));
+  EXPECT_EQ(cache.size(), 0u);  // expired entry reclaimed
+
+  // Re-storing refreshes the TTL.
+  cache.Store("k", MakeResult(4));
+  now += 9.0;
+  cache.Store("k", MakeResult(4));
+  now += 9.0;  // 18s after first store, 9s after refresh
+  EXPECT_TRUE(cache.Lookup("k", &out));
+}
+
+TEST(AnswerCache, MaxEntriesEvictsOldestFirst) {
+  double now = 0.0;
+  AnswerCacheOptions options;
+  options.ttl_seconds = 100.0;
+  options.max_entries = 2;
+  options.clock = [&now]() { return now; };
+  AnswerCache cache(options);
+
+  cache.Store("a", MakeResult(1));
+  now += 1;
+  cache.Store("b", MakeResult(2));
+  now += 1;
+  cache.Store("c", MakeResult(3));  // evicts "a" (oldest)
+  EXPECT_EQ(cache.size(), 2u);
+  SearchResult out;
+  EXPECT_FALSE(cache.Lookup("a", &out));
+  EXPECT_TRUE(cache.Lookup("b", &out));
+  EXPECT_TRUE(cache.Lookup("c", &out));
+}
+
+TEST(AnswerCache, RefreshingAnEntryResetsItsFifoAge) {
+  double now = 0.0;
+  AnswerCacheOptions options;
+  options.ttl_seconds = 100.0;
+  options.max_entries = 2;
+  options.clock = [&now]() { return now; };
+  AnswerCache cache(options);
+
+  cache.Store("a", MakeResult(1));
+  now += 1;
+  cache.Store("b", MakeResult(2));
+  now += 1;
+  cache.Store("a", MakeResult(1));  // refresh: "a" is now the youngest
+  now += 1;
+  cache.Store("c", MakeResult(3));  // must evict "b", not the hot "a"
+  SearchResult out;
+  EXPECT_TRUE(cache.Lookup("a", &out));
+  EXPECT_FALSE(cache.Lookup("b", &out));
+  EXPECT_TRUE(cache.Lookup("c", &out));
+}
+
+TEST(AnswerCache, ExpiryLookupThenRestoreKeepsOneEntry) {
+  // The miss-on-expired path reclaims the entry; re-storing the same
+  // key must leave exactly one live record (regression: a stale
+  // insertion-order side list used to grow forever on this cycle and
+  // could evict the freshly re-stored entry as "oldest").
+  double now = 0.0;
+  AnswerCacheOptions options;
+  options.ttl_seconds = 5.0;
+  options.max_entries = 2;
+  options.clock = [&now]() { return now; };
+  AnswerCache cache(options);
+
+  SearchResult out;
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    cache.Store("k", MakeResult(1));
+    now += 6;  // expire
+    EXPECT_FALSE(cache.Lookup("k", &out));
+  }
+  cache.Store("k", MakeResult(1));
+  cache.Store("other", MakeResult(2));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Lookup("k", &out));  // survived despite the churn
+  EXPECT_TRUE(cache.Lookup("other", &out));
+}
+
+TEST(AnswerCache, EvictionPrefersExpiredEntries) {
+  double now = 0.0;
+  AnswerCacheOptions options;
+  options.ttl_seconds = 5.0;
+  options.max_entries = 2;
+  options.clock = [&now]() { return now; };
+  AnswerCache cache(options);
+
+  cache.Store("old", MakeResult(1));
+  now += 6;  // "old" expires
+  cache.Store("b", MakeResult(2));
+  cache.Store("c", MakeResult(3));  // evicts expired "old", not live "b"
+  SearchResult out;
+  EXPECT_TRUE(cache.Lookup("b", &out));
+  EXPECT_TRUE(cache.Lookup("c", &out));
+}
+
+// ---- Engine::QueryBatch integration ---------------------------------------
+
+class AnswerCacheBatchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DblpConfig config;
+    config.num_authors = 150;
+    config.num_papers = 300;
+    config.num_conferences = 10;
+    db_ = new Database(GenerateDblp(config));
+    engine_ = new Engine(Engine::FromDatabase(*db_));
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete db_;
+  }
+  static Database* db_;
+  static Engine* engine_;
+};
+
+Database* AnswerCacheBatchTest::db_ = nullptr;
+Engine* AnswerCacheBatchTest::engine_ = nullptr;
+
+TEST_F(AnswerCacheBatchTest, SecondBatchServedFromCache) {
+  std::vector<BatchQuerySpec> specs(2);
+  specs[0].keywords = {"paper", "author"};
+  specs[1].keywords = {"writes", "conference"};
+  SearchOptions options;
+  options.k = 3;
+  options.bound = BoundMode::kLoose;
+  options.max_nodes_explored = 100'000;
+
+  BatchResult uncached =
+      engine_->QueryBatch(specs, Algorithm::kBackwardSI, options);
+
+  AnswerCache cache;
+  BatchOptions batch;
+  batch.answer_cache = &cache;
+  BatchResult first =
+      engine_->QueryBatch(specs, Algorithm::kBackwardSI, options, batch);
+  EXPECT_EQ(first.answer_cache_hits, 0u);
+  EXPECT_EQ(cache.size(), 2u);
+
+  BatchResult second =
+      engine_->QueryBatch(specs, Algorithm::kBackwardSI, options, batch);
+  EXPECT_EQ(second.answer_cache_hits, 2u);
+
+  // All three batches agree answer for answer.
+  for (const BatchResult* r : {&first, &second}) {
+    ASSERT_EQ(r->results.size(), uncached.results.size());
+    for (size_t i = 0; i < r->results.size(); ++i) {
+      ASSERT_EQ(r->results[i].answers.size(),
+                uncached.results[i].answers.size());
+      for (size_t j = 0; j < r->results[i].answers.size(); ++j) {
+        EXPECT_TRUE(SameAnswer(r->results[i].answers[j],
+                               uncached.results[i].answers[j]));
+      }
+    }
+  }
+}
+
+TEST_F(AnswerCacheBatchTest, CacheKeyRespectsAlgorithmAndOptions) {
+  std::vector<BatchQuerySpec> specs(1);
+  specs[0].keywords = {"paper", "author"};
+  SearchOptions options;
+  options.k = 3;
+  options.max_nodes_explored = 100'000;
+
+  AnswerCache cache;
+  BatchOptions batch;
+  batch.answer_cache = &cache;
+  (void)engine_->QueryBatch(specs, Algorithm::kBackwardSI, options, batch);
+
+  // Different algorithm: distinct signature, no hit.
+  BatchResult other_algo =
+      engine_->QueryBatch(specs, Algorithm::kBackwardMI, options, batch);
+  EXPECT_EQ(other_algo.answer_cache_hits, 0u);
+
+  // Different k: distinct signature, no hit.
+  SearchOptions other_k = options;
+  other_k.k = 5;
+  BatchResult other_opts =
+      engine_->QueryBatch(specs, Algorithm::kBackwardSI, other_k, batch);
+  EXPECT_EQ(other_opts.answer_cache_hits, 0u);
+
+  // Identical repeat: hit.
+  BatchResult repeat =
+      engine_->QueryBatch(specs, Algorithm::kBackwardSI, options, batch);
+  EXPECT_EQ(repeat.answer_cache_hits, 1u);
+}
+
+TEST_F(AnswerCacheBatchTest, KeywordNormalizationSharesEntries) {
+  std::vector<BatchQuerySpec> lower(1), upper(1);
+  lower[0].keywords = {"paper", "author"};
+  upper[0].keywords = {"PAPER", "Author"};  // index folds case
+  SearchOptions options;
+  options.k = 3;
+  options.max_nodes_explored = 100'000;
+
+  AnswerCache cache;
+  BatchOptions batch;
+  batch.answer_cache = &cache;
+  (void)engine_->QueryBatch(lower, Algorithm::kBackwardSI, options, batch);
+  BatchResult served =
+      engine_->QueryBatch(upper, Algorithm::kBackwardSI, options, batch);
+  EXPECT_EQ(served.answer_cache_hits, 1u);
+}
+
+TEST_F(AnswerCacheBatchTest, PreResolvedSpecsBypassCache) {
+  std::vector<BatchQuerySpec> specs(1);
+  specs[0].origins = engine_->Resolve({"paper", "author"});
+  SearchOptions options;
+  options.k = 3;
+  options.max_nodes_explored = 100'000;
+
+  AnswerCache cache;
+  BatchOptions batch;
+  batch.answer_cache = &cache;
+  (void)engine_->QueryBatch(specs, Algorithm::kBackwardSI, options, batch);
+  EXPECT_EQ(cache.size(), 0u);
+  BatchResult repeat =
+      engine_->QueryBatch(specs, Algorithm::kBackwardSI, options, batch);
+  EXPECT_EQ(repeat.answer_cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace banks

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -236,6 +237,43 @@ TEST_F(QueryBatchTest, SharedPoolWarmAcrossBatches) {
   ASSERT_EQ(first.results.size(), second.results.size());
   for (size_t i = 0; i < first.results.size(); ++i) {
     ExpectSameResult(first.results[i], second.results[i]);
+  }
+}
+
+TEST_F(QueryBatchTest, OnAnswerStreamsEveryAnswerInReleaseOrder) {
+  std::vector<BatchQuerySpec> specs = MakeSpecs();
+  SearchOptions options;
+  options.k = 5;
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    std::mutex mu;
+    std::vector<std::vector<AnswerTree>> streamed(specs.size());
+    BatchOptions bopt;
+    bopt.num_threads = threads;
+    bopt.on_answer = [&](size_t query_index, const AnswerTree& answer) {
+      std::lock_guard<std::mutex> lock(mu);
+      streamed[query_index].push_back(answer);  // copy: ref dies after call
+    };
+    BatchResult batch =
+        engine_->QueryBatch(specs, Algorithm::kBidirectional, options, bopt);
+    // Per query, the streamed sequence is exactly the final result — the
+    // callback fires in release order, which IS output order.
+    for (size_t i = 0; i < specs.size(); ++i) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) + " query=" +
+                   std::to_string(i));
+      ASSERT_EQ(streamed[i].size(), batch.results[i].answers.size());
+      for (size_t j = 0; j < streamed[i].size(); ++j) {
+        EXPECT_TRUE(SameAnswer(streamed[i][j], batch.results[i].answers[j]));
+      }
+    }
+    // Streaming must not change the results themselves.
+    std::vector<SearchResult> reference;
+    for (const BatchQuerySpec& s : specs) {
+      reference.push_back(
+          engine_->Query(s.keywords, Algorithm::kBidirectional, options));
+    }
+    for (size_t i = 0; i < specs.size(); ++i) {
+      ExpectSameResult(batch.results[i], reference[i]);
+    }
   }
 }
 
