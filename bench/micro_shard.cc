@@ -15,8 +15,16 @@
 // multicore runners records the real curve.
 //
 // --json emits the measurements for the CI bench-smoke artifact
-// (BENCH_shard.json).
+// (BENCH_shard.json). Each row carries, besides the latency, the BSP
+// round counters of the run (rounds, cross-shard messages, mailbox
+// high-water — all deterministic, so they double as regression canaries
+// for the round structure itself) and ms_per_query_ratio_vs_1shard, the
+// per-bound-mode scaling curve: compare_baseline.py diffs it like a
+// latency (higher = worse), so a configuration whose multi-shard rows
+// drift relative to its own 1-shard row is flagged even when absolute
+// latency moved for machine reasons.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -105,8 +113,8 @@ int Main(double scale, bool json) {
     w.Key("rows");
     w.BeginArray();
   }
-  TablePrinter table(
-      {"Algorithm", "bound", "shards", "ms/q", "q/s", "speedup", "allocs/q"});
+  TablePrinter table({"Algorithm", "bound", "shards", "ms/q", "q/s", "speedup",
+                      "rounds/q", "xmsg/q", "allocs/q"});
   const size_t runs = queries.size() * kRepetitions;
   bool all_identical = true;
 
@@ -144,6 +152,18 @@ int Main(double scale, bool json) {
         double allocs_per_query =
             static_cast<double>(CurrentAllocCounts().count - allocs0.count) /
             runs;
+        // Deterministic round counters of the first repetition (identical
+        // in every repetition by the BSP determinism contract).
+        uint64_t rounds_total = 0, xmsgs_total = 0, max_box = 0;
+        for (const SearchResult& r : first_rep) {
+          rounds_total += r.metrics.bsp_rounds;
+          xmsgs_total += r.metrics.cross_shard_messages;
+          max_box = std::max<uint64_t>(max_box, r.metrics.max_mailbox_depth);
+        }
+        const double rounds_per_query =
+            static_cast<double>(rounds_total) / queries.size();
+        const double xmsgs_per_query =
+            static_cast<double>(xmsgs_total) / queries.size();
         if (shards == 1) {
           one_shard_seconds = seconds;
           reference = std::move(first_rep);
@@ -171,6 +191,10 @@ int Main(double scale, bool json) {
         double speedup = shards == 1
                              ? 1.0
                              : SafeRatio(one_shard_seconds, seconds);
+        // Scaling curve in latency semantics (higher = worse) so the
+        // baseline diff flags relative multi-shard drift.
+        double ratio_vs_1shard =
+            shards == 1 ? 1.0 : SafeRatio(seconds, one_shard_seconds);
         if (json) {
           w.BeginObject();
           w.Field("class", bc.name);
@@ -180,6 +204,10 @@ int Main(double scale, bool json) {
           w.Field("ms_per_query", 1e3 * seconds / runs);
           w.Field("qps", runs / seconds);
           w.Field("speedup_vs_1shard", speedup);
+          w.Field("ms_per_query_ratio_vs_1shard", ratio_vs_1shard);
+          w.Field("bsp_rounds_per_query", rounds_per_query);
+          w.Field("cross_shard_msgs_per_query", xmsgs_per_query);
+          w.Field("max_mailbox_depth", max_box);
           w.Field("allocs_per_query", allocs_per_query);
           w.EndObject();
         } else {
@@ -188,6 +216,8 @@ int Main(double scale, bool json) {
                         TablePrinter::Fmt(1e3 * seconds / runs, 3),
                         TablePrinter::Fmt(runs / seconds, 1),
                         TablePrinter::Fmt(speedup, 2),
+                        TablePrinter::Fmt(rounds_per_query, 0),
+                        TablePrinter::Fmt(xmsgs_per_query, 0),
                         TablePrinter::Fmt(allocs_per_query, 0)});
         }
       }

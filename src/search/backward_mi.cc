@@ -43,21 +43,30 @@ SearchStatus BackwardMISearcher::Resume(
   SliceTimer timer(ss.elapsed);
   const size_t n = origins.size();
 
-  const uint32_t num_shards = std::max<uint32_t>(1, options_.shard_count);
-  const ShardPlan plan{num_shards, graph_.num_nodes()};
-  ShardRuntime runtime(num_shards, options_.shard_pool);
+  // Scheduler/frontier structures are partitioned into one lane per
+  // worker. Unlike the bidirectional BSP loop, the lane count here is
+  // free to follow shard_count: the iterator schedule is the argmin
+  // over lane heap fronts under the (dist, iter) *total* order, which
+  // is a property of the heap contents alone — any partition (including
+  // a single lane at shard_count 1, which keeps the sequential path
+  // free of per-pop multi-lane scans) replays the identical schedule.
+  const uint32_t num_workers =
+      std::min(std::max<uint32_t>(1, options_.shard_count), kNumLanes);
+  const uint32_t L = num_workers;
+  const ShardPlan plan{L, graph_.num_nodes()};
+  ShardRuntime runtime(num_workers, options_.shard_pool, options_.team_pool);
 
   SearchContext& ctx = *context;
-  if (fresh) ctx.BeginQuery(n, num_shards);
+  if (fresh) ctx.BeginQuery(n, num_workers);
 
   // One single-source backward shortest-path iterator per keyword node
   // (§3), structure-of-arrays on the context: iterator i owns reach map
   // ctx.reach_maps[i] and the lazy-deletion frontier heap segment
   // ctx.frontiers.Segment(i). Frequent-keyword queries build hundreds of
   // iterators; on a warm context none of this allocates. An iterator
-  // belongs to the shard owning its origin NodeId — that shard's
-  // scheduler heap carries it, and that shard's worker sweeps it in the
-  // batched frontier-minima phase.
+  // belongs to the lane owning its origin NodeId — that lane's
+  // scheduler heap carries it, and the worker executing that lane
+  // sweeps it in the batched frontier-minima phase.
   std::vector<uint32_t>& iter_keyword = ctx.iter_keyword;
   std::vector<NodeId>& iter_origin = ctx.iter_origin;
   if (fresh) {
@@ -74,7 +83,7 @@ SearchStatus BackwardMISearcher::Resume(
     ctx.EnsureReachMaps(iter_origin.size());
   }
   const uint32_t num_iters = static_cast<uint32_t>(iter_origin.size());
-  auto shard_of_iter = [&](uint32_t it_id) {
+  auto lane_of_iter = [&](uint32_t it_id) {
     return plan.ShardOf(iter_origin[it_id]);
   };
 
@@ -115,20 +124,42 @@ SearchStatus BackwardMISearcher::Resume(
   }
 
   // Scheduler: iterator with the nearest next node steps first. (peek
-  // dist, iter idx) min-heaps over pooled storage, one per shard; the
-  // pair order is already total, so the argmin over shard fronts is
+  // dist, iter idx) min-heaps over pooled storage, one per lane; the
+  // pair order is already total, so the argmin over lane fronts is
   // exactly the entry one global heap would pop at any shard count.
   using SchedEntry = SearchContext::ScoredState;
   std::vector<std::vector<SchedEntry>>& scheduler = ctx.scheduler;
   auto sched_push = [&](double d, uint32_t it_id) {
-    std::vector<SchedEntry>& shard = scheduler[shard_of_iter(it_id)];
-    shard.emplace_back(d, it_id);
-    std::push_heap(shard.begin(), shard.end(), std::greater<>());
+    std::vector<SchedEntry>& lane = scheduler[lane_of_iter(it_id)];
+    lane.emplace_back(d, it_id);
+    std::push_heap(lane.begin(), lane.end(), std::greater<>());
   };
-  // Shard whose front is the global minimum entry, or -1 when empty.
+  // Mailbox discipline for scheduler updates: pushes produced while a
+  // pop is in flight stage in ctx.sched_stage (element = target lane)
+  // and apply at the end of the pop in lane order, mirroring the BSP
+  // apply-at-barrier rule. (An iterator only ever re-schedules itself,
+  // so every staged entry is lane-local today — the cross-lane counter
+  // records that invariant as a measured zero.)
+  std::vector<std::vector<SchedEntry>>& sched_stage = ctx.sched_stage;
+  auto staged_sched_push = [&](uint32_t pop_lane, double d, uint32_t it_id) {
+    const uint32_t tl = lane_of_iter(it_id);
+    if (tl != pop_lane) result.metrics.cross_shard_messages++;
+    sched_stage[tl].emplace_back(d, it_id);
+  };
+  auto apply_sched_staged = [&] {
+    for (uint32_t tl = 0; tl < L; ++tl) {
+      if (sched_stage[tl].empty()) continue;
+      if (sched_stage[tl].size() > result.metrics.max_mailbox_depth) {
+        result.metrics.max_mailbox_depth = sched_stage[tl].size();
+      }
+      for (const SchedEntry& e : sched_stage[tl]) sched_push(e.first, e.second);
+      sched_stage[tl].clear();
+    }
+  };
+  // Lane whose front is the global minimum entry, or -1 when empty.
   auto sched_best_shard = [&]() -> int {
     int best = -1;
-    for (uint32_t p = 0; p < num_shards; ++p) {
+    for (uint32_t p = 0; p < L; ++p) {
       if (scheduler[p].empty()) continue;
       if (best < 0 || scheduler[p].front() < scheduler[best].front()) {
         best = static_cast<int>(p);
@@ -162,27 +193,27 @@ SearchStatus BackwardMISearcher::Resume(
   uint64_t& last_progress = ss.last_progress;  // last step best pending changed
   double& last_top = ss.last_top;              // champion score being aged
 
-  // Frontier minima per keyword for the §4.5 release bound. Each shard's
-  // worker sweeps its own iterators (peek_dist prunes stale entries from
-  // segments that shard owns) into its slice of the partial-minima
-  // table; the coordinator then min-reduces across shards. The lazy
-  // pruning is per-iterator and deterministic, so who performs it never
-  // shows in the results.
+  // Frontier minima per keyword for the §4.5 release bound. Each worker
+  // sweeps the iterators of the lanes it executes (peek_dist prunes
+  // stale entries from segments those lanes own) into its slice of the
+  // partial-minima table; the coordinator then min-reduces across
+  // workers. The lazy pruning is per-iterator and deterministic, so who
+  // performs it never shows in the results.
   auto frontier_minima = [&](std::vector<double>* m) {
     m->assign(n, kInf);
     if (runtime.Engage(num_iters, kMinItersPerShard)) {
       std::vector<double>& partial = ctx.shard_minima;
-      partial.assign(static_cast<size_t>(num_shards) * n, kInf);
-      runtime.Run([&](uint32_t shard) {
-        double* mine = partial.data() + static_cast<size_t>(shard) * n;
+      partial.assign(static_cast<size_t>(num_workers) * n, kInf);
+      runtime.Run([&](uint32_t w) {
+        double* mine = partial.data() + static_cast<size_t>(w) * n;
         for (uint32_t i = 0; i < num_iters; ++i) {
-          if (shard_of_iter(i) != shard) continue;
+          if (lane_of_iter(i) != w) continue;
           double d = peek_dist(i);
           uint32_t kw = iter_keyword[i];
           mine[kw] = std::min(mine[kw], d);
         }
       });
-      for (uint32_t p = 0; p < num_shards; ++p) {
+      for (uint32_t p = 0; p < num_workers; ++p) {
         for (uint32_t kw = 0; kw < n; ++kw) {
           (*m)[kw] =
               std::min((*m)[kw], partial[static_cast<size_t>(p) * n + kw]);
@@ -246,9 +277,9 @@ SearchStatus BackwardMISearcher::Resume(
     }
     if (!build_tree(v, ids) || !ctx.answer_scratch.IsMinimalRooted()) return;
     uint64_t sig = ctx.answer_scratch.Signature(&ctx.sig_scratch);
-    if (heaps[sig % num_shards].InsertCopy(ctx.answer_scratch, sig)) {
+    if (heaps[sig % L].InsertCopy(ctx.answer_scratch, sig)) {
       result.metrics.answers_generated++;
-      double top = MergedBestPendingScore(heaps, num_shards);
+      double top = MergedBestPendingScore(heaps, L);
       if (top > last_top + 1e-15) {
         last_top = top;
         last_progress = steps;
@@ -268,19 +299,17 @@ SearchStatus BackwardMISearcher::Resume(
     for (double m : minima) h += m;
     size_t before = result.answers.size();
     if (options_.bound == BoundMode::kImmediate) {
-      MergedDrain(heaps, num_shards, options_.k, &result.answers);
+      MergedDrain(heaps, L, options_.k, &result.answers);
     } else if (options_.bound == BoundMode::kLoose) {
-      MergedReleaseWithEdgeBound(heaps, num_shards, h, options_.k,
-                                 &result.answers);
+      MergedReleaseWithEdgeBound(heaps, L, h, options_.k, &result.answers);
       if (options_.release_patience &&
           steps - last_progress >= options_.release_patience &&
           result.answers.size() < options_.k &&
-          MergedPendingCount(heaps, num_shards) > 0) {
+          MergedPendingCount(heaps, L) > 0) {
         // Staleness drip: the champion has been unbeaten for a while;
         // release a batch of the best pending answers.
-        MergedReleaseBest(heaps, num_shards,
-                          std::max<size_t>(1, options_.k / 8), options_.k,
-                          &result.answers);
+        MergedReleaseBest(heaps, L, std::max<size_t>(1, options_.k / 8),
+                          options_.k, &result.answers);
       }
     } else {
       // NRA-style (§4.5): an unseen root costs at least h = Σ m_i; a
@@ -302,11 +331,11 @@ SearchStatus BackwardMISearcher::Resume(
       };
       double best_potential = h;
       if (runtime.Engage(num_entries, kMinScanEntriesPerShard)) {
-        ctx.nra_partial.assign(num_shards, kInf);
-        runtime.Run([&](uint32_t shard) {
-          size_t begin = num_entries * shard / num_shards;
-          size_t end = num_entries * (shard + 1) / num_shards;
-          ctx.nra_partial[shard] = scan_slice(begin, end);
+        ctx.nra_partial.assign(num_workers, kInf);
+        runtime.Run([&](uint32_t w) {
+          size_t begin = num_entries * w / num_workers;
+          size_t end = num_entries * (w + 1) / num_workers;
+          ctx.nra_partial[w] = scan_slice(begin, end);
         });
         for (double p : ctx.nra_partial) {
           best_potential = std::min(best_potential, p);
@@ -315,12 +344,12 @@ SearchStatus BackwardMISearcher::Resume(
         best_potential = std::min(best_potential, scan_slice(0, num_entries));
       }
       double ub = ScoreUpperBound(best_potential, 1.0, options_.lambda);
-      MergedReleaseWithScoreBound(heaps, num_shards, ub - 1e-12, options_.k,
+      MergedReleaseWithScoreBound(heaps, L, ub - 1e-12, options_.k,
                                   &result.answers);
     }
     if (result.answers.size() != before) {
       last_progress = steps;
-      last_top = MergedBestPendingScore(heaps, num_shards);
+      last_top = MergedBestPendingScore(heaps, L);
     }
     for (size_t i = before; i < result.answers.size(); ++i) {
       result.metrics.generated_times.push_back(result.answers[i].generated_at);
@@ -347,10 +376,13 @@ SearchStatus BackwardMISearcher::Resume(
     }
     if (slice.PauseDue()) return slice.Pause();
     auto [sched_dist, iter_id] = sched_pop(static_cast<uint32_t>(p));
+    const uint32_t pop_lane = static_cast<uint32_t>(p);
     double actual = peek_dist(iter_id);
     if (actual == kInf) continue;  // exhausted iterator
     if (actual > sched_dist + 1e-12) {
-      sched_push(actual, iter_id);  // stale entry; re-schedule
+      // Stale entry; re-schedule through the staging discipline.
+      staged_sched_push(pop_lane, actual, iter_id);
+      apply_sched_staged();
       continue;
     }
 
@@ -366,6 +398,7 @@ SearchStatus BackwardMISearcher::Resume(
     rv.settled = true;
     const uint32_t v_hops = rv.hops;
     result.metrics.nodes_explored++;
+    result.metrics.bsp_rounds++;  // one settled step per round (§3 argmin)
     steps++;
 
     // Record the visit and emit any completed combinations.
@@ -406,7 +439,8 @@ SearchStatus BackwardMISearcher::Resume(
       }
     }
     double nxt = peek_dist(iter_id);
-    if (nxt != kInf) sched_push(nxt, iter_id);
+    if (nxt != kInf) staged_sched_push(pop_lane, nxt, iter_id);
+    apply_sched_staged();
 
     maybe_release(false);
   }
@@ -414,7 +448,7 @@ SearchStatus BackwardMISearcher::Resume(
   maybe_release(true);
   if (result.answers.size() < options_.k) {
     size_t before = result.answers.size();
-    MergedDrain(heaps, num_shards, options_.k, &result.answers);
+    MergedDrain(heaps, L, options_.k, &result.answers);
     for (size_t i = before; i < result.answers.size(); ++i) {
       result.metrics.generated_times.push_back(result.answers[i].generated_at);
       result.metrics.output_times.push_back(timer.ElapsedSeconds());

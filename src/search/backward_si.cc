@@ -38,13 +38,22 @@ SearchStatus BackwardSISearcher::Resume(
   SliceTimer timer(ss.elapsed);
   const size_t n = origins.size();
 
-  const uint32_t num_shards = std::max<uint32_t>(1, options_.shard_count);
-  const ShardPlan plan{num_shards, graph_.num_nodes()};
-  ShardRuntime runtime(num_shards, options_.shard_pool);
+  // Frontier structures are partitioned into one lane per worker.
+  // Unlike the bidirectional BSP loop, the lane count here is free to
+  // follow shard_count: the pop order is the argmin over lane heap
+  // fronts under a lexicographic *total* order, which is a property of
+  // the frontier contents alone — any partition (including a single
+  // lane at shard_count 1, which keeps the sequential path free of
+  // per-pop multi-lane scans) replays the identical pop order.
+  const uint32_t num_workers =
+      std::min(std::max<uint32_t>(1, options_.shard_count), kNumLanes);
+  const uint32_t L = num_workers;
+  const ShardPlan plan{L, graph_.num_nodes()};
+  ShardRuntime runtime(num_workers, options_.shard_pool, options_.team_pool);
 
   SearchContext& ctx = *context;
   if (fresh) {
-    ctx.BeginQuery(n, num_shards);
+    ctx.BeginQuery(n, num_workers);
     // reach_maps[i] maps node → best path to the nearest origin of
     // keyword i (BackwardReach records, pooled flat tables in the
     // context).
@@ -57,8 +66,8 @@ SearchStatus BackwardSISearcher::Resume(
   // *lexicographic* order ("its backward iterator is prioritized only by
   // distance", §4.6 — the node/keyword tie-break never changes which
   // distance pops, it pins WHICH entry does, so the frontier can be
-  // sharded by NodeId range: the argmin over per-shard heap fronts is
-  // the exact entry a single heap would pop). Pooled per-shard min-heap
+  // partitioned by NodeId lane: the argmin over per-lane heap fronts is
+  // the exact entry a single heap would pop). Pooled per-lane min-heap
   // storage on the context, driven by push/pop_heap.
   using QE = SearchContext::SIFrontierEntry;
   std::vector<std::vector<QE>>& frontier = ctx.si_frontier;
@@ -68,14 +77,42 @@ SearchStatus BackwardSISearcher::Resume(
     return a.keyword > b.keyword;
   };
   auto frontier_push = [&](QE e) {
-    std::vector<QE>& shard = frontier[plan.ShardOf(e.node)];
-    shard.push_back(e);
-    std::push_heap(shard.begin(), shard.end(), qe_after);
+    std::vector<QE>& lane = frontier[plan.ShardOf(e.node)];
+    lane.push_back(e);
+    std::push_heap(lane.begin(), lane.end(), qe_after);
   };
-  // Shard whose front is the global minimum entry, or -1 when empty.
+  // Mailbox discipline for frontier updates: during one settled pop,
+  // pushes whose target lane differs from the popping lane are staged
+  // (ctx.si_stage, element = target lane) and applied at the end of the
+  // pop in lane order — the shared-frontier equivalent of the BSP
+  // apply-at-barrier rule, and what the cross-shard message metrics
+  // count. Result-neutral: the frontier is consulted only between pops,
+  // and the lexicographic total order makes the heap front a property
+  // of the contents alone.
+  std::vector<std::vector<QE>>& stage = ctx.si_stage;
+  auto staged_push = [&](uint32_t pop_lane, QE e) {
+    const uint32_t tl = plan.ShardOf(e.node);
+    if (tl == pop_lane) {
+      frontier_push(e);
+      return;
+    }
+    result.metrics.cross_shard_messages++;
+    stage[tl].push_back(e);
+  };
+  auto apply_staged = [&] {
+    for (uint32_t tl = 0; tl < L; ++tl) {
+      if (stage[tl].empty()) continue;
+      if (stage[tl].size() > result.metrics.max_mailbox_depth) {
+        result.metrics.max_mailbox_depth = stage[tl].size();
+      }
+      for (const QE& e : stage[tl]) frontier_push(e);
+      stage[tl].clear();
+    }
+  };
+  // Lane whose front is the global minimum entry, or -1 when empty.
   auto best_shard = [&]() -> int {
     int best = -1;
-    for (uint32_t p = 0; p < num_shards; ++p) {
+    for (uint32_t p = 0; p < L; ++p) {
       if (frontier[p].empty()) continue;
       if (best < 0 || qe_after(frontier[best].front(), frontier[p].front())) {
         best = static_cast<int>(p);
@@ -155,9 +192,9 @@ SearchStatus BackwardSISearcher::Resume(
     if (cit == nullptr || *cit < n) return;
     if (!build_tree(v) || !ctx.answer_scratch.IsMinimalRooted()) return;
     uint64_t sig = ctx.answer_scratch.Signature(&ctx.sig_scratch);
-    if (heaps[sig % num_shards].InsertCopy(ctx.answer_scratch, sig)) {
+    if (heaps[sig % L].InsertCopy(ctx.answer_scratch, sig)) {
       result.metrics.answers_generated++;
-      double top = MergedBestPendingScore(heaps, num_shards);
+      double top = MergedBestPendingScore(heaps, L);
       if (top > last_top + 1e-15) {
         last_top = top;
         last_progress = steps;
@@ -180,28 +217,26 @@ SearchStatus BackwardSISearcher::Resume(
     }
     if (!force && (steps % interval) != 0) return;
     // Coarse §4.5 bound: the global frontier minimum lower-bounds every
-    // m_i (the paper's "coarser approximation") — with shards, the min
-    // over the per-shard heap fronts.
+    // m_i (the paper's "coarser approximation") — the min over the
+    // per-lane heap fronts.
     double m = kInf;
-    for (uint32_t p = 0; p < num_shards; ++p) {
+    for (uint32_t p = 0; p < L; ++p) {
       if (!frontier[p].empty()) m = std::min(m, frontier[p].front().dist);
     }
     double h = m * static_cast<double>(n);
     size_t before = result.answers.size();
     if (options_.bound == BoundMode::kImmediate) {
-      MergedDrain(heaps, num_shards, options_.k, &result.answers);
+      MergedDrain(heaps, L, options_.k, &result.answers);
     } else if (options_.bound == BoundMode::kLoose) {
-      MergedReleaseWithEdgeBound(heaps, num_shards, h, options_.k,
-                                 &result.answers);
+      MergedReleaseWithEdgeBound(heaps, L, h, options_.k, &result.answers);
       if (options_.release_patience &&
           steps - last_progress >= options_.release_patience &&
           result.answers.size() < options_.k &&
-          MergedPendingCount(heaps, num_shards) > 0) {
+          MergedPendingCount(heaps, L) > 0) {
         // Staleness drip: the champion has been unbeaten for a while;
         // release a batch of the best pending answers.
-        MergedReleaseBest(heaps, num_shards,
-                          std::max<size_t>(1, options_.k / 8), options_.k,
-                          &result.answers);
+        MergedReleaseBest(heaps, L, std::max<size_t>(1, options_.k / 8),
+                          options_.k, &result.answers);
       }
     } else {
       // NRA-style (§4.5): partially reached nodes may complete each
@@ -224,11 +259,11 @@ SearchStatus BackwardSISearcher::Resume(
       };
       double best_potential = h;
       if (runtime.Engage(num_entries, kMinScanEntriesPerShard)) {
-        ctx.nra_partial.assign(num_shards, kInf);
-        runtime.Run([&](uint32_t shard) {
-          size_t begin = num_entries * shard / num_shards;
-          size_t end = num_entries * (shard + 1) / num_shards;
-          ctx.nra_partial[shard] = scan_slice(begin, end);
+        ctx.nra_partial.assign(num_workers, kInf);
+        runtime.Run([&](uint32_t w) {
+          size_t begin = num_entries * w / num_workers;
+          size_t end = num_entries * (w + 1) / num_workers;
+          ctx.nra_partial[w] = scan_slice(begin, end);
         });
         for (double p : ctx.nra_partial) {
           best_potential = std::min(best_potential, p);
@@ -237,12 +272,12 @@ SearchStatus BackwardSISearcher::Resume(
         best_potential = std::min(best_potential, scan_slice(0, num_entries));
       }
       double ub = ScoreUpperBound(best_potential, 1.0, options_.lambda);
-      MergedReleaseWithScoreBound(heaps, num_shards, ub - 1e-12, options_.k,
+      MergedReleaseWithScoreBound(heaps, L, ub - 1e-12, options_.k,
                                   &result.answers);
     }
     if (result.answers.size() != before) {
       last_progress = steps;
-      last_top = MergedBestPendingScore(heaps, num_shards);
+      last_top = MergedBestPendingScore(heaps, L);
     }
     for (size_t i = before; i < result.answers.size(); ++i) {
       result.metrics.generated_times.push_back(result.answers[i].generated_at);
@@ -273,6 +308,7 @@ SearchStatus BackwardSISearcher::Resume(
     if (r.settled || top.dist > r.dist + 1e-12) continue;  // stale entry
     r.settled = true;
     result.metrics.nodes_explored++;
+    result.metrics.bsp_rounds++;  // one settled pop per round (§4.6 argmin)
     steps++;
 
     if (r.hops < options_.dmax) {
@@ -281,6 +317,7 @@ SearchStatus BackwardSISearcher::Resume(
       const uint32_t next_hops = r.hops + 1;
       const double base = r.dist;
       const NodeId matched = r.matched;
+      const uint32_t pop_lane = static_cast<uint32_t>(p);
       for (const Edge& e : graph_.InEdges(top.node)) {
         if (!EdgeAllowed(e)) continue;
         result.metrics.edges_relaxed++;
@@ -298,10 +335,11 @@ SearchStatus BackwardSISearcher::Resume(
             covered[u]++;
             result.metrics.nodes_touched++;
           }
-          frontier_push(QE{nd, u, top.keyword});
+          staged_push(pop_lane, QE{nd, u, top.keyword});
           try_emit(u);
         }
       }
+      apply_staged();
     }
     maybe_release(false);
   }
@@ -309,7 +347,7 @@ SearchStatus BackwardSISearcher::Resume(
   maybe_release(true);
   if (result.answers.size() < options_.k) {
     size_t before = result.answers.size();
-    MergedDrain(heaps, num_shards, options_.k, &result.answers);
+    MergedDrain(heaps, L, options_.k, &result.answers);
     for (size_t i = before; i < result.answers.size(); ++i) {
       result.metrics.generated_times.push_back(result.answers[i].generated_at);
       result.metrics.output_times.push_back(timer.ElapsedSeconds());

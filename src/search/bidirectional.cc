@@ -1,9 +1,12 @@
 #include "search/bidirectional.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <exception>
 #include <limits>
+#include <mutex>
 #include <vector>
 
 #include "search/output_heap.h"
@@ -21,11 +24,6 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr uint32_t kNoState = UINT32_MAX;
 
-// Flags per explored directed edge.
-constexpr uint8_t kEdgeRecorded = 1;   // parent/child lists + dist relax done
-constexpr uint8_t kSpreadBackward = 2; // activation spread v→u done
-constexpr uint8_t kSpreadForward = 4;  // activation spread u→v done
-
 // Outcome of one parallel candidate build (materialization batch). The
 // sequential accept pass replays the guards of the one-at-a-time
 // materialize in this order: improvement pre-check (kSkip = failed),
@@ -36,11 +34,37 @@ constexpr uint8_t kCandWalkFail = 1;   // stale sp chain; commit eraw only
 constexpr uint8_t kCandBuildFail = 2;  // union build / minimality failed
 constexpr uint8_t kCandReady = 3;      // tree staged in cand_trees
 
-// Engage the shard team only when a phase has enough work to amortize
-// the wake-up barrier. Purely a scheduling choice: the same values are
-// computed either way.
+// Engage the shard team for the *tail* phases (post-loop force release)
+// only when there is enough work to amortize the wake-up. Purely a
+// scheduling choice: the same values are computed either way.
 constexpr size_t kMinCandidatesPerShard = 2;
 constexpr size_t kMinScanStatesPerShard = 2048;
+
+// A lane pops this round iff its best frontier activation is at least
+// this fraction of the global best. The global-best lane always
+// qualifies, so every round pops at least one node and the loop makes
+// progress; lanes holding only low-priority work sit the round out, so
+// the pop set tracks the paper's activation prioritization instead of
+// blindly popping one node per lane. A query constant: the pop set is a
+// deterministic function of the round-start frontier.
+constexpr double kLanePopFraction = 0.5;
+
+// Per-round coordinator→worker control block. Written only by worker 0
+// in its sequential sections, each of which ends at a barrier before
+// any other worker reads — the barrier's release/acquire pair is the
+// only synchronization these plain fields need.
+struct RoundFlags {
+  bool stop = false;      // leave the round loop (B_control)
+  bool paused = false;    // stop was a streaming pause, not termination
+  bool cascade = false;   // current mailbox bank still holds messages
+  bool do_release = false;  // this round crossed a release-check boundary
+  size_t build_batch = 0;   // dirty roots staged for the build phase
+  // Metric bases frozen at round start: every root marked during the
+  // round reports the same explored/touched-at-generation, making the
+  // bookkeeping independent of intra-round lane order.
+  uint64_t explored_base = 0;
+  uint64_t touched_base = 0;
+};
 
 }  // namespace
 
@@ -53,33 +77,34 @@ SearchStatus BidirectionalSearcher::Resume(
   const bool fresh = start == SliceStart::kFresh;
 
   // The whole control state of the search lives in the stream state;
-  // everything below it (frontiers, per-state arrays, output buffers)
-  // lives in the context pools. A resumed slice re-binds the references
-  // and lambdas — cheap — and continues the loop exactly where the
-  // previous slice paused.
+  // everything below it (frontiers, per-state arrays, mailboxes, output
+  // buffers) lives in the context pools. A resumed slice re-binds the
+  // references and lambdas — cheap — and continues the round loop
+  // exactly at the round boundary where the previous slice paused (the
+  // only place a pause can land, so all mailboxes are empty here).
   SearchResult& result = ss.result;
   SliceTimer timer(ss.elapsed);
   const uint32_t n = static_cast<uint32_t>(origins.size());
 
-  // ---- Sharding plan ------------------------------------------------------
-  // The frontier (queues, node→state maps, §4.5 minima, output buffers)
-  // is partitioned into NodeId ranges. Expansion order is a strict total
-  // order — activation, then NodeId — so the argmax over per-shard heap
-  // tops is the same node a single heap would pop, and every shard count
-  // (including 1, the sequential path) runs the identical search.
-  const uint32_t num_shards = std::max<uint32_t>(1, options_.shard_count);
-  const ShardPlan plan{num_shards, graph_.num_nodes()};
-  ShardRuntime runtime(num_shards, options_.shard_pool);
+  // ---- Lanes and workers --------------------------------------------------
+  // The search state is partitioned into kNumLanes fixed lanes (see
+  // sharding.h for the BSP round structure and the determinism
+  // contract). shard_count picks only how many worker threads execute
+  // the lanes: W == 1 runs them sequentially through the identical code
+  // path, so every shard count produces byte-identical answers.
+  const uint32_t L = kNumLanes;
+  const uint32_t num_workers =
+      std::min(std::max<uint32_t>(1, options_.shard_count), kNumLanes);
+  const LanePlan plan = LanePlan::ForNodes(graph_.num_nodes());
+  ShardRuntime runtime(num_workers, options_.shard_pool, options_.team_pool);
 
   // ---- State storage (pooled in the reusable context) ---------------------
   // Per-state bookkeeping is structure-of-arrays: parallel flat vectors
-  // indexed by state index. The explore loop below only ever touches the
-  // arrays it reads — popping a node reads node/depth/flags without
-  // dragging the materialization bookkeeping through the cache. State
-  // indices are global (discovery order); only the frontier structures
-  // are per-shard.
+  // indexed by global state index (discovery order). The arrays grow
+  // only in the coordinator's sequential discovery pass, so parallel
+  // phases read them without ever racing a reallocation.
   SearchContext& ctx = *context;
-  if (fresh) ctx.BeginQuery(n, num_shards);
+  if (fresh) ctx.BeginQuery(n, num_workers);
   std::vector<NodeId>& node_of = ctx.node;
   std::vector<uint32_t>& depth_of = ctx.depth;
   std::vector<uint8_t>& flags_of = ctx.state_flags;
@@ -89,8 +114,10 @@ SearchStatus BidirectionalSearcher::Resume(
   std::vector<double>& act = ctx.act;          // per-keyword activation
   std::vector<double>& act_sum = ctx.act_sum;  // per-state total (queue key)
 
+  // Discovery: coordinator-only (sequential sections), so first-message
+  // order — which is deterministic — decides a new state's depth.
   auto get_state = [&](NodeId v, uint32_t depth) -> uint32_t {
-    uint32_t& slot = ctx.node_shard_index[plan.ShardOf(v)][v];
+    uint32_t& slot = ctx.node_shard_index[plan.LaneOf(v)][v];
     if (slot != 0) return slot - 1;  // stored index + 1; 0 means new
     uint32_t idx = static_cast<uint32_t>(node_of.size());
     slot = idx + 1;
@@ -115,23 +142,23 @@ SearchStatus BidirectionalSearcher::Resume(
   auto a_at = [&](uint32_t s, uint32_t i) -> double& { return act[s * n + i]; };
 
   // ---- Queues and frontier bookkeeping -----------------------------------
-  // One heap per shard; a state lives in the heaps of the shard owning
-  // its NodeId. Priorities carry (activation, NodeId) so the cross-shard
-  // argmax below is total-order exact.
+  // One heap per lane; a state lives in the heaps of the lane owning
+  // its NodeId, and only that lane's worker ever touches them during a
+  // parallel phase.
   std::vector<IndexedHeap<ActPriority>>& qin = ctx.qin;
   std::vector<IndexedHeap<ActPriority>>& qout = ctx.qout;
-  // Per (shard, keyword) min-dist over frontier states (§4.5 bound m_i:
-  // reduced min across shards).
+  // Per (lane, keyword) min-dist over frontier states (§4.5 bound m_i:
+  // reduced min across lanes at the release check).
   std::vector<IndexedHeap<double, std::greater<double>>>& min_dist =
       ctx.min_dist;
-  // Min-depth over each queue shard (fallback bound when no distance is
+  // Min-depth over each queue lane (fallback bound when no distance is
   // known).
   std::vector<IndexedHeap<uint32_t, std::greater<uint32_t>>>& qin_depth =
       ctx.qin_depth;
   std::vector<IndexedHeap<uint32_t, std::greater<uint32_t>>>& qout_depth =
       ctx.qout_depth;
 
-  auto shard_of_state = [&](uint32_t s) { return plan.ShardOf(node_of[s]); };
+  auto lane_of_state = [&](uint32_t s) { return plan.LaneOf(node_of[s]); };
   auto pri_of = [&](uint32_t s) {
     return ActPriority{act_sum[s], node_of[s]};
   };
@@ -143,28 +170,28 @@ SearchStatus BidirectionalSearcher::Resume(
   // The per-keyword frontier-minimum heaps only feed the tight bound;
   // maintaining them costs a heap update per (relaxation × keyword), so
   // loose/immediate modes skip them (their releases are driven by the
-  // edge-bound-with-drip machinery, see maybe_release).
+  // edge-bound-with-drip machinery, see the release sections below).
   const bool track_frontier_minima = options_.bound == BoundMode::kTight;
   auto frontier_dist_update = [&](uint32_t s, uint32_t i) {
     if (!track_frontier_minima) return;
-    const uint32_t p = shard_of_state(s);
-    if (qin[p].Contains(s) || qout[p].Contains(s)) {
-      if (d_at(s, i) != kInf) min_dist[p * n + i].Update(s, d_at(s, i));
+    const uint32_t l = lane_of_state(s);
+    if (qin[l].Contains(s) || qout[l].Contains(s)) {
+      if (d_at(s, i) != kInf) min_dist[l * n + i].Update(s, d_at(s, i));
     }
   };
   auto frontier_enter = [&](uint32_t s) {
     if (!track_frontier_minima) return;
-    const uint32_t p = shard_of_state(s);
+    const uint32_t l = lane_of_state(s);
     for (uint32_t i = 0; i < n; ++i) {
-      if (d_at(s, i) != kInf) min_dist[p * n + i].Update(s, d_at(s, i));
+      if (d_at(s, i) != kInf) min_dist[l * n + i].Update(s, d_at(s, i));
     }
   };
   auto frontier_leave = [&](uint32_t s) {
     if (!track_frontier_minima) return;
-    const uint32_t p = shard_of_state(s);
-    if (qin[p].Contains(s) || qout[p].Contains(s)) return;  // still frontier
+    const uint32_t l = lane_of_state(s);
+    if (qin[l].Contains(s) || qout[l].Contains(s)) return;  // still frontier
     for (uint32_t i = 0; i < n; ++i) {
-      if (min_dist[p * n + i].Contains(s)) min_dist[p * n + i].Erase(s);
+      if (min_dist[l * n + i].Contains(s)) min_dist[l * n + i].Erase(s);
     }
   };
 
@@ -173,6 +200,47 @@ SearchStatus BidirectionalSearcher::Resume(
   uint64_t& steps = ss.steps;
   uint64_t& last_progress = ss.last_progress;  // last step best pending changed
   double& last_top = ss.last_top;              // champion score being aged
+
+  // ---- Round control block ------------------------------------------------
+  RoundFlags flags;
+  // Failure protocol: any phase body that throws records the exception
+  // and raises `failed`; phase bodies are skipped once it is up, but
+  // every worker still arrives at every barrier, and the only loop exit
+  // is the control barrier, where worker 0 — for whom `failed` is
+  // stable — publishes stop. Uniform barrier traffic is what makes the
+  // abort deadlock-free.
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_failure;
+  std::mutex failure_mu;
+  auto record_failure = [&]() {
+    std::lock_guard<std::mutex> lock(failure_mu);
+    if (!first_failure) first_failure = std::current_exception();
+    failed.store(true, std::memory_order_release);
+  };
+  auto guarded = [&](auto&& fn) {
+    if (failed.load(std::memory_order_acquire)) return;
+    try {
+      fn();
+    } catch (...) {
+      record_failure();
+    }
+  };
+
+  // ---- Mailboxes ----------------------------------------------------------
+  auto box_at = [&](int bank, uint32_t sender, uint32_t receiver)
+      -> LaneMailbox& {
+    return ctx.mailboxes[(static_cast<size_t>(bank) * kNumLanes + sender) *
+                             kNumLanes +
+                         receiver];
+  };
+  auto post = [&](int bank, uint32_t sender, uint32_t receiver,
+                  const LaneMessage& m) {
+    LaneMailbox& box = box_at(bank, sender, receiver);
+    box.msgs.push_back(m);
+    LaneCounters& c = ctx.lane_counters[sender];
+    if (receiver != sender) c.cross_msgs++;
+    if (box.msgs.size() > c.max_box) c.max_box = box.msgs.size();
+  };
 
   // ---- Emission -----------------------------------------------------------
   auto is_complete = [&](uint32_t s) {
@@ -185,15 +253,17 @@ SearchStatus BidirectionalSearcher::Resume(
   // Materializing a tree (union Dijkstra + scoring + signature) is two
   // orders of magnitude more expensive than a distance relaxation, and
   // Attach can improve a completed root thousands of times. emit() only
-  // *marks* the root; materialize_dirty() builds trees in batches at the
-  // release checks, once the batch's distances have settled.
+  // *marks* the root (into its lane's emit list — emit runs inside
+  // parallel phases); the build phase materializes trees in batches at
+  // the release checks, once the batch's distances have settled.
   std::vector<uint32_t>& dirty_roots = ctx.dirty_roots;
 
   // Top-k eraw watermark: a root whose raw edge score is far beyond the
   // k-th best generated answer cannot enter the top-k (prestige can
   // reorder scores only within a bounded factor; the 2(1+w) slack is
   // generous for λ = 0.2). Prunes the long tail of late completions.
-  // Pooled max-heap of the k smallest eraws seen.
+  // Pooled max-heap of the k smallest eraws seen; mutated only in the
+  // coordinator's accept section, so parallel-phase reads are safe.
   std::vector<double>& best_eraws = ctx.best_eraws;
   auto beyond_watermark = [&](double eraw) {
     return best_eraws.size() >= options_.k &&
@@ -211,9 +281,9 @@ SearchStatus BidirectionalSearcher::Resume(
     if (!(flags_of[s] & kStateDirty)) {
       flags_of[s] |= kStateDirty;
       ctx.marked_time[s] = timer.ElapsedSeconds();
-      ctx.marked_explored[s] = result.metrics.nodes_explored;
-      ctx.marked_touched[s] = result.metrics.nodes_touched;
-      dirty_roots.push_back(s);
+      ctx.marked_explored[s] = flags.explored_base;
+      ctx.marked_touched[s] = flags.touched_base;
+      ctx.lane_dirty[lane_of_state(s)].push_back(s);
     }
   };
 
@@ -264,30 +334,10 @@ SearchStatus BidirectionalSearcher::Resume(
     ctx.cand_state[j] = kCandReady;
   };
 
-  // Two-phase materialization: shard workers build the batch's candidate
-  // trees in parallel (the expensive union-Dijkstra + scoring), then the
-  // coordinator replays acceptance — watermark, last_eraw commit,
-  // duplicate suppression, metrics — sequentially in mark order. The
-  // outcome is byte-identical to materializing each root on arrival.
-  auto materialize_dirty = [&] {
+  // Sequential accept replay — watermark, last_eraw commit, duplicate
+  // suppression, metrics — in mark order. Coordinator only.
+  auto accept_batch = [&] {
     const size_t batch = dirty_roots.size();
-    if (batch == 0) return;
-    if (ctx.cand_trees.size() < batch) ctx.cand_trees.resize(batch);
-    ctx.cand_state.assign(batch, kCandSkip);
-    ctx.cand_eraw.assign(batch, kInf);
-    if (runtime.Engage(batch, kMinCandidatesPerShard)) {
-      runtime.PrepareWorkerScratch();
-      runtime.Run([&](uint32_t shard) {
-        SearchContext* scratch =
-            shard == 0 ? &ctx : runtime.WorkerScratch(shard);
-        for (size_t j = shard; j < batch; j += num_shards) {
-          build_candidate(j, scratch);
-        }
-      });
-    } else {
-      for (size_t j = 0; j < batch; ++j) build_candidate(j, &ctx);
-    }
-
     for (size_t j = 0; j < batch; ++j) {
       const uint32_t s = dirty_roots[j];
       flags_of[s] &= static_cast<uint8_t>(~kStateDirty);
@@ -298,7 +348,7 @@ SearchStatus BidirectionalSearcher::Resume(
       if (ctx.cand_state[j] != kCandReady) continue;
       AnswerTree& tree = ctx.cand_trees[j];
       uint64_t sig = tree.Signature(&ctx.sig_scratch);
-      if (heaps[sig % num_shards].InsertCopy(tree, sig)) {
+      if (heaps[sig % L].InsertCopy(tree, sig)) {
         result.metrics.answers_generated++;
         best_eraws.push_back(eraw);
         std::push_heap(best_eraws.begin(), best_eraws.end());
@@ -306,7 +356,7 @@ SearchStatus BidirectionalSearcher::Resume(
           std::pop_heap(best_eraws.begin(), best_eraws.end());
           best_eraws.pop_back();
         }
-        double top = MergedBestPendingScore(heaps, num_shards);
+        double top = MergedBestPendingScore(heaps, L);
         if (top > last_top + 1e-15) {
           last_top = top;
           last_progress = steps;
@@ -317,19 +367,34 @@ SearchStatus BidirectionalSearcher::Resume(
   };
 
   // ---- Attach: best-first propagation of distance improvements (§4.2.1) --
-  // The scratch queue lives on the context (drained to empty before each
-  // return, so reuse is safe) — Attach runs once per relaxation and a
-  // fresh heap allocation per call would dominate small queries.
-  auto attach = [&](uint32_t s0, uint32_t i) {
-    auto& pq = ctx.attach_queue;
-    pq.emplace(d_at(s0, i), s0);
+  // Lane-local cascade: runs on the lane's own queue; hops that leave
+  // the lane are posted as kRelax messages into the produce bank and
+  // picked up by the owner in the next cascade sub-round. The remote
+  // send is unconditional — the receiver re-checks improvement, and the
+  // epsilon guard keeps the message volume finite — because peeking at
+  // the remote row to pre-filter would read state another lane may be
+  // mutating this very phase.
+  auto attach_local = [&](uint32_t l, uint32_t i, int pb) {
+    auto& pq = ctx.attach_queues[l];
+    LaneCounters& c = ctx.lane_counters[l];
     while (!pq.empty()) {
       auto [d0, u] = pq.top();
       pq.pop();
       if (d0 > d_at(u, i) + 1e-12) continue;  // stale
       ctx.edge_lists.ForEach(ctx.parents[u], [&](uint32_t x, float w) {
-        result.metrics.propagation_steps++;
+        c.propagation++;
         double nd = d0 + w;
+        const uint32_t xl = lane_of_state(x);
+        if (xl != l) {
+          LaneMessage m;
+          m.type = LaneMessage::kRelax;
+          m.kw = i;
+          m.target_state = x;
+          m.via_state = u;
+          m.value = nd;
+          post(pb, l, xl, m);
+          return;  // continue ForEach
+        }
         if (nd < d_at(x, i) - 1e-12) {
           d_at(x, i) = nd;
           sp_at(x, i) = u;
@@ -343,12 +408,12 @@ SearchStatus BidirectionalSearcher::Resume(
 
   // ---- Activate: best-first propagation of activation increases (§4.3) ---
   auto queue_priority_update = [&](uint32_t s) {
-    const uint32_t p = shard_of_state(s);
-    if (qin[p].Contains(s)) qin[p].Update(s, pri_of(s));
-    if (qout[p].Contains(s)) qout[p].Update(s, pri_of(s));
+    const uint32_t l = lane_of_state(s);
+    if (qin[l].Contains(s)) qin[l].Update(s, pri_of(s));
+    if (qout[l].Contains(s)) qout[l].Update(s, pri_of(s));
   };
 
-  auto raise_activation = [&](uint32_t s, uint32_t i, double value) -> bool {
+  auto raise_local = [&](uint32_t s, uint32_t i, double value) -> bool {
     if (options_.combine == ActivationCombine::kSum) {
       act_sum[s] += value;
       a_at(s, i) += value;
@@ -365,10 +430,10 @@ SearchStatus BidirectionalSearcher::Resume(
     return true;
   };
 
-  auto activate = [&](uint32_t s0, uint32_t i) {
+  auto activate_local = [&](uint32_t l, uint32_t i, int pb) {
     if (options_.combine == ActivationCombine::kSum) return;
-    auto& pq = ctx.activate_queue;  // max-heap: strongest activation first
-    pq.emplace(a_at(s0, i), s0);
+    auto& pq = ctx.activate_queues[l];  // max-heap: strongest first
+    LaneCounters& c = ctx.lane_counters[l];
     while (!pq.empty()) {
       auto [a0, v] = pq.top();
       pq.pop();
@@ -377,78 +442,327 @@ SearchStatus BidirectionalSearcher::Resume(
       double in_norm = graph_.InInverseWeightSum(v_node);
       if (in_norm > 0) {
         ctx.edge_lists.ForEach(ctx.parents[v], [&](uint32_t x, float w) {
-          result.metrics.propagation_steps++;
+          c.propagation++;
           double recv = options_.mu * a0 * (1.0 / w) / in_norm;
-          if (raise_activation(x, i, recv)) pq.emplace(recv, x);
+          const uint32_t xl = lane_of_state(x);
+          if (xl != l) {
+            LaneMessage m;
+            m.type = LaneMessage::kRaise;
+            m.kw = i;
+            m.target_state = x;
+            m.value = recv;
+            post(pb, l, xl, m);
+            return;
+          }
+          if (raise_local(x, i, recv)) pq.emplace(recv, x);
         });
       }
       double out_norm = graph_.OutInverseWeightSum(v_node);
       if (out_norm > 0) {
         ctx.edge_lists.ForEach(ctx.children[v], [&](uint32_t y, float w) {
-          result.metrics.propagation_steps++;
+          c.propagation++;
           double recv = options_.mu * a0 * (1.0 / w) / out_norm;
-          if (raise_activation(y, i, recv)) pq.emplace(recv, y);
+          const uint32_t yl = lane_of_state(y);
+          if (yl != l) {
+            LaneMessage m;
+            m.type = LaneMessage::kRaise;
+            m.kw = i;
+            m.target_state = y;
+            m.value = recv;
+            post(pb, l, yl, m);
+            return;
+          }
+          if (raise_local(y, i, recv)) pq.emplace(recv, y);
         });
       }
     }
   };
 
-  // ---- ExploreEdge (Figure 3): edge (u,v), i.e. u→v in the graph ----------
-  // `incoming_context` is true when called while expanding v from Q_in
-  // (activation then spreads v→u); false when expanding u from Q_out
-  // (activation spreads u→v).
-  auto explore_edge = [&](uint32_t su, uint32_t sv, float w,
-                          bool incoming_context) {
-    result.metrics.edges_relaxed++;
-    uint64_t key = (static_cast<uint64_t>(su) << 32) | sv;
-    // Reference into the flat map: valid until the next edge_flags
-    // insertion, and nothing below inserts into edge_flags.
-    uint8_t& flags = ctx.edge_flags[key];
+  // Relax local state `su` through provider `sv` using the provider's
+  // per-keyword distance row `dv` (a mailbox-payload snapshot, or sv's
+  // live row when sv is lane-local — old ExploreEdge read it live too).
+  auto relax_with_dists = [&](uint32_t l, uint32_t su, uint32_t sv,
+                              const double* dv, float w, int pb) {
+    for (uint32_t i = 0; i < n; ++i) {
+      if (dv[i] == kInf) continue;
+      const double nd = dv[i] + w;
+      if (nd < d_at(su, i) - 1e-12) {
+        d_at(su, i) = nd;
+        sp_at(su, i) = sv;
+        frontier_dist_update(su, i);
+        emit(su);
+        ctx.attach_queues[l].emplace(nd, su);
+        attach_local(l, i, pb);
+      }
+    }
+  };
 
-    if (!(flags & kEdgeRecorded)) {
-      flags |= kEdgeRecorded;
-      ctx.edge_lists.Append(&ctx.parents[sv], su, w);
-      ctx.edge_lists.Append(&ctx.children[su], sv, w);
-      // Relax u's per-keyword distances through v ("if u has a better
-      // path to t_i via v").
-      for (uint32_t i = 0; i < n; ++i) {
-        if (d_at(sv, i) == kInf) continue;
-        double nd = d_at(sv, i) + w;
-        if (nd < d_at(su, i) - 1e-12) {
-          d_at(su, i) = nd;
-          sp_at(su, i) = sv;
-          frontier_dist_update(su, i);
-          emit(su);
-          attach(su, i);
+  // ---- Message application (cascade sub-rounds) ---------------------------
+  // `l` is the receiving lane; `pb` the produce bank for effects that
+  // leave the lane again.
+  auto apply_message = [&](uint32_t l, const LaneMailbox& box,
+                           const LaneMessage& m, int pb) {
+    LaneCounters& c = ctx.lane_counters[l];
+    switch (m.type) {
+      case LaneMessage::kExploreIn: {
+        // Popped v explored in-edge u→v; this lane owns u.
+        const uint32_t su = m.target_state;
+        const uint32_t sv = m.via_state;
+        const double* pay = box.payload.data() + m.payload;
+        // Relax u through v (Figure 3's "better path to t_i via v"),
+        // from v's distance row as of its pop. Later improvements of v
+        // flow through the now-linked edge via Attach.
+        relax_with_dists(l, su, sv, pay, m.w, pb);
+        // Backward activation spread v→u, once per directed edge.
+        {
+          const uint64_t key = (static_cast<uint64_t>(su) << 32) | sv;
+          uint8_t& f = ctx.lane_edge_flags[l][key];
+          const bool spread = !(f & kEdgeSpreadIn);
+          f |= kEdgeSpreadIn;
+          if (spread) {
+            for (uint32_t i = 0; i < n; ++i) {
+              const double recv = pay[n + i];
+              if (recv <= 0) continue;
+              if (raise_local(su, i, recv)) {
+                ctx.activate_queues[l].emplace(a_at(su, i), su);
+                activate_local(l, i, pb);
+              }
+            }
+          }
+        }
+        // Frontier entry for u.
+        if (!(flags_of[su] & kStatePoppedIn) && !qin[l].Contains(su)) {
+          qin[l].Push(su, pri_of(su));
+          qin_depth[l].Push(su, depth_of[su]);
+          c.touched++;
+          frontier_enter(su);
+        }
+        break;
+      }
+      case LaneMessage::kExploreOut: {
+        // Popped u explored out-edge u→v; this lane owns v.
+        const uint32_t sv = m.target_state;
+        const uint32_t su = m.via_state;
+        const double* pay = box.payload.data() + m.payload;
+        // u can relax through v when v already has finite distances
+        // (the out-context half of ExploreEdge's record-time relax):
+        // lane-local u relaxes inline; a remote u gets v's distance row
+        // as a kDistReply in the next sub-round.
+        {
+          bool any = false;
+          for (uint32_t i = 0; i < n; ++i) {
+            if (d_at(sv, i) != kInf) {
+              any = true;
+              break;
+            }
+          }
+          if (any) {
+            const uint32_t ul = lane_of_state(su);
+            if (ul == l) {
+              relax_with_dists(l, su, sv, &dist[static_cast<size_t>(sv) * n],
+                               m.w, pb);
+            } else {
+              LaneMailbox& rbox = box_at(pb, l, ul);
+              LaneMessage rm;
+              rm.type = LaneMessage::kDistReply;
+              rm.target_state = su;
+              rm.via_state = sv;
+              rm.w = m.w;
+              rm.payload = static_cast<uint32_t>(rbox.payload.size());
+              for (uint32_t i = 0; i < n; ++i) {
+                rbox.payload.push_back(d_at(sv, i));
+              }
+              post(pb, l, ul, rm);
+            }
+          }
+        }
+        // Forward activation spread u→v, once per directed edge.
+        {
+          const uint64_t key = (static_cast<uint64_t>(su) << 32) | sv;
+          uint8_t& f = ctx.lane_edge_flags[l][key];
+          const bool spread = !(f & kEdgeSpreadOut);
+          f |= kEdgeSpreadOut;
+          if (spread) {
+            for (uint32_t i = 0; i < n; ++i) {
+              const double recv = pay[i];
+              if (recv <= 0) continue;
+              if (raise_local(sv, i, recv)) {
+                ctx.activate_queues[l].emplace(a_at(sv, i), sv);
+                activate_local(l, i, pb);
+              }
+            }
+          }
+        }
+        // Frontier entry for v (Q_out).
+        if (!(flags_of[sv] & kStateEverInQout)) {
+          flags_of[sv] |= kStateEverInQout;
+          qout[l].Push(sv, pri_of(sv));
+          qout_depth[l].Push(sv, depth_of[sv]);
+          c.touched++;
+          frontier_enter(sv);
+        }
+        break;
+      }
+      case LaneMessage::kDistReply: {
+        const double* pay = box.payload.data() + m.payload;
+        relax_with_dists(l, m.target_state, m.via_state, pay, m.w, pb);
+        break;
+      }
+      case LaneMessage::kRelax: {
+        const uint32_t x = m.target_state;
+        if (m.value < d_at(x, m.kw) - 1e-12) {
+          d_at(x, m.kw) = m.value;
+          sp_at(x, m.kw) = m.via_state;
+          frontier_dist_update(x, m.kw);
+          emit(x);
+          ctx.attach_queues[l].emplace(m.value, x);
+          attach_local(l, m.kw, pb);
+        }
+        break;
+      }
+      case LaneMessage::kRaise: {
+        const uint32_t x = m.target_state;
+        if (raise_local(x, m.kw, m.value)) {
+          ctx.activate_queues[l].emplace(a_at(x, m.kw), x);
+          activate_local(l, m.kw, pb);
+        }
+        break;
+      }
+    }
+  };
+
+  // ---- Pop phase ----------------------------------------------------------
+  // One pop per qualifying lane (ctx.lane_pop, decided at the control
+  // barrier). Edge explorations always leave through the mailboxes —
+  // even lane-local ones — so that node discovery and edge-list linking
+  // happen only in the coordinator's sequential discovery pass.
+  auto pop_lane = [&](uint32_t l) {
+    const uint8_t which = ctx.lane_pop[l];
+    if (which == 0) return;
+    LaneCounters& c = ctx.lane_counters[l];
+    if (which == 1) {
+      const uint32_t v = qin[l].Pop();
+      if (qin_depth[l].Contains(v)) qin_depth[l].Erase(v);
+      frontier_leave(v);
+      flags_of[v] |= kStatePoppedIn;
+      const NodeId v_node = node_of[v];
+      const uint32_t v_depth = depth_of[v];
+      c.explored++;
+      emit(v);
+      if (v_depth < options_.dmax) {
+        const double norm = graph_.InInverseWeightSum(v_node);
+        for (const Edge& e : graph_.InEdges(v_node)) {
+          if (!EdgeAllowed(e)) continue;
+          c.relaxed++;
+          const uint32_t rl = plan.LaneOf(e.other);
+          LaneMailbox& bx = box_at(0, l, rl);
+          LaneMessage m;
+          m.type = LaneMessage::kExploreIn;
+          m.target_node = e.other;
+          m.via_state = v;
+          m.w = e.weight;
+          m.depth = v_depth + 1;
+          m.payload = static_cast<uint32_t>(bx.payload.size());
+          for (uint32_t i = 0; i < n; ++i) bx.payload.push_back(d_at(v, i));
+          for (uint32_t i = 0; i < n; ++i) {
+            double recv = 0;
+            if (norm > 0 && a_at(v, i) > 0) {
+              recv = options_.mu * a_at(v, i) * (1.0 / e.weight) / norm;
+            }
+            bx.payload.push_back(recv);
+          }
+          post(0, l, rl, m);
+        }
+      }
+      if (!(flags_of[v] & kStateEverInQout)) {
+        flags_of[v] |= kStateEverInQout;
+        qout[l].Push(v, pri_of(v));
+        qout_depth[l].Push(v, v_depth);
+        c.touched++;
+        frontier_enter(v);
+      }
+    } else {
+      const uint32_t u = qout[l].Pop();
+      if (qout_depth[l].Contains(u)) qout_depth[l].Erase(u);
+      frontier_leave(u);
+      flags_of[u] |= kStatePoppedOut;
+      const NodeId u_node = node_of[u];
+      const uint32_t u_depth = depth_of[u];
+      c.explored++;
+      emit(u);
+      if (u_depth < options_.dmax) {
+        const double norm = graph_.OutInverseWeightSum(u_node);
+        for (const Edge& e : graph_.OutEdges(u_node)) {
+          if (!EdgeAllowed(e)) continue;
+          c.relaxed++;
+          const uint32_t rl = plan.LaneOf(e.other);
+          LaneMailbox& bx = box_at(0, l, rl);
+          LaneMessage m;
+          m.type = LaneMessage::kExploreOut;
+          m.target_node = e.other;
+          m.via_state = u;
+          m.w = e.weight;
+          m.depth = u_depth + 1;
+          m.payload = static_cast<uint32_t>(bx.payload.size());
+          for (uint32_t i = 0; i < n; ++i) {
+            double recv = 0;
+            if (norm > 0 && a_at(u, i) > 0) {
+              recv = options_.mu * a_at(u, i) * (1.0 / e.weight) / norm;
+            }
+            bx.payload.push_back(recv);
+          }
+          post(0, l, rl, m);
         }
       }
     }
+  };
 
-    if (incoming_context && !(flags & kSpreadBackward)) {
-      flags |= kSpreadBackward;
-      double norm = graph_.InInverseWeightSum(node_of[sv]);
-      if (norm > 0) {
-        for (uint32_t i = 0; i < n; ++i) {
-          if (a_at(sv, i) <= 0) continue;
-          double recv = options_.mu * a_at(sv, i) * (1.0 / w) / norm;
-          if (raise_activation(su, i, recv)) activate(su, i);
-        }
-      }
-    }
-    if (!incoming_context && !(flags & kSpreadForward)) {
-      flags |= kSpreadForward;
-      double norm = graph_.OutInverseWeightSum(node_of[su]);
-      if (norm > 0) {
-        for (uint32_t i = 0; i < n; ++i) {
-          if (a_at(su, i) <= 0) continue;
-          double recv = options_.mu * a_at(su, i) * (1.0 / w) / norm;
-          if (raise_activation(sv, i, recv)) activate(sv, i);
+  // ---- Discovery (coordinator, after the pop barrier) ---------------------
+  // Walk the pop phase's mailboxes in (sender, receiver, sequence)
+  // order: resolve target states (first message wins a new node's
+  // depth) and link the explored edges into the owner lanes' lists.
+  // The single edge-list arena is safe because this pass is the only
+  // writer and every parallel phase only reads the lists.
+  auto discovery = [&] {
+    for (uint32_t s = 0; s < L; ++s) {
+      for (uint32_t r = 0; r < L; ++r) {
+        LaneMailbox& box = box_at(0, s, r);
+        for (LaneMessage& m : box.msgs) {
+          if (m.type != LaneMessage::kExploreIn &&
+              m.type != LaneMessage::kExploreOut) {
+            continue;
+          }
+          const uint32_t ts = get_state(m.target_node, m.depth);
+          m.target_state = ts;
+          uint32_t su, sv;
+          if (m.type == LaneMessage::kExploreIn) {
+            su = ts;
+            sv = m.via_state;
+          } else {
+            sv = ts;
+            su = m.via_state;
+          }
+          const uint64_t key = (static_cast<uint64_t>(su) << 32) | sv;
+          // Both linking bits live in the coordinator-owned edge_links
+          // map (this pass is its only toucher), so one lookup covers
+          // them; Append never mutates the map, so holding the
+          // reference across both is safe.
+          uint8_t& f = ctx.edge_links[key];
+          if (!(f & kEdgeParentLinked)) {
+            f |= kEdgeParentLinked;
+            ctx.edge_lists.Append(&ctx.parents[sv], su, m.w);
+          }
+          if (!(f & kEdgeChildLinked)) {
+            f |= kEdgeChildLinked;
+            ctx.edge_lists.Append(&ctx.children[su], sv, m.w);
+          }
         }
       }
     }
   };
 
   // ---- Seeding (Eq. 1): a_{u,i} = prestige(u) / |S_i| ---------------------
+  // Sequential, on the coordinator, before the round loop starts.
   if (fresh) {
     for (uint32_t i = 0; i < n; ++i) {
       std::vector<NodeId>& uniq = ctx.uniq_scratch;
@@ -468,32 +782,32 @@ SearchStatus BidirectionalSearcher::Resume(
       double total = 0;
       for (uint32_t i = 0; i < n; ++i) total += a_at(s, i);
       act_sum[s] = total;
-      const uint32_t p = shard_of_state(s);
-      qin[p].Push(s, pri_of(s));
-      qin_depth[p].Push(s, depth_of[s]);
+      const uint32_t l = lane_of_state(s);
+      qin[l].Push(s, pri_of(s));
+      qin_depth[l].Push(s, depth_of[s]);
       result.metrics.nodes_touched++;
       frontier_enter(s);
     }
   }
 
   // ---- §4.5 release bound -------------------------------------------------
-  // Both floors are reductions across shards: min over the per-shard
-  // frontier-minimum heaps, min over the per-shard depth heaps.
+  // Both floors are reductions across lanes: min over the per-lane
+  // frontier-minimum heaps, min over the per-lane depth heaps.
   auto keyword_floor = [&](uint32_t i) -> double {
     double m = kInf;
-    for (uint32_t p = 0; p < num_shards; ++p) {
-      if (!min_dist[p * n + i].empty()) {
-        m = std::min(m, min_dist[p * n + i].TopPriority());
+    for (uint32_t l = 0; l < L; ++l) {
+      if (!min_dist[l * n + i].empty()) {
+        m = std::min(m, min_dist[l * n + i].TopPriority());
       }
     }
     uint32_t best_in_depth = UINT32_MAX;
     uint32_t best_out_depth = UINT32_MAX;
-    for (uint32_t p = 0; p < num_shards; ++p) {
-      if (!qin_depth[p].empty()) {
-        best_in_depth = std::min(best_in_depth, qin_depth[p].TopPriority());
+    for (uint32_t l = 0; l < L; ++l) {
+      if (!qin_depth[l].empty()) {
+        best_in_depth = std::min(best_in_depth, qin_depth[l].TopPriority());
       }
-      if (!qout_depth[p].empty()) {
-        best_out_depth = std::min(best_out_depth, qout_depth[p].TopPriority());
+      if (!qout_depth[l].empty()) {
+        best_out_depth = std::min(best_out_depth, qout_depth[l].TopPriority());
       }
     }
     double depth_floor = kInf;
@@ -505,15 +819,7 @@ SearchStatus BidirectionalSearcher::Resume(
     return std::min(m, depth_floor);
   };
 
-  auto maybe_release = [&](bool force) {
-    // The tight bound's NRA scan is O(states); amortize it. Loose and
-    // immediate releases are cheap and run at the base interval.
-    uint64_t interval = options_.bound_check_interval;
-    if (options_.bound == BoundMode::kTight) {
-      interval = std::max<uint64_t>(interval, node_of.size() / 8);
-    }
-    if (!force && (steps % interval) != 0) return;
-    materialize_dirty();
+  auto compute_bounds = [&]() -> double {
     std::vector<double>& m = ctx.bound_scratch;
     m.assign(n, 0.0);
     double h = 0;
@@ -521,63 +827,52 @@ SearchStatus BidirectionalSearcher::Resume(
       m[i] = keyword_floor(i);
       h += m[i];
     }
+    return h;
+  };
+
+  // NRA slice scan: unseen roots are bounded by h; every partially seen
+  // node may complete with m_i for its missing keywords. Pure
+  // min-reduction over the flat state slab, so workers take contiguous
+  // slices.
+  auto scan_slice = [&](size_t begin, size_t end) -> double {
+    const std::vector<double>& m = ctx.bound_scratch;
+    double best = kInf;
+    for (size_t s = begin; s < end; ++s) {
+      double pot = 0;
+      for (uint32_t i = 0; i < n; ++i) {
+        pot += std::min(dist[s * n + i], m[i]);
+      }
+      best = std::min(best, pot);
+    }
+    return best;
+  };
+
+  // Mode-dispatched release against precomputed bounds. Coordinator only.
+  auto finish_release = [&](double h, double best_potential_eraw) {
     size_t before = result.answers.size();
     if (options_.bound == BoundMode::kImmediate) {
-      MergedDrain(heaps, num_shards, options_.k, &result.answers);
+      MergedDrain(heaps, L, options_.k, &result.answers);
     } else if (options_.bound == BoundMode::kLoose) {
-      MergedReleaseWithEdgeBound(heaps, num_shards, h, options_.k,
-                                 &result.answers);
+      MergedReleaseWithEdgeBound(heaps, L, h, options_.k, &result.answers);
       if (options_.release_patience &&
           steps - last_progress >= options_.release_patience &&
           result.answers.size() < options_.k &&
-          MergedPendingCount(heaps, num_shards) > 0) {
+          MergedPendingCount(heaps, L) > 0) {
         // Staleness drip: the champion has been unbeaten for a while;
         // release a batch of the best pending answers.
-        MergedReleaseBest(heaps, num_shards,
-                          std::max<size_t>(1, options_.k / 8), options_.k,
-                          &result.answers);
+        MergedReleaseBest(heaps, L, std::max<size_t>(1, options_.k / 8),
+                          options_.k, &result.answers);
       }
     } else {
-      // NRA-style: unseen roots are bounded by h; every partially seen
-      // node may complete with m_i for its missing keywords. The scan
-      // over the flat state slab is a pure min-reduction, so each shard
-      // worker takes a contiguous slice of the state range.
-      double best_potential_eraw = h;
-      const size_t num_states = node_of.size();
-      auto scan_slice = [&](size_t begin, size_t end) -> double {
-        double best = kInf;
-        for (size_t s = begin; s < end; ++s) {
-          double pot = 0;
-          for (uint32_t i = 0; i < n; ++i) {
-            pot += std::min(dist[s * n + i], m[i]);
-          }
-          best = std::min(best, pot);
-        }
-        return best;
-      };
-      if (runtime.Engage(num_states, kMinScanStatesPerShard)) {
-        ctx.nra_partial.assign(num_shards, kInf);
-        runtime.Run([&](uint32_t shard) {
-          size_t begin = num_states * shard / num_shards;
-          size_t end = num_states * (shard + 1) / num_shards;
-          ctx.nra_partial[shard] = scan_slice(begin, end);
-        });
-        for (double p : ctx.nra_partial) {
-          best_potential_eraw = std::min(best_potential_eraw, p);
-        }
-      } else {
-        best_potential_eraw =
-            std::min(best_potential_eraw, scan_slice(0, num_states));
-      }
       double ub = ScoreUpperBound(h, 1.0, options_.lambda);
       ub = std::max(
           ub, ScoreUpperBound(best_potential_eraw, 1.0, options_.lambda));
-      MergedReleaseWithScoreBound(heaps, num_shards, ub - 1e-12, options_.k,
+      MergedReleaseWithScoreBound(heaps, L, ub - 1e-12, options_.k,
                                   &result.answers);
     }
     if (result.answers.size() != before) {
       last_progress = steps;
-      last_top = MergedBestPendingScore(heaps, num_shards);
+      last_top = MergedBestPendingScore(heaps, L);
     }
     for (size_t i = before; i < result.answers.size(); ++i) {
       result.metrics.generated_times.push_back(result.answers[i].generated_at);
@@ -585,117 +880,283 @@ SearchStatus BidirectionalSearcher::Resume(
     }
   };
 
-  // Slice bounds (streaming pauses): checked between loop iterations
-  // only, so a pause never changes what the search computes.
+  // Slice bounds (streaming pauses): checked only at the control
+  // barrier, so a pause always lands on a round boundary — mailboxes
+  // empty, cascades drained — and never changes what the search
+  // computes. When sharded, StepLimits therefore act at round
+  // granularity (a round pops up to kNumLanes nodes).
   const SliceGuard slice(limits, &ss, &timer);
 
-  // ---- Main loop (Figure 3 lines 4–23) ------------------------------------
-  // The pop is the argmax over the per-shard heap tops under the
-  // (activation, NodeId) total order; on an exact tie between the best
-  // Q_in and Q_out tops — only possible when one node is in both — Q_in
-  // wins, as in the unsharded algorithm.
-  for (;;) {
-    int best_in = -1;
-    int best_out = -1;
-    ActPriority in_top;
-    ActPriority out_top;
-    for (uint32_t p = 0; p < num_shards; ++p) {
-      if (!qin[p].empty() &&
-          (best_in < 0 || in_top < qin[p].TopPriority())) {
-        best_in = static_cast<int>(p);
-        in_top = qin[p].TopPriority();
+  // ---- Round control (coordinator, at the top of each round) --------------
+  // Termination checks replicate the sequential loop's order: queue
+  // exhaustion, top-k completion, budgets, then the streaming pause.
+  auto control = [&] {
+    flags = RoundFlags{};
+    if (failed.load(std::memory_order_acquire)) {
+      flags.stop = true;
+      return;
+    }
+    // Per-lane best under the (activation, NodeId) total order; tie
+    // between a lane's Q_in and Q_out tops goes to Q_in, as in the
+    // unsharded algorithm.
+    ActPriority lane_top[kNumLanes];
+    uint8_t lane_src[kNumLanes];
+    bool any = false;
+    ActPriority global_top;
+    for (uint32_t l = 0; l < L; ++l) {
+      lane_src[l] = 0;
+      const bool has_in = !qin[l].empty();
+      const bool has_out = !qout[l].empty();
+      if (!has_in && !has_out) continue;
+      ActPriority top;
+      uint8_t src = 0;
+      if (has_in) {
+        top = qin[l].TopPriority();
+        src = 1;
       }
-      if (!qout[p].empty() &&
-          (best_out < 0 || out_top < qout[p].TopPriority())) {
-        best_out = static_cast<int>(p);
-        out_top = qout[p].TopPriority();
+      if (has_out && (!has_in || top < qout[l].TopPriority())) {
+        top = qout[l].TopPriority();
+        src = 2;
+      }
+      lane_top[l] = top;
+      lane_src[l] = src;
+      if (!any || global_top < top) {
+        global_top = top;
+        any = true;
       }
     }
-    if (best_in < 0 && best_out < 0) break;
-    if (result.answers.size() >= options_.k) break;
+    if (!any) {
+      flags.stop = true;
+      return;
+    }
+    if (result.answers.size() >= options_.k) {
+      flags.stop = true;
+      return;
+    }
     if (options_.max_nodes_explored &&
         result.metrics.nodes_explored >= options_.max_nodes_explored) {
       result.metrics.budget_exhausted = true;
-      break;
+      flags.stop = true;
+      return;
     }
     if (options_.max_answers_generated &&
         result.metrics.answers_generated >= options_.max_answers_generated) {
       result.metrics.budget_exhausted = true;
-      break;
+      flags.stop = true;
+      return;
     }
-    if (slice.PauseDue()) return slice.Pause();
+    if (slice.PauseDue()) {
+      flags.stop = true;
+      flags.paused = true;
+      return;
+    }
+    const double cutoff = kLanePopFraction * global_top.act;
+    for (uint32_t l = 0; l < L; ++l) {
+      ctx.lane_pop[l] =
+          (lane_src[l] != 0 && lane_top[l].act >= cutoff) ? lane_src[l] : 0;
+    }
+    flags.explored_base = result.metrics.nodes_explored;
+    flags.touched_base = result.metrics.nodes_touched;
+  };
 
-    const bool take_in =
-        best_out < 0 || (best_in >= 0 && !(in_top < out_top));  // tie → Q_in
+  // ---- Round end (coordinator) --------------------------------------------
+  // Merge per-lane counters (lane order → deterministic totals), count
+  // the round's pops into the step clock, concatenate the lanes' emit
+  // lists, and decide whether this round crossed a release boundary.
+  auto round_end = [&] {
+    SearchMetrics& met = result.metrics;
+    for (uint32_t l = 0; l < L; ++l) {
+      LaneCounters& c = ctx.lane_counters[l];
+      met.nodes_explored += c.explored;
+      met.nodes_touched += c.touched;
+      met.edges_relaxed += c.relaxed;
+      met.propagation_steps += c.propagation;
+      met.cross_shard_messages += c.cross_msgs;
+      if (c.max_box > met.max_mailbox_depth) met.max_mailbox_depth = c.max_box;
+      c.Reset();
+    }
+    met.bsp_rounds++;
+    uint64_t pops = 0;
+    for (uint32_t l = 0; l < L; ++l) {
+      if (ctx.lane_pop[l] != 0) pops++;
+    }
+    const uint64_t steps_before = steps;
+    steps += pops;
+    for (uint32_t l = 0; l < L; ++l) {
+      dirty_roots.insert(dirty_roots.end(), ctx.lane_dirty[l].begin(),
+                         ctx.lane_dirty[l].end());
+      ctx.lane_dirty[l].clear();
+    }
+    // The tight bound's NRA scan is O(states); amortize it. Loose and
+    // immediate releases are cheap and run at the base interval. A
+    // round advances the step clock by its pop count, so the release
+    // fires whenever the clock crossed an interval boundary.
+    uint64_t interval = options_.bound_check_interval;
+    if (interval == 0) interval = 1;
+    if (options_.bound == BoundMode::kTight) {
+      interval = std::max<uint64_t>(interval, node_of.size() / 8);
+    }
+    flags.do_release = (steps_before / interval) != (steps / interval);
+    if (flags.do_release) {
+      const size_t batch = dirty_roots.size();
+      flags.build_batch = batch;
+      if (ctx.cand_trees.size() < batch) ctx.cand_trees.resize(batch);
+      ctx.cand_state.assign(batch, kCandSkip);
+      ctx.cand_eraw.assign(batch, kInf);
+    }
+  };
 
-    // NOTE: get_state() may reallocate the per-state arrays; never hold a
-    // reference into them across it — copy what we need into locals.
-    if (take_in) {
-      const uint32_t vp = static_cast<uint32_t>(best_in);
-      uint32_t v = qin[vp].Pop();
-      if (qin_depth[vp].Contains(v)) qin_depth[vp].Erase(v);
-      frontier_leave(v);
-      flags_of[v] |= kStatePoppedIn;
-      const NodeId v_node = node_of[v];
-      const uint32_t v_depth = depth_of[v];
-      result.metrics.nodes_explored++;
-      steps++;
-      emit(v);
-      if (v_depth < options_.dmax) {
-        for (const Edge& e : graph_.InEdges(v_node)) {
-          if (!EdgeAllowed(e)) continue;
-          uint32_t u = get_state(e.other, v_depth + 1);
-          explore_edge(u, v, e.weight, /*incoming_context=*/true);
-          const uint32_t up = shard_of_state(u);
-          if (!(flags_of[u] & kStatePoppedIn) && !qin[up].Contains(u)) {
-            qin[up].Push(u, pri_of(u));
-            qin_depth[up].Push(u, depth_of[u]);
-            result.metrics.nodes_touched++;
-            frontier_enter(u);
-          }
+  double release_h = 0;  // written by the coordinator between barriers
+
+  // ---- The BSP round loop -------------------------------------------------
+  // Every worker traverses the identical barrier sequence; all
+  // conditional structure is published by the coordinator in flags
+  // strictly before the barrier that precedes the read (the tight-mode
+  // scan is gated by the bound mode, a query constant). See sharding.h
+  // for the phase-by-phase contract.
+  SpinBarrier barrier(num_workers);
+  auto worker_fn = [&](uint32_t w) {
+    SearchContext* scratch = w == 0 ? &ctx : runtime.WorkerScratch(w);
+    for (;;) {
+      if (w == 0) {
+        try {
+          control();
+        } catch (...) {
+          record_failure();
+          flags.stop = true;
         }
       }
-      if (!(flags_of[v] & kStateEverInQout)) {
-        flags_of[v] |= kStateEverInQout;
-        qout[vp].Push(v, pri_of(v));
-        qout_depth[vp].Push(v, v_depth);
-        result.metrics.nodes_touched++;
-        frontier_enter(v);
-      }
-    } else {
-      const uint32_t up = static_cast<uint32_t>(best_out);
-      uint32_t u = qout[up].Pop();
-      if (qout_depth[up].Contains(u)) qout_depth[up].Erase(u);
-      frontier_leave(u);
-      flags_of[u] |= kStatePoppedOut;
-      const NodeId u_node = node_of[u];
-      const uint32_t u_depth = depth_of[u];
-      result.metrics.nodes_explored++;
-      steps++;
-      emit(u);
-      if (u_depth < options_.dmax) {
-        for (const Edge& e : graph_.OutEdges(u_node)) {
-          if (!EdgeAllowed(e)) continue;
-          uint32_t v = get_state(e.other, u_depth + 1);
-          explore_edge(u, v, e.weight, /*incoming_context=*/false);
-          const uint32_t vp = shard_of_state(v);
-          if (!(flags_of[v] & kStateEverInQout)) {
-            flags_of[v] |= kStateEverInQout;
-            qout[vp].Push(v, pri_of(v));
-            qout_depth[vp].Push(v, depth_of[v]);
-            result.metrics.nodes_touched++;
-            frontier_enter(v);
+      barrier.Wait();
+      if (flags.stop) break;
+
+      guarded([&] {
+        for (uint32_t l = w; l < L; l += num_workers) pop_lane(l);
+      });
+      barrier.Wait();
+      if (w == 0) guarded([&] { discovery(); });
+      barrier.Wait();
+
+      int bank = 0;
+      for (;;) {
+        if (w == 0) {
+          bool nonempty = false;
+          for (uint32_t b = 0; b < L * L && !nonempty; ++b) {
+            nonempty = !ctx.mailboxes[static_cast<size_t>(bank) * L * L + b]
+                            .msgs.empty();
           }
+          flags.cascade = nonempty && !failed.load(std::memory_order_acquire);
         }
+        barrier.Wait();
+        if (!flags.cascade) break;
+        guarded([&] {
+          const int pb = bank ^ 1;
+          for (uint32_t l = w; l < L; l += num_workers) {
+            for (uint32_t s = 0; s < L; ++s) {
+              LaneMailbox& box = box_at(bank, s, l);
+              for (const LaneMessage& m : box.msgs) {
+                apply_message(l, box, m, pb);
+              }
+              box.Clear();
+            }
+          }
+        });
+        barrier.Wait();
+        bank ^= 1;
+      }
+
+      if (w == 0) guarded([&] { round_end(); });
+      barrier.Wait();
+      if (!flags.do_release) continue;
+
+      guarded([&] {
+        for (size_t j = w; j < flags.build_batch; j += num_workers) {
+          build_candidate(j, scratch);
+        }
+      });
+      barrier.Wait();
+      if (w == 0) {
+        guarded([&] {
+          accept_batch();
+          release_h = compute_bounds();
+          if (options_.bound == BoundMode::kTight) {
+            ctx.nra_partial.assign(num_workers, kInf);
+          } else {
+            finish_release(release_h, 0);
+          }
+        });
+      }
+      barrier.Wait();
+      if (options_.bound == BoundMode::kTight) {
+        guarded([&] {
+          const size_t num_states = node_of.size();
+          const size_t begin = num_states * w / num_workers;
+          const size_t end = num_states * (w + 1) / num_workers;
+          ctx.nra_partial[w] = scan_slice(begin, end);
+        });
+        barrier.Wait();
+        if (w == 0) {
+          guarded([&] {
+            double best_potential = release_h;
+            for (double p : ctx.nra_partial) {
+              best_potential = std::min(best_potential, p);
+            }
+            finish_release(release_h, best_potential);
+          });
+        }
+        barrier.Wait();
       }
     }
-    maybe_release(false);
+  };
+
+  if (num_workers > 1) runtime.PrepareWorkerScratch();
+  runtime.Run(worker_fn);
+  if (first_failure) std::rethrow_exception(first_failure);
+  if (flags.paused) return slice.Pause();
+
+  // ---- Force release + drain (sequential tail; the team is idle, so
+  // the batch phases may re-engage it the old way) --------------------------
+  {
+    const size_t batch = dirty_roots.size();
+    if (batch > 0) {
+      if (ctx.cand_trees.size() < batch) ctx.cand_trees.resize(batch);
+      ctx.cand_state.assign(batch, kCandSkip);
+      ctx.cand_eraw.assign(batch, kInf);
+      if (runtime.Engage(batch, kMinCandidatesPerShard)) {
+        runtime.PrepareWorkerScratch();
+        runtime.Run([&](uint32_t w) {
+          SearchContext* scratch = w == 0 ? &ctx : runtime.WorkerScratch(w);
+          for (size_t j = w; j < batch; j += num_workers) {
+            build_candidate(j, scratch);
+          }
+        });
+      } else {
+        for (size_t j = 0; j < batch; ++j) build_candidate(j, &ctx);
+      }
+    }
+    accept_batch();
+    const double h = compute_bounds();
+    double best_potential = h;
+    if (options_.bound == BoundMode::kTight) {
+      const size_t num_states = node_of.size();
+      if (runtime.Engage(num_states, kMinScanStatesPerShard)) {
+        ctx.nra_partial.assign(num_workers, kInf);
+        runtime.Run([&](uint32_t w) {
+          size_t begin = num_states * w / num_workers;
+          size_t end = num_states * (w + 1) / num_workers;
+          ctx.nra_partial[w] = scan_slice(begin, end);
+        });
+        for (double p : ctx.nra_partial) {
+          best_potential = std::min(best_potential, p);
+        }
+      } else {
+        best_potential = std::min(best_potential, scan_slice(0, num_states));
+      }
+    }
+    finish_release(h, best_potential);
   }
-
-  maybe_release(true);
   if (result.answers.size() < options_.k) {
     size_t before = result.answers.size();
-    MergedDrain(heaps, num_shards, options_.k, &result.answers);
+    MergedDrain(heaps, L, options_.k, &result.answers);
     for (size_t i = before; i < result.answers.size(); ++i) {
       result.metrics.generated_times.push_back(result.answers[i].generated_at);
       result.metrics.output_times.push_back(timer.ElapsedSeconds());

@@ -7,6 +7,7 @@
 namespace banks {
 
 class SearchContextPool;
+class ShardTeamPool;
 
 /// How per-keyword activation received over multiple edges is combined
 /// (§4.3): kMax reflects shortest-path tree scoring (paper default);
@@ -89,15 +90,24 @@ struct SearchOptions {
   /// correct but cold — callers running query streams should share one
   /// pool so worker scratch stays warm.
   SearchContextPool* shard_pool = nullptr;
+
+  /// Worker-thread pool for sharded queries (shard_count > 1): the
+  /// search leases a warm ShardTeam per Resume slice instead of
+  /// spawning threads. Non-owning; null uses the process-wide
+  /// ShardTeamPool::Default(), which is the right choice for almost
+  /// everyone — pass an explicit pool only to isolate thread
+  /// accounting (tests, embedders with their own thread budgets).
+  ShardTeamPool* team_pool = nullptr;
 };
 
 /// Canonical 64-bit fingerprint (FNV-1a) over every *result-affecting*
 /// field of the options: k, dmax, lambda, mu, combine, bound,
 /// edge_filter, the two budgets, bound_check_interval and
-/// release_patience. Excluded by design: shard_count and shard_pool —
-/// sharding is proven result-neutral (any shard count returns
-/// byte-identical answers), and a scratch pool is an execution detail —
-/// so one cache entry serves a query at any parallelism. Floating
+/// release_patience. Excluded by design: shard_count, shard_pool and
+/// team_pool — sharding is proven result-neutral (any shard count
+/// returns byte-identical answers), and the scratch/thread pools are
+/// execution details — so one cache entry serves a query at any
+/// parallelism. Floating
 /// fields hash by bit pattern: -0.0 vs 0.0 (or two NaN payloads) count
 /// as different options, which errs on the side of never aliasing two
 /// configurations that could differ.
@@ -108,7 +118,8 @@ struct SearchOptions {
 uint64_t OptionsFingerprint(const SearchOptions& options);
 
 /// Exact field-wise equality over the same result-affecting set that
-/// OptionsFingerprint hashes (shard_count/shard_pool ignored).
+/// OptionsFingerprint hashes (shard_count/shard_pool/team_pool
+/// ignored).
 bool SameResultOptions(const SearchOptions& a, const SearchOptions& b);
 
 }  // namespace banks

@@ -90,6 +90,40 @@ inline constexpr uint8_t kStatePoppedOut = 1u << 1;   // member of X_out
 inline constexpr uint8_t kStateEverInQout = 1u << 2;  // entered Q_out once
 inline constexpr uint8_t kStateDirty = 1u << 3;       // awaiting materialize
 
+// Per-edge flag bits of the edge-flag maps, keyed by the state pair
+// (su << 32 | sv) of a directed explored edge u→v. Each bit lives in
+// the map whose only writer is the phase that tests it, so no map ever
+// needs locking:
+//   SearchContext::edge_links (coordinator-owned; written only by the
+//     sequential discovery pass): kEdgeParentLinked (P_sv got the su
+//     entry) and kEdgeChildLinked (C_su got the sv entry) share one
+//     lookup per explore message.
+//   lane_edge_flags[lane(sv)]: kEdgeSpreadOut (forward activation u→v
+//     applied; written by lane(sv) when it applies kExploreOut).
+//   lane_edge_flags[lane(su)]: kEdgeSpreadIn (backward activation v→u
+//     applied; written by lane(su) on kExploreIn apply).
+// The spread bits stay per-lane because both apply concurrently in the
+// same phase for the same edge key.
+inline constexpr uint8_t kEdgeParentLinked = 1u << 0;
+inline constexpr uint8_t kEdgeChildLinked = 1u << 1;
+inline constexpr uint8_t kEdgeSpreadIn = 1u << 2;
+inline constexpr uint8_t kEdgeSpreadOut = 1u << 3;
+
+/// Per-lane metric accumulators of the BSP expansion loop. Workers
+/// count into their own lane's slot during parallel phases; the
+/// coordinator merges the slots into SearchMetrics at each round end
+/// (in lane order, so the merged totals are deterministic).
+struct LaneCounters {
+  uint64_t explored = 0;     // pops processed
+  uint64_t touched = 0;      // frontier insertions
+  uint64_t relaxed = 0;      // edges examined past the filter
+  uint64_t propagation = 0;  // Attach/Activate list-element visits
+  uint64_t cross_msgs = 0;   // messages sent to a different lane
+  uint64_t max_box = 0;      // deepest single mailbox seen
+
+  void Reset() { *this = LaneCounters{}; }
+};
+
 /// Best known backward path from a node toward one keyword's origin
 /// (shared record of the Backward MI/SI searchers; MI keeps one map per
 /// iterator and ignores `matched`, SI one map per keyword).
@@ -161,12 +195,14 @@ class FrontierPool {
 /// touches only the arrays it actually reads, and shard workers scanning
 /// states by contiguous index range never false-share a record.
 ///
-/// Frontier structures are sharded (SearchOptions::shard_count): the
-/// queue heaps, per-shard NodeId→state maps, §4.5 frontier-minimum heaps
-/// and output buffers are vectors with one element per shard, of which
-/// the first `active_shards()` are live for the current query. A context
-/// warmed at one shard count serves any other without reallocation of
-/// the shared pools (only never-before-used shard slots start cold).
+/// Frontier structures are partitioned into the kNumLanes BSP lanes:
+/// the queue heaps, per-lane NodeId→state maps, §4.5 frontier-minimum
+/// heaps, output buffers and mailboxes are vectors with a fixed
+/// kNumLanes elements, all live for every query. The lane count never
+/// depends on SearchOptions::shard_count (which only picks the worker
+/// thread count), so a context warmed at one shard count serves any
+/// other without reallocation and — more importantly — without any
+/// change to the search order.
 ///
 /// A context is scratch space, not a result: it carries no information
 /// across queries other than capacity, and a query run through a warm
@@ -231,12 +267,16 @@ class SearchContext {
 
   StreamState stream;
 
-  /// Resets all pools for a query over `num_keywords` keywords with the
-  /// frontier split into `shard_count` NodeId ranges. O(live state of
-  /// the previous query), allocation-free once pools are warm.
+  /// Resets all pools for a query over `num_keywords` keywords to be
+  /// run with `shard_count` worker threads. The lane partition of the
+  /// frontier pools is always kNumLanes — shard_count is recorded for
+  /// the searchers' worker-count decisions only and never changes any
+  /// pool's shape. O(live state of the previous query),
+  /// allocation-free once pools are warm.
   void BeginQuery(size_t num_keywords, uint32_t shard_count = 1);
 
-  /// Shard count of the current query (set by BeginQuery; >= 1).
+  /// Shard count of the current query (set by BeginQuery; >= 1). The
+  /// requested worker parallelism, NOT the lane count (kNumLanes).
   uint32_t active_shards() const { return active_shards_; }
 
   /// Number of BeginQuery calls, i.e. queries served (diagnostics).
@@ -258,10 +298,12 @@ class SearchContext {
   FlatHashMap<NodeId, uint32_t> node_index;
 
   // Bidirectional: NodeId → state index + 1 into the per-state arrays,
-  // one map per shard — a node is looked up only in the map of the
-  // shard owning its NodeId range. State indices stay global (assigned
-  // in discovery order, which the canonical expansion order makes
-  // layout-independent), so every flat per-state array below is shared.
+  // one map per lane — a node is looked up only in the map of the lane
+  // owning its NodeId range. State indices stay global (assigned in
+  // discovery order, which the canonical round structure makes
+  // worker-count-independent), so every flat per-state array below is
+  // shared. Maps are written only in the coordinator's sequential
+  // discovery pass; parallel phases read them freely.
   std::vector<FlatHashMap<NodeId, uint32_t>> node_shard_index;
 
   // ---- Bidirectional per-state arrays (SoA, parallel) ---------------------
@@ -283,42 +325,75 @@ class SearchContext {
   std::vector<uint32_t> sp;     // next state toward keyword, or sentinel
   std::vector<double> act;      // per-keyword activation
   std::vector<double> act_sum;  // per-state total activation (queue key)
-  EdgeListPool edge_lists;      // P_u / C_u arena
-  // (su << 32 | sv) → explored-edge flags.
-  FlatHashMap<uint64_t, uint8_t> edge_flags;
-  // Sharded frontiers: element p holds the states whose NodeId falls in
-  // shard p's range, keyed by global state index with an ActPriority
-  // (activation, NodeId) total order — the next pop is the argmax over
-  // the <= shard_count heap tops, which the total order makes identical
-  // to a single global heap's pop at any shard count.
+  // P_u / C_u arena. Single shared arena: lists are appended only in
+  // the coordinator's sequential discovery pass, so parallel phases see
+  // a read-only arena and never race.
+  EdgeListPool edge_lists;
+  // (su << 32 | sv) state pair → explored-edge flag bits (kEdge*; see
+  // the flag-bit ownership comment above). edge_links holds the two
+  // linking bits and is touched only by the coordinator's sequential
+  // discovery pass; the per-lane maps hold the spread bits written by
+  // the owning lane during the apply phase.
+  FlatHashMap<uint64_t, uint8_t> edge_links;
+  std::vector<FlatHashMap<uint64_t, uint8_t>> lane_edge_flags;
+  // Per-lane frontiers: element l holds the states whose NodeId falls
+  // in lane l's range, keyed by global state index with an ActPriority
+  // (activation, NodeId) total order — "the best of a lane" is a
+  // deterministic property of the frontier contents, which is what lets
+  // the per-round pop set be defined from the heap tops alone.
   std::vector<IndexedHeap<ActPriority>> qin;
   std::vector<IndexedHeap<ActPriority>> qout;
-  // Per (shard, keyword) min-dist over frontier states; the §4.5 tight
-  // bound m_i reduces min over the shard heaps at index p*n + i.
+  // Per (lane, keyword) min-dist over frontier states; the §4.5 tight
+  // bound m_i reduces min over the lane heaps at index l*n + i.
   std::vector<IndexedHeap<double, std::greater<double>>> min_dist;
-  // Min-depth over each queue shard (fallback bound when no distance
-  // known); the depth floor reduces min across shards.
+  // Min-depth over each queue lane (fallback bound when no distance
+  // known); the depth floor reduces min across lanes.
   std::vector<IndexedHeap<uint32_t, std::greater<uint32_t>>> qin_depth;
   std::vector<IndexedHeap<uint32_t, std::greater<uint32_t>>> qout_depth;
   std::vector<uint32_t> dirty_roots;  // completed, awaiting materialization
   // Max-heap (push_heap/pop_heap) of the k smallest generated eraws:
   // the top-k watermark that prunes late completions.
   std::vector<double> best_eraws;
-  // Drained-to-empty scratch queues of Attach / Activate (§4.2.1, §4.3).
-  std::priority_queue<ScoredState, std::vector<ScoredState>,
-                      std::greater<ScoredState>>
-      attach_queue;
-  std::priority_queue<ScoredState> activate_queue;
+  // Drained-to-empty cascade queues of Attach / Activate (§4.2.1,
+  // §4.3), one pair per lane: a lane's cascade runs on its own queue,
+  // and cross-lane hops leave through the mailboxes instead.
+  std::vector<std::priority_queue<ScoredState, std::vector<ScoredState>,
+                                  std::greater<ScoredState>>>
+      attach_queues;
+  std::vector<std::priority_queue<ScoredState>> activate_queues;
   std::vector<double> bound_scratch;  // per-keyword m_i in release checks
 
+  // ---- BSP mailboxes & per-lane round scratch -----------------------------
+  // Double-banked (sender, receiver) mailboxes:
+  // index = bank * L² + sender * L + receiver, L = kNumLanes. A phase
+  // consumes bank b while appending to bank b^1; each (box, phase) has
+  // exactly one writer (the sender lane), so appends are lock-free by
+  // construction. Capacity persists across rounds and queries.
+  std::vector<LaneMailbox> mailboxes;
+  // Per-lane pop decision of the current round: 0 = sit out, 1 = pop
+  // from Q_in, 2 = pop from Q_out. Written by the coordinator's control
+  // section, read by every worker after the round barrier.
+  std::vector<uint8_t> lane_pop;
+  // Per-lane metric accumulators, merged at round end.
+  std::vector<LaneCounters> lane_counters;
+  // Per-lane emit lists of the current round, concatenated into
+  // dirty_roots in lane order at the round barrier.
+  std::vector<std::vector<uint32_t>> lane_dirty;
+  // Backward-SI / MI staging of cross-lane frontier pushes: relaxations
+  // of one settled pop collect here (element = target lane) and apply
+  // in lane order once the pop completes — the shared-frontier
+  // equivalent of the mailbox applied-at-barrier discipline.
+  std::vector<std::vector<SIFrontierEntry>> si_stage;
+  std::vector<std::vector<ScoredState>> sched_stage;
+
   // ---- Answer buffering / materialization ---------------------------------
-  // The §4.3 output buffer, sharded by answer signature (sig mod
-  // shard_count): a signature deterministically owns one shard-local
-  // heap, so duplicate suppression is exact without cross-shard
-  // coordination, and the release checks merge the per-shard heaps
-  // (MergedRelease*). Pooled: signature tables and release scratch keep
-  // their capacity across queries. Element 0 is the whole buffer when
-  // unsharded.
+  // The §4.3 output buffer, partitioned by answer signature (sig mod
+  // kNumLanes): a signature deterministically owns one lane-local heap,
+  // so duplicate suppression is exact without cross-lane coordination,
+  // and the release checks merge the per-lane heaps (MergedRelease*) —
+  // proven identical to a single heap for any heap count. Pooled:
+  // signature tables and release scratch keep their capacity across
+  // queries.
   std::vector<OutputHeap> output_heaps;
   // Union-Dijkstra scratch of BuildAnswerFromPathUnion.
   TreeBuilderScratch tree_scratch;
@@ -355,14 +430,14 @@ class SearchContext {
   // MI iterator records, SoA: keyword and origin per iterator.
   std::vector<uint32_t> iter_keyword;
   std::vector<NodeId> iter_origin;
-  // MI scheduler, sharded by iterator origin NodeId range: (peek dist,
-  // iter idx) min-heap storage per shard; the next step is the argmin
-  // over shard tops (the pair order is already total, so sharding never
-  // reorders the schedule).
+  // MI scheduler, partitioned by iterator origin lane: (peek dist,
+  // iter idx) min-heap storage per lane; the next step is the argmin
+  // over lane tops (the pair order is already total, so partitioning
+  // never reorders the schedule).
   std::vector<std::vector<ScoredState>> scheduler;
   std::vector<uint32_t> id_scratch;  // MI emit: chosen iterator per keyword
-  // SI shared frontier, sharded by NodeId range: (dist, node, keyword)
-  // min-heap storage per shard under a lexicographic total order.
+  // SI shared frontier, partitioned by node lane: (dist, node, keyword)
+  // min-heap storage per lane under a lexicographic total order.
   std::vector<std::vector<SIFrontierEntry>> si_frontier;
   // MI visit records in flat pools: best dist/iterator per keyword
   // (visit_index * n + keyword) and per-visit covered-keyword count.

@@ -29,6 +29,15 @@ const char* AlgorithmName(Algorithm algorithm);
 /// *returns* between loop iterations, never what the search computes, so
 /// any pause pattern yields the same answer sequence and deterministic
 /// metrics as an uninterrupted run.
+///
+/// Granularity: the bounds are checked between loop iterations only —
+/// for the Bidirectional searcher an iteration is one whole BSP round
+/// (pop phase + cascade sub-rounds + release check), for the Backward
+/// searchers one settled pop. A sharded search therefore pauses only on
+/// round boundaries and max_steps may overshoot by the tail of the
+/// round in flight; since round boundaries are part of the defined
+/// search order, the pause points are identical at every shard count
+/// (see src/README.md, "Parallel expansion").
 struct StepLimits {
   /// Pause once the stream result holds at least this many released
   /// answers (an absolute count, not a per-slice increment). This is

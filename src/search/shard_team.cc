@@ -73,8 +73,63 @@ void ShardTeam::Run(const std::function<void(uint32_t)>& fn) {
   }
 }
 
-ShardRuntime::ShardRuntime(uint32_t shards, SearchContextPool* pool)
-    : shards_(shards == 0 ? 1 : shards), pool_(pool) {}
+ShardTeamPool& ShardTeamPool::Default() {
+  static ShardTeamPool* pool = new ShardTeamPool();  // never destroyed:
+  return *pool;  // teams may outlive main()'s static teardown order
+}
+
+ShardTeamPool::Lease ShardTeamPool::Acquire(uint32_t shards) {
+  if (shards < 2) shards = 2;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++acquires_;
+    std::vector<ShardTeam*>& idle = idle_[shards];
+    if (!idle.empty()) {
+      ShardTeam* team = idle.back();
+      idle.pop_back();
+      return Lease(this, team);
+    }
+  }
+  // Spawn outside the lock: thread creation is the slow path and must
+  // not serialize concurrent acquires of other size classes.
+  auto fresh = std::make_unique<ShardTeam>(shards);
+  ShardTeam* team = fresh.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    all_.push_back(std::move(fresh));
+  }
+  return Lease(this, team);
+}
+
+void ShardTeamPool::Release(ShardTeam* team) {
+  if (team == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  idle_[team->shards()].push_back(team);
+}
+
+size_t ShardTeamPool::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return all_.size();
+}
+
+size_t ShardTeamPool::available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [shards, idle] : idle_) n += idle.size();
+  return n;
+}
+
+uint64_t ShardTeamPool::acquires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return acquires_;
+}
+
+ShardRuntime::ShardRuntime(uint32_t shards, SearchContextPool* pool,
+                           ShardTeamPool* team_pool)
+    : shards_(shards == 0 ? 1 : shards),
+      pool_(pool),
+      team_pool_(team_pool != nullptr ? team_pool
+                                      : &ShardTeamPool::Default()) {}
 
 bool ShardRuntime::Engage(size_t work_items, size_t min_per_shard) {
   return shards_ > 1 && work_items >= min_per_shard * shards_;
@@ -85,7 +140,7 @@ void ShardRuntime::Run(const std::function<void(uint32_t)>& fn) {
     fn(0);
     return;
   }
-  if (!team_) team_ = std::make_unique<ShardTeam>(shards_);
+  if (!team_) team_ = team_pool_->Acquire(shards_);
   team_->Run(fn);
 }
 

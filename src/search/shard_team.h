@@ -1,10 +1,12 @@
 #ifndef BANKS_SEARCH_SHARD_TEAM_H_
 #define BANKS_SEARCH_SHARD_TEAM_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -27,7 +29,9 @@ namespace banks {
 ///
 /// An exception escaping any shard's fn is captured and rethrown from
 /// Run on the calling thread (first one wins; the barrier still
-/// completes).
+/// completes). A long-lived fn that contains internal SpinBarrier
+/// waits (the BSP expansion loop) must therefore keep *arriving* at
+/// its barriers after a peer has faulted — see SpinBarrier.
 class ShardTeam {
  public:
   /// Spawns `shards - 1` parked workers. shards must be >= 1.
@@ -58,33 +62,164 @@ class ShardTeam {
   std::vector<std::thread> workers_;
 };
 
+/// Sense-reversing spin barrier for the BSP round loop.
+///
+/// The expansion loop runs as ONE ShardTeam::Run whose phase function
+/// contains many short barrier waits (a few per round). A CV-based
+/// barrier would pay a syscall per phase; at BSP granularity (tens of
+/// microseconds of work between barriers) spinning with yield is the
+/// right trade even on oversubscribed machines.
+///
+/// parties == 1 short-circuits, so the sequential shard-1 path runs
+/// the identical loop with every Wait a no-op.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(uint32_t parties) : parties_(parties) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Blocks until all parties arrive. Reusable immediately: the last
+  /// arriver resets the count before releasing the generation, so a
+  /// released thread may re-enter Wait without racing the reset.
+  void Wait() {
+    if (parties_ <= 1) return;
+    uint32_t gen = generation_.load(std::memory_order_acquire);
+    if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      count_.store(0, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_release);
+    } else {
+      while (generation_.load(std::memory_order_acquire) == gen) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  const uint32_t parties_;
+  std::atomic<uint32_t> count_{0};
+  std::atomic<uint32_t> generation_{0};
+};
+
+/// Process-wide pool of ShardTeams, keyed by team size.
+///
+/// Spawning `shards - 1` threads costs tens of microseconds — more
+/// than a small sharded query. Warm query streams already amortize
+/// scratch through SearchContextPool; this pool does the same for the
+/// threads: a team is leased for the duration of one query (or one
+/// Resume slice), its workers park between phases, and the lease
+/// destructor returns the still-running team for the next query.
+///
+/// Teams are recycled most-recently-returned first per size class, and
+/// the pool never shrinks: the high-water mark of concurrent leases of
+/// a given size determines how many teams of that size exist.
+class ShardTeamPool {
+ public:
+  /// RAII checkout of one team. Movable, not copyable; empty leases
+  /// (default-constructed / moved-from) release nothing.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept : pool_(other.pool_), team_(other.team_) {
+      other.pool_ = nullptr;
+      other.team_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        Reset();
+        pool_ = other.pool_;
+        team_ = other.team_;
+        other.pool_ = nullptr;
+        other.team_ = nullptr;
+      }
+      return *this;
+    }
+    ~Lease() { Reset(); }
+
+    ShardTeam* get() const { return team_; }
+    ShardTeam* operator->() const { return team_; }
+    explicit operator bool() const { return team_ != nullptr; }
+
+    /// Returns the team to the pool now, leaving the lease empty.
+    void Reset() {
+      if (pool_ != nullptr) pool_->Release(team_);
+      pool_ = nullptr;
+      team_ = nullptr;
+    }
+
+   private:
+    friend class ShardTeamPool;
+    Lease(ShardTeamPool* pool, ShardTeam* team) : pool_(pool), team_(team) {}
+
+    ShardTeamPool* pool_ = nullptr;
+    ShardTeam* team_ = nullptr;
+  };
+
+  ShardTeamPool() = default;
+  ShardTeamPool(const ShardTeamPool&) = delete;
+  ShardTeamPool& operator=(const ShardTeamPool&) = delete;
+
+  /// The process-wide pool used when SearchOptions::team_pool is null.
+  static ShardTeamPool& Default();
+
+  /// Checks out an idle team of exactly `shards` workers, spawning a
+  /// fresh one only when all existing teams of that size are leased.
+  /// Never blocks on other leases. shards must be >= 2 (a size-1 team
+  /// has no threads to pool; sequential paths skip the checkout).
+  Lease Acquire(uint32_t shards);
+
+  /// Total teams ever spawned, across all size classes.
+  size_t size() const;
+
+  /// Teams currently idle in the pool.
+  size_t available() const;
+
+  /// Number of Acquire calls served (diagnostics).
+  uint64_t acquires() const;
+
+ private:
+  friend class Lease;
+  void Release(ShardTeam* team);
+
+  mutable std::mutex mu_;
+  // Size class → idle teams, LIFO (back = most recently returned).
+  std::map<uint32_t, std::vector<ShardTeam*>> idle_;
+  std::vector<std::unique_ptr<ShardTeam>> all_;
+  uint64_t acquires_ = 0;
+};
+
 /// Per-query execution state of a sharded search: the shard partition,
-/// a lazily-spawned ShardTeam, and per-worker scratch contexts leased
+/// a pool-leased ShardTeam, and per-worker scratch contexts leased
 /// from a SearchContextPool.
 ///
-/// Thread spawn and lease checkout are deferred until a phase is big
-/// enough to engage the team (Engage), so a sharded query whose batches
-/// stay tiny costs nothing over the sequential path. Worker shard w >= 1
-/// draws its materialization scratch (tree builder, candidate tree,
-/// path-union buffers) from a pool lease; shard 0 is the coordinator and
-/// uses the query's own SearchContext. When the caller provides no pool
-/// (SearchOptions::shard_pool == nullptr) an internal per-query pool is
-/// used — correctness is unchanged, but the leases start cold, so
-/// streaming callers should share a pool across queries.
+/// Team checkout and lease checkout are deferred until a phase is big
+/// enough to engage the team (Engage) or the BSP loop starts, so a
+/// sharded query whose batches stay tiny costs nothing over the
+/// sequential path. Worker shard w >= 1 draws its materialization
+/// scratch (tree builder, candidate tree, path-union buffers) from a
+/// pool lease; shard 0 is the coordinator and uses the query's own
+/// SearchContext. When the caller provides no context pool
+/// (SearchOptions::shard_pool == nullptr) an internal per-query pool
+/// is used — correctness is unchanged, but the leases start cold, so
+/// streaming callers should share a pool across queries. Teams come
+/// from `team_pool` (ShardTeamPool::Default() when null), so thread
+/// spawn is already amortized without any caller setup.
 class ShardRuntime {
  public:
-  /// `pool` may be null (internal pool). `shards` >= 1.
-  ShardRuntime(uint32_t shards, SearchContextPool* pool);
+  /// `pool` may be null (internal pool); `team_pool` may be null
+  /// (process-wide default pool). `shards` >= 1.
+  ShardRuntime(uint32_t shards, SearchContextPool* pool,
+               ShardTeamPool* team_pool = nullptr);
 
   uint32_t shards() const { return shards_; }
 
-  /// True when `work_items` justifies waking (and, first time, spawning)
+  /// True when `work_items` justifies waking (and, first time, leasing)
   /// the team: sharding enabled and at least `min_per_shard` items per
   /// shard. Deterministic in the work size only — engaging or not never
   /// changes results, just who computes them.
   bool Engage(size_t work_items, size_t min_per_shard);
 
-  /// Runs fn(shard) across the team (spawning it on first use).
+  /// Runs fn(shard) across the team (leasing it on first use).
   void Run(const std::function<void(uint32_t)>& fn);
 
   /// Checks out one pool lease per worker shard (idempotent). Must be
@@ -102,8 +237,9 @@ class ShardRuntime {
  private:
   const uint32_t shards_;
   SearchContextPool* pool_;
+  ShardTeamPool* team_pool_;
   std::unique_ptr<SearchContextPool> local_pool_;  // when caller gave none
-  std::unique_ptr<ShardTeam> team_;
+  ShardTeamPool::Lease team_;
   std::vector<SearchContextPool::Lease> leases_;  // [shard-1] for shard >= 1
 };
 

@@ -2,17 +2,133 @@
 #define BANKS_SEARCH_SHARDING_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "graph/types.h"
 
 namespace banks {
 
-/// Node-space partition of the sharded frontier: shard p owns the
-/// contiguous NodeId range [p*N/S, (p+1)*N/S). Every per-node frontier
-/// structure (Q_in/Q_out heaps, the NodeId→state maps, the per-keyword
-/// frontier-minimum heaps) is split along this partition, so one query's
-/// expansion state can be maintained — and its batched phases scanned —
-/// per shard without two shards ever touching the same node's slot.
+// ---- BSP lanes: the parallel-expansion partition ---------------------------
+//
+// The expansion state of a query is partitioned into a FIXED number of
+// lanes (kNumLanes), each owning a contiguous NodeId range. The main
+// loop of the Bidirectional searcher is a sequence of bulk-synchronous
+// (BSP) rounds over these lanes:
+//
+//   1. Pop phase — every qualifying lane pops one node from its own
+//      Q_in/Q_out and explores its edges. Effects on nodes the lane
+//      owns are applied locally; effects on other lanes' nodes —
+//      Attach relaxations, Activate propagations, prestige-spread
+//      updates, node discovery — are appended to per-(sender, receiver)
+//      mailboxes. No lane ever writes another lane's state directly,
+//      so the phase is contention-free.
+//   2. Discovery — at the barrier, the coordinator assigns state
+//      indices to newly discovered nodes and links explored edges into
+//      the owner lanes' parent/child lists, walking the mailboxes in
+//      (sender lane, message sequence) order.
+//   3. Cascade sub-rounds — each lane drains its inboxes in (sender
+//      lane, sequence) order, applying each message and running the
+//      resulting local Attach/Activate cascade to completion; effects
+//      that leave the lane are appended to the opposite mailbox bank.
+//      Sub-rounds repeat, swapping banks at a barrier, until no
+//      mailbox holds a message.
+//   4. Round end — the coordinator merges per-lane counters and runs
+//      the §4.5 release checks against the now round-consistent state
+//      (candidate builds and NRA scans fan back out to the workers).
+//
+// Determinism contract: the lane count, the lane partition, the message
+// application order and the round boundaries are all independent of
+// SearchOptions::shard_count — shard_count only chooses how many worker
+// threads execute the lanes (1 runs them sequentially, in lane order,
+// through the identical code path). Round boundaries are therefore part
+// of the *defined search order*: every shard count, including the
+// sequential shard-1 path, produces byte-identical answers and equal
+// deterministic metrics. Streaming pauses (StepLimits) land only on
+// round boundaries, where all mailboxes are provably empty, so a paused
+// search's position is fully captured by the context pools.
+
+/// Number of BSP lanes. Fixed — NOT derived from shard_count — so that
+/// the round structure, and with it the search order, is invariant
+/// under the worker-thread count.
+inline constexpr uint32_t kNumLanes = 8;
+
+/// The lane partition: lane(v) = min(v >> shift, kNumLanes - 1), with
+/// the shift chosen so the node space spreads over the lanes. A pure
+/// bit shift keeps the per-edge owner lookup branch-free (it runs once
+/// per explored edge and once per cross-lane cascade hop).
+struct LanePlan {
+  uint32_t shift = 0;
+
+  static LanePlan ForNodes(uint64_t num_nodes) {
+    uint32_t bits = 0;
+    while ((num_nodes - 1) >> bits != 0 && num_nodes > 1) ++bits;
+    return LanePlan{bits <= 3 ? 0 : bits - 3};  // 2^3 == kNumLanes
+  }
+
+  uint32_t LaneOf(NodeId v) const {
+    uint32_t lane = static_cast<uint32_t>(v) >> shift;
+    return lane < kNumLanes ? lane : kNumLanes - 1;
+  }
+};
+
+/// One cross-lane effect, appended to a mailbox during a BSP phase and
+/// applied by the receiving lane after the next barrier. Application
+/// order — sender lane, then sequence number within the mailbox — is
+/// part of the defined search order.
+struct LaneMessage {
+  enum Type : uint8_t {
+    /// In-context edge exploration (popped v, in-edge u→v): receiver
+    /// owns u. Carries v's per-keyword distances (payload[0..n)) and
+    /// the backward activation spread v→u (payload[n..2n)).
+    kExploreIn,
+    /// Out-context edge exploration (popped u, out-edge u→v): receiver
+    /// owns v. Carries the forward activation spread u→v
+    /// (payload[0..n)); the receiver answers with kDistReply when v
+    /// already has finite distances.
+    kExploreOut,
+    /// Distance row of v sent back to u's lane so u can relax through
+    /// the out-context edge u→v (payload[0..n) = v's distances).
+    kDistReply,
+    /// Single-keyword Attach relaxation: d(target, kw) may improve to
+    /// `value` via `via_state`.
+    kRelax,
+    /// Single-keyword Activate propagation: target received `value`
+    /// activation for keyword kw.
+    kRaise,
+  };
+
+  Type type;
+  uint32_t kw = 0;            // kRelax / kRaise
+  NodeId target_node = 0;     // kExplore*: node to discover
+  uint32_t target_state = 0;  // state index (kExplore*: set at discovery)
+  uint32_t via_state = 0;     // provider / tree-parent state
+  float w = 0;                // edge weight (kExplore*, kDistReply)
+  uint32_t depth = 0;         // kExplore*: depth of target if new
+  double value = 0;           // kRelax: candidate dist; kRaise: activation
+  uint32_t payload = 0;       // offset into the mailbox payload array
+};
+
+/// One (sender, receiver) mailbox: a message vector plus a shared
+/// payload arena for the variable-length per-keyword rows. Mailboxes
+/// are double-banked — a phase consumes bank b while producing into
+/// bank b^1 — and keep their capacity across rounds and queries.
+struct LaneMailbox {
+  std::vector<LaneMessage> msgs;
+  std::vector<double> payload;
+
+  void Clear() {
+    msgs.clear();
+    payload.clear();
+  }
+};
+
+// ---- NodeId-range partition of variable shard count ------------------------
+
+/// Node-space partition used by the Backward searchers' sharded
+/// frontiers and by tests: shard p owns the contiguous NodeId range
+/// [p*N/S, (p+1)*N/S). (The Bidirectional BSP loop uses the fixed
+/// LanePlan above instead, so its round structure cannot depend on the
+/// shard count.)
 struct ShardPlan {
   uint32_t count = 1;      // active shards (1 = unsharded)
   uint64_t num_nodes = 0;  // graph size the ranges partition
@@ -30,11 +146,12 @@ struct ShardPlan {
 /// Frontier priority of the Bidirectional Q_in/Q_out queues: activation
 /// first (the paper's prioritization), NodeId as a strict tie-break.
 ///
-/// The tie-break is what makes the sharded frontier possible: with a
-/// strict *total* order, "the next node to expand" is a property of the
-/// frontier's contents alone, not of any heap's internal layout — so the
-/// argmax over per-shard heap tops pops exactly the node a single global
-/// heap would, and shard_count can never change the expansion sequence.
+/// The tie-break is what makes the lane frontier exact: with a strict
+/// *total* order, "the best node of a lane" is a property of the
+/// frontier's contents alone, not of any heap's internal layout — so
+/// the per-round pop set (every lane whose best activation is within
+/// the qualifying fraction of the global best) is a deterministic
+/// function of the round-start frontier.
 struct ActPriority {
   double act = 0;
   NodeId node = kInvalidNode;

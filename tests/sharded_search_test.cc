@@ -13,11 +13,18 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "banks/engine.h"
+#include "datasets/dblp_gen.h"
+#include "prestige/pagerank.h"
+#include "search/answer_stream.h"
 #include "search/context_pool.h"
+#include "search/shard_team.h"
 #include "search/sharding.h"
 #include "test_util.h"
 #include "util/rng.h"
@@ -344,6 +351,260 @@ TEST(ShardedSearchStress, BackwardSISharedPool) {
 TEST(ShardedSearchStress, BackwardMISharedPool) {
   StressSharedPool(Algorithm::kBackwardMI, 4, 3, 4,
                    /*expect_engagement=*/false);
+}
+
+// ---- ShardTeamPool reuse --------------------------------------------------
+// The thread-pool analogue of the context-pool guarantee: once one team
+// of each requested size class exists, a stream of sharded queries —
+// even alternating shard counts — spawns no further threads. Teams are
+// leased per Resume slice and returned by RAII, so between queries the
+// pool is fully idle.
+
+TEST(ShardTeamPoolReuse, NoGrowthOnceWarmAcrossAlternatingShardCounts) {
+  Graph graph = testing::MakeRandomGraph(220, 880, 7);
+  std::vector<std::vector<NodeId>> origins = {{2, 40, 111}, {9, 77, 200}};
+  SearchOptions options;
+  options.bound = BoundMode::kTight;
+
+  SearchContextPool ctx_pool;
+  ShardTeamPool team_pool;
+  options.shard_pool = &ctx_pool;
+  options.team_pool = &team_pool;
+
+  options.shard_count = 1;
+  SearchResult reference = testing::RunSearch(Algorithm::kBidirectional,
+                                              graph, origins, options);
+  // The sequential path runs the same round loop inline and must never
+  // touch the team pool.
+  EXPECT_EQ(team_pool.size(), 0u);
+  EXPECT_EQ(team_pool.acquires(), 0u);
+
+  SearchContext warm;
+  std::vector<double> prestige;  // uniform
+  auto run = [&](uint32_t shards) {
+    options.shard_count = shards;
+    auto searcher = CreateSearcher(Algorithm::kBidirectional, graph,
+                                   prestige, options);
+    SearchResult r = searcher->Search(origins, &warm);
+    ExpectSameResults(reference, r,
+                      "team-pool shards=" + std::to_string(shards));
+  };
+
+  // Warm-up: one team per requested size class (worker counts 2, 4, 8).
+  for (uint32_t shards : {2u, 4u, 8u}) run(shards);
+  const size_t warm_size = team_pool.size();
+  EXPECT_EQ(warm_size, 3u);  // sequential queries lease one team at a time
+  EXPECT_EQ(team_pool.available(), warm_size);
+  const uint64_t warm_acquires = team_pool.acquires();
+
+  // Alternating shard counts, including 16 — clamped to the fixed lane
+  // count, so it re-leases the 8-worker team instead of spawning a new
+  // size class.
+  for (uint32_t shards : {8u, 2u, 16u, 4u, 2u, 8u}) {
+    run(shards);
+    EXPECT_EQ(team_pool.size(), warm_size)
+        << "team pool grew after warm-up at shards=" << shards;
+    EXPECT_EQ(team_pool.available(), warm_size) << shards;
+  }
+  EXPECT_GT(team_pool.acquires(), warm_acquires);
+}
+
+// ---- Streamed sharded search ----------------------------------------------
+// Sharded pauses land only on BSP round boundaries (mailboxes empty,
+// state round-consistent), so even the most hostile pull cadence — one
+// step of budget per Next() — must reproduce the shard-1 drained answer
+// sequence exactly, prefix by prefix, at every shard count.
+
+class ShardedStreaming : public ::testing::TestWithParam<Algorithm> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, ShardedStreaming,
+    ::testing::Values(Algorithm::kBackwardMI, Algorithm::kBackwardSI,
+                      Algorithm::kBidirectional),
+    [](const auto& info) {
+      std::string name = AlgorithmName(info.param);
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name;
+    });
+
+TEST_P(ShardedStreaming, StepBudgetOnePrefixIdenticalAcrossShardCounts) {
+  Graph graph = testing::MakeRandomGraph(200, 800, 13);
+  std::vector<double> prestige = UniformPrestige(graph.num_nodes());
+  std::vector<std::vector<NodeId>> origins = {{0, 11, 53}, {7, 99, 180}};
+  SearchOptions options;
+  options.bound = BoundMode::kTight;
+  options.k = 6;
+
+  SearchContextPool ctx_pool;
+  ShardTeamPool team_pool;
+  options.shard_pool = &ctx_pool;
+  options.team_pool = &team_pool;
+
+  options.shard_count = 1;
+  auto ref_searcher = CreateSearcher(GetParam(), graph, prestige, options);
+  SearchContext ref_context;
+  SearchResult reference = ref_searcher->Search(origins, &ref_context);
+  ASSERT_FALSE(reference.answers.empty());
+
+  for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+    options.shard_count = shards;
+    auto searcher = CreateSearcher(GetParam(), graph, prestige, options);
+    StreamOptions stream_options;
+    stream_options.step_budget = 1;
+    SearchContext context;
+    AnswerStream stream(searcher.get(), origins, stream_options, &context);
+    std::vector<AnswerTree> pulled;
+    size_t pauses = 0;
+    size_t guard = 0;
+    while (!stream.done()) {
+      ASSERT_LT(++guard, 200000u) << "stream made no progress";
+      auto answer = stream.Next();
+      if (answer.has_value()) {
+        pulled.push_back(std::move(*answer));
+      } else if (stream.hit_limit()) {
+        ++pauses;  // paused on a round boundary; resume
+      } else {
+        break;
+      }
+    }
+    ASSERT_EQ(pulled.size(), reference.answers.size()) << shards;
+    for (size_t i = 0; i < pulled.size(); ++i) {
+      EXPECT_TRUE(SameAnswer(pulled[i], reference.answers[i]))
+          << "shards=" << shards << ": answer " << i << " differs";
+    }
+    // Pausing is behavior-neutral: the reassembled run's counters match
+    // the drained shard-1 run's.
+    const SearchMetrics& m = stream.metrics();
+    EXPECT_EQ(m.nodes_explored, reference.metrics.nodes_explored) << shards;
+    EXPECT_EQ(m.edges_relaxed, reference.metrics.edges_relaxed) << shards;
+    EXPECT_EQ(m.answers_output, reference.metrics.answers_output) << shards;
+    EXPECT_GT(pauses, 0u)
+        << "step budget 1 never paused; the test is not exercising resume";
+  }
+}
+
+// ---- Mixed stress: streams + batches over one pool pair -------------------
+// Two threads pull sharded streams while two threads run sharded
+// QueryBatches, all drawing scratch contexts from one SearchContextPool
+// and worker threads from one ShardTeamPool. Every result must match
+// its sequential reference, and after the storm both pools must be
+// fully idle (every context lease and team lease returned).
+
+TEST(ShardedMixedStress, StreamsAndBatchesShareOnePoolPair) {
+  DblpConfig config;
+  config.num_authors = 80;
+  config.num_papers = 160;
+  config.num_conferences = 8;
+  Database db = GenerateDblp(config);
+  Engine engine = Engine::FromDatabase(db);
+  const NodeId n = static_cast<NodeId>(engine.graph().num_nodes());
+  ASSERT_GT(n, 40u);
+
+  std::vector<std::vector<NodeId>> stream_origins = {
+      {1, static_cast<NodeId>(n / 3), static_cast<NodeId>(n / 2)},
+      {7, static_cast<NodeId>(n - 5)}};
+  std::vector<std::vector<std::vector<NodeId>>> batch_origins = {
+      {{2, static_cast<NodeId>(n / 4)}, {static_cast<NodeId>(n - 9)}},
+      {{3, static_cast<NodeId>(n / 5)}, {11, static_cast<NodeId>(n / 2 + 1)}},
+      {{static_cast<NodeId>(n / 7)}, {5, static_cast<NodeId>(n - 17)}}};
+
+  SearchOptions base;
+  base.bound = BoundMode::kTight;
+  base.k = 5;
+
+  SearchResult stream_reference =
+      engine.QueryResolved(stream_origins, Algorithm::kBidirectional, base);
+  std::vector<SearchResult> batch_reference;
+  for (const auto& origins : batch_origins) {
+    batch_reference.push_back(
+        engine.QueryResolved(origins, Algorithm::kBidirectional, base));
+  }
+
+  SearchContextPool ctx_pool;
+  ShardTeamPool team_pool;
+  std::atomic<size_t> mismatches{0};
+  constexpr size_t kRounds = 2;
+
+  auto same_result = [](const SearchResult& a, const SearchResult& b) {
+    if (a.answers.size() != b.answers.size()) return false;
+    for (size_t i = 0; i < a.answers.size(); ++i) {
+      if (!SameAnswer(a.answers[i], b.answers[i])) return false;
+    }
+    return a.metrics.nodes_explored == b.metrics.nodes_explored;
+  };
+
+  auto stream_thread = [&] {
+    SearchOptions options = base;
+    options.shard_count = 4;
+    options.shard_pool = &ctx_pool;
+    options.team_pool = &team_pool;
+    StreamOptions stream_options;
+    stream_options.step_budget = 16;
+    stream_options.pool = &ctx_pool;
+    for (size_t round = 0; round < kRounds; ++round) {
+      AnswerStream stream = engine.OpenQueryResolved(
+          stream_origins, Algorithm::kBidirectional, options, stream_options);
+      std::vector<AnswerTree> pulled;
+      while (!stream.done()) {
+        auto answer = stream.Next();
+        if (answer.has_value()) {
+          pulled.push_back(std::move(*answer));
+        } else if (!stream.hit_limit()) {
+          break;
+        }
+      }
+      bool same = pulled.size() == stream_reference.answers.size();
+      for (size_t i = 0; same && i < pulled.size(); ++i) {
+        same = SameAnswer(pulled[i], stream_reference.answers[i]);
+      }
+      if (!same) mismatches.fetch_add(1);
+    }
+  };
+
+  auto batch_thread = [&] {
+    SearchOptions options = base;
+    options.shard_count = 2;
+    options.shard_pool = &ctx_pool;
+    options.team_pool = &team_pool;
+    std::vector<BatchQuerySpec> specs;
+    for (const auto& origins : batch_origins) {
+      BatchQuerySpec spec;
+      spec.origins = origins;
+      specs.push_back(spec);
+    }
+    BatchOptions batch;
+    batch.num_threads = 2;
+    batch.pool = &ctx_pool;
+    for (size_t round = 0; round < kRounds; ++round) {
+      BatchResult result =
+          engine.QueryBatch(specs, Algorithm::kBidirectional, options, batch);
+      if (result.results.size() != batch_reference.size()) {
+        mismatches.fetch_add(1);
+        continue;
+      }
+      for (size_t i = 0; i < result.results.size(); ++i) {
+        if (!same_result(result.results[i], batch_reference[i])) {
+          mismatches.fetch_add(1);
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.emplace_back(stream_thread);
+  threads.emplace_back(stream_thread);
+  threads.emplace_back(batch_thread);
+  threads.emplace_back(batch_thread);
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  // Every lease returned: both pools fully idle.
+  EXPECT_EQ(ctx_pool.available(), ctx_pool.size());
+  EXPECT_EQ(team_pool.available(), team_pool.size());
+  // Team high-water: ≤ 2 stream queries of 4 workers plus ≤ 4 in-flight
+  // batch queries of 2 workers at once.
+  EXPECT_LE(team_pool.size(), 6u);
+  EXPECT_GT(team_pool.acquires(), 0u);
 }
 
 }  // namespace
