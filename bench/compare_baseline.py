@@ -74,7 +74,18 @@ def compare(base, cur, threshold, warn):
                 continue
             compared += 1
             b, c = brow[field], crow[field]
-            if b <= 0:
+            if b < 0 or c < 0:
+                warn(f"{name}: {field} has a negative value "
+                     f"({b} -> {c}) for {fmt_key(key)}")
+                continue
+            if b == 0:
+                # Zero is a legitimate metric value (e.g. a ratio of an
+                # unmeasured mode), not "metric absent" — absence is
+                # decided by key presence above. A growth from exactly 0
+                # has no finite ratio, so it gets its own warning.
+                if c > 0:
+                    warn(f"{name}: {field} grew from a 0 baseline to "
+                         f"{c:.3f} for {fmt_key(key)}")
                 continue
             ratio = c / b
             if ratio > 1.0 + threshold:
@@ -139,6 +150,20 @@ def self_test():
     bare = {"algorithm": "A", "mode": "m", "threads": 1, "qps": 5.0}
     check("no latency fields", run({"rows": [bare]}, {"rows": [bare]}),
           "no latency metric")
+
+    # A legitimately zero-valued metric is still a present metric: it
+    # must neither warn when unchanged nor count the row as metric-free.
+    zero = dict(row, ms_per_query=0.0)
+    stayed = run({"rows": [zero]}, {"rows": [zero]})
+    if stayed:
+        failures.append(f"zero metric unchanged: expected no warnings, "
+                        f"got {stayed}")
+    check("zero baseline growth",
+          run({"rows": [zero]}, {"rows": [dict(row, ms_per_query=3.0)]}),
+          "grew from a 0 baseline")
+    check("negative metric",
+          run({"rows": [dict(row, ms_per_query=-1.0)]}, {"rows": [row]}),
+          "negative value")
 
     # End-to-end through main() and real files: exercises the argument
     # and file-loading path.

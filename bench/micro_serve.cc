@@ -1,0 +1,334 @@
+// Serving-core microbenchmark: open-loop subscription latency.
+//
+// The async serving core (src/serve/) multiplexes many in-flight
+// searches over a fixed worker pool, so its interesting number is not
+// per-query service time but *latency under concurrent arrivals*:
+// queries arrive on a clock that does not wait for the previous query
+// to finish (open-loop), pile up inside the scheduler, and each pays
+// queueing + interleaved execution. This bench measures exactly that,
+// per algorithm, on a §5.4 DBLP generator workload:
+//
+//   closed — Engine::Subscribe + Wait, one at a time: pure serving-core
+//            service time (the calibration run; its mean sets the
+//            arrival rates below);
+//   open-0.5 / open-0.9 — arrivals at 50% / 90% of the calibrated
+//            capacity; reported are completion-latency percentiles
+//            (p50/p95/p99), mean time-to-first-answer, and achieved
+//            throughput.
+//
+// Built-in equivalence check: every subscription's pushed answer
+// sequence must be identical (SameAnswer) to the drained
+// Engine::QueryResolved reference — the bench exits nonzero otherwise,
+// so CI catches a serving-path divergence even outside the unit suite.
+//
+// --json emits the measurements for the CI bench-smoke artifact
+// (BENCH_serve.json); ms_per_query is the p95 completion latency (p50
+// for the closed row), the field compare_baseline.py treats as a
+// latency metric.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "banks/engine.h"
+#include "bench_alloc.h"
+#include "bench_common.h"
+#include "datasets/workload.h"
+#include "serve/scheduler.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace banks::bench {
+namespace {
+
+constexpr size_t kRepetitions = 3;
+
+/// Resolved origin sets of the benchmark stream (resolved once so every
+/// configuration searches identical origins).
+std::vector<std::vector<std::vector<NodeId>>> MakeQueries(
+    BenchEnv* env, const Engine& engine) {
+  WorkloadGenerator gen(&env->db, &env->dg);
+  std::vector<std::vector<std::vector<NodeId>>> queries;
+  for (size_t kw = 2; kw <= 3; ++kw) {
+    WorkloadOptions wopt;
+    wopt.num_queries = 8;
+    wopt.answer_size = 4;
+    wopt.thresholds = env->thresholds;
+    wopt.categories.assign(kw, FreqCategory::kTiny);
+    wopt.categories.back() = FreqCategory::kSmall;
+    wopt.seed = 23 + kw * 41;
+    for (const WorkloadQuery& q : gen.Generate(wopt)) {
+      std::vector<std::vector<NodeId>> origins = engine.Resolve(q.keywords);
+      bool all_matched = !origins.empty();
+      for (const auto& s : origins) all_matched &= !s.empty();
+      if (all_matched) queries.push_back(std::move(origins));
+    }
+  }
+  return queries;
+}
+
+/// Per-subscription probe: records the pushed sequence plus first-push
+/// and terminal-push timestamps against a shared epoch timer. One sink
+/// per subscription — the scheduler serializes its callbacks, and the
+/// submitter reads only after Subscription::Wait.
+struct RecordingSink : AnswerSink {
+  const Timer* epoch = nullptr;
+  double submitted_at = 0;
+  double first_answer_at = -1;
+  double completed_at = -1;
+  SubscribeStatus status = SubscribeStatus::kPending;
+  std::vector<AnswerTree> answers;
+
+  void OnAnswer(const AnswerTree& answer) override {
+    if (first_answer_at < 0) first_answer_at = epoch->ElapsedSeconds();
+    answers.push_back(answer);
+  }
+  void OnComplete(SubscribeStatus s, const SearchMetrics&) override {
+    status = s;
+    completed_at = epoch->ElapsedSeconds();
+  }
+};
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  double rank = p * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1 - frac) + values[hi] * frac;
+}
+
+/// One measured wave of subscriptions: arrivals spaced
+/// `interarrival_seconds` apart (0 = closed loop: wait out each
+/// subscription before submitting the next). Returns false on any
+/// divergence from the reference sequences.
+struct WaveResult {
+  std::vector<double> latency_seconds;  // submit → terminal push
+  std::vector<double> ttfa_seconds;     // submit → first push
+  double wall_seconds = 0;
+  bool identical = true;
+};
+
+WaveResult RunWave(const Engine& engine, Scheduler* scheduler,
+                   Algorithm algorithm, const SearchOptions& options,
+                   const std::vector<std::vector<std::vector<NodeId>>>& queries,
+                   const std::vector<SearchResult>& reference,
+                   double interarrival_seconds) {
+  const size_t arrivals = queries.size() * kRepetitions;
+  std::vector<std::unique_ptr<RecordingSink>> sinks;
+  std::vector<Subscription> subs;
+  sinks.reserve(arrivals);
+  subs.reserve(arrivals);
+  Timer epoch;
+  for (size_t a = 0; a < arrivals; ++a) {
+    if (interarrival_seconds > 0) {
+      // Open loop: the arrival clock does not care how the serving core
+      // is doing. Sleep until this arrival's scheduled instant.
+      double due = interarrival_seconds * static_cast<double>(a);
+      double now = epoch.ElapsedSeconds();
+      if (due > now) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(due - now));
+      }
+    }
+    size_t qi = a % queries.size();
+    auto sink = std::make_unique<RecordingSink>();
+    sink->epoch = &epoch;
+    sink->submitted_at = epoch.ElapsedSeconds();
+    SubscribeOptions subscribe;
+    subscribe.scheduler = scheduler;
+    subs.push_back(engine.SubscribeResolved(queries[qi], algorithm,
+                                            sink.get(), options, subscribe));
+    sinks.push_back(std::move(sink));
+    if (interarrival_seconds <= 0) subs.back().Wait();
+  }
+  WaveResult out;
+  for (size_t a = 0; a < arrivals; ++a) {
+    subs[a].Wait();
+    const RecordingSink& sink = *sinks[a];
+    out.latency_seconds.push_back(sink.completed_at - sink.submitted_at);
+    if (sink.first_answer_at >= 0) {
+      out.ttfa_seconds.push_back(sink.first_answer_at - sink.submitted_at);
+    }
+    const SearchResult& ref = reference[a % queries.size()];
+    bool same = sink.status == SubscribeStatus::kCompleted &&
+                sink.answers.size() == ref.answers.size();
+    for (size_t i = 0; same && i < ref.answers.size(); ++i) {
+      same = SameAnswer(sink.answers[i], ref.answers[i]);
+    }
+    if (!same) out.identical = false;
+  }
+  out.wall_seconds = epoch.ElapsedSeconds();
+  return out;
+}
+
+int Main(double scale, bool json) {
+  if (!json) {
+    std::printf("=== Serving core: open-loop subscription latency ===\n");
+  }
+  BenchEnv env = MakeDblpEnv(scale);
+  Engine engine(env.dg, EngineOptions{});
+  std::vector<std::vector<std::vector<NodeId>>> queries =
+      MakeQueries(&env, engine);
+  if (queries.empty()) {
+    std::fprintf(stderr, "no runnable queries generated\n");
+    return 1;
+  }
+  const size_t arrivals = queries.size() * kRepetitions;
+  if (!json) {
+    std::printf("DBLP-like graph: %zu nodes / %zu edges, %zu queries, %zu "
+                "arrivals per wave\n",
+                env.dg.graph.num_nodes(), env.dg.graph.num_edges(),
+                queries.size(), arrivals);
+  }
+
+  JsonWriter w;
+  if (json) {
+    w.BeginObject();
+    w.Field("bench", "micro_serve");
+    w.Field("scale", scale);
+    w.Field("graph_nodes", static_cast<uint64_t>(env.dg.graph.num_nodes()));
+    w.Field("graph_edges", static_cast<uint64_t>(env.dg.graph.num_edges()));
+    w.Field("queries_per_wave", static_cast<uint64_t>(arrivals));
+    w.Key("rows");
+    w.BeginArray();
+  }
+  TablePrinter table({"Algorithm", "wave", "p50 ms", "p95 ms", "p99 ms",
+                      "ttfa ms", "qps"});
+  bool all_identical = true;
+
+  for (Algorithm algorithm :
+       {Algorithm::kBidirectional, Algorithm::kBackwardSI,
+        Algorithm::kBackwardMI}) {
+    SearchOptions options;
+    options.k = 10;
+    options.max_nodes_explored = 100'000;
+
+    // Drained reference + warm-up (also warms the engine-side caches).
+    SearchContext reference_context;
+    std::vector<SearchResult> reference;
+    reference.reserve(queries.size());
+    for (const auto& origins : queries) {
+      reference.push_back(
+          engine.QueryResolved(origins, algorithm, options,
+                               &reference_context));
+    }
+
+    // A fresh scheduler per algorithm keeps tenants/counters separated;
+    // worker count is the platform default (hardware concurrency).
+    struct Wave {
+      const char* name;
+      double interarrival;  // filled for the open waves post-calibration
+    };
+    Scheduler scheduler{SchedulerOptions{}};
+    {  // untimed warm-up through the serving path (cold contexts, pool)
+      WaveResult warm = RunWave(engine, &scheduler, algorithm, options,
+                                queries, reference, 0);
+      all_identical = all_identical && warm.identical;
+    }
+
+    // Calibration: closed-loop mean service time sets the open rates.
+    WaveResult closed = RunWave(engine, &scheduler, algorithm, options,
+                                queries, reference, 0);
+    all_identical = all_identical && closed.identical;
+    double mean_service =
+        closed.wall_seconds / static_cast<double>(arrivals);
+    if (mean_service <= 0) mean_service = 1e-6;
+
+    const Wave waves[] = {
+        {"closed", 0},
+        {"open-0.5", mean_service / 0.5},
+        {"open-0.9", mean_service / 0.9},
+    };
+    for (const Wave& wave : waves) {
+      WaveResult r = wave.interarrival == 0
+                         ? std::move(closed)
+                         : RunWave(engine, &scheduler, algorithm, options,
+                                   queries, reference, wave.interarrival);
+      all_identical = all_identical && r.identical;
+      const double p50 = 1e3 * Percentile(r.latency_seconds, 0.50);
+      const double p95 = 1e3 * Percentile(r.latency_seconds, 0.95);
+      const double p99 = 1e3 * Percentile(r.latency_seconds, 0.99);
+      const double ttfa =
+          r.ttfa_seconds.empty()
+              ? 0
+              : 1e3 *
+                    (std::accumulate(r.ttfa_seconds.begin(),
+                                     r.ttfa_seconds.end(), 0.0) /
+                     static_cast<double>(r.ttfa_seconds.size()));
+      const double qps = SafeRatio(static_cast<double>(arrivals),
+                                   r.wall_seconds);
+      if (json) {
+        w.BeginObject();
+        w.Field("class", wave.name);
+        w.Field("algorithm", AlgorithmName(algorithm));
+        w.Field("mode", "subscribe");
+        w.Field("threads", static_cast<uint64_t>(
+                               std::max<size_t>(1, scheduler.num_workers())));
+        // The baseline-compared latency headline: tail latency for the
+        // open waves, median for the closed calibration wave.
+        w.Field("ms_per_query", wave.interarrival == 0 ? p50 : p95);
+        w.Field("p50_ms", p50);
+        w.Field("p95_ms", p95);
+        w.Field("p99_ms", p99);
+        w.Field("time_to_first_answer_ms", ttfa);
+        w.Field("qps", qps);
+        w.EndObject();
+      } else {
+        table.AddRow({AlgorithmName(algorithm), wave.name,
+                      TablePrinter::Fmt(p50, 3), TablePrinter::Fmt(p95, 3),
+                      TablePrinter::Fmt(p99, 3), TablePrinter::Fmt(ttfa, 3),
+                      TablePrinter::Fmt(qps, 1)});
+      }
+    }
+  }
+
+  if (json) {
+    w.EndArray();
+    w.Field("answers_identical", all_identical);
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    std::printf("\n");
+    table.Print(std::cout);
+    std::printf(
+        "\nclosed = one subscription at a time (calibration); open-R =\n"
+        "arrivals at R x the calibrated closed-loop capacity, latency\n"
+        "measured submit -> terminal push. ttfa = mean submit -> first\n"
+        "pushed answer. Every pushed sequence is verified identical to\n"
+        "the drained query (exit 1 on any divergence): %s\n",
+        all_identical ? "ok" : "DIVERGED");
+  }
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace banks::bench
+
+int main(int argc, char** argv) {
+  double scale = 1.0;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      scale = std::atof(argv[i]);
+      if (scale <= 0.0) {
+        std::fprintf(stderr, "usage: %s [--json] [scale>0]  (got %s)\n",
+                     argv[0], argv[i]);
+        return 2;
+      }
+    }
+  }
+  return banks::bench::Main(scale, json);
+}

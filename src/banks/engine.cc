@@ -76,6 +76,32 @@ AnswerStream Engine::OpenQueryResolved(std::vector<std::vector<NodeId>> origins,
                       std::move(searcher));
 }
 
+Subscription Engine::Subscribe(const std::vector<std::string>& keywords,
+                               Algorithm algorithm, AnswerSink* sink,
+                               const SearchOptions& options,
+                               const SubscribeOptions& subscribe) const {
+  return SubscribeResolved(Resolve(keywords), algorithm, sink, options,
+                           subscribe);
+}
+
+Subscription Engine::SubscribeResolved(
+    std::vector<std::vector<NodeId>> origins, Algorithm algorithm,
+    AnswerSink* sink, const SearchOptions& options,
+    const SubscribeOptions& subscribe) const {
+  Scheduler& scheduler = subscribe.scheduler != nullptr
+                             ? *subscribe.scheduler
+                             : Scheduler::Default();
+  TaskSpec spec;
+  spec.searcher = CreateSearcher(algorithm, data_.graph, prestige_, options);
+  spec.origins = std::move(origins);
+  spec.sink = sink;
+  spec.tenant = subscribe.tenant;
+  spec.weight = subscribe.weight;
+  spec.deadline_seconds = subscribe.deadline_seconds;
+  spec.answer_credits = subscribe.answer_credits;
+  return scheduler.Submit(std::move(spec));
+}
+
 namespace {
 
 /// Cache key for a spec's keyword list. Keywords are raw caller strings

@@ -13,6 +13,7 @@
 #include "search/answer_stream.h"
 #include "search/context_pool.h"
 #include "search/searcher.h"
+#include "serve/scheduler.h"
 
 namespace banks {
 
@@ -183,6 +184,33 @@ class Engine {
                                  const SearchOptions& options = {},
                                  const StreamOptions& stream = {},
                                  SearchContext* context = nullptr) const;
+
+  /// Registers a query as a task on the serving core (docs/SERVING.md):
+  /// the search runs as cooperative quanta on the scheduler's workers —
+  /// interleaved fairly with every other in-flight subscription — and
+  /// each released answer is *pushed* to `sink` in release order,
+  /// exactly the sequence the drained Query returns. Keywords are
+  /// resolved on the calling thread; admission control also runs before
+  /// this returns (Subscription::admission() says how it went; a
+  /// kRejected submission has already received its terminal
+  /// OnComplete). The sink must outlive the subscription — i.e. stay
+  /// valid until OnComplete fires; Subscription::Wait() is the fence.
+  ///
+  /// SubscribeOptions carries the serving knobs: target scheduler
+  /// (default: the process-wide Scheduler::Default()), fair-queueing
+  /// tenant + weight, a scheduler-enforced deadline covering queueing
+  /// through delivery, and delivery credits for sink flow control.
+  Subscription Subscribe(const std::vector<std::string>& keywords,
+                         Algorithm algorithm, AnswerSink* sink,
+                         const SearchOptions& options = {},
+                         const SubscribeOptions& subscribe = {}) const;
+
+  /// Subscribe over pre-resolved origin sets (the task owns the moved
+  /// origins, so the caller's copy may go away).
+  Subscription SubscribeResolved(std::vector<std::vector<NodeId>> origins,
+                                 Algorithm algorithm, AnswerSink* sink,
+                                 const SearchOptions& options = {},
+                                 const SubscribeOptions& subscribe = {}) const;
 
   /// Executes a batch of independent queries, optionally across worker
   /// threads, returning results in input order.

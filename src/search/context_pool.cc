@@ -38,6 +38,11 @@ size_t SearchContextPool::available() const {
   return idle_.size();
 }
 
+size_t SearchContextPool::leased() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return all_.size() - idle_.size();
+}
+
 uint64_t SearchContextPool::acquires() const {
   std::lock_guard<std::mutex> lock(mu_);
   return acquires_;

@@ -96,6 +96,12 @@ class SearchContextPool {
   /// Contexts currently idle in the pool.
   size_t available() const;
 
+  /// Contexts currently checked out (size() - available()). The serving
+  /// core's detach contract is stated in these terms: an idle
+  /// subscription — queued for admission or waiting for sink credit —
+  /// contributes nothing to leased().
+  size_t leased() const;
+
   /// Number of Acquire calls served (diagnostics).
   uint64_t acquires() const;
 

@@ -267,6 +267,19 @@ class SearchContext {
 
   StreamState stream;
 
+  /// Moves the resumable control state out of this context and resets
+  /// the husk, leaving the context immediately warm-reusable. This is
+  /// the serving core's detach step (docs/SERVING.md): a task idling in
+  /// the scheduler — admitted but waiting for sink credit — keeps only
+  /// the returned compact StreamState while the context goes back to
+  /// its pool. Only meaningful once the search is kDone (the positional
+  /// state still lives in the pools below and is NOT moved).
+  StreamState DetachStream() {
+    StreamState out = std::move(stream);
+    stream.Reset();
+    return out;
+  }
+
   /// Resets all pools for a query over `num_keywords` keywords to be
   /// run with `shard_count` worker threads. The lane partition of the
   /// frontier pools is always kNumLanes — shard_count is recorded for

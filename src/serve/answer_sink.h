@@ -1,0 +1,71 @@
+#ifndef BANKS_SERVE_ANSWER_SINK_H_
+#define BANKS_SERVE_ANSWER_SINK_H_
+
+#include <cstdint>
+
+#include "search/answer.h"
+#include "search/metrics.h"
+
+namespace banks {
+
+/// How Scheduler admission control classified a Subscribe call (see
+/// docs/SERVING.md, "Admission control").
+enum class AdmissionState : uint8_t {
+  kAdmitted,  // got a run slot immediately; first quantum can run now
+  kQueued,    // waiting for a slot; holds NO SearchContext while queued
+  kRejected,  // queue depth exceeded; terminal kRejected already fired
+};
+
+/// Terminal outcome of a subscription. Exactly one of these is passed
+/// to AnswerSink::OnComplete, always as the last call on the sink.
+enum class SubscribeStatus : uint8_t {
+  kPending,          // not terminal yet (Subscription::status() only)
+  kCompleted,        // search finished; every answer was delivered
+  kDeadlineExpired,  // scheduler cancelled the task at its deadline
+  kCancelled,        // Subscription::Cancel() (or stream destruction)
+  kRejected,         // admission control refused the task
+  kShutdown,         // the scheduler was destroyed with the task open
+};
+
+const char* SubscribeStatusName(SubscribeStatus status);
+
+/// Push-side consumer of one subscribed search — the serving core's
+/// counterpart of the pull AnswerStream. The scheduler drives the
+/// search as Resume quanta and pushes each released answer here, in
+/// release order, exactly the sequence a drained Engine::Query returns.
+///
+/// Threading rules (see docs/SERVING.md, "Sink threading rules"):
+///  * OnAnswer / OnComplete run on a scheduler worker thread (or, in
+///    manual-drive mode, on the thread calling Scheduler::DriveOne; for
+///    a kRejected submission, on the thread calling Subscribe).
+///  * Calls for ONE subscription are serialized and in order; calls for
+///    different subscriptions may run concurrently on different
+///    workers, so a sink shared across subscriptions must be
+///    thread-safe.
+///  * OnComplete is called exactly once and is the last call; the sink
+///    must stay alive until then (Subscription::Wait() is the fence).
+///  * The AnswerTree reference is valid only during the call — copy it
+///    to keep it.
+///  * Reentrancy: a sink callback may call Subscription::Cancel or
+///    AddCredits (no scheduler lock is held during callbacks), but must
+///    not block on scheduler progress (e.g. Subscription::Wait) — the
+///    worker delivering the callback is the one that would make that
+///    progress.
+class AnswerSink {
+ public:
+  virtual ~AnswerSink() = default;
+
+  /// One released answer, in release order.
+  virtual void OnAnswer(const AnswerTree& answer) = 0;
+
+  /// Terminal notification: the final status and the metrics of the
+  /// search so far (complete metrics for kCompleted; partial for a
+  /// deadline/cancel mid-search; default-constructed when the search
+  /// never started). Always the last call for this subscription.
+  virtual void OnComplete(SubscribeStatus status,
+                          const SearchMetrics& metrics) = 0;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_SERVE_ANSWER_SINK_H_

@@ -1,0 +1,73 @@
+#ifndef BANKS_SERVE_QUEUE_SINK_H_
+#define BANKS_SERVE_QUEUE_SINK_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "serve/answer_sink.h"
+
+namespace banks {
+
+/// The bridge from push back to pull: an AnswerSink that buffers
+/// answers behind a mutex + condition variable so a consumer thread can
+/// Pop() them at its own pace. This is how the pull AnswerStream is
+/// re-expressed on the serving core — a scheduler-backed stream is just
+/// a Subscription delivering into a QueueSink, with Next() waiting on
+/// the condition variable (see answer_stream.h, scheduled mode).
+///
+/// Producer side (scheduler worker): OnAnswer copies the tree into the
+/// queue; OnComplete records the terminal status + final metrics. Both
+/// notify the condition variable. Consumer side: Pop/WaitTerminal from
+/// any one or many threads. Fully thread-safe.
+class QueueSink : public AnswerSink {
+ public:
+  void OnAnswer(const AnswerTree& answer) override;
+  void OnComplete(SubscribeStatus status,
+                  const SearchMetrics& metrics) override;
+
+  /// Takes the next buffered answer, blocking until one arrives or the
+  /// subscription reaches its terminal status (then nullopt). A
+  /// positive timeout bounds the wait in seconds — nullopt with
+  /// timed_out() observable via the return of PopFor below. timeout 0
+  /// blocks indefinitely.
+  std::optional<AnswerTree> Pop();
+
+  /// Pop with a wall-clock bound. Returns the answer, or nullopt with
+  /// *timed_out = true when the bound expired first (the subscription
+  /// is still live) and *timed_out = false when the terminal status
+  /// arrived with the queue empty.
+  std::optional<AnswerTree> PopFor(double timeout_seconds, bool* timed_out);
+
+  /// Non-blocking take; false when the queue is currently empty.
+  bool TryPop(AnswerTree* out);
+
+  /// Blocks until OnComplete, returns the terminal status. Answers may
+  /// still be buffered after this returns — drain with TryPop.
+  SubscribeStatus WaitTerminal();
+
+  /// kPending until OnComplete has run.
+  SubscribeStatus status() const;
+
+  /// True once the terminal status arrived AND every buffered answer
+  /// was popped — nothing more will ever come out.
+  bool exhausted() const;
+
+  /// Answers currently buffered (diagnostics / backpressure decisions).
+  size_t buffered() const;
+
+  /// Final metrics recorded by OnComplete (default-constructed before).
+  SearchMetrics final_metrics() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<AnswerTree> queue_;
+  SubscribeStatus status_ = SubscribeStatus::kPending;
+  SearchMetrics final_metrics_;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_SERVE_QUEUE_SINK_H_

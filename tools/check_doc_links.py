@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Fails when a relative markdown link in the repo docs points nowhere.
+
+Checks README.md, src/README.md and docs/*.md. External (scheme://),
+mailto: and intra-page #anchor links are skipped; a relative link's
+optional #fragment is ignored. Registered as the `docs_link_check`
+ctest so dead links fail CI, not readers.
+"""
+import glob
+import os
+import re
+import sys
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def main(root):
+    files = [p for p in ["README.md", "src/README.md"]
+             if os.path.exists(os.path.join(root, p))]
+    files += sorted(os.path.relpath(p, root)
+                    for p in glob.glob(os.path.join(root, "docs", "*.md")))
+    dead = []
+    for rel in files:
+        text = open(os.path.join(root, rel), encoding="utf-8").read()
+        for target in LINK.findall(text):
+            if "://" in target or target.startswith(("mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            resolved = os.path.normpath(
+                os.path.join(root, os.path.dirname(rel), path))
+            if not os.path.exists(resolved):
+                dead.append(f"{rel}: dead link -> {target}")
+    for line in dead:
+        print(line)
+    print(f"checked {len(files)} files: "
+          f"{'FAIL' if dead else 'ok'} ({len(dead)} dead links)")
+    return 1 if dead else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else os.getcwd()))
