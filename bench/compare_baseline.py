@@ -23,8 +23,11 @@ import os
 import sys
 import tempfile
 
-# Fields that identify a row within a bench report.
-KEY_FIELDS = ("class", "algorithm", "mode", "threads")
+# Fields that identify a row within a bench report. Absent fields are
+# skipped, so benches only pay for the dimensions they report (pool is
+# micro_paged's buffer-pool size; without it that bench's per-pool rows
+# would collide on one key and silently shadow each other).
+KEY_FIELDS = ("class", "algorithm", "mode", "threads", "pool")
 # Latency metrics to diff (higher = worse). Throughput/alloc metrics are
 # reported for information only. ms_per_query_ratio_vs_1shard is a
 # latency *ratio* (multi-shard row vs the same configuration's 1-shard
@@ -150,6 +153,15 @@ def self_test():
     bare = {"algorithm": "A", "mode": "m", "threads": 1, "qps": 5.0}
     check("no latency fields", run({"rows": [bare]}, {"rows": [bare]}),
           "no latency metric")
+
+    # Rows differing only in an optional key dimension (pool) must not
+    # shadow each other: a regression in one of them has to surface.
+    pool_a = dict(row, pool="pool2pct")
+    pool_b = dict(row, pool="pool25pct")
+    check("pool rows distinct",
+          run({"rows": [pool_a, pool_b]},
+              {"rows": [pool_a, dict(pool_b, ms_per_query=20.0)]}),
+          "regressed")
 
     # A legitimately zero-valued metric is still a present metric: it
     # must neither warn when unchanged nor count the row as metric-free.

@@ -80,18 +80,31 @@ void BM_Prestige(benchmark::State& state) {
 BENCHMARK(BM_Prestige)->Arg(10'000)->Arg(50'000);
 
 // §5.1 accounting: report bytes per node+edge so the compactness claim
-// (paper: 16·V + 8·E for the skeleton) can be compared directly.
+// (paper: 16·V + 8·E for the skeleton) can be compared directly, plus
+// the per-component breakdown that sizes out-of-core buffer pools
+// (docs/STORAGE.md): how much is adjacency (pageable) vs skeleton
+// (always resident).
 void BM_MemoryFootprint(benchmark::State& state) {
   GraphBuilder b = RandomBuilder(100'000, 400'000, 7);
   Graph g = b.Build();
   for (auto _ : state) {
     benchmark::DoNotOptimize(g.MemoryBytes());
   }
+  const Graph::MemoryUsage u = g.ComputeMemoryUsage();
   state.counters["bytes_per_node"] =
       static_cast<double>(g.MemoryBytes()) / g.num_nodes();
   state.counters["paper_budget_bytes"] =
       16.0 * g.num_nodes() + 8.0 * g.num_edges();
   state.counters["actual_bytes"] = static_cast<double>(g.MemoryBytes());
+  state.counters["adjacency_target_bytes"] =
+      static_cast<double>(u.adjacency_target_bytes);
+  state.counters["adjacency_weight_bytes"] =
+      static_cast<double>(u.adjacency_weight_bytes);
+  state.counters["offset_bytes"] = static_cast<double>(u.offset_bytes);
+  state.counters["node_pool_bytes"] = static_cast<double>(u.node_scalar_bytes);
+  state.counters["type_bytes"] = static_cast<double>(u.type_bytes);
+  state.counters["total_bytes"] = static_cast<double>(u.total_bytes());
+  state.counters["resident_bytes"] = static_cast<double>(u.resident_bytes);
 }
 BENCHMARK(BM_MemoryFootprint);
 

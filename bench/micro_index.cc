@@ -46,6 +46,28 @@ void BM_IndexBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_IndexBuild)->Arg(10'000)->Arg(50'000);
 
+// Byte breakdown of a frozen index (postings vs terms vs relation
+// ranges) — the postings side of the buffer-pool sizing report that
+// micro_graph's BM_MemoryFootprint gives for adjacency.
+void BM_IndexFootprint(benchmark::State& state) {
+  auto titles = MakeTitles(50'000);
+  InvertedIndex index;
+  for (size_t i = 0; i < titles.size(); ++i) {
+    index.AddDocument(static_cast<NodeId>(i), titles[i]);
+  }
+  index.Freeze();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.ComputeMemoryUsage().total_bytes());
+  }
+  const InvertedIndex::MemoryUsage u = index.ComputeMemoryUsage();
+  state.counters["postings_bytes"] = static_cast<double>(u.postings_bytes);
+  state.counters["term_bytes"] = static_cast<double>(u.term_bytes);
+  state.counters["relation_bytes"] = static_cast<double>(u.relation_bytes);
+  state.counters["total_bytes"] = static_cast<double>(u.total_bytes());
+  state.counters["resident_bytes"] = static_cast<double>(u.resident_bytes);
+}
+BENCHMARK(BM_IndexFootprint);
+
 void BM_KeywordMatch(benchmark::State& state) {
   auto titles = MakeTitles(50'000);
   InvertedIndex index;

@@ -12,6 +12,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "storage/paged_store.h"
 #include "text/tokenizer.h"
 
 namespace banks {
@@ -22,9 +23,20 @@ Engine Engine::FromDatabase(const Database& db, const EngineOptions& options) {
 
 Engine::Engine(DataGraph data, const EngineOptions& options)
     : data_(std::move(data)) {
-  prestige_ = options.compute_prestige
-                  ? ComputePrestige(data_.graph, options.prestige)
-                  : UniformPrestige(data_.graph.num_nodes());
+  if (!options.compute_prestige) {
+    prestige_ = UniformPrestige(data_.graph.num_nodes());
+    return;
+  }
+  // A paged graph carries the prestige it was saved with, so opening an
+  // out-of-core engine never runs a PageRank pass over paged adjacency
+  // (which would drag every page through the buffer pool at startup).
+  const std::shared_ptr<PagedStore>& store = data_.graph.paged_store();
+  if (store != nullptr &&
+      store->prestige().size() == data_.graph.num_nodes()) {
+    prestige_ = store->prestige();
+    return;
+  }
+  prestige_ = ComputePrestige(data_.graph, options.prestige);
 }
 
 std::vector<std::vector<NodeId>> Engine::Resolve(
@@ -127,6 +139,9 @@ void AccumulateMetrics(const SearchMetrics& m, SearchMetrics* total) {
   total->propagation_steps += m.propagation_steps;
   total->answers_generated += m.answers_generated;
   total->answers_output += m.answers_output;
+  total->page_hits += m.page_hits;
+  total->page_misses += m.page_misses;
+  total->page_waits += m.page_waits;
   total->elapsed_seconds += m.elapsed_seconds;
   total->budget_exhausted |= m.budget_exhausted;
 }

@@ -4,14 +4,39 @@
 #include <cassert>
 #include <cmath>
 
+#include "storage/paged_store.h"
+
 namespace banks {
 
 double Graph::EdgeWeight(NodeId u, NodeId v) const {
   double best = -1.0;
-  for (const Edge& e : OutEdges(u)) {
+  PagePin pin;
+  for (const Edge& e : OutEdges(u, &pin)) {
     if (e.other == v && (best < 0 || e.weight < best)) best = e.weight;
   }
   return best;
+}
+
+std::span<const Edge> Graph::PagedRun(PageRunRef run, size_t count,
+                                      PagePin* pin) const {
+  if (count == 0) return {};
+  if (run.page == kInlinePage) {
+    return {inline_edges_.data() + run.offset, count};  // pin stays empty
+  }
+  const std::byte* base = store_->pool().Pin(run.page, pin);
+  return {reinterpret_cast<const Edge*>(base + run.offset), count};
+}
+
+bool Graph::ProbeRun(PageRunRef run,
+                     const std::shared_ptr<PageFetchListener>& l) const {
+  if (run.page == kInlinePage) return true;
+  BufferPool& pool = store_->pool();
+  if (pool.Resident(run.page)) return true;
+  if (l != nullptr) {
+    l->OnFetchQueued(run.page);
+    pool.RequestFetch(run.page, l);
+  }
+  return false;
 }
 
 size_t Graph::MemoryBytes() const {
@@ -23,6 +48,29 @@ size_t Graph::MemoryBytes() const {
          in_inv_weight_sum_.size() * sizeof(double) +
          out_inv_weight_sum_.size() * sizeof(double) +
          node_types_.size() * sizeof(NodeType);
+}
+
+Graph::MemoryUsage Graph::ComputeMemoryUsage() const {
+  MemoryUsage u;
+  const size_t edge_slots = num_edges() * 2;  // out + in copies
+  u.adjacency_target_bytes = edge_slots * sizeof(NodeId);
+  u.adjacency_weight_bytes = edge_slots * (sizeof(Edge) - sizeof(NodeId));
+  u.offset_bytes = (out_offsets_.size() + in_offsets_.size()) * sizeof(size_t);
+  u.node_scalar_bytes = fwd_indegree_.size() * sizeof(uint32_t) +
+                        (in_inv_weight_sum_.size() +
+                         out_inv_weight_sum_.size()) *
+                            sizeof(double);
+  u.type_bytes = node_types_.size() * sizeof(NodeType);
+  for (const std::string& name : type_names_) u.type_bytes += name.size();
+  u.run_table_bytes = (out_runs_.size() + in_runs_.size()) * sizeof(PageRunRef);
+  u.adjacency_inline_bytes = inline_edges_.size() * sizeof(Edge);
+  u.resident_bytes = u.total_bytes();
+  // Paged adjacency lives in the store's pages, except the inlined
+  // short runs, which the Graph keeps in RAM.
+  if (paged()) {
+    u.resident_bytes -= u.adjacency_bytes() - u.adjacency_inline_bytes;
+  }
+  return u;
 }
 
 NodeId GraphBuilder::AddNode(NodeType type) {

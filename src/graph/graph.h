@@ -1,14 +1,19 @@
 #ifndef BANKS_GRAPH_GRAPH_H_
 #define BANKS_GRAPH_GRAPH_H_
 
+#include <cassert>
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "graph/types.h"
+#include "storage/buffer_pool.h"
 
 namespace banks {
+
+class PagedStore;
 
 /// Immutable directed weighted search graph in CSR form.
 ///
@@ -25,18 +30,59 @@ class Graph {
  public:
   size_t num_nodes() const { return out_offsets_.size() - 1; }
   /// Total directed edges in the combined graph (forward + backward).
-  size_t num_edges() const { return out_edges_.size(); }
+  size_t num_edges() const {
+    return out_offsets_.empty() ? 0 : out_offsets_.back();
+  }
+
+  /// True when adjacency lives in a paged on-disk store behind a buffer
+  /// pool instead of in-memory CSR arrays (storage/paged_store.h).
+  bool paged() const { return store_ != nullptr; }
+  const std::shared_ptr<PagedStore>& paged_store() const { return store_; }
 
   /// Edges leaving v (targets). Traversed by the outgoing iterator.
+  /// Resident graphs only — paged adjacency needs a pin (below).
   std::span<const Edge> OutEdges(NodeId v) const {
+    assert(store_ == nullptr);
     return {out_edges_.data() + out_offsets_[v],
             out_offsets_[v + 1] - out_offsets_[v]};
   }
 
   /// Edges entering v (sources). Traversed by backward expansion.
+  /// Resident graphs only — paged adjacency needs a pin (below).
   std::span<const Edge> InEdges(NodeId v) const {
+    assert(store_ == nullptr);
     return {in_edges_.data() + in_offsets_[v],
             in_offsets_[v + 1] - in_offsets_[v]};
+  }
+
+  /// Mode-agnostic adjacency: resident graphs return the CSR span and
+  /// leave `pin` empty; paged graphs pin the page holding v's run
+  /// (blocking on a pool miss) and the span stays valid while `pin`
+  /// lives. `pin->hit()` feeds the page hit/miss metrics.
+  std::span<const Edge> OutEdges(NodeId v, PagePin* pin) const {
+    if (store_ == nullptr) return OutEdges(v);
+    return PagedRun(out_runs_[v], out_offsets_[v + 1] - out_offsets_[v], pin);
+  }
+  std::span<const Edge> InEdges(NodeId v, PagePin* pin) const {
+    if (store_ == nullptr) return InEdges(v);
+    return PagedRun(in_runs_[v], in_offsets_[v + 1] - in_offsets_[v], pin);
+  }
+
+  /// Non-blocking page probes for the serving scheduler's page-wait
+  /// protocol: true when reading v's adjacency would not block (graph
+  /// resident, run empty, or its page already pooled). On false, if
+  /// `listener` is set, an asynchronous fetch has been queued — exactly
+  /// one OnPageReady follows per OnFetchQueued — so the caller can park
+  /// instead of blocking. Probes never pin and never change results.
+  bool ProbeOutEdges(NodeId v, const std::shared_ptr<PageFetchListener>&
+                                   listener = nullptr) const {
+    if (store_ == nullptr || OutDegree(v) == 0) return true;
+    return ProbeRun(out_runs_[v], listener);
+  }
+  bool ProbeInEdges(NodeId v, const std::shared_ptr<PageFetchListener>&
+                                  listener = nullptr) const {
+    if (store_ == nullptr || InDegree(v) == 0) return true;
+    return ProbeRun(in_runs_[v], listener);
   }
 
   size_t OutDegree(NodeId v) const {
@@ -82,8 +128,41 @@ class Graph {
   /// about this in-memory skeleton; §5.1).
   size_t MemoryBytes() const;
 
+  /// Per-component byte breakdown; sizes buffer pools and feeds the
+  /// micro_graph report. For a paged graph `adjacency_*` counts on-disk
+  /// page bytes (not RAM) and resident() excludes them.
+  struct MemoryUsage {
+    size_t adjacency_target_bytes = 0;  // NodeId halves of out+in edges
+    size_t adjacency_weight_bytes = 0;  // weight+dir halves (incl. padding)
+    size_t offset_bytes = 0;            // CSR offset arrays (always resident)
+    size_t node_scalar_bytes = 0;  // indegrees + inverse-weight sums pools
+    size_t type_bytes = 0;         // node types + interned type names
+    size_t run_table_bytes = 0;    // paged-mode per-node run locators
+    /// Paged mode: adjacency bytes kept resident as inlined short runs
+    /// (a subset of adjacency_bytes(), counted in resident_bytes).
+    size_t adjacency_inline_bytes = 0;
+
+    size_t adjacency_bytes() const {
+      return adjacency_target_bytes + adjacency_weight_bytes;
+    }
+    size_t total_bytes() const {
+      return adjacency_bytes() + offset_bytes + node_scalar_bytes +
+             type_bytes + run_table_bytes;
+    }
+    /// RAM actually held by this Graph (paged adjacency excluded; the
+    /// buffer pool's resident bytes are accounted by the pool itself).
+    size_t resident_bytes = 0;
+  };
+  MemoryUsage ComputeMemoryUsage() const;
+
  private:
   friend class GraphBuilder;
+  friend class PagedStore;
+
+  std::span<const Edge> PagedRun(PageRunRef run, size_t count,
+                                 PagePin* pin) const;
+  bool ProbeRun(PageRunRef run,
+                const std::shared_ptr<PageFetchListener>& listener) const;
 
   std::vector<size_t> out_offsets_;  // |V|+1
   std::vector<Edge> out_edges_;
@@ -95,6 +174,17 @@ class Graph {
   double min_edge_weight_ = 1.0;
   std::vector<NodeType> node_types_;
   std::vector<std::string> type_names_;
+
+  // Paged mode (storage/paged_store.h): adjacency runs live in the
+  // store's pages; these locators say where. The skeleton above (offsets,
+  // scalars, types) stays resident in both modes. Runs short enough to
+  // inline (PagedStoreOptions::inline_run_bytes) live in inline_edges_
+  // instead — their locators carry kInlinePage and an index into it, and
+  // reading them never touches the buffer pool.
+  std::shared_ptr<PagedStore> store_;
+  std::vector<PageRunRef> out_runs_;
+  std::vector<PageRunRef> in_runs_;
+  std::vector<Edge> inline_edges_;
 };
 
 /// Options controlling derived backward edges.

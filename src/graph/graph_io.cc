@@ -6,35 +6,12 @@
 #include <ostream>
 #include <vector>
 
+#include "util/serialize.h"
+
 namespace banks {
 namespace {
 
 constexpr uint64_t kMagic = 0x42414E4B53763101ULL;  // "BANKSv1\x01"
-
-template <typename T>
-void WritePod(std::ostream& os, const T& v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
-
-template <typename T>
-bool ReadPod(std::istream& is, T* v) {
-  is.read(reinterpret_cast<char*>(v), sizeof(T));
-  return static_cast<bool>(is);
-}
-
-void WriteString(std::ostream& os, const std::string& s) {
-  WritePod<uint32_t>(os, static_cast<uint32_t>(s.size()));
-  os.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-bool ReadString(std::istream& is, std::string* s) {
-  uint32_t len;
-  if (!ReadPod(is, &len)) return false;
-  if (len > (1u << 20)) return false;  // sanity cap on name length
-  s->resize(len);
-  is.read(s->data(), len);
-  return static_cast<bool>(is);
-}
 
 }  // namespace
 

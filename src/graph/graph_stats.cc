@@ -52,6 +52,8 @@ GraphStats ComputeGraphStats(const Graph& g, size_t hub_threshold) {
   stats.num_nodes = g.num_nodes();
   stats.num_edges = g.num_edges();
 
+  stats.memory = g.ComputeMemoryUsage();
+
   std::vector<size_t> out_degrees;
   out_degrees.reserve(g.num_nodes());
   UnionFind uf(g.num_nodes());
@@ -59,7 +61,8 @@ GraphStats ComputeGraphStats(const Graph& g, size_t hub_threshold) {
     size_t out = g.OutDegree(v);
     out_degrees.push_back(out);
     stats.max_out_degree = std::max(stats.max_out_degree, out);
-    for (const Edge& e : g.OutEdges(v)) {
+    PagePin pin;  // mode-agnostic: stats work on paged graphs too
+    for (const Edge& e : g.OutEdges(v, &pin)) {
       if (e.dir == EdgeDir::kForward) stats.num_forward_edges++;
       uf.Union(v, e.other);
     }
@@ -96,7 +99,16 @@ std::string GraphStats::ToString() const {
      << " max_fanin=" << max_forward_indegree << " hubs=" << hub_count
      << " gini=" << out_degree_gini
      << " wcc=" << weakly_connected_components
-     << " largest_wcc=" << largest_component_size;
+     << " largest_wcc=" << largest_component_size
+     << "\nbytes: adjacency=" << memory.adjacency_bytes() << " (targets "
+     << memory.adjacency_target_bytes << ", weights "
+     << memory.adjacency_weight_bytes << ")"
+     << " offsets=" << memory.offset_bytes
+     << " node_pools=" << memory.node_scalar_bytes
+     << " types=" << memory.type_bytes
+     << " run_tables=" << memory.run_table_bytes
+     << " total=" << memory.total_bytes()
+     << " resident=" << memory.resident_bytes;
   return os.str();
 }
 

@@ -34,6 +34,11 @@ struct GraphStats {
   size_t weakly_connected_components = 0;
   size_t largest_component_size = 0;
 
+  /// Per-component byte breakdown (adjacency targets, weights, offsets,
+  /// node scalar pools, types, paged run tables) — the numbers that
+  /// size a buffer pool for out-of-core operation (docs/STORAGE.md).
+  Graph::MemoryUsage memory;
+
   std::string ToString() const;
 };
 

@@ -22,7 +22,11 @@ std::vector<double> ComputePrestige(const Graph& g,
         continue;
       }
       const double scale = rank[u] / inv_sum;
-      for (const Edge& e : g.OutEdges(u)) {
+      // Mode-agnostic adjacency: paged graphs pin the page (engines
+      // normally load stored prestige instead, so this path is a
+      // fallback for paged graphs saved without prestige).
+      PagePin pin;
+      for (const Edge& e : g.OutEdges(u, &pin)) {
         next[e.other] += scale / e.weight;
       }
     }

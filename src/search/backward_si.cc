@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <span>
 #include <vector>
+
+#include "storage/buffer_pool.h"
 
 #include "search/output_heap.h"
 #include "search/scoring.h"
@@ -303,6 +306,31 @@ SearchStatus BackwardSISearcher::Resume(
       break;
     }
     if (slice.PauseDue()) return slice.Pause();
+    if (ctx.page_listener != nullptr && graph_.paged()) {
+      // Page-wait protocol (docs/STORAGE.md): before committing to the
+      // pop, check that the expansion it would trigger has its adjacency
+      // page pooled; on a miss, queue the fetch and detach the quantum
+      // instead of blocking the worker on the read. The probe mutates
+      // nothing, so the retried slice replays this decision identically.
+      // Past the retry cap (e.g. concurrent tasks keep evicting our
+      // fetched page) the probe is skipped for one pop and its pins
+      // block synchronously — guaranteed progress, identical results.
+      if (ctx.stream.page_fault_retries >=
+          SearchContext::StreamState::kMaxPageFaultRetries) {
+        ctx.stream.page_fault_retries = 0;
+      } else {
+        const QE& head = frontier[p].front();
+        const BackwardReach* hr = reach(head.keyword).Find(head.node);
+        const bool will_expand = hr != nullptr && !hr->settled &&
+                                 head.dist <= hr->dist + 1e-12 &&
+                                 hr->hops < options_.dmax;
+        if (will_expand &&
+            !graph_.ProbeInEdges(head.node, ctx.page_listener)) {
+          return slice.PageWait();
+        }
+        ctx.stream.page_fault_retries = 0;
+      }
+    }
     QE top = frontier_pop(static_cast<uint32_t>(p));
     BackwardReach& r = reach(top.keyword)[top.node];
     if (r.settled || top.dist > r.dist + 1e-12) continue;  // stale entry
@@ -318,7 +346,12 @@ SearchStatus BackwardSISearcher::Resume(
       const double base = r.dist;
       const NodeId matched = r.matched;
       const uint32_t pop_lane = static_cast<uint32_t>(p);
-      for (const Edge& e : graph_.InEdges(top.node)) {
+      PagePin pin;
+      std::span<const Edge> in_edges = graph_.InEdges(top.node, &pin);
+      if (!pin.empty()) {
+        ++(pin.hit() ? result.metrics.page_hits : result.metrics.page_misses);
+      }
+      for (const Edge& e : in_edges) {
         if (!EdgeAllowed(e)) continue;
         result.metrics.edges_relaxed++;
         NodeId u = e.other;

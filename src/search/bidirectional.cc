@@ -7,7 +7,10 @@
 #include <exception>
 #include <limits>
 #include <mutex>
+#include <span>
 #include <vector>
+
+#include "storage/buffer_pool.h"
 
 #include "search/output_heap.h"
 #include "search/scoring.h"
@@ -54,8 +57,9 @@ constexpr double kLanePopFraction = 0.5;
 // any other worker reads — the barrier's release/acquire pair is the
 // only synchronization these plain fields need.
 struct RoundFlags {
-  bool stop = false;      // leave the round loop (B_control)
-  bool paused = false;    // stop was a streaming pause, not termination
+  bool stop = false;       // leave the round loop (B_control)
+  bool paused = false;     // stop was a streaming pause, not termination
+  bool page_wait = false;  // stop was a paged-graph page fault (kPageWait)
   bool cascade = false;   // current mailbox bank still holds messages
   bool do_release = false;  // this round crossed a release-check boundary
   size_t build_batch = 0;   // dirty roots staged for the build phase
@@ -651,7 +655,10 @@ SearchStatus BidirectionalSearcher::Resume(
       emit(v);
       if (v_depth < options_.dmax) {
         const double norm = graph_.InInverseWeightSum(v_node);
-        for (const Edge& e : graph_.InEdges(v_node)) {
+        PagePin pin;
+        std::span<const Edge> in_edges = graph_.InEdges(v_node, &pin);
+        if (!pin.empty()) ++(pin.hit() ? c.page_hits : c.page_misses);
+        for (const Edge& e : in_edges) {
           if (!EdgeAllowed(e)) continue;
           c.relaxed++;
           const uint32_t rl = plan.LaneOf(e.other);
@@ -692,7 +699,10 @@ SearchStatus BidirectionalSearcher::Resume(
       emit(u);
       if (u_depth < options_.dmax) {
         const double norm = graph_.OutInverseWeightSum(u_node);
-        for (const Edge& e : graph_.OutEdges(u_node)) {
+        PagePin pin;
+        std::span<const Edge> out_edges = graph_.OutEdges(u_node, &pin);
+        if (!pin.empty()) ++(pin.hit() ? c.page_hits : c.page_misses);
+        for (const Edge& e : out_edges) {
           if (!EdgeAllowed(e)) continue;
           c.relaxed++;
           const uint32_t rl = plan.LaneOf(e.other);
@@ -955,6 +965,44 @@ SearchStatus BidirectionalSearcher::Resume(
       ctx.lane_pop[l] =
           (lane_src[l] != 0 && lane_top[l].act >= cutoff) ? lane_src[l] : 0;
     }
+    if (ctx.page_listener != nullptr && graph_.paged()) {
+      // Page-wait protocol (docs/STORAGE.md): the pop set is decided —
+      // a deterministic function of the round-start frontier — so probe
+      // every popping lane's expansion page before committing to the
+      // round. On any miss, queue async fetches for *all* missing pages
+      // (the fault waiter counts one OnPageReady per OnFetchQueued) and
+      // pause at this round boundary; the retried slice recomputes the
+      // identical pop set and sails through. Probes mutate nothing.
+      //
+      // Thrash escape: when the round needs more pages than the pool
+      // holds (or concurrent tasks keep evicting our fetches), retried
+      // probes can fault forever. Past the retry cap, skip the probe
+      // and let this round's pins block synchronously — guaranteed
+      // progress, identical results.
+      if (ctx.stream.page_fault_retries >=
+          SearchContext::StreamState::kMaxPageFaultRetries) {
+        ctx.stream.page_fault_retries = 0;
+      } else {
+        bool faulted = false;
+        for (uint32_t l = 0; l < L; ++l) {
+          if (ctx.lane_pop[l] == 0) continue;
+          const uint32_t s =
+              ctx.lane_pop[l] == 1 ? qin[l].Top() : qout[l].Top();
+          if (depth_of[s] >= options_.dmax) continue;
+          const NodeId v = node_of[s];
+          const bool ready = ctx.lane_pop[l] == 1
+                                 ? graph_.ProbeInEdges(v, ctx.page_listener)
+                                 : graph_.ProbeOutEdges(v, ctx.page_listener);
+          if (!ready) faulted = true;
+        }
+        if (faulted) {
+          flags.stop = true;
+          flags.page_wait = true;
+          return;
+        }
+        ctx.stream.page_fault_retries = 0;
+      }
+    }
     flags.explored_base = result.metrics.nodes_explored;
     flags.touched_base = result.metrics.nodes_touched;
   };
@@ -973,6 +1021,8 @@ SearchStatus BidirectionalSearcher::Resume(
       met.propagation_steps += c.propagation;
       met.cross_shard_messages += c.cross_msgs;
       if (c.max_box > met.max_mailbox_depth) met.max_mailbox_depth = c.max_box;
+      met.page_hits += c.page_hits;
+      met.page_misses += c.page_misses;
       c.Reset();
     }
     met.bsp_rounds++;
@@ -1111,6 +1161,7 @@ SearchStatus BidirectionalSearcher::Resume(
   if (num_workers > 1) runtime.PrepareWorkerScratch();
   runtime.Run(worker_fn);
   if (first_failure) std::rethrow_exception(first_failure);
+  if (flags.page_wait) return slice.PageWait();
   if (flags.paused) return slice.Pause();
 
   // ---- Force release + drain (sequential tail; the team is idle, so

@@ -52,6 +52,17 @@ struct SearchMetrics {
   /// push batch). Deterministic; gauges cascade burstiness.
   uint64_t max_mailbox_depth = 0;
 
+  /// Buffer-pool outcomes of the paged-graph adjacency/posting reads
+  /// this search performed, and the number of kPageWait pauses taken.
+  /// Like elapsed_seconds these are *execution-dependent*, not part of
+  /// the deterministic contract: whether a page is pooled when touched
+  /// depends on pool size, eviction history and concurrent queries, so
+  /// differential tests must exclude them (answers and the counters
+  /// above stay byte-identical regardless). All zero on resident graphs.
+  uint64_t page_hits = 0;
+  uint64_t page_misses = 0;
+  uint64_t page_waits = 0;
+
   /// Wall-clock seconds for the whole search.
   double elapsed_seconds = 0;
 

@@ -20,6 +20,9 @@ void SearchContext::StreamState::Reset() {
   m.bsp_rounds = 0;
   m.cross_shard_messages = 0;
   m.max_mailbox_depth = 0;
+  m.page_hits = 0;
+  m.page_misses = 0;
+  m.page_waits = 0;
   m.elapsed_seconds = 0;
   m.generated_times.clear();
   m.output_times.clear();
@@ -28,6 +31,7 @@ void SearchContext::StreamState::Reset() {
   last_progress = 0;
   last_top = -1;
   elapsed = 0;
+  page_fault_retries = 0;
 }
 
 void SearchContext::BeginQuery(size_t num_keywords, uint32_t shard_count) {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <queue>
 #include <utility>
 #include <vector>
@@ -17,6 +18,8 @@
 #include "util/indexed_heap.h"
 
 namespace banks {
+
+class PageFetchListener;  // storage/buffer_pool.h
 
 /// Arena for the explored-edge lists P_u / C_u of the Bidirectional
 /// algorithm (Figure 2 of the paper).
@@ -120,6 +123,8 @@ struct LaneCounters {
   uint64_t propagation = 0;  // Attach/Activate list-element visits
   uint64_t cross_msgs = 0;   // messages sent to a different lane
   uint64_t max_box = 0;      // deepest single mailbox seen
+  uint64_t page_hits = 0;    // paged adjacency pins served from the pool
+  uint64_t page_misses = 0;  // paged adjacency pins that had to read
 
   void Reset() { *this = LaneCounters{}; }
 };
@@ -261,11 +266,34 @@ class SearchContext {
     /// excluded, so answer timestamps stay in search time).
     double elapsed = 0;
 
+    /// Consecutive slices that ended in kPageWait without an
+    /// intervening successful probe. When a search's per-step working
+    /// set exceeds the buffer pool (or concurrent tasks keep evicting
+    /// each other's fetches), the probe/fetch/retry cycle can otherwise
+    /// thrash forever; past kMaxPageFaultRetries the searchers skip the
+    /// probe for one step and fall back to blocking pins, which always
+    /// make progress. Bumped by SliceGuard::PageWait, cleared by a
+    /// successful probe (results are unaffected either way).
+    uint32_t page_fault_retries = 0;
+
+    /// Probe-skip threshold for the thrash escape above.
+    static constexpr uint32_t kMaxPageFaultRetries = 3;
+
     /// Forgets the current query, keeping result-vector capacity.
     void Reset();
   };
 
   StreamState stream;
+
+  /// Page-fault notification target for the serving scheduler's
+  /// page-wait protocol (docs/SERVING.md, docs/STORAGE.md). When set,
+  /// a searcher running on a paged graph *probes* the page of its next
+  /// expansion before committing to it; on a miss it queues an async
+  /// fetch through this listener and returns SearchStatus::kPageWait
+  /// instead of blocking its thread on the read. Null (the default, and
+  /// always for plain Query/stream paths) makes paged pins block
+  /// synchronously — same results, thread-occupying waits.
+  std::shared_ptr<PageFetchListener> page_listener;
 
   /// Moves the resumable control state out of this context and resets
   /// the husk, leaving the context immediately warm-reusable. This is

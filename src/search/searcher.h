@@ -53,8 +53,15 @@ struct StepLimits {
 
 /// What a Resume slice ended with.
 enum class SearchStatus : uint8_t {
-  kRunning,  // paused by a StepLimits bound; call Resume again to go on
-  kDone,     // search complete: answers and metrics are final
+  kRunning,   // paused by a StepLimits bound; call Resume again to go on
+  kDone,      // search complete: answers and metrics are final
+  kPageWait,  // paused on a paged-graph page fault: the next expansion
+              // needs a page that is not pooled. Only returned when the
+              // context carries a page_listener (the serving scheduler's
+              // page-wait protocol); an async fetch has been queued and
+              // exactly one OnPageReady will follow per OnFetchQueued
+              // fired during the slice. Resume again after it fires.
+              // Without a listener the pin blocks synchronously instead.
 };
 
 /// Stopwatch for one Resume slice that reports seconds since *query*
@@ -132,6 +139,17 @@ class SliceGuard {
     ss_->result.metrics.elapsed_seconds = timer_->ElapsedSeconds();
     ss_->elapsed = ss_->result.metrics.elapsed_seconds;
     return SearchStatus::kRunning;
+  }
+
+  /// Books elapsed time like Pause() but reports a page fault: the next
+  /// expansion's page is being fetched asynchronously; resume when the
+  /// context's page listener hears OnPageReady.
+  SearchStatus PageWait() const {
+    ss_->result.metrics.elapsed_seconds = timer_->ElapsedSeconds();
+    ss_->elapsed = ss_->result.metrics.elapsed_seconds;
+    ++ss_->result.metrics.page_waits;
+    ++ss_->page_fault_retries;
+    return SearchStatus::kPageWait;
   }
 
  private:

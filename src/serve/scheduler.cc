@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "storage/buffer_pool.h"
+
 namespace banks {
 
 const char* SubscribeStatusName(SubscribeStatus status) {
@@ -36,6 +38,10 @@ struct Subscription::Task {
     kExecuting,   // a worker is running its quantum / delivery slice
     kCreditWait,  // search done, answers undelivered, no credits;
                   // detached — holds StreamState only, no context
+    kPageWait,    // quantum faulted on a non-resident page; parked until
+                  // the BufferPool fetch thread delivers it. Keeps its
+                  // context lease AND run slot (only the worker is
+                  // released), so resumption is attach-free.
     kFinished,    // terminal status set
   };
 
@@ -59,8 +65,61 @@ struct Subscription::Task {
   uint64_t credits = kUnlimitedCredits;
   size_t delivered = 0;   // answers pushed to the sink so far
   uint64_t quanta = 0;    // quanta this task received
+  size_t pending_pages = 0;  // page fetches queued but not yet resident
+  std::shared_ptr<FaultWaiter> waiter;   // created at first attach
   SearchContextPool::Lease lease;        // attached between quanta
   SearchContext::StreamState state;      // live once detached
+};
+
+/// The listener a task's search carries into its quanta
+/// (SearchContext::page_listener). The searcher's probe calls
+/// OnFetchQueued once per missing page before returning kPageWait; the
+/// BufferPool fires exactly one OnPageReady per OnFetchQueued (from its
+/// fetch thread, or inline when the page turned resident meanwhile —
+/// never with the pool lock held, so taking mu_ here cannot deadlock).
+/// The last OnPageReady of a parked task requeues it.
+struct FaultWaiter : PageFetchListener {
+  FaultWaiter(Scheduler* scheduler, std::weak_ptr<Subscription::Task> task)
+      : scheduler(scheduler), task(std::move(task)) {}
+
+  void OnFetchQueued(PageId) override {
+    std::shared_ptr<Subscription::Task> t = task.lock();
+    std::lock_guard<std::mutex> lock(scheduler->mu_);
+    ++scheduler->inflight_fetches_;
+    if (t != nullptr) ++t->pending_pages;
+  }
+
+  void OnPageReady(PageId) override {
+    std::shared_ptr<Subscription::Task> t = task.lock();
+    bool wake = false;
+    {
+      std::lock_guard<std::mutex> lock(scheduler->mu_);
+      if (scheduler->inflight_fetches_ > 0 &&
+          --scheduler->inflight_fetches_ == 0) {
+        // Notify WHILE HOLDING mu_: a destructor waiting for the drain
+        // may otherwise free the cv between our unlock and the notify.
+        scheduler->finish_cv_.notify_all();
+      }
+      if (t == nullptr) return;
+      if (t->pending_pages > 0) --t->pending_pages;
+      // Only a PARKED task transitions here. A ready fired while the
+      // task was still kExecuting is caught by the worker's
+      // post-quantum pending_pages == 0 check; a finished task ignores
+      // stragglers.
+      if (t->pending_pages == 0 &&
+          t->phase == Subscription::Task::Phase::kPageWait) {
+        t->phase = Subscription::Task::Phase::kRunnable;
+        scheduler->EnqueueLocked(t);
+        wake = true;
+      }
+    }
+    // Past shutdown every task is finished, so wake is false and the
+    // scheduler is not touched after the unlock above.
+    if (wake) scheduler->work_cv_.notify_one();
+  }
+
+  Scheduler* scheduler;
+  std::weak_ptr<Subscription::Task> task;
 };
 
 namespace {
@@ -99,6 +158,9 @@ void Subscription::Cancel() {
       return;
     }
     task_->cancel_requested = true;
+    // Push-based: the sweep drains this queue instead of scanning every
+    // open task for the flag.
+    scheduler_->cancel_queue_.push_back(task_);
   }
   scheduler_->work_cv_.notify_all();
 }
@@ -171,12 +233,17 @@ Scheduler::~Scheduler() {
   // Workers are joined, so no task is kExecuting anymore.
   std::vector<std::shared_ptr<Task>> leftovers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     while (!open_.empty()) {
       std::shared_ptr<Task> task = open_.back();
       FinishLocked(task, SubscribeStatus::kShutdown);
       leftovers.push_back(std::move(task));
     }
+    // Fault waiters hold a raw Scheduler*: wait out any page fetches
+    // still in flight so their OnPageReady runs against a live object.
+    // (Every task is finished by now, so those callbacks do nothing but
+    // decrement this counter.)
+    finish_cv_.wait(lock, [&] { return inflight_fetches_ == 0; });
   }
   for (const auto& task : leftovers) CompleteOutside(task);
 }
@@ -238,6 +305,9 @@ Subscription Scheduler::Submit(TaskSpec spec) {
       ++counters_.rejected;
       task->terminal = SubscribeStatus::kRejected;
       task->phase = Task::Phase::kFinished;
+    } else if (task->deadline_at > 0) {
+      wheel_.Schedule(task->id, task->deadline_at);
+      by_id_[task->id] = task;
     }
   }
   if (rejected) {
@@ -267,6 +337,9 @@ Scheduler::Stats Scheduler::Snapshot() const {
         break;
       case Task::Phase::kCreditWait:
         ++stats.credit_waiting;
+        break;
+      case Task::Phase::kPageWait:
+        ++stats.page_waiting;
         break;
       default:
         break;
@@ -306,32 +379,42 @@ bool Scheduler::RunOneLocked(std::unique_lock<std::mutex>& lock) {
 
 bool Scheduler::SweepLocked(std::unique_lock<std::mutex>& lock) {
   bool any = false;
-  for (;;) {
-    double now = NowSeconds();
-    std::shared_ptr<Task> victim;
-    SubscribeStatus status = SubscribeStatus::kCancelled;
-    for (const auto& task : open_) {
-      // kExecuting tasks belong to their worker, which runs the same
-      // checks right after the quantum.
-      if (task->phase == Task::Phase::kExecuting) continue;
-      if (task->cancel_requested) {
-        victim = task;
-        status = SubscribeStatus::kCancelled;
-        break;
-      }
-      if (task->deadline_at > 0 && now >= task->deadline_at) {
-        victim = task;
-        status = SubscribeStatus::kDeadlineExpired;
-        break;
-      }
-    }
-    if (victim == nullptr) return any;
+  auto finish = [&](const std::shared_ptr<Task>& victim,
+                    SubscribeStatus status) {
     FinishLocked(victim, status);
     lock.unlock();
     CompleteOutside(victim);
     lock.lock();
     any = true;
+  };
+  // Cancellations arrive through the cancel queue (pushed by
+  // Subscription::Cancel), so this is O(pending cancels) not O(open).
+  while (!cancel_queue_.empty()) {
+    std::shared_ptr<Task> task = std::move(cancel_queue_.front());
+    cancel_queue_.pop_front();
+    if (task->terminal != SubscribeStatus::kPending) continue;
+    // A kExecuting task belongs to its worker, which re-checks the
+    // cancel flag right after the quantum and finishes it there.
+    if (task->phase == Task::Phase::kExecuting) continue;
+    finish(task, SubscribeStatus::kCancelled);
   }
+  // Deadlines fire from the timer wheel: only the tick range since the
+  // last sweep is walked, and each expiry is O(1) amortized.
+  std::vector<uint64_t> expired;
+  wheel_.AdvanceTo(NowSeconds(), &expired);
+  for (uint64_t id : expired) {
+    auto it = by_id_.find(id);
+    if (it == by_id_.end()) continue;
+    std::shared_ptr<Task> task = it->second;
+    if (task->terminal != SubscribeStatus::kPending) continue;
+    if (task->cancel_requested) continue;  // worker/queue already owns it
+    // kExecuting: the worker's post-quantum check runs at a time >= the
+    // fire time >= the deadline, so it is guaranteed to expire the task
+    // itself — dropping the fired timer here loses nothing.
+    if (task->phase == Task::Phase::kExecuting) continue;
+    finish(task, SubscribeStatus::kDeadlineExpired);
+  }
+  return any;
 }
 
 void Scheduler::PromoteLocked() {
@@ -368,12 +451,20 @@ void Scheduler::ExecuteLocked(std::unique_lock<std::mutex>& lock,
   Task& t = *task;
   double now = NowSeconds();
   bool due = (t.deadline_at > 0 && now >= t.deadline_at) || t.cancel_requested;
+  bool page_faulted = false;
   if (!due && !t.detached) {
     if (!t.lease) {
       // Attach: first quantum of this task. The slot was reserved at
       // admission, so this never exceeds max_running leases.
       t.lease = pool_->Acquire();
       t.lease->stream.Reset();
+      // Arm the page-fault listener unconditionally: a resident graph
+      // never probes it, a paged graph turns page misses into quantum
+      // boundaries instead of blocking this worker on disk.
+      if (t.waiter == nullptr) {
+        t.waiter = std::make_shared<FaultWaiter>(this, task);
+      }
+      t.lease->page_listener = t.waiter;
     }
     StepLimits limits;
     limits.max_steps = options_.quantum_steps;
@@ -392,6 +483,7 @@ void Scheduler::ExecuteLocked(std::unique_lock<std::mutex>& lock,
     SearchStatus status = searcher->Resume(origins, context, limits);
     lock.lock();
     t.search_done = status == SearchStatus::kDone;
+    page_faulted = status == SearchStatus::kPageWait;
   }
   DeliverLocked(lock, task);
   // Post-quantum decision. Deadline/cancel win over completion so the
@@ -407,6 +499,21 @@ void Scheduler::ExecuteLocked(std::unique_lock<std::mutex>& lock,
     finish(SubscribeStatus::kCancelled);
   } else if (t.deadline_at > 0 && now >= t.deadline_at) {
     finish(SubscribeStatus::kDeadlineExpired);
+  } else if (page_faulted) {
+    // The searcher queued async fetches (OnFetchQueued bumped
+    // pending_pages) and returned at a consistent quantum boundary.
+    if (t.pending_pages == 0) {
+      // Every OnPageReady already landed — the fetch raced ahead of
+      // this decision — so there is nothing to park on.
+      t.phase = Task::Phase::kRunnable;
+      EnqueueLocked(task);
+    } else {
+      // Park: keep the context lease and run slot, release only this
+      // worker. FaultWaiter::OnPageReady requeues the task when the
+      // last pending page lands.
+      t.phase = Task::Phase::kPageWait;
+      ++counters_.page_waits;
+    }
   } else if (t.search_done) {
     size_t total = (t.detached ? t.state : t.lease->stream).result.answers.size();
     if (t.delivered >= total) {
@@ -493,6 +600,10 @@ void Scheduler::FinishLocked(const std::shared_ptr<Task>& task,
     default:
       break;
   }
+  if (t.deadline_at > 0) {
+    wheel_.Cancel(t.id);
+    by_id_.erase(t.id);
+  }
   Tenant& tenant = tenants_[t.tenant];
   if (tenant.open > 0) --tenant.open;
   auto it = std::find(open_.begin(), open_.end(), task);
@@ -521,6 +632,12 @@ void Scheduler::EnqueueLocked(const std::shared_ptr<Task>& task) {
 
 void Scheduler::DetachLocked(const std::shared_ptr<Task>& task) {
   Task& t = *task;
+  // The context returns to the pool: strip this task's fault listener
+  // so the next task attaching to it doesn't inherit a stale waiter.
+  // (In-flight fetches still hold their own reference to the waiter;
+  // late OnPageReady calls see a finished/parked-no-more task and
+  // no-op.)
+  t.lease->page_listener.reset();
   t.state = t.lease->DetachStream();
   t.lease.Reset();  // pool mutex nests under mu_; the pool calls nothing back
   t.detached = true;
@@ -531,13 +648,10 @@ void Scheduler::DetachLocked(const std::shared_ptr<Task>& task) {
 }
 
 double Scheduler::NextDeadlineLocked() const {
-  double next = 0;
-  for (const auto& task : open_) {
-    if (task->phase == Task::Phase::kExecuting) continue;
-    if (task->deadline_at <= 0) continue;
-    if (next == 0 || task->deadline_at < next) next = task->deadline_at;
-  }
-  return next;
+  // The wheel's earliest fire boundary, not the raw deadline: workers
+  // sleeping until the boundary wake exactly when AdvanceTo will fire
+  // the timer, instead of one sub-tick early (which would spin).
+  return wheel_.NextFireTime();
 }
 
 }  // namespace banks

@@ -10,14 +10,18 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "search/context_pool.h"
 #include "search/searcher.h"
 #include "serve/answer_sink.h"
+#include "serve/timer_wheel.h"
 #include "util/timer.h"
 
 namespace banks {
+
+struct FaultWaiter;  // page-fault listener bridging BufferPool → Scheduler
 
 /// "No delivery credit limit": answers are pushed as soon as released.
 inline constexpr uint64_t kUnlimitedCredits =
@@ -142,6 +146,7 @@ class Subscription {
 
  private:
   friend class Scheduler;
+  friend struct FaultWaiter;
   struct Task;
   Subscription(Scheduler* scheduler, std::shared_ptr<Task> task)
       : scheduler_(scheduler), task_(std::move(task)) {}
@@ -166,6 +171,11 @@ class Subscription {
 ///  * a task WAITING FOR ADMISSION holds nothing but its spec;
 ///  * a task acquires its pooled SearchContext at its first quantum
 ///    (attach) and keeps it between quanta while the search runs;
+///  * a quantum that faults on a non-resident graph page is a quantum
+///    boundary: the task parks (page-wait) releasing only its WORKER —
+///    the context lease and run slot stay put, so max_running keeps
+///    meaning "contexts" — and requeues when the BufferPool fetch
+///    thread reports the missing pages resident;
 ///  * at search completion — or cancel/deadline — the StreamState is
 ///    moved out and the context released warm (detach), so a task
 ///    waiting for sink credit with undelivered answers holds only that
@@ -195,6 +205,8 @@ class Scheduler {
     size_t executing = 0;        // a worker is running their quantum
     size_t admission_queued = 0; // waiting for a run slot; no context
     size_t credit_waiting = 0;   // search done, delivery stalled; no context
+    size_t page_waiting = 0;     // parked on an async page fetch; keeps
+                                 // its context lease and run slot
     size_t contexts_attached = 0;  // tasks currently holding a pool lease
     // Cumulative counters.
     uint64_t quanta = 0;
@@ -206,6 +218,7 @@ class Scheduler {
     uint64_t completed = 0;
     uint64_t deadline_expired = 0;
     uint64_t cancelled = 0;
+    uint64_t page_waits = 0;  // quanta that ended parked on a page fetch
     std::vector<TenantStats> tenants;  // sorted by tenant name
   };
 
@@ -252,6 +265,7 @@ class Scheduler {
 
  private:
   friend class Subscription;
+  friend struct FaultWaiter;
   using Task = Subscription::Task;
 
   struct Tenant {
@@ -266,7 +280,9 @@ class Scheduler {
   void WorkerLoop();
   /// One scheduling step with mu_ held (unlocks around callbacks).
   bool RunOneLocked(std::unique_lock<std::mutex>& lock);
-  /// Finishes every expired/cancelled non-executing task. True if any.
+  /// Drains the cancel queue and fires due deadline timers (via the
+  /// timer wheel — O(1) amortized, not a scan of open tasks). Finishes
+  /// every cancelled/expired non-executing task. True if any finished.
   bool SweepLocked(std::unique_lock<std::mutex>& lock);
   /// Moves admission-queue tasks into run slots while slots are free.
   void PromoteLocked();
@@ -292,7 +308,7 @@ class Scheduler {
   /// releases the lease (warm) + its run slot.
   void DetachLocked(const std::shared_ptr<Task>& task);
   double NowSeconds() const { return epoch_.ElapsedSeconds(); }
-  /// Earliest pending deadline among open tasks (0 = none).
+  /// Earliest pending deadline fire time, from the wheel (0 = none).
   double NextDeadlineLocked() const;
 
   const SchedulerOptions options_;
@@ -305,11 +321,22 @@ class Scheduler {
   std::condition_variable finish_cv_;  // Subscription::Wait
   bool stop_ = false;
   uint64_t next_id_ = 1;
+  // OnPageReady callbacks still owed by BufferPool fetch threads. Fault
+  // waiters hold a raw Scheduler*, so the destructor waits this out
+  // before the mutex/cvs they use die with the scheduler.
+  size_t inflight_fetches_ = 0;
   size_t slots_used_ = 0;  // tasks holding (or promised) a context lease
   double global_pass_ = 0; // virtual time: pass of the last picked tenant
   std::deque<std::shared_ptr<Task>> admission_queue_;
   std::map<std::string, Tenant> tenants_;
   std::vector<std::shared_ptr<Task>> open_;  // all non-terminal tasks
+  // Cancellation is push-based: Subscription::Cancel enqueues the task
+  // here, so the sweep never scans open_ looking for cancel flags.
+  std::deque<std::shared_ptr<Task>> cancel_queue_;
+  // Deadline expiry is timer-wheel-based: Submit arms a timer per
+  // deadlined task; by_id_ maps fired timer ids back to tasks.
+  TimerWheel wheel_;
+  std::unordered_map<uint64_t, std::shared_ptr<Task>> by_id_;
   Stats counters_;  // cumulative fields only; depths computed on demand
   std::vector<std::thread> workers_;
 };

@@ -1,0 +1,104 @@
+#include "serve/timer_wheel.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace banks {
+
+TimerWheel::TimerWheel(double tick_seconds, size_t num_slots)
+    : tick_(tick_seconds > 0 ? tick_seconds : 1e-3),
+      slots_(std::max<size_t>(num_slots, 1)) {}
+
+uint64_t TimerWheel::FireTickOf(double deadline) const {
+  if (deadline <= 0) return cur_tick_;
+  // Ceil placement: the fire boundary is the first tick >= deadline, so
+  // a timer never fires early and waits < one tick past its deadline.
+  // The epsilon keeps a deadline sitting exactly on a boundary from
+  // being pushed a full tick later by floating-point round-up.
+  const double ticks = std::ceil(deadline / tick_ - 1e-9);
+  uint64_t t = ticks <= 0 ? 0 : static_cast<uint64_t>(ticks);
+  return std::max(t, cur_tick_);
+}
+
+void TimerWheel::Place(const Entry& e) {
+  if (e.tick >= cur_tick_ + slots_.size()) {
+    overflow_.push_back(e);
+  } else {
+    slots_[e.tick % slots_.size()].push_back(e);
+  }
+}
+
+void TimerWheel::Schedule(uint64_t id, double deadline) {
+  const uint64_t tick = FireTickOf(deadline);
+  // Re-arming just overwrites the authoritative map; the entry a prior
+  // arming left in some slot turns stale and is skipped at fire time.
+  active_[id] = tick;
+  Place(Entry{id, tick, next_seq_++});
+}
+
+void TimerWheel::Cancel(uint64_t id) { active_.erase(id); }
+
+void TimerWheel::AdvanceTo(double now, std::vector<uint64_t>* expired) {
+  const uint64_t target =
+      now <= 0 ? 0 : static_cast<uint64_t>(std::floor(now / tick_ + 1e-9));
+  if (target < cur_tick_) return;
+  if (active_.empty()) {
+    // Nothing armed: jump the cursor without touching slots. Slots may
+    // still hold stale entries; they are dropped lazily below whenever
+    // a slot is next processed, and the active_ check keeps them from
+    // ever firing.
+    cur_tick_ = target + 1;
+    return;
+  }
+
+  std::vector<Entry> fired;
+  const uint64_t last =
+      std::min(target, cur_tick_ + static_cast<uint64_t>(slots_.size()) - 1);
+  for (uint64_t t = cur_tick_; t <= last; ++t) {
+    std::vector<Entry>& slot = slots_[t % slots_.size()];
+    size_t keep = 0;
+    for (const Entry& e : slot) {
+      auto it = active_.find(e.id);
+      if (it == active_.end() || it->second != e.tick) continue;  // stale
+      if (e.tick <= target) {
+        fired.push_back(e);
+        active_.erase(it);
+      } else {
+        // Wrapped entry from a later lap of the ring; keep it armed.
+        slot[keep++] = e;
+      }
+    }
+    slot.resize(keep);
+  }
+  cur_tick_ = target + 1;
+
+  // Overflow: fire what's due, re-home what now fits in the horizon.
+  size_t keep = 0;
+  for (const Entry& e : overflow_) {
+    auto it = active_.find(e.id);
+    if (it == active_.end() || it->second != e.tick) continue;  // stale
+    if (e.tick <= target) {
+      fired.push_back(e);
+      active_.erase(it);
+    } else if (e.tick < cur_tick_ + slots_.size()) {
+      slots_[e.tick % slots_.size()].push_back(e);
+    } else {
+      overflow_[keep++] = e;
+    }
+  }
+  overflow_.resize(keep);
+
+  std::sort(fired.begin(), fired.end(), [](const Entry& a, const Entry& b) {
+    return a.tick != b.tick ? a.tick < b.tick : a.seq < b.seq;
+  });
+  for (const Entry& e : fired) expired->push_back(e.id);
+}
+
+double TimerWheel::NextFireTime() const {
+  if (active_.empty()) return 0;
+  uint64_t best = UINT64_MAX;
+  for (const auto& [id, tick] : active_) best = std::min(best, tick);
+  return static_cast<double>(best) * tick_;
+}
+
+}  // namespace banks

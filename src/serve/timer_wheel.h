@@ -1,0 +1,80 @@
+#ifndef BANKS_SERVE_TIMER_WHEEL_H_
+#define BANKS_SERVE_TIMER_WHEEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace banks {
+
+/// Fixed-tick hashed timer wheel — the scheduler's deadline machinery.
+///
+/// The scheduler used to find expired deadlines by scanning every open
+/// task at every scheduling decision (sweep-on-decision): O(open tasks)
+/// per quantum, almost always finding nothing. The wheel makes arming,
+/// cancelling and expiry O(1) amortized: time is quantized into fixed
+/// ticks, an armed timer lives in the slot of its *fire tick* — the
+/// first tick boundary at or after its deadline (ceil placement) — and
+/// AdvanceTo(now) walks only the tick range [cursor, now], firing the
+/// due slots in tick order.
+///
+/// Timing contract: a timer with deadline d fires at the first
+/// AdvanceTo(now) with now >= F, where F = ceil(d / tick) * tick is its
+/// fire time. It never fires before d, and F - d < tick — the expiry
+/// latency added by the wheel is strictly less than one tick (the
+/// driver adds whatever lag its own AdvanceTo cadence has on top;
+/// serve/timer_wheel_test.cc pins this bound).
+///
+/// Timers whose fire tick lies beyond the wheel's horizon (num_slots
+/// ticks ahead of the cursor) wait in an overflow list and are re-homed
+/// into slots as the cursor advances. Cancel/re-Schedule are lazy: the
+/// authoritative arming lives in an id → fire-tick map, and stale slot
+/// entries are dropped when their slot is next processed.
+///
+/// Not thread-safe; the scheduler drives it under its own mutex.
+class TimerWheel {
+ public:
+  explicit TimerWheel(double tick_seconds = 1e-3, size_t num_slots = 512);
+
+  /// Arms (or re-arms) timer `id` for `deadline` (seconds on the
+  /// driver's clock). A deadline already in the past fires at the next
+  /// AdvanceTo.
+  void Schedule(uint64_t id, double deadline);
+
+  /// Disarms `id` (no-op when not armed).
+  void Cancel(uint64_t id);
+
+  /// Fires every timer whose fire time is <= now: appends their ids to
+  /// *expired in (fire tick, arming order) order and disarms them.
+  void AdvanceTo(double now, std::vector<uint64_t>* expired);
+
+  /// Earliest pending fire time in seconds, or 0 when nothing is armed.
+  /// This is what the driver should sleep until — sleeping to the raw
+  /// deadline instead would wake one tick early and spin.
+  double NextFireTime() const;
+
+  size_t armed() const { return active_.size(); }
+  double tick_seconds() const { return tick_; }
+
+ private:
+  struct Entry {
+    uint64_t id = 0;
+    uint64_t tick = 0;  // absolute fire tick
+    uint64_t seq = 0;   // arming order, for deterministic same-tick fires
+  };
+
+  uint64_t FireTickOf(double deadline) const;
+  void Place(const Entry& e);
+
+  double tick_;
+  std::vector<std::vector<Entry>> slots_;
+  std::vector<Entry> overflow_;  // fire tick beyond the current horizon
+  std::unordered_map<uint64_t, uint64_t> active_;  // id -> fire tick
+  uint64_t cur_tick_ = 0;  // first tick boundary not yet processed
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_SERVE_TIMER_WHEEL_H_

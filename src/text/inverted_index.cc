@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
+
+#include "storage/paged_store.h"
 
 namespace banks {
 
@@ -38,10 +41,59 @@ void InvertedIndex::Freeze() {
 }
 
 std::span<const NodeId> InvertedIndex::Postings(std::string_view token) const {
-  assert(frozen_);
+  assert(frozen_ && !paged());
   auto it = term_ids_.find(Tokenizer::FoldKeyword(token));
   if (it == term_ids_.end()) return {};
   return postings_[it->second];
+}
+
+std::span<const NodeId> InvertedIndex::Postings(std::string_view token,
+                                                PagePin* pin) const {
+  assert(frozen_);
+  auto it = term_ids_.find(Tokenizer::FoldKeyword(token));
+  if (it == term_ids_.end()) return {};
+  if (!paged()) return postings_[it->second];
+  const PostingRun& run = posting_runs_[it->second];
+  if (run.count == 0) return {};
+  const std::byte* base = store_->pool().Pin(run.ref.page, pin);
+  return {reinterpret_cast<const NodeId*>(base + run.ref.offset),
+          static_cast<size_t>(run.count)};
+}
+
+std::vector<std::pair<std::string, uint32_t>> InvertedIndex::SortedTerms()
+    const {
+  std::vector<std::pair<std::string, uint32_t>> terms(term_ids_.begin(),
+                                                      term_ids_.end());
+  std::sort(terms.begin(), terms.end());
+  return terms;
+}
+
+std::span<const NodeId> InvertedIndex::PostingsById(uint32_t id) const {
+  assert(!paged());
+  return postings_[id];
+}
+
+InvertedIndex::MemoryUsage InvertedIndex::ComputeMemoryUsage() const {
+  MemoryUsage u;
+  if (paged()) {
+    for (const PostingRun& run : posting_runs_) {
+      u.postings_bytes += run.count * sizeof(NodeId);
+    }
+  } else {
+    for (const auto& list : postings_) {
+      u.postings_bytes += list.size() * sizeof(NodeId);
+    }
+  }
+  for (const auto& [term, id] : term_ids_) {
+    u.term_bytes += term.size() + sizeof(uint32_t);
+  }
+  for (const auto& [name, range] : relations_) {
+    u.relation_bytes += name.size() + sizeof(RelationRange);
+  }
+  u.run_table_bytes = posting_runs_.size() * sizeof(PostingRun);
+  u.resident_bytes = u.total_bytes();
+  if (paged()) u.resident_bytes -= u.postings_bytes;
+  return u;
 }
 
 size_t InvertedIndex::MatchCount(std::string_view keyword) const {
@@ -54,7 +106,12 @@ std::vector<NodeId> InvertedIndex::Match(std::string_view keyword) const {
   std::vector<NodeId> out;
   auto it = term_ids_.find(folded);
   if (it != term_ids_.end()) {
-    auto& list = postings_[it->second];
+    // Paged postings pin their page just long enough to copy the list
+    // out; callers keep the same owned-vector contract in both modes.
+    PagePin pin;
+    std::span<const NodeId> list =
+        paged() ? Postings(folded, &pin) : std::span<const NodeId>(
+                                               postings_[it->second]);
     out.assign(list.begin(), list.end());
   }
   auto rel = relations_.find(folded);

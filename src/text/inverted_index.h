@@ -1,16 +1,22 @@
 #ifndef BANKS_TEXT_INVERTED_INDEX_H_
 #define BANKS_TEXT_INVERTED_INDEX_H_
 
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "graph/types.h"
+#include "storage/buffer_pool.h"
 #include "text/tokenizer.h"
 
 namespace banks {
+
+class PagedStore;
 
 /// Keyword → node-id index over the data graph (§3: "a single index is
 /// built on values from selected string-valued attributes from multiple
@@ -40,7 +46,14 @@ class InvertedIndex {
   void Freeze();
 
   /// Postings for a single token (empty span if unknown). Frozen only.
+  /// Resident indexes only — paged postings need a pin (below).
   std::span<const NodeId> Postings(std::string_view token) const;
+
+  /// Mode-agnostic postings: paged indexes pin the page holding the
+  /// list (blocking on a pool miss); the span stays valid while `pin`
+  /// lives. Resident indexes leave `pin` empty.
+  std::span<const NodeId> Postings(std::string_view token,
+                                   PagePin* pin) const;
 
   /// Number of nodes matching a term through either channel — the |S_i|
   /// that seeds activation in §4.3.
@@ -50,15 +63,51 @@ class InvertedIndex {
   /// names a relation, that relation's node range. Sorted, deduplicated.
   std::vector<NodeId> Match(std::string_view keyword) const;
 
-  size_t num_terms() const { return postings_.size(); }
+  size_t num_terms() const {
+    return paged() ? posting_runs_.size() : postings_.size();
+  }
   bool frozen() const { return frozen_; }
+
+  /// True when posting lists live in a paged store's pages instead of
+  /// in-memory vectors (storage/paged_store.h).
+  bool paged() const { return store_ != nullptr; }
 
   const Tokenizer& tokenizer() const { return tokenizer_; }
 
- private:
   struct RelationRange {
     NodeId first;
     size_t count;
+  };
+
+  /// (term, term id) pairs sorted by term — the deterministic
+  /// enumeration order the paged-store writer serializes in.
+  std::vector<std::pair<std::string, uint32_t>> SortedTerms() const;
+  /// Resident-only postings by dense term id (writer-side access).
+  std::span<const NodeId> PostingsById(uint32_t id) const;
+  const std::unordered_map<std::string, RelationRange>& relations() const {
+    return relations_;
+  }
+
+  /// Byte breakdown mirroring Graph::MemoryUsage; `postings_bytes` is
+  /// on-disk page bytes when paged, and resident_bytes excludes it.
+  struct MemoryUsage {
+    size_t postings_bytes = 0;   // NodeId posting lists
+    size_t term_bytes = 0;       // term strings + hash entries
+    size_t relation_bytes = 0;   // relation ranges
+    size_t run_table_bytes = 0;  // paged-mode posting locators
+    size_t total_bytes() const {
+      return postings_bytes + term_bytes + relation_bytes + run_table_bytes;
+    }
+    size_t resident_bytes = 0;
+  };
+  MemoryUsage ComputeMemoryUsage() const;
+
+ private:
+  friend class PagedStore;
+
+  struct PostingRun {
+    PageRunRef ref;
+    uint64_t count = 0;
   };
 
   Tokenizer tokenizer_;
@@ -66,6 +115,11 @@ class InvertedIndex {
   std::vector<std::vector<NodeId>> postings_;
   std::unordered_map<std::string, RelationRange> relations_;
   bool frozen_ = false;
+
+  // Paged mode: posting list i lives at posting_runs_[i] in the store's
+  // pages; postings_ stays empty.
+  std::shared_ptr<PagedStore> store_;
+  std::vector<PostingRun> posting_runs_;
 };
 
 }  // namespace banks

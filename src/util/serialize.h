@@ -1,0 +1,46 @@
+#ifndef BANKS_UTIL_SERIALIZE_H_
+#define BANKS_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <type_traits>
+
+namespace banks {
+
+/// Little hand-rolled POD (de)serialization shared by the graph and
+/// paged-store file formats. Values are written in host byte order; the
+/// formats are interchange formats between runs on one machine, not
+/// cross-platform archives.
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+inline void WriteString(std::ostream& out, const std::string& s) {
+  WritePod(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+inline bool ReadString(std::istream& in, std::string* s) {
+  uint32_t len = 0;
+  if (!ReadPod(in, &len)) return false;
+  if (len > (1u << 20)) return false;  // sanity cap on string length
+  s->resize(len);
+  in.read(s->data(), len);
+  return static_cast<bool>(in);
+}
+
+}  // namespace banks
+
+#endif  // BANKS_UTIL_SERIALIZE_H_

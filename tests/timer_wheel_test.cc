@@ -1,0 +1,188 @@
+#include "serve/timer_wheel.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace banks {
+namespace {
+
+/// Drives AdvanceTo in fine steps and returns the `now` at which `id`
+/// first fired (-1 if it never did before `until`).
+double DriveUntilFired(TimerWheel* wheel, uint64_t id, double until,
+                       double step) {
+  std::vector<uint64_t> fired;
+  for (double now = 0; now <= until; now += step) {
+    fired.clear();
+    wheel->AdvanceTo(now, &fired);
+    for (uint64_t f : fired) {
+      if (f == id) return now;
+    }
+  }
+  return -1;
+}
+
+// The satellite requirement: expiry latency is bounded by one tick. A
+// timer must never fire before its deadline, and must have fired by the
+// first advance past deadline + tick.
+TEST(TimerWheel, ExpiryLatencyBoundedByOneTick) {
+  const double kTick = 1e-3;
+  TimerWheel wheel(kTick, 64);
+  const double deadline = 0.0123;  // mid-tick on purpose
+  wheel.Schedule(1, deadline);
+  const double step = kTick / 10;
+  double fired_at = DriveUntilFired(&wheel, 1, 0.05, step);
+  ASSERT_GE(fired_at, 0) << "timer never fired";
+  EXPECT_GE(fired_at, deadline) << "fired before its deadline";
+  // Fire boundary is ceil(d/tick)*tick, so the wheel's own latency is
+  // < one tick (the driver adds at most one step of its own cadence).
+  EXPECT_LE(fired_at, deadline + kTick + step);
+}
+
+TEST(TimerWheel, ExpiryLatencyBoundHoldsAcrossRandomDeadlines) {
+  const double kTick = 1e-3;
+  TimerWheel wheel(kTick, 32);  // small ring: forces wrap + overflow
+  Rng rng(99);
+  struct Armed {
+    uint64_t id;
+    double deadline;
+  };
+  std::vector<Armed> armed;
+  for (uint64_t id = 1; id <= 200; ++id) {
+    double deadline = static_cast<double>(rng.Below(100'000)) * 1e-6;
+    wheel.Schedule(id, deadline);
+    armed.push_back({id, deadline});
+  }
+  const double step = kTick / 4;
+  std::vector<double> fired_at(201, -1);
+  std::vector<uint64_t> fired;
+  for (double now = 0; now <= 0.11; now += step) {
+    fired.clear();
+    wheel.AdvanceTo(now, &fired);
+    for (uint64_t f : fired) {
+      ASSERT_LT(fired_at[f], 0) << "timer " << f << " fired twice";
+      fired_at[f] = now;
+    }
+  }
+  for (const Armed& a : armed) {
+    ASSERT_GE(fired_at[a.id], 0) << "timer " << a.id << " never fired";
+    EXPECT_GE(fired_at[a.id], a.deadline);
+    EXPECT_LE(fired_at[a.id], a.deadline + kTick + step);
+  }
+  EXPECT_EQ(wheel.armed(), 0u);
+}
+
+TEST(TimerWheel, DeadlineOnTickBoundaryFiresAtThatBoundary) {
+  TimerWheel wheel(1e-3, 64);
+  wheel.Schedule(1, 0.005);  // exactly tick 5
+  std::vector<uint64_t> fired;
+  wheel.AdvanceTo(0.00499, &fired);
+  EXPECT_TRUE(fired.empty());
+  wheel.AdvanceTo(0.005, &fired);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 1u);
+}
+
+TEST(TimerWheel, CancelPreventsFire) {
+  TimerWheel wheel(1e-3, 64);
+  wheel.Schedule(1, 0.002);
+  wheel.Schedule(2, 0.002);
+  wheel.Cancel(1);
+  EXPECT_EQ(wheel.armed(), 1u);
+  std::vector<uint64_t> fired;
+  wheel.AdvanceTo(0.01, &fired);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 2u);
+}
+
+TEST(TimerWheel, RearmReplacesDeadline) {
+  TimerWheel wheel(1e-3, 64);
+  wheel.Schedule(1, 0.002);
+  wheel.Schedule(1, 0.009);  // re-arm later: old arming must not fire
+  EXPECT_EQ(wheel.armed(), 1u);
+  std::vector<uint64_t> fired;
+  wheel.AdvanceTo(0.005, &fired);
+  EXPECT_TRUE(fired.empty());
+  wheel.AdvanceTo(0.02, &fired);
+  ASSERT_EQ(fired.size(), 1u) << "stale slot entry fired";
+  EXPECT_EQ(fired[0], 1u);
+}
+
+TEST(TimerWheel, OverflowBeyondHorizonStillFires) {
+  TimerWheel wheel(1e-3, 8);  // horizon: 8ms
+  wheel.Schedule(1, 0.050);   // 50 ticks out — overflow territory
+  std::vector<uint64_t> fired;
+  wheel.AdvanceTo(0.049, &fired);
+  EXPECT_TRUE(fired.empty());
+  wheel.AdvanceTo(0.051, &fired);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 1u);
+}
+
+TEST(TimerWheel, SameTickFiresInArmingOrder) {
+  TimerWheel wheel(1e-3, 64);
+  wheel.Schedule(30, 0.0042);
+  wheel.Schedule(10, 0.0045);
+  wheel.Schedule(20, 0.0049);  // all land on tick 5
+  std::vector<uint64_t> fired;
+  wheel.AdvanceTo(0.1, &fired);
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[0], 30u);
+  EXPECT_EQ(fired[1], 10u);
+  EXPECT_EQ(fired[2], 20u);
+}
+
+TEST(TimerWheel, NextFireTimeIsTheBoundaryNotTheDeadline) {
+  const double kTick = 1e-3;
+  TimerWheel wheel(kTick, 64);
+  EXPECT_EQ(wheel.NextFireTime(), 0);
+  const double deadline = 0.0071;
+  wheel.Schedule(1, deadline);
+  double next = wheel.NextFireTime();
+  // Sleeping until `next` must land at (or past) the fire boundary, so
+  // a driver waking there fires the timer instead of spinning.
+  EXPECT_GE(next, deadline);
+  EXPECT_LT(next, deadline + kTick);
+  std::vector<uint64_t> fired;
+  wheel.AdvanceTo(next, &fired);
+  EXPECT_EQ(fired.size(), 1u);
+  EXPECT_EQ(wheel.NextFireTime(), 0);
+}
+
+TEST(TimerWheel, PastDeadlineFiresWithinOneTickOfArming) {
+  const double kTick = 1e-3;
+  TimerWheel wheel(kTick, 64);
+  std::vector<uint64_t> fired;
+  wheel.AdvanceTo(0.05, &fired);  // move the cursor well forward
+  wheel.Schedule(1, 0.010);       // already in the past
+  // A past deadline is clamped to the next unprocessed tick, so it
+  // fires at the first advance that crosses a tick boundary — within
+  // one tick of arming, never silently dropped.
+  double fired_at = DriveUntilFired(&wheel, 1, 0.06, kTick / 10);
+  ASSERT_GE(fired_at, 0) << "past-deadline timer never fired";
+  EXPECT_LE(fired_at, 0.05 + kTick + kTick / 10);
+}
+
+TEST(TimerWheel, ManyTimersAcrossManyLapsAllFireOnce) {
+  const double kTick = 1e-3;
+  TimerWheel wheel(kTick, 16);  // 16ms horizon, deadlines up to 200ms
+  std::vector<int> count(501, 0);
+  for (uint64_t id = 1; id <= 500; ++id) {
+    wheel.Schedule(id, static_cast<double>(id) * 0.0004);
+  }
+  std::vector<uint64_t> fired;
+  for (double now = 0; now <= 0.25; now += 0.002) {
+    fired.clear();
+    wheel.AdvanceTo(now, &fired);
+    for (uint64_t f : fired) count[f]++;
+  }
+  for (uint64_t id = 1; id <= 500; ++id) {
+    EXPECT_EQ(count[id], 1) << "timer " << id;
+  }
+  EXPECT_EQ(wheel.armed(), 0u);
+}
+
+}  // namespace
+}  // namespace banks
