@@ -12,6 +12,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "graph/graph_delta.h"
 #include "storage/paged_store.h"
 #include "text/tokenizer.h"
 
@@ -22,37 +23,55 @@ Engine Engine::FromDatabase(const Database& db, const EngineOptions& options) {
 }
 
 Engine::Engine(DataGraph data, const EngineOptions& options)
-    : data_(std::move(data)) {
+    : live_(std::make_shared<Live>()), options_(options) {
+  auto snap = std::make_shared<Snapshot>();
+  snap->data = std::move(data);
   if (!options.compute_prestige) {
-    prestige_ = UniformPrestige(data_.graph.num_nodes());
-    return;
+    snap->prestige = UniformPrestige(snap->data.graph.num_nodes());
+  } else {
+    // A paged graph carries the prestige it was saved with, so opening
+    // an out-of-core engine never runs a PageRank pass over paged
+    // adjacency (which would drag every page through the buffer pool at
+    // startup).
+    const std::shared_ptr<PagedStore>& store = snap->data.graph.paged_store();
+    if (store != nullptr &&
+        store->prestige().size() == snap->data.graph.num_nodes()) {
+      snap->prestige = store->prestige();
+    } else {
+      snap->prestige = ComputePrestige(snap->data.graph, options.prestige);
+    }
   }
-  // A paged graph carries the prestige it was saved with, so opening an
-  // out-of-core engine never runs a PageRank pass over paged adjacency
-  // (which would drag every page through the buffer pool at startup).
-  const std::shared_ptr<PagedStore>& store = data_.graph.paged_store();
-  if (store != nullptr &&
-      store->prestige().size() == data_.graph.num_nodes()) {
-    prestige_ = store->prestige();
-    return;
+  live_->snap = std::move(snap);
+}
+
+std::vector<std::vector<NodeId>> Engine::ResolveOn(
+    const Snapshot& snap, const std::vector<std::string>& keywords) {
+  std::vector<std::vector<NodeId>> origins;
+  origins.reserve(keywords.size());
+  for (const std::string& kw : keywords) {
+    origins.push_back(snap.data.index.Match(kw));
   }
-  prestige_ = ComputePrestige(data_.graph, options.prestige);
+  return origins;
 }
 
 std::vector<std::vector<NodeId>> Engine::Resolve(
     const std::vector<std::string>& keywords) const {
-  std::vector<std::vector<NodeId>> origins;
-  origins.reserve(keywords.size());
-  for (const std::string& kw : keywords) {
-    origins.push_back(data_.index.Match(kw));
-  }
-  return origins;
+  return ResolveOn(*SnapshotNow(), keywords);
 }
 
 SearchResult Engine::Query(const std::vector<std::string>& keywords,
                            Algorithm algorithm, const SearchOptions& options,
                            SearchContext* context) const {
-  return QueryResolved(Resolve(keywords), algorithm, options, context);
+  // One snapshot for resolve AND search: an update landing between the
+  // two would otherwise search origins from a different epoch.
+  std::shared_ptr<const Snapshot> snap = SnapshotNow();
+  std::vector<std::vector<NodeId>> origins = ResolveOn(*snap, keywords);
+  auto searcher =
+      CreateSearcher(algorithm, snap->data.graph, snap->prestige, options);
+  const Searcher* raw = searcher.get();
+  return AnswerStream(raw, {}, &origins, StreamOptions{}, context,
+                      std::move(searcher))
+      .Drain();
 }
 
 SearchResult Engine::QueryResolved(
@@ -60,8 +79,11 @@ SearchResult Engine::QueryResolved(
     const SearchOptions& options, SearchContext* context) const {
   // A drained query is a stream pulled in one slice. The borrowed-origins
   // stream form avoids copying the caller's origin sets: the stream dies
-  // inside this statement, well within `origins`' lifetime.
-  auto searcher = CreateSearcher(algorithm, data_.graph, prestige_, options);
+  // inside this statement, well within `origins`' lifetime — and the
+  // snapshot outlives it on this stack frame, no pin needed.
+  std::shared_ptr<const Snapshot> snap = SnapshotNow();
+  auto searcher =
+      CreateSearcher(algorithm, snap->data.graph, snap->prestige, options);
   const Searcher* raw = searcher.get();
   return AnswerStream(raw, {}, &origins, StreamOptions{}, context,
                       std::move(searcher))
@@ -73,8 +95,14 @@ AnswerStream Engine::OpenQuery(const std::vector<std::string>& keywords,
                                const SearchOptions& options,
                                const StreamOptions& stream,
                                SearchContext* context) const {
-  return OpenQueryResolved(Resolve(keywords), algorithm, options, stream,
-                           context);
+  std::shared_ptr<const Snapshot> snap = SnapshotNow();
+  std::vector<std::vector<NodeId>> origins = ResolveOn(*snap, keywords);
+  auto searcher =
+      CreateSearcher(algorithm, snap->data.graph, snap->prestige, options);
+  const Searcher* raw = searcher.get();
+  EpochPin pin{snap, snap->epoch};
+  return AnswerStream(raw, std::move(origins), nullptr, stream, context,
+                      std::move(searcher), std::move(pin));
 }
 
 AnswerStream Engine::OpenQueryResolved(std::vector<std::vector<NodeId>> origins,
@@ -82,35 +110,58 @@ AnswerStream Engine::OpenQueryResolved(std::vector<std::vector<NodeId>> origins,
                                        const SearchOptions& options,
                                        const StreamOptions& stream,
                                        SearchContext* context) const {
-  auto searcher = CreateSearcher(algorithm, data_.graph, prestige_, options);
+  std::shared_ptr<const Snapshot> snap = SnapshotNow();
+  auto searcher =
+      CreateSearcher(algorithm, snap->data.graph, snap->prestige, options);
   const Searcher* raw = searcher.get();
+  // The stream pins the snapshot it was opened on: updates published
+  // while the stream is live replace the engine's current snapshot but
+  // never reclaim this one (snapshot isolation, docs/UPDATES.md).
+  EpochPin pin{snap, snap->epoch};
   return AnswerStream(raw, std::move(origins), nullptr, stream, context,
-                      std::move(searcher));
+                      std::move(searcher), std::move(pin));
 }
 
 Subscription Engine::Subscribe(const std::vector<std::string>& keywords,
                                Algorithm algorithm, AnswerSink* sink,
                                const SearchOptions& options,
                                const SubscribeOptions& subscribe) const {
-  return SubscribeResolved(Resolve(keywords), algorithm, sink, options,
-                           subscribe);
+  // One snapshot for resolve AND the task's whole search life.
+  std::shared_ptr<const Snapshot> snap = SnapshotNow();
+  std::vector<std::vector<NodeId>> origins = ResolveOn(*snap, keywords);
+  return SubscribeOn(std::move(snap), std::move(origins), algorithm, sink,
+                     options, subscribe);
 }
 
 Subscription Engine::SubscribeResolved(
     std::vector<std::vector<NodeId>> origins, Algorithm algorithm,
     AnswerSink* sink, const SearchOptions& options,
     const SubscribeOptions& subscribe) const {
+  return SubscribeOn(SnapshotNow(), std::move(origins), algorithm, sink,
+                     options, subscribe);
+}
+
+Subscription Engine::SubscribeOn(std::shared_ptr<const Snapshot> snap,
+                                 std::vector<std::vector<NodeId>> origins,
+                                 Algorithm algorithm, AnswerSink* sink,
+                                 const SearchOptions& options,
+                                 const SubscribeOptions& subscribe) const {
   Scheduler& scheduler = subscribe.scheduler != nullptr
                              ? *subscribe.scheduler
                              : Scheduler::Default();
   TaskSpec spec;
-  spec.searcher = CreateSearcher(algorithm, data_.graph, prestige_, options);
+  spec.searcher =
+      CreateSearcher(algorithm, snap->data.graph, snap->prestige, options);
   spec.origins = std::move(origins);
   spec.sink = sink;
   spec.tenant = subscribe.tenant;
   spec.weight = subscribe.weight;
   spec.deadline_seconds = subscribe.deadline_seconds;
   spec.answer_credits = subscribe.answer_credits;
+  // The task holds the epoch pin for its whole life — admission queue,
+  // page-wait parks and credit waits included — released by the
+  // scheduler's terminal transition.
+  spec.epoch_pin = EpochPin{snap, snap->epoch};
   return scheduler.Submit(std::move(spec));
 }
 
@@ -156,6 +207,10 @@ BatchResult Engine::QueryBatch(const std::vector<BatchQuerySpec>& specs,
   out.results.resize(specs.size());
   if (specs.empty()) return out;
 
+  // The whole batch runs on one snapshot: resolution, cache keys and
+  // searches all see the same epoch, whatever updates land meanwhile.
+  std::shared_ptr<const Snapshot> snap = SnapshotNow();
+
   // ---- Resolve phase (calling thread) ----------------------------------
   // Each distinct keyword set hits the inverted index once; duplicates
   // within the batch share the resolved origins. Owned resolutions live
@@ -167,16 +222,20 @@ BatchResult Engine::QueryBatch(const std::vector<BatchQuerySpec>& specs,
   // happens here, sequentially, in stored release order.
   std::vector<uint8_t> served(specs.size(), 0);
   std::vector<std::string> cache_keys(specs.size());
+  std::vector<std::vector<std::string>> folded_keywords(specs.size());
   if (batch.answer_cache != nullptr) {
-    std::vector<std::string> folded;
     for (size_t i = 0; i < specs.size(); ++i) {
       if (!specs[i].origins.empty()) continue;  // keyword specs only
-      folded.clear();
+      std::vector<std::string>& folded = folded_keywords[i];
       folded.reserve(specs[i].keywords.size());
       for (const std::string& kw : specs[i].keywords) {
         folded.push_back(Tokenizer::FoldKeyword(kw));
       }
-      cache_keys[i] = AnswerCacheKey(algorithm, options, folded);
+      // The structure epoch in the key makes entries cached against an
+      // older graph structure unreachable; posting-only updates keep
+      // the epoch and invalidate by touched keyword instead.
+      cache_keys[i] =
+          AnswerCacheKey(algorithm, options, folded, snap->structure_epoch);
       if (batch.answer_cache->Lookup(cache_keys[i], &out.results[i])) {
         served[i] = 1;
         ++out.answer_cache_hits;
@@ -205,7 +264,7 @@ BatchResult Engine::QueryBatch(const std::vector<BatchQuerySpec>& specs,
     if (inserted) {
       resolved_storage.push_back(
           std::make_unique<std::vector<std::vector<NodeId>>>(
-              Resolve(specs[i].keywords)));
+              ResolveOn(*snap, specs[i].keywords)));
       it->second = resolved_storage.back().get();
     } else {
       ++out.origin_cache_hits;
@@ -217,7 +276,8 @@ BatchResult Engine::QueryBatch(const std::vector<BatchQuerySpec>& specs,
   // One shared searcher (Search is const), one context per worker from
   // the pool. Workers pull query indices off an atomic counter; results
   // land in their input slot, so scheduling order never shows.
-  auto searcher = CreateSearcher(algorithm, data_.graph, prestige_, options);
+  auto searcher =
+      CreateSearcher(algorithm, snap->data.graph, snap->prestige, options);
   SearchContextPool local_pool;
   SearchContextPool* pool = batch.pool != nullptr ? batch.pool : &local_pool;
 
@@ -298,7 +358,8 @@ BatchResult Engine::QueryBatch(const std::vector<BatchQuerySpec>& specs,
   if (batch.answer_cache != nullptr) {
     for (size_t i = 0; i < specs.size(); ++i) {
       if (served[i] || cache_keys[i].empty()) continue;
-      batch.answer_cache->Store(cache_keys[i], out.results[i]);
+      batch.answer_cache->Store(cache_keys[i], std::move(folded_keywords[i]),
+                                out.results[i]);
     }
   }
 
@@ -329,10 +390,116 @@ BatchResult Engine::QueryBatch(const std::vector<BatchQuerySpec>& specs,
   return out;
 }
 
+uint64_t Engine::ApplyUpdate(const UpdateBatch& batch, AnswerCache* cache) {
+  // One writer at a time: the whole read-overlay-publish sequence is
+  // serialized, so each epoch's delta is built against a settled base.
+  std::lock_guard<std::mutex> write_lock(live_->write_mu);
+  std::shared_ptr<const Snapshot> prev = SnapshotNow();
+  const NodeId n_old = prev->data.graph.num_nodes();
+
+  // Intern batch node types against the graph's existing names, then
+  // against names this batch already appended ("" = untyped).
+  GraphDelta gd;
+  gd.new_node_types.reserve(batch.nodes.size());
+  const std::vector<std::string>& type_names = prev->data.graph.type_names();
+  for (const UpdateBatch::NewNode& node : batch.nodes) {
+    NodeType type = kUntypedNode;
+    if (!node.type.empty()) {
+      for (size_t i = 0; i < type_names.size(); ++i) {
+        if (type_names[i] == node.type) {
+          type = static_cast<NodeType>(i);
+          break;
+        }
+      }
+      for (size_t i = 0; type == kUntypedNode && i < gd.new_type_names.size();
+           ++i) {
+        if (gd.new_type_names[i] == node.type) {
+          type = static_cast<NodeType>(type_names.size() + i);
+        }
+      }
+      if (type == kUntypedNode) {
+        type = static_cast<NodeType>(type_names.size() +
+                                     gd.new_type_names.size());
+        gd.new_type_names.push_back(node.type);
+      }
+    }
+    gd.new_node_types.push_back(type);
+  }
+  gd.new_edges.reserve(batch.edges.size());
+  for (const UpdateBatch::NewEdge& e : batch.edges) {
+    gd.new_edges.push_back({e.u, e.v, e.weight});
+  }
+
+  const bool structural = !batch.nodes.empty() || !batch.edges.empty();
+
+  // Aliasing pointers: the overlays share (never copy) the previous
+  // epoch's storage, so the new snapshot keeps the whole previous
+  // snapshot alive through them.
+  std::shared_ptr<const Graph> prev_graph(prev, &prev->data.graph);
+  std::shared_ptr<const InvertedIndex> prev_index(prev, &prev->data.index);
+
+  auto next = std::make_shared<Snapshot>();
+  next->data.graph = ApplyGraphDelta(prev_graph, gd, options_.graph);
+
+  std::vector<std::pair<NodeId, std::string>> docs;
+  docs.reserve(batch.nodes.size() + batch.texts.size());
+  for (size_t i = 0; i < batch.nodes.size(); ++i) {
+    if (batch.nodes[i].text.empty()) continue;
+    docs.emplace_back(n_old + static_cast<NodeId>(i), batch.nodes[i].text);
+  }
+  for (const UpdateBatch::NewText& t : batch.texts) {
+    if (t.text.empty()) continue;
+    docs.emplace_back(t.node, t.text);
+  }
+  std::vector<std::string> touched;
+  next->data.index = ApplyIndexDelta(std::move(prev_index), docs, &touched);
+
+  // Table ranges are fixed at build time; batch nodes belong to no
+  // table. Labels extend verbatim (NodeLabel shows them as given).
+  next->data.table_first_node = prev->data.table_first_node;
+  next->data.node_labels = prev->data.node_labels;
+  next->data.node_labels.reserve(n_old + batch.nodes.size());
+  for (const UpdateBatch::NewNode& node : batch.nodes) {
+    next->data.node_labels.push_back(node.label);
+  }
+
+  if (!structural) {
+    // Posting-only batch: the graph is untouched, scores carry over.
+    next->prestige = prev->prestige;
+  } else if (options_.compute_prestige) {
+    next->prestige = ComputePrestige(next->data.graph, options_.prestige);
+  } else {
+    next->prestige = UniformPrestige(next->data.graph.num_nodes());
+  }
+
+  next->epoch = prev->epoch + 1;
+  next->structure_epoch = prev->structure_epoch + (structural ? 1 : 0);
+  const uint64_t published = next->epoch;
+
+  {
+    std::lock_guard<std::mutex> lock(live_->mu);
+    live_->snap = std::move(next);
+  }
+
+  // Invalidate AFTER the publish: entries stored by batches racing on
+  // the old snapshot before this point are swept here; ones stored
+  // after carry the old structure epoch in their key (structural
+  // updates) or age out within the TTL (posting-only — the documented
+  // staleness bound of opting into the cache).
+  if (cache != nullptr && !touched.empty()) {
+    cache->InvalidateKeywords(touched);
+  }
+  return published;
+}
+
 const std::string& Engine::NodeLabel(NodeId node) const {
   static const std::string kUnknown = "<node>";
-  if (node >= data_.node_labels.size()) return kUnknown;
-  return data_.node_labels[node];
+  // Reads the current snapshot; like the graph()/index() accessors, the
+  // returned reference is for quiescent use — it stays valid until the
+  // next ApplyUpdate retires the snapshot.
+  std::shared_ptr<const Snapshot> snap = SnapshotNow();
+  if (node >= snap->data.node_labels.size()) return kUnknown;
+  return snap->data.node_labels[node];
 }
 
 std::string Engine::DescribeAnswer(const AnswerTree& tree) const {

@@ -2,10 +2,12 @@
 #define BANKS_BANKS_ENGINE_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
-
-#include <functional>
 
 #include "prestige/pagerank.h"
 #include "relational/graph_builder.h"
@@ -24,6 +26,42 @@ struct EngineOptions {
   /// When false, uniform prestige is used (pure edge-score ranking);
   /// saves the PageRank pass for tests and ablations.
   bool compute_prestige = true;
+};
+
+/// One append-only live-graph update (docs/UPDATES.md): new nodes, new
+/// forward edges, new text postings. No deletes or mutations in v1.
+/// Applied atomically by Engine::ApplyUpdate — queries opened before
+/// the apply keep reading the snapshot they started on; queries opened
+/// after see the whole batch.
+struct UpdateBatch {
+  struct NewNode {
+    /// Node type name ("" = untyped). Interned against the graph's
+    /// existing type names; unseen names are appended.
+    std::string type;
+    /// Display label (Engine::NodeLabel).
+    std::string label;
+    /// Text indexed for keyword matching (may be empty).
+    std::string text;
+  };
+  struct NewEdge {
+    /// Endpoints: existing node ids or ids of nodes in this batch
+    /// (the i-th NewNode gets id num_nodes-before-update + i).
+    NodeId u = 0;
+    NodeId v = 0;
+    double weight = 1.0;
+  };
+  struct NewText {
+    /// Additional keyword text for an EXISTING node (append-only
+    /// posting growth; the node's stored label/text is not rewritten).
+    NodeId node = 0;
+    std::string text;
+  };
+
+  std::vector<NewNode> nodes;
+  std::vector<NewEdge> edges;
+  std::vector<NewText> texts;
+
+  bool empty() const { return nodes.empty() && edges.empty() && texts.empty(); }
 };
 
 /// One query of a batch: keywords to resolve through the engine's index,
@@ -122,6 +160,15 @@ struct BatchResult {
 ///
 /// Node prestige is computed once at construction (§2.3: "node prestige
 /// scores can be assumed to be precomputed").
+///
+/// Live updates (docs/UPDATES.md): ApplyUpdate applies an append-only
+/// UpdateBatch and publishes it as a new immutable epoch snapshot.
+/// Queries, streams and subscriptions pin the epoch current when they
+/// were opened and keep reading it — snapshot isolation — while new
+/// queries see the updated state; search on any snapshot is
+/// byte-identical to a fresh-built engine of the same logical state
+/// (ARCHITECTURE.md, contract 5). Writers serialize against each other;
+/// readers never block.
 class Engine {
  public:
   /// Extracts the data graph from a relational database (§2.1).
@@ -231,10 +278,37 @@ class Engine {
                          const SearchOptions& options = {},
                          const BatchOptions& batch = {}) const;
 
-  const Graph& graph() const { return data_.graph; }
-  const InvertedIndex& index() const { return data_.index; }
-  const DataGraph& data() const { return data_; }
-  const std::vector<double>& prestige() const { return prestige_; }
+  /// Applies one append-only update batch and publishes it as a new
+  /// epoch; returns the new epoch number. Atomic for readers: a query
+  /// opened before this returns reads the prior snapshot in full, one
+  /// opened after sees the whole batch. Concurrent ApplyUpdate calls
+  /// serialize (one writer at a time); readers never block the writer
+  /// or each other.
+  ///
+  /// When `cache` is non-null, entries whose keywords the batch touched
+  /// are invalidated after the publish — the cross-epoch half of cache
+  /// correctness (the structure epoch folded into cache keys is the
+  /// other half; see AnswerCacheKey).
+  uint64_t ApplyUpdate(const UpdateBatch& batch,
+                       AnswerCache* cache = nullptr);
+
+  /// Epoch of the current snapshot: total ApplyUpdate publishes.
+  uint64_t epoch() const { return SnapshotNow()->epoch; }
+  /// Structure epoch: bumped only by batches that add nodes or edges
+  /// (not by posting-only updates). This is what cache keys fold in.
+  uint64_t structure_epoch() const { return SnapshotNow()->structure_epoch; }
+
+  /// Direct views of the CURRENT snapshot's state, for quiescent use
+  /// (setup, tests, benchmarks): the references stay valid until the
+  /// next ApplyUpdate replaces the snapshot. Code racing with updates
+  /// must go through Query/OpenQuery/Subscribe, which pin the snapshot
+  /// they run on.
+  const Graph& graph() const { return SnapshotNow()->data.graph; }
+  const InvertedIndex& index() const { return SnapshotNow()->data.index; }
+  const DataGraph& data() const { return SnapshotNow()->data; }
+  const std::vector<double>& prestige() const {
+    return SnapshotNow()->prestige;
+  }
 
   /// Display label for a node ("paper#17 [bidirectional expansion ...]").
   const std::string& NodeLabel(NodeId node) const;
@@ -243,8 +317,42 @@ class Engine {
   std::string DescribeAnswer(const AnswerTree& tree) const;
 
  private:
-  DataGraph data_;
-  std::vector<double> prestige_;
+  /// One immutable epoch: the data graph (possibly an update overlay
+  /// sharing its base's adjacency), its prestige vector, and the epoch
+  /// counters. Published atomically by ApplyUpdate; freed when the last
+  /// reader pin (EpochPin) and the engine's own reference drop.
+  struct Snapshot {
+    DataGraph data;
+    std::vector<double> prestige;
+    uint64_t epoch = 0;
+    uint64_t structure_epoch = 0;
+  };
+
+  /// Shared mutable cell holding the current snapshot. Heap-allocated so
+  /// the Engine stays movable while queries pin snapshots through it.
+  struct Live {
+    mutable std::mutex mu;  // guards `snap` swap/copy (readers + publish)
+    std::mutex write_mu;    // serializes ApplyUpdate end to end
+    std::shared_ptr<const Snapshot> snap;
+  };
+
+  std::shared_ptr<const Snapshot> SnapshotNow() const {
+    std::lock_guard<std::mutex> lock(live_->mu);
+    return live_->snap;
+  }
+
+  /// Query/OpenQuery/Subscribe internals against ONE snapshot, so a
+  /// keyword query resolves and searches the same epoch.
+  static std::vector<std::vector<NodeId>> ResolveOn(
+      const Snapshot& snap, const std::vector<std::string>& keywords);
+  Subscription SubscribeOn(std::shared_ptr<const Snapshot> snap,
+                           std::vector<std::vector<NodeId>> origins,
+                           Algorithm algorithm, AnswerSink* sink,
+                           const SearchOptions& options,
+                           const SubscribeOptions& subscribe) const;
+
+  std::shared_ptr<Live> live_;
+  EngineOptions options_;
 };
 
 }  // namespace banks

@@ -24,6 +24,7 @@ std::span<const Edge> Graph::PagedRun(PageRunRef run, size_t count,
     return {inline_edges_.data() + run.offset, count};  // pin stays empty
   }
   const std::byte* base = store_->pool().Pin(run.page, pin);
+  if (base == nullptr) return {};  // failed read: pin->failed() is set
   return {reinterpret_cast<const Edge*>(base + run.offset), count};
 }
 

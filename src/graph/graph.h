@@ -14,6 +14,12 @@
 namespace banks {
 
 class PagedStore;
+struct GraphBuildOptions;
+struct GraphDelta;
+class Graph;
+Graph ApplyGraphDelta(std::shared_ptr<const Graph> base,
+                      const GraphDelta& delta,
+                      const GraphBuildOptions& options);
 
 /// Immutable directed weighted search graph in CSR form.
 ///
@@ -26,6 +32,16 @@ class PagedStore;
 /// Per-node inverse-weight sums are precomputed for spreading activation:
 /// when node v spreads activation μ·a_v, each neighbour u's share is
 /// (1/w_uv) / Σ(1/w) over the competing neighbours (§4.3).
+///
+/// A Graph is either a *base* (built by GraphBuilder::Build or opened
+/// from a PagedStore) or an *overlay* produced by ApplyGraphDelta
+/// (docs/UPDATES.md): an immutable snapshot layering append-only
+/// inserts over a shared base. An overlay owns fresh copies of every
+/// per-node scalar and the CSR offset arrays (recomputed effective
+/// degrees), plus delta adjacency runs for exactly the nodes whose
+/// adjacency changed; untouched nodes read through to the base, paged
+/// or resident. Overlays are flattened — base_ never itself has a
+/// base_ — so reads cost at most one extra indirection at any epoch.
 class Graph {
  public:
   size_t num_nodes() const { return out_offsets_.size() - 1; }
@@ -34,14 +50,31 @@ class Graph {
     return out_offsets_.empty() ? 0 : out_offsets_.back();
   }
 
-  /// True when adjacency lives in a paged on-disk store behind a buffer
-  /// pool instead of in-memory CSR arrays (storage/paged_store.h).
-  bool paged() const { return store_ != nullptr; }
-  const std::shared_ptr<PagedStore>& paged_store() const { return store_; }
+  /// True when adjacency (of this graph or its overlay base) lives in a
+  /// paged on-disk store behind a buffer pool instead of in-memory CSR
+  /// arrays (storage/paged_store.h).
+  bool paged() const {
+    return store_ != nullptr || (base_ != nullptr && base_->paged());
+  }
+  const std::shared_ptr<PagedStore>& paged_store() const {
+    return base_ != nullptr ? base_->paged_store() : store_;
+  }
+
+  /// True when this graph is an update overlay over a shared base
+  /// (ApplyGraphDelta); base() is then non-null and flattened.
+  bool overlay() const { return base_ != nullptr; }
+  const std::shared_ptr<const Graph>& base() const { return base_; }
 
   /// Edges leaving v (targets). Traversed by the outgoing iterator.
   /// Resident graphs only — paged adjacency needs a pin (below).
   std::span<const Edge> OutEdges(NodeId v) const {
+    if (base_ != nullptr) {
+      const size_t count = out_offsets_[v + 1] - out_offsets_[v];
+      if (count == 0) return {};
+      const uint32_t start = delta_out_start_[v];
+      if (start != kNoDeltaRun) return {delta_out_edges_.data() + start, count};
+      return base_->OutEdges(v);
+    }
     assert(store_ == nullptr);
     return {out_edges_.data() + out_offsets_[v],
             out_offsets_[v + 1] - out_offsets_[v]};
@@ -50,37 +83,69 @@ class Graph {
   /// Edges entering v (sources). Traversed by backward expansion.
   /// Resident graphs only — paged adjacency needs a pin (below).
   std::span<const Edge> InEdges(NodeId v) const {
+    if (base_ != nullptr) {
+      const size_t count = in_offsets_[v + 1] - in_offsets_[v];
+      if (count == 0) return {};
+      const uint32_t start = delta_in_start_[v];
+      if (start != kNoDeltaRun) return {delta_in_edges_.data() + start, count};
+      return base_->InEdges(v);
+    }
     assert(store_ == nullptr);
     return {in_edges_.data() + in_offsets_[v],
             in_offsets_[v + 1] - in_offsets_[v]};
   }
 
-  /// Mode-agnostic adjacency: resident graphs return the CSR span and
-  /// leave `pin` empty; paged graphs pin the page holding v's run
-  /// (blocking on a pool miss) and the span stays valid while `pin`
-  /// lives. `pin->hit()` feeds the page hit/miss metrics.
+  /// Mode-agnostic adjacency: resident graphs (and overlay delta runs)
+  /// return a plain span and leave `pin` empty; paged graphs pin the
+  /// page holding v's run (blocking on a pool miss) and the span stays
+  /// valid while `pin` lives. `pin->hit()` feeds the page hit/miss
+  /// metrics; on a failed page read the span is empty and
+  /// `pin->failed()` is set.
   std::span<const Edge> OutEdges(NodeId v, PagePin* pin) const {
+    if (base_ != nullptr) {
+      const size_t count = out_offsets_[v + 1] - out_offsets_[v];
+      if (count == 0) return {};
+      const uint32_t start = delta_out_start_[v];
+      if (start != kNoDeltaRun) return {delta_out_edges_.data() + start, count};
+      return base_->OutEdges(v, pin);
+    }
     if (store_ == nullptr) return OutEdges(v);
     return PagedRun(out_runs_[v], out_offsets_[v + 1] - out_offsets_[v], pin);
   }
   std::span<const Edge> InEdges(NodeId v, PagePin* pin) const {
+    if (base_ != nullptr) {
+      const size_t count = in_offsets_[v + 1] - in_offsets_[v];
+      if (count == 0) return {};
+      const uint32_t start = delta_in_start_[v];
+      if (start != kNoDeltaRun) return {delta_in_edges_.data() + start, count};
+      return base_->InEdges(v, pin);
+    }
     if (store_ == nullptr) return InEdges(v);
     return PagedRun(in_runs_[v], in_offsets_[v + 1] - in_offsets_[v], pin);
   }
 
   /// Non-blocking page probes for the serving scheduler's page-wait
   /// protocol: true when reading v's adjacency would not block (graph
-  /// resident, run empty, or its page already pooled). On false, if
-  /// `listener` is set, an asynchronous fetch has been queued — exactly
-  /// one OnPageReady follows per OnFetchQueued — so the caller can park
-  /// instead of blocking. Probes never pin and never change results.
+  /// resident, run empty, overlay delta run, or its page already
+  /// pooled). On false, if `listener` is set, an asynchronous fetch has
+  /// been queued — exactly one OnPageReady follows per OnFetchQueued —
+  /// so the caller can park instead of blocking. Probes never pin and
+  /// never change results.
   bool ProbeOutEdges(NodeId v, const std::shared_ptr<PageFetchListener>&
                                    listener = nullptr) const {
+    if (base_ != nullptr) {
+      if (OutDegree(v) == 0 || delta_out_start_[v] != kNoDeltaRun) return true;
+      return base_->ProbeOutEdges(v, listener);
+    }
     if (store_ == nullptr || OutDegree(v) == 0) return true;
     return ProbeRun(out_runs_[v], listener);
   }
   bool ProbeInEdges(NodeId v, const std::shared_ptr<PageFetchListener>&
                                   listener = nullptr) const {
+    if (base_ != nullptr) {
+      if (InDegree(v) == 0 || delta_in_start_[v] != kNoDeltaRun) return true;
+      return base_->ProbeInEdges(v, listener);
+    }
     if (store_ == nullptr || InDegree(v) == 0) return true;
     return ProbeRun(in_runs_[v], listener);
   }
@@ -158,6 +223,12 @@ class Graph {
  private:
   friend class GraphBuilder;
   friend class PagedStore;
+  friend Graph ApplyGraphDelta(std::shared_ptr<const Graph> base,
+                               const GraphDelta& delta,
+                               const GraphBuildOptions& options);
+
+  /// Sentinel in delta_*_start_: this node's run reads from the base.
+  static constexpr uint32_t kNoDeltaRun = UINT32_MAX;
 
   std::span<const Edge> PagedRun(PageRunRef run, size_t count,
                                  PagePin* pin) const;
@@ -185,6 +256,20 @@ class Graph {
   std::vector<PageRunRef> out_runs_;
   std::vector<PageRunRef> in_runs_;
   std::vector<Edge> inline_edges_;
+
+  // Overlay mode (ApplyGraphDelta): base_ is the flattened non-overlay
+  // graph this snapshot layers inserts over. delta_*_start_[v] indexes
+  // this overlay's rebuilt run for v inside delta_*_edges_ (length =
+  // the offsets-derived degree), or kNoDeltaRun to read the base's run.
+  // Successive overlays copy their predecessor's delta storage, so a
+  // node rebuilt at epoch i and untouched since still resolves in one
+  // hop at epoch i+k (replaced runs leak inside the vectors until the
+  // next full rebuild — bounded by total inserted+rebuilt edges).
+  std::shared_ptr<const Graph> base_;
+  std::vector<Edge> delta_out_edges_;
+  std::vector<Edge> delta_in_edges_;
+  std::vector<uint32_t> delta_out_start_;
+  std::vector<uint32_t> delta_in_start_;
 };
 
 /// Options controlling derived backward edges.

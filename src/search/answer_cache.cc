@@ -1,6 +1,8 @@
 #include "search/answer_cache.h"
 
 #include <chrono>
+#include <unordered_set>
+#include <utility>
 
 namespace banks {
 
@@ -29,15 +31,48 @@ bool AnswerCache::Lookup(const std::string& key, SearchResult* out) {
 }
 
 void AnswerCache::Store(const std::string& key, const SearchResult& result) {
+  Store(key, {}, result);
+}
+
+void AnswerCache::Store(const std::string& key,
+                        std::vector<std::string> keywords,
+                        const SearchResult& result) {
   const double now = Now();
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = entries_.try_emplace(key);
   it->second.result = result;
+  it->second.keywords = std::move(keywords);
   it->second.expires_at = now + options_.ttl_seconds;
   // Every store — refresh included — re-ages the entry, so a hot
   // recurring query is never evicted in favour of a stale first-comer.
   it->second.stored_seq = next_seq_++;
   if (inserted) EvictLocked(now);
+}
+
+size_t AnswerCache::InvalidateKeywords(
+    const std::vector<std::string>& folded) {
+  if (folded.empty()) return 0;
+  const std::unordered_set<std::string> touched(folded.begin(), folded.end());
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const std::vector<std::string>& kws = it->second.keywords;
+    // No keyword metadata = unknown provenance: drop conservatively.
+    bool stale = kws.empty();
+    for (const std::string& kw : kws) {
+      if (touched.count(kw) > 0) {
+        stale = true;
+        break;
+      }
+    }
+    if (stale) {
+      it = entries_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
 }
 
 void AnswerCache::EvictLocked(double now) {
@@ -85,8 +120,12 @@ uint64_t AnswerCache::misses() const {
 }
 
 std::string AnswerCacheKey(Algorithm algorithm, const SearchOptions& options,
-                           const std::vector<std::string>& keywords) {
+                           const std::vector<std::string>& keywords,
+                           uint64_t graph_epoch) {
   std::string key;
+  key += 'e';
+  key += std::to_string(graph_epoch);
+  key += '|';
   key += std::to_string(static_cast<int>(algorithm));
   key += '|';
   key += std::to_string(OptionsFingerprint(options));

@@ -54,8 +54,26 @@ class AnswerCache {
   bool Lookup(const std::string& key, SearchResult* out);
 
   /// Stores a copy of `result` under `key`, refreshing the TTL (and the
-  /// FIFO age) of an existing entry.
+  /// FIFO age) of an existing entry. Entries stored through this
+  /// overload carry no keyword metadata, so InvalidateKeywords treats
+  /// them conservatively (always dropped).
   void Store(const std::string& key, const SearchResult& result);
+
+  /// Store with the query's folded keywords attached, which lets
+  /// InvalidateKeywords drop exactly the entries an update's touched
+  /// terms could have changed. Engine::QueryBatch uses this overload.
+  void Store(const std::string& key, std::vector<std::string> keywords,
+             const SearchResult& result);
+
+  /// Drops every entry whose keyword set intersects `folded` (folded
+  /// terms, as produced by Tokenizer::FoldKeyword) — plus any entry
+  /// stored without keyword metadata, which cannot be proven untouched.
+  /// Engine::ApplyUpdate calls this with the update's touched-term set,
+  /// so posting-only updates (which do not bump the structure epoch in
+  /// the key) still evict every result they could invalidate; entries
+  /// for untouched keywords survive. Returns the number of entries
+  /// dropped.
+  size_t InvalidateKeywords(const std::vector<std::string>& folded);
 
   /// Drops every entry.
   void Clear();
@@ -72,6 +90,7 @@ class AnswerCache {
 
   struct Entry {
     SearchResult result;
+    std::vector<std::string> keywords;  // folded; for InvalidateKeywords
     double expires_at = 0;
     uint64_t stored_seq = 0;  // FIFO age: bumped on every Store (refresh too)
   };
@@ -84,16 +103,24 @@ class AnswerCache {
   uint64_t misses_ = 0;
 };
 
-/// Canonical cache key for a keyword query: algorithm, the
-/// result-affecting options fingerprint, and the keywords
+/// Canonical cache key for a keyword query: the graph epoch, algorithm,
+/// the result-affecting options fingerprint, and the keywords
 /// length-prefixed (keywords may contain any byte; the prefix keeps the
 /// join injective). Keywords must already be normalized the way the
 /// caller's index folds them (Engine passes Tokenizer::FoldKeyword
 /// output), and their *order* is preserved — keyword order permutes the
 /// per-keyword arrays of every answer, so reordering is not
 /// result-neutral.
+///
+/// `graph_epoch` folds the engine's STRUCTURE epoch (docs/UPDATES.md)
+/// into the key: an update that adds nodes or edges can change any
+/// query's answer trees, so results cached against the old structure
+/// become unreachable (and age out). Posting-only updates deliberately
+/// do NOT bump it — they are result-neutral for untouched keywords —
+/// and rely on AnswerCache::InvalidateKeywords instead.
 std::string AnswerCacheKey(Algorithm algorithm, const SearchOptions& options,
-                           const std::vector<std::string>& keywords);
+                           const std::vector<std::string>& keywords,
+                           uint64_t graph_epoch = 0);
 
 }  // namespace banks
 

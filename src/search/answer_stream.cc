@@ -26,16 +26,18 @@ AnswerStream::AnswerStream(
     const Searcher* searcher, std::vector<std::vector<NodeId>> owned_origins,
     const std::vector<std::vector<NodeId>>* borrowed_origins,
     const StreamOptions& options, SearchContext* context,
-    std::unique_ptr<Searcher> owned_searcher)
+    std::unique_ptr<Searcher> owned_searcher, EpochPin epoch_pin)
     : searcher_(searcher),
       owned_searcher_(std::move(owned_searcher)),
       owned_origins_(std::move(owned_origins)),
       borrowed_origins_(borrowed_origins),
-      options_(options) {
+      options_(options),
+      epoch_pin_(std::move(epoch_pin)) {
   if (options_.scheduler != nullptr && owned_searcher_ != nullptr) {
     // Scheduled mode: hand the search to the serving core and consume
     // its pushes. No context is held here — the scheduler attaches and
-    // detaches pooled contexts around quanta itself.
+    // detaches pooled contexts around quanta itself, and the epoch pin
+    // rides with the task (released by the scheduler's terminal step).
     served_ = std::make_unique<Served>();
     TaskSpec spec;
     spec.searcher = std::move(owned_searcher_);
@@ -43,6 +45,7 @@ AnswerStream::AnswerStream(
                                                 : std::move(owned_origins_);
     borrowed_origins_ = nullptr;
     spec.sink = &served_->sink;
+    spec.epoch_pin = std::move(epoch_pin_);
     served_->subscription = options_.scheduler->Submit(std::move(spec));
     return;
   }
@@ -69,6 +72,7 @@ AnswerStream::AnswerStream(AnswerStream&& other) noexcept
       pulled_(std::exchange(other.pulled_, 0)),
       finished_(std::exchange(other.finished_, true)),
       hit_limit_(other.hit_limit_),
+      epoch_pin_(std::move(other.epoch_pin_)),
       metrics_snapshot_(std::move(other.metrics_snapshot_)) {}
 
 AnswerStream& AnswerStream::operator=(AnswerStream&& other) noexcept {
@@ -86,6 +90,7 @@ AnswerStream& AnswerStream::operator=(AnswerStream&& other) noexcept {
     pulled_ = std::exchange(other.pulled_, 0);
     finished_ = std::exchange(other.finished_, true);
     hit_limit_ = other.hit_limit_;
+    epoch_pin_ = std::move(other.epoch_pin_);
     metrics_snapshot_ = std::move(other.metrics_snapshot_);
   }
   return *this;
@@ -149,7 +154,13 @@ std::optional<AnswerTree> AnswerStream::Next() {
   limits.max_steps = options_.step_budget;
   limits.deadline_seconds = options_.deadline_seconds;
   SearchStatus status = searcher_->Resume(origins(), ctx, limits);
-  if (status == SearchStatus::kDone) finished_ = true;
+  if (status == SearchStatus::kDone || status == SearchStatus::kIoError) {
+    // kIoError is terminal too: a graph page read failed, the released
+    // prefix stands, nothing further can come. Released answers are
+    // self-contained copies, so the epoch hold can end here.
+    finished_ = true;
+    epoch_pin_.Release();
+  }
   if (std::optional<AnswerTree> released = TakeBuffered()) return released;
   if (status == SearchStatus::kRunning) hit_limit_ = true;
   return std::nullopt;
@@ -175,9 +186,12 @@ SearchResult AnswerStream::Drain() {
     return out;
   }
   if (!finished_) {
-    searcher_->Resume(origins(), ctx, StepLimits{});  // unbounded: completes
+    // Unbounded resume: ends at kDone — or kIoError on a failed page
+    // read, with the released prefix as the (partial) result.
+    searcher_->Resume(origins(), ctx, StepLimits{});
     finished_ = true;
   }
+  epoch_pin_.Release();
   hit_limit_ = false;
   SearchResult& live = ctx->stream.result;
   out.metrics = std::move(live.metrics);
@@ -212,6 +226,7 @@ void AnswerStream::Cancel() {
   external_ = nullptr;
   lease_.Reset();
   owned_ctx_.reset();
+  epoch_pin_.Release();
   pulled_ = 0;
   finished_ = true;
   hit_limit_ = false;

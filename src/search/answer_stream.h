@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "search/context_pool.h"
+#include "search/epoch.h"
 #include "search/searcher.h"
 
 namespace banks {
@@ -131,11 +132,16 @@ class AnswerStream {
   /// `borrowed_origins` wins over the owned vector), which lets the
   /// drained Query path skip copying the caller's origin sets. `pool`
   /// (when non-null and `context` is null) supplies a leased context.
+  /// `epoch_pin` keeps the engine snapshot the searcher reads alive
+  /// until the stream's terminal transition (done, drained, cancelled,
+  /// IO error); in scheduled mode it rides into the TaskSpec and the
+  /// scheduler releases it instead.
   AnswerStream(const Searcher* searcher,
                std::vector<std::vector<NodeId>> owned_origins,
                const std::vector<std::vector<NodeId>>* borrowed_origins,
                const StreamOptions& options, SearchContext* context,
-               std::unique_ptr<Searcher> owned_searcher);
+               std::unique_ptr<Searcher> owned_searcher,
+               EpochPin epoch_pin = {});
 
   const std::vector<std::vector<NodeId>>& origins() const {
     return borrowed_origins_ != nullptr ? *borrowed_origins_ : owned_origins_;
@@ -163,8 +169,10 @@ class AnswerStream {
   std::unique_ptr<Served> served_;
 
   size_t pulled_ = 0;
-  bool finished_ = false;  // search ran to completion or was cancelled
+  bool finished_ = false;  // search ran to completion, failed (IO error)
+                           // or was cancelled
   bool hit_limit_ = false;
+  EpochPin epoch_pin_;  // released at the terminal transition
   SearchMetrics metrics_snapshot_;  // metrics() backing after Cancel()
 };
 

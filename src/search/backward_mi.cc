@@ -455,6 +455,10 @@ SearchStatus BackwardMISearcher::Resume(
       uint32_t next_hops = v_hops + 1;
       PagePin pin;
       std::span<const Edge> in_edges = graph_.InEdges(v, &pin);
+      if (pin.failed()) {
+        ++result.metrics.io_errors;
+        return slice.IoError();
+      }
       if (!pin.empty()) {
         ++(pin.hit() ? result.metrics.page_hits : result.metrics.page_misses);
       }

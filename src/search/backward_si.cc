@@ -348,6 +348,10 @@ SearchStatus BackwardSISearcher::Resume(
       const uint32_t pop_lane = static_cast<uint32_t>(p);
       PagePin pin;
       std::span<const Edge> in_edges = graph_.InEdges(top.node, &pin);
+      if (pin.failed()) {
+        ++result.metrics.io_errors;
+        return slice.IoError();
+      }
       if (!pin.empty()) {
         ++(pin.hit() ? result.metrics.page_hits : result.metrics.page_misses);
       }

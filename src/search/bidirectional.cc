@@ -54,8 +54,10 @@ constexpr double kLanePopFraction = 0.5;
 
 // Per-round coordinator→worker control block. Written only by worker 0
 // in its sequential sections, each of which ends at a barrier before
-// any other worker reads — the barrier's release/acquire pair is the
-// only synchronization these plain fields need.
+// any other worker reads; the round-entry barrier closes the reverse
+// window (every read of round R's fields precedes the round-R+1
+// rewrite). The barriers' release/acquire pairs are the only
+// synchronization these plain fields need.
 struct RoundFlags {
   bool stop = false;       // leave the round loop (B_control)
   bool paused = false;     // stop was a streaming pause, not termination
@@ -214,6 +216,11 @@ SearchStatus BidirectionalSearcher::Resume(
   // stable — publishes stop. Uniform barrier traffic is what makes the
   // abort deadlock-free.
   std::atomic<bool> failed{false};
+  // Raised by the coordinator at round end when any lane's expansion hit
+  // a failed page read (LaneCounters::io_errors); the next control
+  // barrier stops the loop and Resume returns kIoError. Coordinator-only
+  // writes/reads, so a plain bool is enough.
+  bool io_failure = false;
   std::exception_ptr first_failure;
   std::mutex failure_mu;
   auto record_failure = [&]() {
@@ -657,6 +664,9 @@ SearchStatus BidirectionalSearcher::Resume(
         const double norm = graph_.InInverseWeightSum(v_node);
         PagePin pin;
         std::span<const Edge> in_edges = graph_.InEdges(v_node, &pin);
+        // A failed pin yields an empty span: the expansion is skipped,
+        // the lane's io_errors count stops the loop at round end.
+        if (pin.failed()) ++c.io_errors;
         if (!pin.empty()) ++(pin.hit() ? c.page_hits : c.page_misses);
         for (const Edge& e : in_edges) {
           if (!EdgeAllowed(e)) continue;
@@ -701,6 +711,7 @@ SearchStatus BidirectionalSearcher::Resume(
         const double norm = graph_.OutInverseWeightSum(u_node);
         PagePin pin;
         std::span<const Edge> out_edges = graph_.OutEdges(u_node, &pin);
+        if (pin.failed()) ++c.io_errors;  // empty span; stop at round end
         if (!pin.empty()) ++(pin.hit() ? c.page_hits : c.page_misses);
         for (const Edge& e : out_edges) {
           if (!EdgeAllowed(e)) continue;
@@ -906,6 +917,10 @@ SearchStatus BidirectionalSearcher::Resume(
       flags.stop = true;
       return;
     }
+    if (io_failure) {  // a lane saw a failed page read last round
+      flags.stop = true;
+      return;
+    }
     // Per-lane best under the (activation, NodeId) total order; tie
     // between a lane's Q_in and Q_out tops goes to Q_in, as in the
     // unsharded algorithm.
@@ -1023,6 +1038,8 @@ SearchStatus BidirectionalSearcher::Resume(
       if (c.max_box > met.max_mailbox_depth) met.max_mailbox_depth = c.max_box;
       met.page_hits += c.page_hits;
       met.page_misses += c.page_misses;
+      if (c.io_errors > 0) io_failure = true;
+      met.io_errors += c.io_errors;
       c.Reset();
     }
     met.bsp_rounds++;
@@ -1047,6 +1064,10 @@ SearchStatus BidirectionalSearcher::Resume(
       interval = std::max<uint64_t>(interval, node_of.size() / 8);
     }
     flags.do_release = (steps_before / interval) != (steps / interval);
+    // A round that lost adjacency to a failed read expanded a partial
+    // graph: release nothing from it — only answers released before the
+    // failure are guaranteed to match a clean run.
+    if (io_failure) flags.do_release = false;
     if (flags.do_release) {
       const size_t batch = dirty_roots.size();
       flags.build_batch = batch;
@@ -1068,6 +1089,12 @@ SearchStatus BidirectionalSearcher::Resume(
   auto worker_fn = [&](uint32_t w) {
     SearchContext* scratch = w == 0 ? &ctx : runtime.WorkerScratch(w);
     for (;;) {
+      // Round-entry barrier: the previous round's last flags read
+      // (`do_release`, below) happens after a barrier the coordinator
+      // also passes, so without this quiesce point worker 0 could loop
+      // around and rewrite `flags` in control() while a straggler is
+      // still reading the old round's fields.
+      barrier.Wait();
       if (w == 0) {
         try {
           control();
@@ -1161,6 +1188,7 @@ SearchStatus BidirectionalSearcher::Resume(
   if (num_workers > 1) runtime.PrepareWorkerScratch();
   runtime.Run(worker_fn);
   if (first_failure) std::rethrow_exception(first_failure);
+  if (io_failure) return slice.IoError();
   if (flags.page_wait) return slice.PageWait();
   if (flags.paused) return slice.Pause();
 

@@ -63,6 +63,11 @@ struct SearchMetrics {
   uint64_t page_misses = 0;
   uint64_t page_waits = 0;
 
+  /// Failed page reads observed by this search (PagePin::failed); the
+  /// slice that sees one ends with SearchStatus::kIoError. Execution-
+  /// dependent like the page counters above.
+  uint64_t io_errors = 0;
+
   /// Wall-clock seconds for the whole search.
   double elapsed_seconds = 0;
 

@@ -125,6 +125,7 @@ struct LaneCounters {
   uint64_t max_box = 0;      // deepest single mailbox seen
   uint64_t page_hits = 0;    // paged adjacency pins served from the pool
   uint64_t page_misses = 0;  // paged adjacency pins that had to read
+  uint64_t io_errors = 0;    // paged adjacency pins whose read failed
 
   void Reset() { *this = LaneCounters{}; }
 };

@@ -62,6 +62,11 @@ enum class SearchStatus : uint8_t {
               // exactly one OnPageReady will follow per OnFetchQueued
               // fired during the slice. Resume again after it fires.
               // Without a listener the pin blocks synchronously instead.
+  kIoError,   // terminal: a page read failed (truncated or unreadable
+              // backing file) and the search cannot proceed without
+              // fabricating adjacency. The stream is marked done; the
+              // answers released before the failure remain valid (they
+              // were computed on real bytes) but the result is partial.
 };
 
 /// Stopwatch for one Resume slice that reports seconds since *query*
@@ -150,6 +155,16 @@ class SliceGuard {
     ++ss_->result.metrics.page_waits;
     ++ss_->page_fault_retries;
     return SearchStatus::kPageWait;
+  }
+
+  /// Terminal page-read failure: books elapsed time, marks the stream
+  /// done (further Resumes are no-ops) and returns kIoError. The caller
+  /// bumps metrics.io_errors at the point it saw the failed pin.
+  SearchStatus IoError() const {
+    ss_->result.metrics.elapsed_seconds = timer_->ElapsedSeconds();
+    ss_->elapsed = ss_->result.metrics.elapsed_seconds;
+    ss_->phase = SearchContext::StreamState::Phase::kDone;
+    return SearchStatus::kIoError;
   }
 
  private:

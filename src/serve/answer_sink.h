@@ -25,6 +25,8 @@ enum class SubscribeStatus : uint8_t {
   kCancelled,        // Subscription::Cancel() (or stream destruction)
   kRejected,         // admission control refused the task
   kShutdown,         // the scheduler was destroyed with the task open
+  kIoError,          // a graph page read failed; answers delivered before
+                     // the failure are valid, the result is partial
 };
 
 const char* SubscribeStatusName(SubscribeStatus status);

@@ -22,6 +22,8 @@ const char* SubscribeStatusName(SubscribeStatus status) {
       return "rejected";
     case SubscribeStatus::kShutdown:
       return "shutdown";
+    case SubscribeStatus::kIoError:
+      return "io_error";
   }
   return "unknown";
 }
@@ -52,6 +54,9 @@ struct Subscription::Task {
   std::vector<std::vector<NodeId>> origins;
   AnswerSink* sink = nullptr;
   double deadline_at = 0;  // scheduler-epoch seconds; 0 = no deadline
+  // Engine-epoch hold: lives as long as the task — parked phases
+  // included — and is released by FinishLocked with the context detach.
+  EpochPin epoch_pin;
 
   // ---- Guarded by Scheduler::mu_ ----
   AdmissionState admission = AdmissionState::kQueued;
@@ -262,6 +267,7 @@ Subscription Scheduler::Submit(TaskSpec spec) {
   task->origins = std::move(spec.origins);
   task->sink = spec.sink;
   task->credits = spec.answer_credits;
+  task->epoch_pin = std::move(spec.epoch_pin);
   bool rejected = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -305,6 +311,7 @@ Subscription Scheduler::Submit(TaskSpec spec) {
       ++counters_.rejected;
       task->terminal = SubscribeStatus::kRejected;
       task->phase = Task::Phase::kFinished;
+      task->epoch_pin.Release();  // never ran: no reason to hold the epoch
     } else if (task->deadline_at > 0) {
       wheel_.Schedule(task->id, task->deadline_at);
       by_id_[task->id] = task;
@@ -345,6 +352,19 @@ Scheduler::Stats Scheduler::Snapshot() const {
         break;
     }
     if (task->lease) ++stats.contexts_attached;
+  }
+  // Epoch-pin gauges: every open task's pin counts, parked phases
+  // included — a queued or credit-waiting task holds its epoch with
+  // zero context leases.
+  {
+    std::vector<uint64_t> epochs;
+    for (const auto& task : open_) {
+      if (task->epoch_pin) epochs.push_back(task->epoch_pin.epoch);
+    }
+    std::sort(epochs.begin(), epochs.end());
+    epochs.erase(std::unique(epochs.begin(), epochs.end()), epochs.end());
+    stats.pinned_epochs = epochs.size();
+    stats.oldest_live_epoch = epochs.empty() ? 0 : epochs.front();
   }
   for (const auto& [name, tenant] : tenants_) {
     stats.tenants.push_back(
@@ -452,6 +472,7 @@ void Scheduler::ExecuteLocked(std::unique_lock<std::mutex>& lock,
   double now = NowSeconds();
   bool due = (t.deadline_at > 0 && now >= t.deadline_at) || t.cancel_requested;
   bool page_faulted = false;
+  bool io_failed = false;
   if (!due && !t.detached) {
     if (!t.lease) {
       // Attach: first quantum of this task. The slot was reserved at
@@ -484,6 +505,7 @@ void Scheduler::ExecuteLocked(std::unique_lock<std::mutex>& lock,
     lock.lock();
     t.search_done = status == SearchStatus::kDone;
     page_faulted = status == SearchStatus::kPageWait;
+    io_failed = status == SearchStatus::kIoError;
   }
   DeliverLocked(lock, task);
   // Post-quantum decision. Deadline/cancel win over completion so the
@@ -499,6 +521,13 @@ void Scheduler::ExecuteLocked(std::unique_lock<std::mutex>& lock,
     finish(SubscribeStatus::kCancelled);
   } else if (t.deadline_at > 0 && now >= t.deadline_at) {
     finish(SubscribeStatus::kDeadlineExpired);
+  } else if (io_failed) {
+    // The searcher hit a failed page read and ended the stream at a
+    // consistent boundary (SearchStatus::kIoError is terminal). Answers
+    // already delivered stand; anything undelivered rides out with the
+    // terminal metrics. The retry that could make this transient
+    // already happened inside the quantum (kMaxPageFaultRetries).
+    finish(SubscribeStatus::kIoError);
   } else if (page_faulted) {
     // The searcher queued async fetches (OnFetchQueued bumped
     // pending_pages) and returned at a consistent quantum boundary.
@@ -597,9 +626,16 @@ void Scheduler::FinishLocked(const std::shared_ptr<Task>& task,
     case SubscribeStatus::kCancelled:
       ++counters_.cancelled;
       break;
+    case SubscribeStatus::kIoError:
+      ++counters_.io_errors;
+      break;
     default:
       break;
   }
+  // The task's engine-epoch hold ends with the task: this is the same
+  // terminal step that detached the context, so snapshot reclamation
+  // counts parked tasks (they reach here too) but never a live search.
+  t.epoch_pin.Release();
   if (t.deadline_at > 0) {
     wheel_.Cancel(t.id);
     by_id_.erase(t.id);

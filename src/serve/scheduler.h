@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "search/context_pool.h"
+#include "search/epoch.h"
 #include "search/searcher.h"
 #include "serve/answer_sink.h"
 #include "serve/timer_wheel.h"
@@ -102,6 +103,11 @@ struct TaskSpec {
   double weight = 1.0;
   double deadline_seconds = 0;
   uint64_t answer_credits = kUnlimitedCredits;
+  /// Engine-epoch hold (docs/UPDATES.md): keeps the snapshot the
+  /// searcher was built against alive for the task's whole life —
+  /// through admission queueing, credit waits and page-wait parks —
+  /// released in the terminal transition alongside the context detach.
+  EpochPin epoch_pin;
 };
 
 class Scheduler;
@@ -208,6 +214,14 @@ class Scheduler {
     size_t page_waiting = 0;     // parked on an async page fetch; keeps
                                  // its context lease and run slot
     size_t contexts_attached = 0;  // tasks currently holding a pool lease
+    // Epoch-pin gauges (instantaneous): how many distinct engine epochs
+    // open tasks hold pins on, and the oldest such epoch (0 when none).
+    // Parked tasks — admission-queued, credit-waiting, page-waiting —
+    // count here even though they hold zero context leases: the pin
+    // lives exactly as long as the task, so oldest_live_epoch bounds
+    // which snapshots update reclamation can free.
+    size_t pinned_epochs = 0;
+    uint64_t oldest_live_epoch = 0;
     // Cumulative counters.
     uint64_t quanta = 0;
     uint64_t answers_delivered = 0;
@@ -219,6 +233,7 @@ class Scheduler {
     uint64_t deadline_expired = 0;
     uint64_t cancelled = 0;
     uint64_t page_waits = 0;  // quanta that ended parked on a page fetch
+    uint64_t io_errors = 0;   // tasks finished kIoError (failed page read)
     std::vector<TenantStats> tenants;  // sorted by tenant name
   };
 

@@ -14,8 +14,10 @@ PagePin& PagePin::operator=(PagePin&& o) noexcept {
     page_ = o.page_;
     data_ = o.data_;
     hit_ = o.hit_;
+    failed_ = o.failed_;
     o.pool_ = nullptr;
     o.data_ = nullptr;
+    o.failed_ = false;
   }
   return *this;
 }
@@ -24,6 +26,7 @@ void PagePin::Reset() {
   if (pool_ != nullptr) pool_->Unpin(frame_);
   pool_ = nullptr;
   data_ = nullptr;
+  failed_ = false;
 }
 
 BufferPool::BufferPool(const PageSource* source,
@@ -72,10 +75,7 @@ size_t BufferPool::AcquireFrameLocked(size_t bytes) {
     Frame& v = frames_[victim];
     assert(!v.dirty);  // read-only store: eviction never writes back
     table_.erase(v.page);
-    resident_bytes_ -= v.data.size();
-    std::vector<std::byte>().swap(v.data);
-    v.waiters.clear();
-    free_frames_.push_back(victim);
+    FreeFrameLocked(victim);
     ++counters_.evictions;
   }
 
@@ -91,16 +91,28 @@ size_t BufferPool::AcquireFrameLocked(size_t bytes) {
   f.pins = 0;
   f.loading = false;
   f.dirty = false;
+  f.failed = false;
   f.stamp = next_stamp_++;
   f.data.assign(bytes, std::byte{0});
   resident_bytes_ += bytes;
   return idx;
 }
 
+void BufferPool::FreeFrameLocked(size_t frame) {
+  Frame& f = frames_[frame];
+  resident_bytes_ -= f.data.size();
+  std::vector<std::byte>().swap(f.data);
+  f.waiters.clear();
+  f.failed = false;
+  f.loading = false;
+  free_frames_.push_back(frame);
+}
+
 const std::byte* BufferPool::Pin(PageId page, PagePin* pin) {
   std::vector<std::shared_ptr<PageFetchListener>> ready;
   const std::byte* data = nullptr;
   bool hit = false;
+  bool failed = false;
   size_t frame_idx = 0;
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -120,10 +132,20 @@ const std::byte* BufferPool::Pin(PageId page, PagePin* pin) {
         ++f.pins;
       }
       Frame& loaded = frames_[frame_idx];
-      if (options_.policy == EvictionPolicy::kLRU) {
-        loaded.stamp = next_stamp_++;
+      if (loaded.failed) {
+        // The load we waited on failed; drop our pin — the last one out
+        // frees the frame (it is already out of table_, so a later Pin
+        // retries the read fresh).
+        failed = true;
+        hit = false;
+        assert(loaded.pins > 0);
+        if (--loaded.pins == 0) FreeFrameLocked(frame_idx);
+      } else {
+        if (options_.policy == EvictionPolicy::kLRU) {
+          loaded.stamp = next_stamp_++;
+        }
+        data = loaded.data.data();
       }
-      data = loaded.data.data();
     } else {
       ++counters_.misses;
       const size_t bytes = source_->PageLength(page);
@@ -147,13 +169,28 @@ const std::byte* BufferPool::Pin(PageId page, PagePin* pin) {
       // the pool), so re-index the frame after re-locking; the heap
       // buffer itself is stable.
       lock.unlock();
-      source_->ReadPage(page, buf);
+      const bool ok = source_->ReadPage(page, buf);
       lock.lock();
       Frame& f = frames_[frame_idx];
       f.loading = false;
       ready = std::move(f.waiters);
       f.waiters.clear();
-      data = f.data.data();
+      if (!ok) {
+        // Never serve fabricated bytes: fail every pin attached to this
+        // load and take the page out of the table so the next Pin
+        // retries (transient errors recover). Waiters that pinned
+        // mid-load see `failed` when they wake; the last pin out frees
+        // the frame. Async listeners still get their OnPageReady — the
+        // fetch protocol owes exactly one per OnFetchQueued — and the
+        // requeued task's next probe/pin rediscovers the error.
+        failed = true;
+        f.failed = true;
+        ++counters_.io_errors;
+        table_.erase(page);
+        if (--f.pins == 0) FreeFrameLocked(frame_idx);
+      } else {
+        data = f.data.data();
+      }
       load_cv_.notify_all();
     }
   }
@@ -162,6 +199,13 @@ const std::byte* BufferPool::Pin(PageId page, PagePin* pin) {
   for (const auto& l : ready) l->OnPageReady(page);
 
   pin->Reset();
+  if (failed) {
+    // No frame held: pool_ stays null so Reset/destruction is a no-op.
+    pin->page_ = page;
+    pin->hit_ = false;
+    pin->failed_ = true;
+    return nullptr;
+  }
   pin->pool_ = this;
   pin->frame_ = frame_idx;
   pin->page_ = page;
@@ -258,12 +302,25 @@ void BufferPool::FetchLoop() {
         buf = f.data.data();
       }
       lock.unlock();  // see Pin: re-index the frame after re-locking
-      source_->ReadPage(page, buf);
+      const bool ok = source_->ReadPage(page, buf);
       lock.lock();
       Frame& f = frames_[frame_idx];
       f.loading = false;
       ready = std::move(f.waiters);
       f.waiters.clear();
+      if (!ok) {
+        // Same protocol as the Pin miss path: out of the table so the
+        // next Pin retries, frame freed once unpinned (synchronous Pins
+        // may have attached mid-load), listeners still fired — their
+        // task requeues and hits the error on its own next pin.
+        ++counters_.io_errors;
+        table_.erase(page);
+        if (f.pins == 0) {
+          FreeFrameLocked(frame_idx);
+        } else {
+          f.failed = true;
+        }
+      }
       load_cv_.notify_all();
     }
     if (!ready.empty()) {

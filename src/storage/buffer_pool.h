@@ -40,12 +40,15 @@ enum class EvictionPolicy : uint8_t {
 /// Read-only page source backing a BufferPool. ReadPage may be called
 /// concurrently from pool clients and from the pool's fetch thread, so
 /// implementations must be thread-safe (the paged store uses pread).
+/// ReadPage returns false when the page could not be read in full
+/// (truncated or unreadable file); the pool then fails the pins waiting
+/// on it instead of serving fabricated bytes.
 class PageSource {
  public:
   virtual ~PageSource() = default;
   virtual size_t NumPages() const = 0;
   virtual uint32_t PageLength(PageId page) const = 0;
-  virtual void ReadPage(PageId page, std::byte* out) const = 0;
+  virtual bool ReadPage(PageId page, std::byte* out) const = 0;
 };
 
 /// Completion callback for asynchronous page fetches. The serving
@@ -80,6 +83,10 @@ class PagePin {
   bool empty() const { return pool_ == nullptr; }
   /// True when the pin found the page already resident (a pool hit).
   bool hit() const { return hit_; }
+  /// True when the underlying ReadPage failed: the pin holds no frame
+  /// and data() is null. Searchers surface this as SearchStatus::kIoError
+  /// rather than expanding fabricated empty adjacency.
+  bool failed() const { return failed_; }
   PageId page() const { return page_; }
   const std::byte* data() const { return data_; }
 
@@ -90,6 +97,7 @@ class PagePin {
   PageId page_ = 0;
   const std::byte* data_ = nullptr;
   bool hit_ = false;
+  bool failed_ = false;
 };
 
 /// Counters and gauges; Snapshot under the pool lock.
@@ -99,6 +107,7 @@ struct BufferPoolStats {
   uint64_t evictions = 0;   // resident pages dropped for room
   uint64_t fetch_requests = 0;     // async fetches queued
   uint64_t capacity_overshoots = 0;  // loads forced past capacity_bytes
+  uint64_t io_errors = 0;  // ReadPage failures (truncated/unreadable file)
   size_t resident_pages = 0;
   size_t resident_bytes = 0;
   size_t pinned_pages = 0;
@@ -155,6 +164,10 @@ class BufferPool {
     uint32_t pins = 0;
     bool loading = false;
     bool dirty = false;  // invariant: never set (read-only store)
+    // Set when the load failed. The frame is already out of table_ (a
+    // later Pin retries the read fresh); it lingers only while waiters
+    // that pinned mid-load drain, and the last Unpin frees it.
+    bool failed = false;
     uint64_t stamp = 0;  // eviction order: LRU = last pin, FIFO = load
     std::vector<std::shared_ptr<PageFetchListener>> waiters;
   };
@@ -163,6 +176,9 @@ class BufferPool {
   // Returns the index of a free (or freshly evicted) frame with room
   // accounted for `bytes`. Requires mu_ held.
   size_t AcquireFrameLocked(size_t bytes);
+  // Returns `frame` (which must be unpinned and out of table_) to the
+  // free list, releasing its bytes. Requires mu_ held.
+  void FreeFrameLocked(size_t frame);
   void FetchLoop();
 
   const PageSource* source_;

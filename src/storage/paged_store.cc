@@ -414,7 +414,7 @@ size_t PagedStore::DataBytes() const {
   return total;
 }
 
-void PagedStore::ReadPage(PageId page, std::byte* out) const {
+bool PagedStore::ReadPage(PageId page, std::byte* out) const {
   size_t remaining = page_lengths_[page];
   uint64_t pos = data_start_ + page_offsets_[page];
   char* dst = reinterpret_cast<char*>(out);
@@ -422,17 +422,18 @@ void PagedStore::ReadPage(PageId page, std::byte* out) const {
     ssize_t got = ::pread(fd_, dst, remaining, static_cast<off_t>(pos));
     if (got <= 0) {
       if (got < 0 && errno == EINTR) continue;
-      // Truncated or unreadable file: zero-fill rather than spin. The
-      // loader validated the directory, so this is hardware-level
-      // corruption; search results on zeroed adjacency are undefined
-      // but the process stays memory-safe.
-      std::memset(dst, 0, remaining);
-      return;
+      // Truncated or unreadable file: report the failure instead of
+      // zero-filling — a zeroed page would fabricate empty adjacency
+      // and searches would silently return wrong answers. The buffer
+      // pool fails the pins waiting on this read and the searcher
+      // surfaces SearchStatus::kIoError.
+      return false;
     }
     dst += got;
     pos += static_cast<uint64_t>(got);
     remaining -= static_cast<size_t>(got);
   }
+  return true;
 }
 
 }  // namespace banks

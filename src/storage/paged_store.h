@@ -95,7 +95,7 @@ class PagedStore : public PageSource {
   uint32_t PageLength(PageId page) const override {
     return page_lengths_[page];
   }
-  void ReadPage(PageId page, std::byte* out) const override;
+  bool ReadPage(PageId page, std::byte* out) const override;
 
  private:
   PagedStore() = default;

@@ -32,6 +32,13 @@ class InvertedIndex {
  public:
   explicit InvertedIndex(TokenizerOptions tokenizer_options = {});
 
+  /// True when this index is an update overlay over a shared base
+  /// (ApplyIndexDelta): touched terms resolve from delta posting lists,
+  /// untouched terms read through to the base (resident or paged).
+  /// Overlays are flattened — base() never itself has a base.
+  bool overlay() const { return base_ != nullptr; }
+  const std::shared_ptr<const InvertedIndex>& base() const { return base_; }
+
   /// Indexes the text of one node. Call before Freeze().
   void AddDocument(NodeId node, std::string_view text);
 
@@ -63,14 +70,15 @@ class InvertedIndex {
   /// names a relation, that relation's node range. Sorted, deduplicated.
   std::vector<NodeId> Match(std::string_view keyword) const;
 
-  size_t num_terms() const {
-    return paged() ? posting_runs_.size() : postings_.size();
-  }
+  size_t num_terms() const;
   bool frozen() const { return frozen_; }
 
-  /// True when posting lists live in a paged store's pages instead of
-  /// in-memory vectors (storage/paged_store.h).
-  bool paged() const { return store_ != nullptr; }
+  /// True when posting lists (of this index or its overlay base) live in
+  /// a paged store's pages instead of in-memory vectors
+  /// (storage/paged_store.h).
+  bool paged() const {
+    return store_ != nullptr || (base_ != nullptr && base_->paged());
+  }
 
   const Tokenizer& tokenizer() const { return tokenizer_; }
 
@@ -104,11 +112,27 @@ class InvertedIndex {
 
  private:
   friend class PagedStore;
+  friend InvertedIndex ApplyIndexDelta(
+      std::shared_ptr<const InvertedIndex> base,
+      const std::vector<std::pair<NodeId, std::string>>& docs,
+      std::vector<std::string>* touched_terms);
 
   struct PostingRun {
     PageRunRef ref;
     uint64_t count = 0;
   };
+
+  /// Owned, sorted-unique copy of one token's effective posting list
+  /// (empty when the token is unknown). Resolves overlay deltas, then
+  /// the base; paged postings pin their page just long enough to copy.
+  /// `folded` must already be keyword-folded.
+  std::vector<NodeId> TokenPostingsCopy(const std::string& folded) const;
+  bool HasTerm(const std::string& folded) const {
+    if (base_ != nullptr) {
+      return delta_postings_.count(folded) > 0 || base_->HasTerm(folded);
+    }
+    return term_ids_.count(folded) > 0;
+  }
 
   Tokenizer tokenizer_;
   std::unordered_map<std::string, uint32_t> term_ids_;
@@ -120,7 +144,32 @@ class InvertedIndex {
   // pages; postings_ stays empty.
   std::shared_ptr<PagedStore> store_;
   std::vector<PostingRun> posting_runs_;
+
+  // Overlay mode (ApplyIndexDelta): full merged posting lists for
+  // exactly the terms an update touched; every other term reads through
+  // to base_. term_ids_/postings_/posting_runs_ stay empty.
+  std::shared_ptr<const InvertedIndex> base_;
+  std::unordered_map<std::string, std::vector<NodeId>> delta_postings_;
 };
+
+/// Applies append-only text additions over `base`, returning an
+/// immutable overlay index value-identical to rebuilding the index over
+/// the combined documents: each touched term's effective posting list is
+/// re-materialized as the sorted-unique merge of the base list and the
+/// new node ids. `docs` holds (node, text) pairs — text for brand-new
+/// nodes and appended text for existing ones. Relation ranges carry over
+/// unchanged (v1 has no relation growth; register all relations before
+/// the first update).
+///
+/// Every touched folded term is appended to `touched_terms` (sorted,
+/// unique) — the AnswerCache invalidation set for this update.
+///
+/// The caller keeps `base` alive through the overlay's lifetime; Engine
+/// does this by holding epoch snapshots in shared_ptrs.
+InvertedIndex ApplyIndexDelta(
+    std::shared_ptr<const InvertedIndex> base,
+    const std::vector<std::pair<NodeId, std::string>>& docs,
+    std::vector<std::string>* touched_terms);
 
 }  // namespace banks
 

@@ -54,6 +54,58 @@ TEST(AnswerCacheKey, LengthPrefixKeepsJoinInjective) {
             AnswerCacheKey(Algorithm::kBackwardSI, options, {"a", "bc"}));
 }
 
+TEST(AnswerCacheKey, GraphEpochChangesTheKey) {
+  // The structure epoch is part of the signature: a structural update
+  // makes every result cached against the old graph unreachable — the
+  // stale-cache half of the live-update contract (docs/UPDATES.md).
+  SearchOptions options;
+  std::string e0 =
+      AnswerCacheKey(Algorithm::kBidirectional, options, {"gray"}, 0);
+  EXPECT_EQ(e0, AnswerCacheKey(Algorithm::kBidirectional, options, {"gray"}));
+  EXPECT_NE(e0, AnswerCacheKey(Algorithm::kBidirectional, options, {"gray"}, 1));
+  EXPECT_NE(AnswerCacheKey(Algorithm::kBidirectional, options, {"gray"}, 1),
+            AnswerCacheKey(Algorithm::kBidirectional, options, {"gray"}, 10));
+}
+
+// ---- Keyword invalidation -------------------------------------------------
+
+TEST(AnswerCache, InvalidateKeywordsDropsTouchedEntriesOnly) {
+  AnswerCache cache;
+  cache.Store("q_alpha", {"alpha"}, MakeResult(1));
+  cache.Store("q_beta", {"beta"}, MakeResult(2));
+  cache.Store("q_both", {"alpha", "beta"}, MakeResult(3));
+  ASSERT_EQ(cache.size(), 3u);
+
+  // Touching "alpha" drops the alpha-bearing entries; the pure-beta
+  // entry survives (posting-only updates are result-neutral for
+  // untouched keywords).
+  EXPECT_EQ(cache.InvalidateKeywords({"alpha"}), 2u);
+  SearchResult out;
+  EXPECT_FALSE(cache.Lookup("q_alpha", &out));
+  EXPECT_FALSE(cache.Lookup("q_both", &out));
+  EXPECT_TRUE(cache.Lookup("q_beta", &out));
+  EXPECT_EQ(out.answers[0].root, 2u);
+
+  // Untouched terms drop nothing.
+  EXPECT_EQ(cache.InvalidateKeywords({"gamma"}), 0u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(AnswerCache, InvalidateKeywordsDropsKeywordlessEntriesConservatively) {
+  AnswerCache cache;
+  cache.Store("unknown_provenance", MakeResult(5));  // keyword-less overload
+  cache.Store("q_beta", {"beta"}, MakeResult(6));
+  // An entry without keyword metadata cannot be proven untouched, so
+  // any invalidation sweep must drop it.
+  EXPECT_EQ(cache.InvalidateKeywords({"alpha"}), 1u);
+  SearchResult out;
+  EXPECT_FALSE(cache.Lookup("unknown_provenance", &out));
+  EXPECT_TRUE(cache.Lookup("q_beta", &out));
+  // An empty touched set is a no-op, not a flush.
+  EXPECT_EQ(cache.InvalidateKeywords({}), 0u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
 // ---- Store / Lookup / TTL -------------------------------------------------
 
 TEST(AnswerCache, StoreThenLookupCopiesResult) {

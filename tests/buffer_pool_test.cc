@@ -8,6 +8,7 @@
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 namespace banks {
@@ -34,15 +35,25 @@ class FakeSource : public PageSource {
   uint32_t PageLength(PageId page) const override {
     return static_cast<uint32_t>(pages_[page].size());
   }
-  void ReadPage(PageId page, std::byte* out) const override {
+  bool ReadPage(PageId page, std::byte* out) const override {
     reads_.fetch_add(1, std::memory_order_relaxed);
+    if (fail_reads_.load(std::memory_order_relaxed) > 0) {
+      fail_reads_.fetch_sub(1, std::memory_order_relaxed);
+      return false;
+    }
     std::memcpy(out, pages_[page].data(), pages_[page].size());
+    return true;
   }
   int reads() const { return reads_.load(std::memory_order_relaxed); }
+  /// The next `n` reads fail (IO-error injection).
+  void FailNextReads(int n) {
+    fail_reads_.store(n, std::memory_order_relaxed);
+  }
 
  private:
   std::vector<std::vector<std::byte>> pages_;
   mutable std::atomic<int> reads_{0};
+  mutable std::atomic<int> fail_reads_{0};
 };
 
 void ExpectPageBytes(const PagePin& pin) {
@@ -294,6 +305,74 @@ TEST(BufferPool, PathologicallySmallPoolStaysCorrect) {
   EXPECT_EQ(s.hits, 0u);  // nothing ever fits to stay resident
   EXPECT_EQ(s.misses, 16u);
   EXPECT_EQ(s.dirty_pages, 0u);
+}
+
+TEST(BufferPool, FailedReadFailsPinAndRetrySucceeds) {
+  FakeSource src(4, kPageLen);
+  BufferPool pool(&src, PoolOf(4, EvictionPolicy::kLRU));
+  src.FailNextReads(1);
+  {
+    PagePin pin;
+    const std::byte* data = pool.Pin(0, &pin);
+    EXPECT_EQ(data, nullptr);
+    EXPECT_TRUE(pin.failed());
+    EXPECT_TRUE(pin.empty());  // no frame held — destruction is a no-op
+    EXPECT_EQ(pin.data(), nullptr);
+  }
+  BufferPoolStats s = pool.stats();
+  EXPECT_EQ(s.io_errors, 1u);
+  EXPECT_EQ(s.resident_pages, 0u);  // the failed frame was reclaimed
+  EXPECT_FALSE(pool.Resident(0));
+  // The failed page left the table, so a retry reads fresh and succeeds
+  // (transient errors recover).
+  PagePin pin;
+  ASSERT_NE(pool.Pin(0, &pin), nullptr);
+  EXPECT_FALSE(pin.failed());
+  ExpectPageBytes(pin);
+  EXPECT_EQ(pool.stats().io_errors, 1u);
+}
+
+TEST(BufferPool, FailedAsyncFetchStillFiresReadyAndCounts) {
+  FakeSource src(4, kPageLen);
+  BufferPool pool(&src, PoolOf(4, EvictionPolicy::kLRU));
+  auto listener = std::make_shared<CountingListener>();
+  src.FailNextReads(1);
+  pool.RequestFetch(2, listener);
+  // The protocol owes exactly one OnPageReady per OnFetchQueued even
+  // when the read fails; the requeued task's next pin sees the error.
+  ASSERT_TRUE(listener->WaitForReady(1));
+  EXPECT_EQ(listener->ready().size(), 1u);
+  EXPECT_EQ(pool.stats().io_errors, 1u);
+  EXPECT_FALSE(pool.Resident(2));
+}
+
+TEST(BufferPool, ConcurrentPinsOnFailedLoadAllFail) {
+  FakeSource src(2, kPageLen);
+  BufferPool pool(&src, PoolOf(2, EvictionPolicy::kLRU));
+  src.FailNextReads(1);
+  constexpr int kThreads = 4;
+  std::atomic<int> failed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      PagePin pin;
+      const std::byte* data = pool.Pin(1, &pin);
+      if (data == nullptr && pin.failed()) {
+        failed.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ExpectPageBytes(pin);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Exactly one read failed; every pin attached to that load failed with
+  // it, and any pin that arrived after the retry got good bytes.
+  EXPECT_GE(failed.load(), 1);
+  EXPECT_EQ(pool.stats().io_errors, 1u);
+  PagePin pin;
+  ASSERT_NE(pool.Pin(1, &pin), nullptr);
+  ExpectPageBytes(pin);
 }
 
 TEST(BufferPool, StatsGaugesTrackResidency) {

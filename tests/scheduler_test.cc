@@ -221,14 +221,25 @@ TEST(SchedulerAdmission, QueuedTaskHoldsNoContextLease) {
   so.context_pool = &pool;
   Scheduler scheduler(so);
 
+  // Synthetic epoch pins (as Engine::Subscribe would attach): the pin
+  // must live exactly as long as its task, leases or not.
+  auto snap_a = std::make_shared<int>(0);
+  auto snap_b = std::make_shared<int>(0);
+  std::weak_ptr<int> watch_a = snap_a;
+  std::weak_ptr<int> watch_b = snap_b;
+
   QueueSink sink_a;
   QueueSink sink_b;
-  Subscription a = scheduler.Submit(w.Spec(&sink_a));
+  TaskSpec spec_a = w.Spec(&sink_a);
+  spec_a.epoch_pin = EpochPin{std::move(snap_a), 3};
+  Subscription a = scheduler.Submit(std::move(spec_a));
   EXPECT_EQ(a.admission(), AdmissionState::kAdmitted);
   ASSERT_TRUE(scheduler.DriveOne());  // a runs its first quantum: attaches
   EXPECT_EQ(pool.leased(), 1u);
 
-  Subscription b = scheduler.Submit(w.Spec(&sink_b));
+  TaskSpec spec_b = w.Spec(&sink_b);
+  spec_b.epoch_pin = EpochPin{std::move(snap_b), 7};
+  Subscription b = scheduler.Submit(std::move(spec_b));
   EXPECT_EQ(b.admission(), AdmissionState::kQueued);
   ASSERT_TRUE(scheduler.DriveOne());  // serves a again; b stays queued
   Scheduler::Stats stats = scheduler.Snapshot();
@@ -238,6 +249,11 @@ TEST(SchedulerAdmission, QueuedTaskHoldsNoContextLease) {
   // ZERO SearchContextPool leases — only the running task has one.
   EXPECT_EQ(pool.leased(), 1u);
   EXPECT_EQ(pool.size(), 1u);
+  // ...but it DOES hold its epoch pin: both snapshots are alive, and
+  // oldest_live_epoch is the reclamation bound an updater would see.
+  EXPECT_FALSE(watch_b.expired());
+  EXPECT_EQ(stats.pinned_epochs, 2u);
+  EXPECT_EQ(stats.oldest_live_epoch, 3u);
 
   // Cancelling the runner frees the slot; b is promoted and completes.
   a.Cancel();
@@ -245,6 +261,13 @@ TEST(SchedulerAdmission, QueuedTaskHoldsNoContextLease) {
   EXPECT_EQ(a.status(), SubscribeStatus::kCancelled);
   EXPECT_EQ(b.status(), SubscribeStatus::kCompleted);
   EXPECT_EQ(pool.leased(), 0u);
+  // Terminal transitions released both pins with the tasks' other
+  // resources — nothing keeps the snapshots alive now.
+  EXPECT_TRUE(watch_a.expired());
+  EXPECT_TRUE(watch_b.expired());
+  stats = scheduler.Snapshot();
+  EXPECT_EQ(stats.pinned_epochs, 0u);
+  EXPECT_EQ(stats.oldest_live_epoch, 0u);
 }
 
 TEST(SchedulerAdmission, OverflowIsRejectedWithTerminalPush) {
@@ -256,9 +279,13 @@ TEST(SchedulerAdmission, OverflowIsRejectedWithTerminalPush) {
   Scheduler scheduler(so);
 
   QueueSink s1, s2, s3;
+  auto snap_c = std::make_shared<int>(0);
+  std::weak_ptr<int> watch_c = snap_c;
   Subscription a = scheduler.Submit(w.Spec(&s1));
   Subscription b = scheduler.Submit(w.Spec(&s2));
-  Subscription c = scheduler.Submit(w.Spec(&s3));
+  TaskSpec spec_c = w.Spec(&s3);
+  spec_c.epoch_pin = EpochPin{std::move(snap_c), 9};
+  Subscription c = scheduler.Submit(std::move(spec_c));
   EXPECT_EQ(a.admission(), AdmissionState::kAdmitted);
   EXPECT_EQ(b.admission(), AdmissionState::kQueued);
   EXPECT_EQ(c.admission(), AdmissionState::kRejected);
@@ -266,6 +293,10 @@ TEST(SchedulerAdmission, OverflowIsRejectedWithTerminalPush) {
   EXPECT_EQ(c.status(), SubscribeStatus::kRejected);
   EXPECT_EQ(s3.status(), SubscribeStatus::kRejected);
   EXPECT_TRUE(s3.exhausted());
+  // A rejected task never reaches the scheduler's terminal step, so
+  // Submit itself must have dropped the pin — a leak here would block
+  // epoch reclamation forever.
+  EXPECT_TRUE(watch_c.expired());
 
   Scheduler::Stats stats = scheduler.Snapshot();
   EXPECT_EQ(stats.submitted, 3u);
@@ -370,12 +401,14 @@ TEST(SchedulerCredits, CreditStarvedTaskDetachesIntoStreamState) {
   QueueSink sink;
   TaskSpec spec = w.Spec(&sink);
   spec.answer_credits = 1;  // one answer may be pushed, then starve
+  spec.epoch_pin = EpochPin{std::make_shared<int>(0), 4};
   Subscription sub = scheduler.Submit(std::move(spec));
   while (scheduler.DriveOne()) {
   }
   // The search ran to completion, one answer was pushed, and the task
   // now idles in credit-wait DETACHED: compact StreamState only, zero
-  // context leases.
+  // context leases — but its epoch pin is still held (the undelivered
+  // answers reference the snapshot's epoch until the terminal push).
   EXPECT_FALSE(sub.finished());
   EXPECT_EQ(sub.answers_delivered(), 1u);
   EXPECT_EQ(sink.buffered(), 1u);
@@ -383,6 +416,8 @@ TEST(SchedulerCredits, CreditStarvedTaskDetachesIntoStreamState) {
   EXPECT_EQ(stats.credit_waiting, 1u);
   EXPECT_EQ(stats.contexts_attached, 0u);
   EXPECT_EQ(pool.leased(), 0u);
+  EXPECT_EQ(stats.pinned_epochs, 1u);
+  EXPECT_EQ(stats.oldest_live_epoch, 4u);
 
   // Topping up credits resumes delivery-only quanta to completion.
   sub.AddCredits(kUnlimitedCredits / 2);
