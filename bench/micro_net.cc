@@ -1,0 +1,273 @@
+// Socket-level microbenchmark: over-the-wire query sojourn.
+//
+// micro_serve measures the serving core in-process; this bench stacks
+// the network front door (src/net/) on top — a loopback banks::net
+// Server over the same §5.4 DBLP generator workload, queried through
+// the blocking banks::net::Client. Reported per algorithm:
+//
+//   wire-1 — one connection, closed loop: per-query sojourn
+//            (Client::Query call → terminal frame) p50/p95;
+//   wire-4 — four connections on four threads, each closed loop: the
+//            same queries contending through admission, weighted fair
+//            queueing across four tenants, and the socket path.
+//
+// Built-in differential: every over-the-wire answer sequence must be
+// identical (SameAnswer) to the drained in-process Engine::Query — the
+// bench exits nonzero otherwise, so CI catches a wire-path divergence
+// even outside the unit suite.
+//
+// --json emits BENCH_net.json rows for the CI bench-smoke artifact;
+// ms_per_query is the p95 sojourn (p50 for the wire-1 row), the field
+// compare_baseline.py treats as a latency metric.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "banks/engine.h"
+#include "bench_alloc.h"
+#include "bench_common.h"
+#include "datasets/workload.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace banks::bench {
+namespace {
+
+constexpr size_t kRepetitions = 3;
+
+/// Keyword queries of the benchmark stream. The wire carries keywords
+/// (the server resolves them), so unlike micro_serve this keeps the
+/// keyword form; resolution is deterministic, so the in-process
+/// reference still searches identical origins.
+std::vector<std::vector<std::string>> MakeQueries(BenchEnv* env,
+                                                  const Engine& engine) {
+  WorkloadGenerator gen(&env->db, &env->dg);
+  std::vector<std::vector<std::string>> queries;
+  for (size_t kw = 2; kw <= 3; ++kw) {
+    WorkloadOptions wopt;
+    wopt.num_queries = 8;
+    wopt.answer_size = 4;
+    wopt.thresholds = env->thresholds;
+    wopt.categories.assign(kw, FreqCategory::kTiny);
+    wopt.categories.back() = FreqCategory::kSmall;
+    wopt.seed = 23 + kw * 41;
+    for (const WorkloadQuery& q : gen.Generate(wopt)) {
+      std::vector<std::vector<NodeId>> origins = engine.Resolve(q.keywords);
+      bool all_matched = !origins.empty();
+      for (const auto& s : origins) all_matched &= !s.empty();
+      if (all_matched) queries.push_back(q.keywords);
+    }
+  }
+  return queries;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  double rank = p * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1 - frac) + values[hi] * frac;
+}
+
+/// One connection running the whole query list closed-loop
+/// `kRepetitions` times. Latencies are per-query sojourn; `identical`
+/// goes false on any divergence from the reference sequences.
+struct ConnResult {
+  std::vector<double> latency_seconds;
+  bool identical = true;
+};
+
+ConnResult RunConnection(uint16_t port, Algorithm algorithm,
+                         const SearchOptions& options,
+                         const std::vector<std::vector<std::string>>& queries,
+                         const std::vector<SearchResult>& reference) {
+  ConnResult out;
+  std::string error;
+  auto client = net::Client::Connect("127.0.0.1", port, {}, &error);
+  if (client == nullptr) {
+    std::fprintf(stderr, "bench connect failed: %s\n", error.c_str());
+    out.identical = false;
+    return out;
+  }
+  for (size_t a = 0; a < queries.size() * kRepetitions; ++a) {
+    size_t qi = a % queries.size();
+    Timer timer;
+    net::NetResult result = client->Query(queries[qi], algorithm, options);
+    out.latency_seconds.push_back(timer.ElapsedSeconds());
+    const SearchResult& ref = reference[qi];
+    bool same = result.status == SubscribeStatus::kCompleted &&
+                result.answers.size() == ref.answers.size();
+    for (size_t i = 0; same && i < ref.answers.size(); ++i) {
+      same = SameAnswer(result.answers[i], ref.answers[i]);
+    }
+    if (!same) out.identical = false;
+  }
+  return out;
+}
+
+int Main(double scale, bool json) {
+  if (!json) {
+    std::printf("=== Network front door: over-the-wire sojourn ===\n");
+  }
+  BenchEnv env = MakeDblpEnv(scale);
+  Engine engine(env.dg, EngineOptions{});
+  std::vector<std::vector<std::string>> queries = MakeQueries(&env, engine);
+  if (queries.empty()) {
+    std::fprintf(stderr, "no runnable queries generated\n");
+    return 1;
+  }
+  const size_t per_conn = queries.size() * kRepetitions;
+
+  net::ServerOptions server_options;
+  server_options.port = 0;  // ephemeral
+  net::Server server(&engine, server_options);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "server start failed: %s\n", error.c_str());
+    return 1;
+  }
+  if (!json) {
+    std::printf("DBLP-like graph: %zu nodes / %zu edges, %zu queries, %zu "
+                "per connection, loopback port %u\n",
+                env.dg.graph.num_nodes(), env.dg.graph.num_edges(),
+                queries.size(), per_conn, server.port());
+  }
+
+  JsonWriter w;
+  if (json) {
+    w.BeginObject();
+    w.Field("bench", "micro_net");
+    w.Field("scale", scale);
+    w.Field("graph_nodes", static_cast<uint64_t>(env.dg.graph.num_nodes()));
+    w.Field("graph_edges", static_cast<uint64_t>(env.dg.graph.num_edges()));
+    w.Field("queries_per_connection", static_cast<uint64_t>(per_conn));
+    w.Key("rows");
+    w.BeginArray();
+  }
+  TablePrinter table(
+      {"Algorithm", "wave", "conns", "p50 ms", "p95 ms", "qps"});
+  bool all_identical = true;
+
+  for (Algorithm algorithm :
+       {Algorithm::kBidirectional, Algorithm::kBackwardSI,
+        Algorithm::kBackwardMI}) {
+    SearchOptions options;
+    options.k = 10;
+    options.max_nodes_explored = 100'000;
+
+    // Drained in-process reference + warm-up of the engine-side caches.
+    SearchContext reference_context;
+    std::vector<SearchResult> reference;
+    reference.reserve(queries.size());
+    for (const auto& keywords : queries) {
+      reference.push_back(
+          engine.Query(keywords, algorithm, options, &reference_context));
+    }
+
+    struct Wave {
+      const char* name;
+      size_t connections;
+    };
+    // Untimed warm-up through the whole socket path (cold scheduler
+    // contexts, buffer pool, TCP slow start on loopback).
+    {
+      ConnResult warm = RunConnection(server.port(), algorithm, options,
+                                      queries, reference);
+      all_identical = all_identical && warm.identical;
+    }
+
+    for (const Wave& wave : {Wave{"wire-1", 1}, Wave{"wire-4", 4}}) {
+      std::vector<ConnResult> results(wave.connections);
+      Timer wall;
+      {
+        std::vector<std::thread> threads;
+        for (size_t c = 0; c < wave.connections; ++c) {
+          threads.emplace_back([&, c] {
+            results[c] = RunConnection(server.port(), algorithm, options,
+                                       queries, reference);
+          });
+        }
+        for (std::thread& t : threads) t.join();
+      }
+      double wall_seconds = wall.ElapsedSeconds();
+      std::vector<double> latencies;
+      for (const ConnResult& r : results) {
+        all_identical = all_identical && r.identical;
+        latencies.insert(latencies.end(), r.latency_seconds.begin(),
+                         r.latency_seconds.end());
+      }
+      const double p50 = 1e3 * Percentile(latencies, 0.50);
+      const double p95 = 1e3 * Percentile(latencies, 0.95);
+      const double qps = SafeRatio(
+          static_cast<double>(per_conn * wave.connections), wall_seconds);
+      if (json) {
+        w.BeginObject();
+        w.Field("class", wave.name);
+        w.Field("algorithm", AlgorithmName(algorithm));
+        w.Field("mode", "wire");
+        w.Field("threads", static_cast<uint64_t>(wave.connections));
+        w.Field("ms_per_query", wave.connections == 1 ? p50 : p95);
+        w.Field("p50_ms", p50);
+        w.Field("p95_ms", p95);
+        w.Field("qps", qps);
+        w.EndObject();
+      } else {
+        table.AddRow({AlgorithmName(algorithm), wave.name,
+                      std::to_string(wave.connections),
+                      TablePrinter::Fmt(p50, 3), TablePrinter::Fmt(p95, 3),
+                      TablePrinter::Fmt(qps, 1)});
+      }
+    }
+  }
+  server.Shutdown();
+
+  if (json) {
+    w.EndArray();
+    w.Field("answers_identical", all_identical);
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    std::printf("\n");
+    table.Print(std::cout);
+    std::printf(
+        "\nwire-N = N connections (scheduler tenants), each closed-loop\n"
+        "over the query list; sojourn measured Client::Query call ->\n"
+        "terminal frame, over loopback TCP. Every wire answer sequence\n"
+        "is verified identical to the drained in-process query (exit 1\n"
+        "on any divergence): %s\n",
+        all_identical ? "ok" : "DIVERGED");
+  }
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace banks::bench
+
+int main(int argc, char** argv) {
+  double scale = 1.0;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      scale = std::atof(argv[i]);
+      if (scale <= 0.0) {
+        std::fprintf(stderr, "usage: %s [--json] [scale>0]  (got %s)\n",
+                     argv[0], argv[i]);
+        return 2;
+      }
+    }
+  }
+  return banks::bench::Main(scale, json);
+}

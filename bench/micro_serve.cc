@@ -16,6 +16,13 @@
 //            (p50/p95/p99), mean time-to-first-answer, and achieved
 //            throughput.
 //
+// With --arrival=poisson two more waves run per algorithm
+// (poisson-0.5 / poisson-0.9): same mean rates, but interarrival gaps
+// drawn from a seeded exponential distribution — a Poisson arrival
+// process whose bursts exercise queue depths the evenly spaced clock
+// never builds. The draws are deterministic (fixed seed per wave), so
+// the rows are comparable across runs.
+//
 // Built-in equivalence check: every subscription's pushed answer
 // sequence must be identical (SameAnswer) to the drained
 // Engine::QueryResolved reference — the bench exits nonzero otherwise,
@@ -35,6 +42,7 @@
 #include <iostream>
 #include <memory>
 #include <numeric>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -108,9 +116,31 @@ double Percentile(std::vector<double> values, double p) {
   return values[lo] * (1 - frac) + values[hi] * frac;
 }
 
-/// One measured wave of subscriptions: arrivals spaced
-/// `interarrival_seconds` apart (0 = closed loop: wait out each
-/// subscription before submitting the next). Returns false on any
+/// Arrival schedule of one open wave: instant `a` is when arrival `a`
+/// is due on the epoch clock. Evenly spaced, or — for the Poisson
+/// process — cumulative seeded exponential gaps with the same mean.
+std::vector<double> MakeSchedule(size_t arrivals, double interarrival,
+                                 bool poisson, uint64_t seed) {
+  std::vector<double> due(arrivals, 0.0);
+  if (poisson) {
+    std::mt19937_64 rng(seed);
+    std::exponential_distribution<double> gap(1.0 / interarrival);
+    double clock = 0;
+    for (size_t a = 0; a < arrivals; ++a) {
+      due[a] = clock;
+      clock += gap(rng);
+    }
+  } else {
+    for (size_t a = 0; a < arrivals; ++a) {
+      due[a] = interarrival * static_cast<double>(a);
+    }
+  }
+  return due;
+}
+
+/// One measured wave of subscriptions: arrivals fire at
+/// `arrival_times` on the epoch clock (empty = closed loop: wait out
+/// each subscription before submitting the next). Returns false on any
 /// divergence from the reference sequences.
 struct WaveResult {
   std::vector<double> latency_seconds;  // submit → terminal push
@@ -123,18 +153,19 @@ WaveResult RunWave(const Engine& engine, Scheduler* scheduler,
                    Algorithm algorithm, const SearchOptions& options,
                    const std::vector<std::vector<std::vector<NodeId>>>& queries,
                    const std::vector<SearchResult>& reference,
-                   double interarrival_seconds) {
+                   const std::vector<double>& arrival_times) {
   const size_t arrivals = queries.size() * kRepetitions;
+  const bool open_loop = !arrival_times.empty();
   std::vector<std::unique_ptr<RecordingSink>> sinks;
   std::vector<Subscription> subs;
   sinks.reserve(arrivals);
   subs.reserve(arrivals);
   Timer epoch;
   for (size_t a = 0; a < arrivals; ++a) {
-    if (interarrival_seconds > 0) {
+    if (open_loop) {
       // Open loop: the arrival clock does not care how the serving core
       // is doing. Sleep until this arrival's scheduled instant.
-      double due = interarrival_seconds * static_cast<double>(a);
+      double due = arrival_times[a];
       double now = epoch.ElapsedSeconds();
       if (due > now) {
         std::this_thread::sleep_for(
@@ -150,7 +181,7 @@ WaveResult RunWave(const Engine& engine, Scheduler* scheduler,
     subs.push_back(engine.SubscribeResolved(queries[qi], algorithm,
                                             sink.get(), options, subscribe));
     sinks.push_back(std::move(sink));
-    if (interarrival_seconds <= 0) subs.back().Wait();
+    if (!open_loop) subs.back().Wait();
   }
   WaveResult out;
   for (size_t a = 0; a < arrivals; ++a) {
@@ -172,7 +203,7 @@ WaveResult RunWave(const Engine& engine, Scheduler* scheduler,
   return out;
 }
 
-int Main(double scale, bool json) {
+int Main(double scale, bool json, bool poisson) {
   if (!json) {
     std::printf("=== Serving core: open-loop subscription latency ===\n");
   }
@@ -229,32 +260,47 @@ int Main(double scale, bool json) {
     struct Wave {
       const char* name;
       double interarrival;  // filled for the open waves post-calibration
+      bool poisson;
+      uint64_t seed;  // exponential-draw seed (poisson waves only)
     };
     Scheduler scheduler{SchedulerOptions{}};
     {  // untimed warm-up through the serving path (cold contexts, pool)
       WaveResult warm = RunWave(engine, &scheduler, algorithm, options,
-                                queries, reference, 0);
+                                queries, reference, {});
       all_identical = all_identical && warm.identical;
     }
 
     // Calibration: closed-loop mean service time sets the open rates.
     WaveResult closed = RunWave(engine, &scheduler, algorithm, options,
-                                queries, reference, 0);
+                                queries, reference, {});
     all_identical = all_identical && closed.identical;
     double mean_service =
         closed.wall_seconds / static_cast<double>(arrivals);
     if (mean_service <= 0) mean_service = 1e-6;
 
-    const Wave waves[] = {
-        {"closed", 0},
-        {"open-0.5", mean_service / 0.5},
-        {"open-0.9", mean_service / 0.9},
+    // Per-wave fixed seeds: the exponential draws are part of the
+    // benchmark definition, not run-to-run noise.
+    const uint64_t seed_base =
+        0x9e3779b97f4a7c15ULL ^ (static_cast<uint64_t>(algorithm) * 131);
+    std::vector<Wave> waves = {
+        {"closed", 0, false, 0},
+        {"open-0.5", mean_service / 0.5, false, 0},
+        {"open-0.9", mean_service / 0.9, false, 0},
     };
+    if (poisson) {
+      waves.push_back({"poisson-0.5", mean_service / 0.5, true,
+                       seed_base ^ 1});
+      waves.push_back({"poisson-0.9", mean_service / 0.9, true,
+                       seed_base ^ 2});
+    }
     for (const Wave& wave : waves) {
-      WaveResult r = wave.interarrival == 0
-                         ? std::move(closed)
-                         : RunWave(engine, &scheduler, algorithm, options,
-                                   queries, reference, wave.interarrival);
+      WaveResult r =
+          wave.interarrival == 0
+              ? std::move(closed)
+              : RunWave(engine, &scheduler, algorithm, options, queries,
+                        reference,
+                        MakeSchedule(arrivals, wave.interarrival,
+                                     wave.poisson, wave.seed));
       all_identical = all_identical && r.identical;
       const double p50 = 1e3 * Percentile(r.latency_seconds, 0.50);
       const double p95 = 1e3 * Percentile(r.latency_seconds, 0.95);
@@ -273,6 +319,9 @@ int Main(double scale, bool json) {
         w.Field("class", wave.name);
         w.Field("algorithm", AlgorithmName(algorithm));
         w.Field("mode", "subscribe");
+        w.Field("arrival", wave.interarrival == 0
+                               ? "closed"
+                               : (wave.poisson ? "poisson" : "uniform"));
         w.Field("threads", static_cast<uint64_t>(
                                std::max<size_t>(1, scheduler.num_workers())));
         // The baseline-compared latency headline: tail latency for the
@@ -304,9 +353,10 @@ int Main(double scale, bool json) {
     std::printf(
         "\nclosed = one subscription at a time (calibration); open-R =\n"
         "arrivals at R x the calibrated closed-loop capacity, latency\n"
-        "measured submit -> terminal push. ttfa = mean submit -> first\n"
-        "pushed answer. Every pushed sequence is verified identical to\n"
-        "the drained query (exit 1 on any divergence): %s\n",
+        "measured submit -> terminal push; poisson-R = same mean rate,\n"
+        "seeded exponential interarrival gaps. ttfa = mean submit ->\n"
+        "first pushed answer. Every pushed sequence is verified\n"
+        "identical to the drained query (exit 1 on any divergence): %s\n",
         all_identical ? "ok" : "DIVERGED");
   }
   return all_identical ? 0 : 1;
@@ -318,17 +368,24 @@ int Main(double scale, bool json) {
 int main(int argc, char** argv) {
   double scale = 1.0;
   bool json = false;
+  bool poisson = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--arrival=poisson") == 0) {
+      poisson = true;
+    } else if (std::strcmp(argv[i], "--arrival=uniform") == 0) {
+      poisson = false;
     } else {
       scale = std::atof(argv[i]);
       if (scale <= 0.0) {
-        std::fprintf(stderr, "usage: %s [--json] [scale>0]  (got %s)\n",
+        std::fprintf(stderr,
+                     "usage: %s [--json] [--arrival=poisson] [scale>0]  "
+                     "(got %s)\n",
                      argv[0], argv[i]);
         return 2;
       }
     }
   }
-  return banks::bench::Main(scale, json);
+  return banks::bench::Main(scale, json, poisson);
 }

@@ -1,0 +1,148 @@
+// banks_server: the network front door (docs/NETWORK.md) as a binary.
+// Serves one Engine over TCP; every connection is a fair-queueing tenant
+// on the serving core's Scheduler.
+//
+// Data source (pick one):
+//   --scale=F           synthetic DBLP at generator scale F (default 0.25)
+//   --store=PATH        paged store file (storage/paged_store.h)
+//   --tsv=BASE          BASE.nodes.tsv + BASE.edges.tsv (datasets/tsv_loader.h)
+//   --tsv-nodes=F --tsv-edges=F   explicit TSV paths
+//
+// Serving knobs:
+//   --port=N            TCP port (default 7411; 0 = ephemeral)
+//   --bind=ADDR         bind address (default 127.0.0.1)
+//   --port-file=PATH    write the bound port to PATH once listening
+//                       (CI smoke tests wait on this file)
+//   --workers=N         scheduler worker threads (default: hw concurrency)
+//   --max-running=N     concurrent run slots (contexts)     [default 64]
+//   --max-queued=N      admission queue depth               [default 1024]
+//   --quantum-steps=N   node expansions per quantum         [default 256]
+//   --window=N          per-request delivery-credit window  [default 8]
+//
+// SIGINT/SIGTERM drain in-flight tasks (terminal OnComplete + flush)
+// before exiting 0 — the clean drain-and-exit CI asserts.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "banks/engine.h"
+#include "datasets/dblp_gen.h"
+#include "datasets/tsv_loader.h"
+#include "net/server.h"
+#include "storage/paged_store.h"
+
+using namespace banks;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+bool FlagValue(const char* arg, const char* name, std::string* out) {
+  size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *out = arg + n + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 0.25;
+  std::string store_path, tsv_nodes, tsv_edges, port_file;
+  net::ServerOptions options;
+  options.port = 7411;
+  SchedulerOptions& sched = options.scheduler_options;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (FlagValue(argv[i], "--scale", &v)) scale = std::stod(v);
+    else if (FlagValue(argv[i], "--store", &v)) store_path = v;
+    else if (FlagValue(argv[i], "--tsv", &v)) {
+      tsv_nodes = v + ".nodes.tsv";
+      tsv_edges = v + ".edges.tsv";
+    }
+    else if (FlagValue(argv[i], "--tsv-nodes", &v)) tsv_nodes = v;
+    else if (FlagValue(argv[i], "--tsv-edges", &v)) tsv_edges = v;
+    else if (FlagValue(argv[i], "--port", &v))
+      options.port = static_cast<uint16_t>(std::stoul(v));
+    else if (FlagValue(argv[i], "--bind", &v)) options.bind_address = v;
+    else if (FlagValue(argv[i], "--port-file", &v)) port_file = v;
+    else if (FlagValue(argv[i], "--workers", &v)) sched.num_workers = std::stoul(v);
+    else if (FlagValue(argv[i], "--max-running", &v)) sched.max_running = std::stoul(v);
+    else if (FlagValue(argv[i], "--max-queued", &v)) sched.max_queued = std::stoul(v);
+    else if (FlagValue(argv[i], "--quantum-steps", &v)) sched.quantum_steps = std::stoull(v);
+    else if (FlagValue(argv[i], "--window", &v)) options.credit_window = std::stoull(v);
+    else {
+      std::fprintf(stderr, "unknown flag: %s (see header comment)\n", argv[i]);
+      return 2;
+    }
+  }
+
+  // Build the engine from whichever source was selected.
+  Engine engine = [&] {
+    if (!store_path.empty()) {
+      std::printf("opening paged store %s...\n", store_path.c_str());
+      std::optional<PagedData> pd = PagedStore::Open(store_path);
+      if (!pd.has_value()) {
+        std::fprintf(stderr, "cannot open paged store %s\n", store_path.c_str());
+        std::exit(1);
+      }
+      return Engine(std::move(pd->data));
+    }
+    if (!tsv_nodes.empty() || !tsv_edges.empty()) {
+      std::printf("loading TSV graph (%s, %s)...\n", tsv_nodes.c_str(),
+                  tsv_edges.c_str());
+      std::string error;
+      std::optional<DataGraph> dg = LoadTsvGraph(tsv_nodes, tsv_edges, {}, &error);
+      if (!dg.has_value()) {
+        std::fprintf(stderr, "TSV load failed: %s\n", error.c_str());
+        std::exit(1);
+      }
+      return Engine(std::move(*dg));
+    }
+    std::printf("building synthetic DBLP (scale %.2f)...\n", scale);
+    DblpConfig config;
+    config.num_authors = static_cast<size_t>(8000 * scale);
+    config.num_papers = static_cast<size_t>(16000 * scale);
+    config.num_conferences = static_cast<size_t>(150 * scale) + 10;
+    config.vocab_size = static_cast<size_t>(12000 * scale) + 500;
+    config.surname_pool = static_cast<size_t>(2500 * scale) + 100;
+    return Engine::FromDatabase(GenerateDblp(config));
+  }();
+
+  net::Server server(&engine, options);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "start failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("listening on %s:%u (%zu nodes, %zu edges)\n",
+              options.bind_address.c_str(), server.port(),
+              engine.graph().num_nodes(), engine.graph().num_edges());
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    std::ofstream pf(port_file);
+    pf << server.port() << "\n";
+  }
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (!g_stop) {
+    struct timespec ts = {0, 100'000'000};
+    nanosleep(&ts, nullptr);
+  }
+
+  std::printf("draining...\n");
+  server.Shutdown();
+  net::Server::Stats stats = server.stats();
+  std::printf("served %llu requests over %llu connections, %llu answers\n",
+              static_cast<unsigned long long>(stats.requests_opened),
+              static_cast<unsigned long long>(stats.connections_accepted),
+              static_cast<unsigned long long>(stats.answers_sent));
+  return 0;
+}

@@ -9,22 +9,134 @@
 //   query> /stats                  — dataset statistics
 //   query> /quit
 //
+// Remote mode — same loop, but queries go over the wire to a running
+// banks_server (docs/NETWORK.md) instead of a local engine:
+//   $ ./banks_shell --connect=127.0.0.1:7411
+//
 // Reads queries from stdin; non-interactive use:
 //   echo "database search" | ./banks_shell
 
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "banks/engine.h"
 #include "datasets/dblp_gen.h"
+#include "net/client.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
 using namespace banks;
 
+namespace {
+
+// Command loop against a remote banks_server; answers stream back as
+// wire frames and print with per-answer latency, mirroring the local
+// loop below (modulo DescribeAnswer, which needs the local labels).
+int RemoteShell(const std::string& endpoint) {
+  size_t colon = endpoint.rfind(':');
+  std::string host = colon == std::string::npos
+                         ? endpoint
+                         : endpoint.substr(0, colon);
+  uint16_t port = colon == std::string::npos
+                      ? 7411
+                      : static_cast<uint16_t>(
+                            std::stoul(endpoint.substr(colon + 1)));
+  std::string error;
+  auto client = net::Client::Connect(host, port, {}, &error);
+  if (client == nullptr) {
+    std::fprintf(stderr, "connect failed: %s\n", error.c_str());
+    return 1;
+  }
+  const net::HelloReply& info = client->server_info();
+  std::printf("connected to %s: %llu nodes, %llu edges. /quit to exit.\n",
+              info.server_name.c_str(),
+              static_cast<unsigned long long>(info.nodes),
+              static_cast<unsigned long long>(info.edges));
+
+  Algorithm algorithm = Algorithm::kBidirectional;
+  SearchOptions options;
+  options.k = 5;
+  options.bound = BoundMode::kLoose;
+  options.max_nodes_explored = 2'000'000;
+
+  std::string line;
+  while (std::printf("query> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::vector<std::string> words = SplitAndTrim(line, " \t");
+    if (words.empty()) continue;
+    if (words[0] == "/quit" || words[0] == "/exit") break;
+    if (words[0] == "/algo" && words.size() > 1) {
+      if (words[1] == "mi") algorithm = Algorithm::kBackwardMI;
+      else if (words[1] == "si") algorithm = Algorithm::kBackwardSI;
+      else algorithm = Algorithm::kBidirectional;
+      std::printf("algorithm = %s\n", AlgorithmName(algorithm));
+      continue;
+    }
+    if (words[0] == "/k" && words.size() > 1) {
+      options.k = std::stoul(words[1]);
+      std::printf("k = %zu\n", options.k);
+      continue;
+    }
+    if (words[0] == "/near" && words.size() > 1) {
+      options.combine = words[1] == "on" ? ActivationCombine::kSum
+                                         : ActivationCombine::kMax;
+      std::printf("near queries %s\n", words[1] == "on" ? "on" : "off");
+      continue;
+    }
+    if (words[0] == "/stats") {
+      std::printf("  server %s, graph epoch %llu, ping %s\n",
+                  info.server_name.c_str(),
+                  static_cast<unsigned long long>(info.epoch),
+                  client->Ping() ? "ok" : "FAILED");
+      continue;
+    }
+    if (words[0][0] == '/') {
+      std::printf("commands: /algo mi|si|bidir, /k N, /near on|off, "
+                  "/stats, /quit\n");
+      continue;
+    }
+
+    Timer timer;
+    net::ClientStream stream = client->Subscribe(words, algorithm, options);
+    size_t count = 0;
+    while (auto answer = stream.Next()) {
+      std::printf("-- answer %zu  score %.4f  (+%.1f ms) --\n   root %u;",
+                  ++count, answer->score, timer.ElapsedMillis(),
+                  answer->root);
+      for (const AnswerEdge& e : answer->edges) {
+        std::printf(" %u->%u", e.parent, e.child);
+      }
+      std::printf("; keywords at:");
+      for (NodeId n : answer->keyword_nodes) std::printf(" %u", n);
+      std::printf("\n");
+    }
+    net::NetResult tail = stream.Drain();
+    std::printf("  %zu answers in %.1f ms total, terminal %s "
+                "(%llu nodes explored)\n\n",
+                count, timer.ElapsedMillis(),
+                SubscribeStatusName(tail.status),
+                static_cast<unsigned long long>(
+                    tail.metrics.nodes_explored));
+    if (!client->ok()) {
+      std::fprintf(stderr, "connection lost: %s\n",
+                   client->last_error().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--connect=", 10) == 0) {
+      return RemoteShell(argv[i] + 10);
+    }
+  }
   DblpConfig config;
   config.num_authors = 3000;
   config.num_papers = 6000;

@@ -247,6 +247,12 @@ class Engine {
   /// (default: the process-wide Scheduler::Default()), fair-queueing
   /// tenant + weight, a scheduler-enforced deadline covering queueing
   /// through delivery, and delivery credits for sink flow control.
+  ///
+  /// This is also the network front door's entry point: banks::net's
+  /// Server (docs/NETWORK.md) subscribes each wire request with a
+  /// per-connection tenant and a socket-backed sink whose credits are
+  /// granted by socket writability, so everything documented here —
+  /// admission, deadlines, credit parking — is the remote contract too.
   Subscription Subscribe(const std::vector<std::string>& keywords,
                          Algorithm algorithm, AnswerSink* sink,
                          const SearchOptions& options = {},

@@ -1,0 +1,171 @@
+#include "datasets/tsv_loader.h"
+
+#include <charconv>
+#include <fstream>
+#include <vector>
+
+namespace banks {
+
+namespace {
+
+/// Splits one line on tabs (no escaping — TSV in the strict sense).
+std::vector<std::string_view> SplitTabs(const std::string& line) {
+  std::vector<std::string_view> fields;
+  size_t start = 0;
+  for (;;) {
+    size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) {
+      fields.push_back(std::string_view(line).substr(start));
+      return fields;
+    }
+    fields.push_back(std::string_view(line).substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+bool ParseU32(std::string_view s, uint32_t* out) {
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && p == s.data() + s.size();
+}
+
+bool ParseWeight(std::string_view s, double* out) {
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && p == s.data() + s.size();
+}
+
+bool Skippable(const std::string& line) {
+  return line.empty() || line[0] == '#' ||
+         (line.size() == 1 && line[0] == '\r');
+}
+
+std::string Where(const std::string& path, size_t lineno,
+                  const std::string& what) {
+  return path + ":" + std::to_string(lineno) + ": " + what;
+}
+
+}  // namespace
+
+std::optional<DataGraph> LoadTsvGraph(const std::string& nodes_path,
+                                      const std::string& edges_path,
+                                      const GraphBuildOptions& options,
+                                      std::string* error,
+                                      TsvLoadStats* stats) {
+  auto fail = [&](const std::string& what) -> std::optional<DataGraph> {
+    if (error != nullptr) *error = what;
+    return std::nullopt;
+  };
+  TsvLoadStats local;
+  TsvLoadStats& st = stats != nullptr ? *stats : local;
+  st = TsvLoadStats{};
+
+  struct NodeRow {
+    std::string type;
+    std::string label;
+    std::string text;
+    bool seen = false;
+  };
+  std::vector<NodeRow> rows;
+
+  std::ifstream nodes_in(nodes_path);
+  if (!nodes_in) return fail("cannot open nodes file " + nodes_path);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(nodes_in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (Skippable(line)) {
+      ++st.comment_lines;
+      continue;
+    }
+    std::vector<std::string_view> fields = SplitTabs(line);
+    if (fields.size() < 3 || fields.size() > 4) {
+      return fail(Where(nodes_path, lineno,
+                        "expected 'id\\ttype\\tlabel[\\ttext]', got " +
+                            std::to_string(fields.size()) + " fields"));
+    }
+    uint32_t id;
+    if (!ParseU32(fields[0], &id)) {
+      return fail(Where(nodes_path, lineno, "bad node id"));
+    }
+    if (id >= rows.size()) rows.resize(id + 1);
+    NodeRow& row = rows[id];
+    if (row.seen) {
+      return fail(Where(nodes_path, lineno,
+                        "duplicate node id " + std::to_string(id)));
+    }
+    row.seen = true;
+    row.type = std::string(fields[1]);
+    row.label = std::string(fields[2]);
+    if (fields.size() == 4) row.text = std::string(fields[3]);
+  }
+  if (rows.empty()) return fail(nodes_path + ": no nodes");
+  for (size_t id = 0; id < rows.size(); ++id) {
+    if (!rows[id].seen) {
+      return fail(nodes_path + ": node ids not dense, missing " +
+                  std::to_string(id));
+    }
+  }
+
+  GraphBuilder builder;
+  DataGraph data;
+  data.node_labels.reserve(rows.size());
+  for (size_t id = 0; id < rows.size(); ++id) {
+    NodeRow& row = rows[id];
+    NodeType type =
+        row.type.empty() ? kUntypedNode : builder.InternType(row.type);
+    builder.AddNode(type);
+    // Type token rides in the indexed text (see header) alongside the
+    // label and the optional text column.
+    std::string doc = row.type;
+    if (!row.label.empty()) (doc += ' ') += row.label;
+    if (!row.text.empty()) (doc += ' ') += row.text;
+    data.index.AddDocument(static_cast<NodeId>(id), doc);
+    std::string display = row.type.empty() ? "node" : row.type;
+    ((display += '#') += std::to_string(id));
+    if (!row.label.empty()) ((display += " [") += row.label) += ']';
+    data.node_labels.push_back(std::move(display));
+  }
+  st.nodes = rows.size();
+
+  std::ifstream edges_in(edges_path);
+  if (!edges_in) return fail("cannot open edges file " + edges_path);
+  lineno = 0;
+  while (std::getline(edges_in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (Skippable(line)) {
+      ++st.comment_lines;
+      continue;
+    }
+    std::vector<std::string_view> fields = SplitTabs(line);
+    if (fields.size() < 2 || fields.size() > 3) {
+      return fail(Where(edges_path, lineno,
+                        "expected 'src\\tdst[\\tweight]', got " +
+                            std::to_string(fields.size()) + " fields"));
+    }
+    uint32_t u, v;
+    if (!ParseU32(fields[0], &u) || !ParseU32(fields[1], &v)) {
+      return fail(Where(edges_path, lineno, "bad edge endpoint"));
+    }
+    if (u >= rows.size() || v >= rows.size()) {
+      return fail(Where(edges_path, lineno, "edge endpoint out of range"));
+    }
+    double weight = 1.0;
+    if (fields.size() == 3 && !ParseWeight(fields[2], &weight)) {
+      return fail(Where(edges_path, lineno, "bad edge weight"));
+    }
+    if (weight <= 0) {
+      return fail(Where(edges_path, lineno, "edge weight must be positive"));
+    }
+    builder.AddEdge(u, v, weight);
+    ++st.edges;
+  }
+
+  data.graph = builder.Build(options);
+  data.index.Freeze();
+  // One logical table: TupleFor maps node n to (0, n).
+  data.table_first_node = {0, static_cast<NodeId>(rows.size())};
+  return data;
+}
+
+}  // namespace banks

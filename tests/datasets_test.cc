@@ -1,11 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
+#include <optional>
 #include <set>
+#include <string>
 
+#include "banks/engine.h"
 #include "datasets/dblp_gen.h"
 #include "datasets/imdb_gen.h"
 #include "datasets/patents_gen.h"
+#include "datasets/tsv_loader.h"
 #include "datasets/vocab.h"
 #include "relational/graph_builder.h"
 
@@ -183,6 +188,100 @@ TEST(Generators, DataGraphsAreWellFormed) {
       }
     }
   }
+}
+
+// ------------------------------------------------------- TSV ingestion --
+
+class TsvLoaderTest : public ::testing::Test {
+ protected:
+  std::string Path(const std::string& name) {
+    return ::testing::TempDir() + "tsv_loader_test_" + name;
+  }
+  std::string WriteFile(const std::string& name, const std::string& body) {
+    std::string path = Path(name);
+    std::ofstream out(path, std::ios::trunc);
+    out << body;
+    return path;
+  }
+};
+
+TEST_F(TsvLoaderTest, LoadsGraphAndIndexesTypeLabelAndText) {
+  // Rows deliberately out of id order; a comment, a blank line, a CRLF
+  // line ending, an untyped node, and an explicit edge weight.
+  std::string nodes = WriteFile("a.nodes.tsv",
+                                "# id\ttype\tlabel\ttext\n"
+                                "1\tauthor\tjim gray\n"
+                                "\n"
+                                "0\tpaper\ttransaction concepts\tacid\r\n"
+                                "2\t\torphan\n"
+                                "3\tauthor\tpat helland\n");
+  std::string edges = WriteFile("a.edges.tsv",
+                                "0\t1\n"
+                                "# weighted edge\n"
+                                "0\t3\t2.5\n");
+  std::string error;
+  TsvLoadStats stats;
+  std::optional<DataGraph> dg =
+      LoadTsvGraph(nodes, edges, {}, &error, &stats);
+  ASSERT_TRUE(dg.has_value()) << error;
+  EXPECT_EQ(stats.nodes, 4u);
+  EXPECT_EQ(stats.edges, 2u);
+  EXPECT_EQ(stats.comment_lines, 3u);
+  EXPECT_EQ(dg->graph.num_nodes(), 4u);
+  EXPECT_EQ(dg->node_labels[0], "paper#0 [transaction concepts]");
+  EXPECT_EQ(dg->node_labels[2], "node#2 [orphan]");
+
+  // The whole point of the loader: the result is queryable. The type
+  // name matches every node of that type (it rides in the indexed
+  // text), label and text tokens match their nodes, and search finds a
+  // connecting tree.
+  Engine engine(std::move(*dg));
+  auto origins = engine.Resolve({"author", "acid", "gray"});
+  EXPECT_EQ(origins[0], (std::vector<NodeId>{1, 3}));
+  EXPECT_EQ(origins[1], (std::vector<NodeId>{0}));
+  EXPECT_EQ(origins[2], (std::vector<NodeId>{1}));
+  SearchResult result =
+      engine.Query({"gray", "helland"}, Algorithm::kBidirectional);
+  ASSERT_FALSE(result.answers.empty());
+  // The connecting tree spans both authors (linked through paper 0).
+  const auto& kn = result.answers[0].keyword_nodes;
+  EXPECT_NE(std::find(kn.begin(), kn.end(), 1u), kn.end());
+  EXPECT_NE(std::find(kn.begin(), kn.end(), 3u), kn.end());
+}
+
+TEST_F(TsvLoaderTest, RejectsMalformedInputWithLineDiagnostics) {
+  std::string good_nodes =
+      WriteFile("g.nodes.tsv", "0\tpaper\tp0\n1\tauthor\ta1\n");
+  std::string good_edges = WriteFile("g.edges.tsv", "0\t1\n");
+  struct Case {
+    std::string nodes_body;
+    std::string edges_body;  // empty = use good edges
+    std::string expect;      // substring of the error
+  };
+  const Case cases[] = {
+      {"0\tpaper\n", "", "expected"},                      // too few fields
+      {"0\tpaper\tp0\n0\tauthor\ta\n", "", "duplicate"},   // duplicate id
+      {"0\tpaper\tp0\n2\tauthor\ta\n", "", "not dense"},   // gap
+      {"x\tpaper\tp0\n", "", "bad node id"},
+      {"", "", "no nodes"},
+      {"0\tpaper\tp0\n1\tauthor\ta1\n", "0\t5\n", "out of range"},
+      {"0\tpaper\tp0\n1\tauthor\ta1\n", "0\t1\t-2\n", "positive"},
+      {"0\tpaper\tp0\n1\tauthor\ta1\n", "0\t1\tabc\n", "bad edge weight"},
+  };
+  for (const Case& c : cases) {
+    std::string nodes = WriteFile("bad.nodes.tsv", c.nodes_body);
+    std::string edges = c.edges_body.empty()
+                            ? good_edges
+                            : WriteFile("bad.edges.tsv", c.edges_body);
+    std::string error;
+    EXPECT_FALSE(LoadTsvGraph(nodes, edges, {}, &error).has_value());
+    EXPECT_NE(error.find(c.expect), std::string::npos)
+        << "error was: " << error;
+  }
+  std::string error;
+  EXPECT_FALSE(
+      LoadTsvGraph(Path("missing.tsv"), good_edges, {}, &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
 }
 
 }  // namespace

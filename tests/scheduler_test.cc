@@ -431,6 +431,74 @@ TEST(SchedulerCredits, CreditStarvedTaskDetachesIntoStreamState) {
   ExpectSameDeterministicMetrics(sink.final_metrics(), reference.metrics);
 }
 
+TEST(SchedulerCredits, StarvedSubscriptionHoldsZeroLeasesAcrossManyQuanta) {
+  // The slow-consumer guarantee the network layer leans on
+  // (docs/NETWORK.md "Backpressure"): a subscription whose consumer
+  // grants no credits parks in credit-wait holding ZERO pool leases —
+  // not just momentarily, but across arbitrarily many quanta of other
+  // tenants' work — and resumes losslessly once credits arrive.
+  Workload w;
+  SearchResult reference = w.Reference();
+  ASSERT_GE(reference.answers.size(), 2u);
+
+  SearchContextPool pool;
+  SchedulerOptions so;
+  so.num_workers = 0;
+  so.quantum_steps = 8;
+  so.context_pool = &pool;
+  Scheduler scheduler(so);
+
+  QueueSink starved_sink;
+  TaskSpec starved_spec = w.Spec(&starved_sink);
+  starved_spec.answer_credits = 0;  // consumer grants nothing up front
+  Subscription starved = scheduler.Submit(std::move(starved_spec));
+  while (scheduler.DriveOne()) {
+  }
+  EXPECT_FALSE(starved.finished());
+  EXPECT_EQ(starved.answers_delivered(), 0u);
+  EXPECT_EQ(scheduler.Snapshot().credit_waiting, 1u);
+  EXPECT_EQ(pool.leased(), 0u);
+
+  // Several full searches of a competing tenant come and go while the
+  // starved task stays parked. At every single scheduling decision the
+  // only lease in the pool may be the active task's — the parked one
+  // contributes nothing (a leak here is exactly the unbounded-buffering
+  // failure mode the credit design exists to prevent).
+  for (int round = 0; round < 3; ++round) {
+    QueueSink other_sink;
+    TaskSpec other_spec = w.Spec(&other_sink);
+    other_spec.tenant = "other";
+    Subscription other = scheduler.Submit(std::move(other_spec));
+    size_t quanta = 0;
+    while (!other.finished()) {
+      ASSERT_TRUE(scheduler.DriveOne()) << "competing task must progress";
+      ASSERT_LE(pool.leased(), 1u) << "starved task must hold no lease";
+      ++quanta;
+    }
+    EXPECT_GT(quanta, 1u) << "workload must span several quanta";
+    EXPECT_EQ(other.status(), SubscribeStatus::kCompleted);
+    Scheduler::Stats stats = scheduler.Snapshot();
+    EXPECT_EQ(stats.credit_waiting, 1u);
+    EXPECT_EQ(stats.contexts_attached, 0u);
+    EXPECT_EQ(pool.leased(), 0u);
+  }
+  EXPECT_FALSE(starved.finished());
+  EXPECT_EQ(starved.answers_delivered(), 0u);
+
+  // One large grant resumes delivery-only quanta; the sequence and the
+  // deterministic metrics must be exactly the drained reference's.
+  starved.AddCredits(kUnlimitedCredits / 2);
+  DriveToFinish(&scheduler, starved);
+  EXPECT_EQ(starved.status(), SubscribeStatus::kCompleted);
+  std::vector<AnswerTree> got = DrainSink(&starved_sink);
+  ASSERT_EQ(got.size(), reference.answers.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_TRUE(SameAnswer(got[i], reference.answers[i]));
+  }
+  ExpectSameDeterministicMetrics(starved_sink.final_metrics(),
+                                 reference.metrics);
+}
+
 // ---- Engine front door: Subscribe + scheduler-backed AnswerStream --------
 
 class ServeEngineTest : public ::testing::Test {
